@@ -1,0 +1,566 @@
+(* Benchmark and reproduction harness.
+
+   Regenerates every table and figure of the paper's evaluation:
+
+     fig1    the example application (features summary)
+     fig2    CWM energy annotation of the two example mappings (390 pJ)
+     fig3    CDCM cost-variable lists, ENoC and texec (400/100 vs 399/90)
+     fig4/5  timing diagrams for both mappings
+     table1  the 18-application suite features
+     table2  ETR / ECS0.35 / ECS0.07 per NoC size
+     cputime CDCM-vs-CWM cost-evaluation CPU comparison (the "+23 %" claim)
+     es-sa   SA certified against exhaustive search on small instances
+     ablations: routing XY vs YX, buffer capacity, annealing budget
+
+   Each artifact also gets a Bechamel micro-benchmark measuring the cost
+   of regenerating it.  Environment knobs:
+     NOCMAP_BENCH_BUDGET=quick|standard|thorough   (default standard)
+     NOCMAP_BENCH_SEED=<int>                       (default 2005) *)
+
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Routing = Nocmap_noc.Routing
+module Rng = Nocmap_util.Rng
+module Stats = Nocmap_util.Stats
+module Tablefmt = Nocmap_util.Tablefmt
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Mapping = Nocmap_mapping
+module Wormhole = Nocmap_sim.Wormhole
+module Trace = Nocmap_sim.Trace
+module Fig1 = Nocmap_apps.Fig1
+module Experiment = Nocmap.Experiment
+
+let seed =
+  match Sys.getenv_opt "NOCMAP_BENCH_SEED" with
+  | Some s -> (try int_of_string s with Failure _ -> 2005)
+  | None -> 2005
+
+let budget =
+  match Sys.getenv_opt "NOCMAP_BENCH_BUDGET" with
+  | Some "quick" -> Experiment.Quick
+  | Some "thorough" -> Experiment.Thorough
+  | Some _ | None -> Experiment.Standard
+
+let experiment_config =
+  {
+    Experiment.default_config with
+    Experiment.budget;
+    restarts = (match budget with Experiment.Quick -> 1 | Experiment.Standard
+      | Experiment.Thorough -> 2);
+  }
+
+let banner title =
+  Printf.printf "\n==================== %s ====================\n" title
+
+(* --- the paper's worked example --- *)
+
+let example_crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+let example_params = Noc_params.paper_example
+
+let example_tech =
+  Technology.make ~name:"fig1" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
+    ~p_s_router:0.025e-12 ()
+
+let fig1 () =
+  banner "Figure 1: example application";
+  Format.printf "CDCG: %a@." Nocmap_model.Features.pp
+    (Nocmap_model.Features.of_cdcg Fig1.cdcg);
+  Format.printf "mapping (c): %s@."
+    (Mapping.Placement.to_string ~core_names:Fig1.cdcg.Cdcg.core_names Fig1.mapping_c);
+  Format.printf "mapping (d): %s@."
+    (Mapping.Placement.to_string ~core_names:Fig1.cdcg.Cdcg.core_names Fig1.mapping_d)
+
+let fig2_energy placement =
+  Mapping.Cost_cwm.dynamic_energy ~tech:example_tech ~crg:example_crg ~cwg:Fig1.cwg
+    placement
+
+let fig2 () =
+  banner "Figure 2: CWM evaluation (both mappings look identical)";
+  Printf.printf "EDyNoC mapping (c): %.0f pJ\n" (fig2_energy Fig1.mapping_c *. 1e12);
+  Printf.printf "EDyNoC mapping (d): %.0f pJ   (paper: 390 pJ for both)\n"
+    (fig2_energy Fig1.mapping_d *. 1e12)
+
+let fig3_run placement =
+  Wormhole.run ~params:example_params ~crg:example_crg ~placement Fig1.cdcg
+
+let fig3 () =
+  banner "Figure 3: CDCM evaluation distinguishes the mappings";
+  let show name placement expected =
+    let e =
+      Mapping.Cost_cdcm.evaluate ~tech:example_tech ~params:example_params
+        ~crg:example_crg ~cdcg:Fig1.cdcg placement
+    in
+    Printf.printf "mapping %s: ENoC = %.0f pJ, texec = %.0f ns   (paper: %s)\n" name
+      (e.Mapping.Cost_cdcm.total *. 1e12)
+      e.Mapping.Cost_cdcm.texec_ns expected;
+    print_string
+      (Nocmap_sim.Annotation_report.render ~cdcg:Fig1.cdcg ~crg:example_crg
+         (fig3_run placement))
+  in
+  show "(c)" Fig1.mapping_c "400 pJ, 100 ns";
+  show "(d)" Fig1.mapping_d "399 pJ, 90 ns"
+
+let fig4_5 () =
+  banner "Figures 4 and 5: timing diagrams";
+  Printf.printf "--- mapping (c), with contention ---\n";
+  print_string
+    (Nocmap_sim.Gantt.render ~params:example_params ~cdcg:Fig1.cdcg
+       (fig3_run Fig1.mapping_c));
+  Printf.printf "--- mapping (d), contention-free ---\n";
+  print_string
+    (Nocmap_sim.Gantt.render ~params:example_params ~cdcg:Fig1.cdcg
+       (fig3_run Fig1.mapping_d))
+
+(* --- tables --- *)
+
+let table1 () =
+  banner "Table 1: NoC/application features";
+  print_string (Nocmap.Table1.render ~seed)
+
+let table2 () =
+  banner
+    (Printf.sprintf "Table 2: CDCM vs CWM (budget: %s, seed %d)"
+       (match budget with
+       | Experiment.Quick -> "quick"
+       | Experiment.Standard -> "standard"
+       | Experiment.Thorough -> "thorough")
+       seed);
+  let result =
+    Nocmap.Table2.run ~config:experiment_config
+      ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
+      ~seed ()
+  in
+  print_string (Nocmap.Table2.render result);
+  (* The paper's CPU-time claim is about whole mapping runs: report the
+     search CPU of both models per NoC size (the CDCM time is halved
+     because our flow runs the CDCM search once per technology). *)
+  banner "Section 5: whole mapping-run CPU time (from the Table 2 searches)";
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("NoC size", Tablefmt.Left); ("CWM search (s)", Tablefmt.Right);
+          ("CDCM search (s)", Tablefmt.Right); ("overhead", Tablefmt.Right) ]
+      ()
+  in
+  let overheads =
+    List.map
+      (fun (s_ : Nocmap.Table2.size_summary) ->
+        let sum f = List.fold_left (fun acc o -> acc +. f o) 0.0 s_.Nocmap.Table2.outcomes in
+        let cwm = sum (fun o -> o.Experiment.cwm_cpu_seconds) in
+        let cdcm = sum (fun o -> o.Experiment.cdcm_cpu_seconds) /. 2.0 in
+        let overhead = if cwm > 0.0 then 100.0 *. (cdcm -. cwm) /. cwm else 0.0 in
+        Tablefmt.add_row table
+          [
+            Mesh.to_string s_.Nocmap.Table2.mesh;
+            Printf.sprintf "%.2f" cwm;
+            Printf.sprintf "%.2f" cdcm;
+            Printf.sprintf "%+.0f %%" overhead;
+          ];
+        overhead)
+      result.Nocmap.Table2.sizes
+  in
+  Tablefmt.add_summary_row table
+    [ "average"; ""; ""; Printf.sprintf "%+.0f %%" (Stats.mean overheads) ];
+  Tablefmt.print table
+
+let cputime () =
+  banner "Section 5: CPU time per cost evaluation (CDCM vs CWM)";
+  print_string (Nocmap.Cpu_time.render (Nocmap.Cpu_time.over_suite ~evaluations:60 ~seed ()))
+
+let related_work () =
+  banner "Related work anchor: mapping vs random (Hu & Marculescu [4])";
+  let rng = Rng.create ~seed:(seed + 21) in
+  let comparisons =
+    Nocmap_tgff.Suite.instances ~seed
+    |> List.filteri (fun i _ -> i < 6)
+    |> List.map (fun (mesh, cdcg) ->
+           Nocmap.Related_work.compare_random_vs_cwm ~rng:(Rng.split rng) ~mesh cdcg)
+  in
+  print_string (Nocmap.Related_work.render comparisons)
+
+let es_vs_sa () =
+  banner "Section 5: SA certified against exhaustive search (small NoCs)";
+  let rng = Rng.create ~seed in
+  let verdicts =
+    (* Exhaustive CDCM search is tractable for the 2x2 example and a
+       generated 5-core application on 3x2. *)
+    let fig1_objective =
+      Mapping.Objective.cdcm ~tech:Technology.t007 ~params:example_params
+        ~crg:example_crg ~cdcg:Fig1.cdcg
+    in
+    let small_mesh = Mesh.create ~cols:3 ~rows:2 in
+    let small_cdcg =
+      Nocmap_tgff.Generator.generate (Rng.split rng)
+        (Nocmap_tgff.Generator.default_spec ~name:"es-sa" ~cores:5 ~packets:20
+           ~total_bits:4_000)
+    in
+    let small_objective =
+      Mapping.Objective.cdcm ~tech:Technology.t007 ~params:example_params
+        ~crg:(Crg.create small_mesh) ~cdcg:small_cdcg
+    in
+    [
+      Nocmap.Es_vs_sa.certify ~rng:(Rng.split rng)
+        ~mesh:(Mesh.create ~cols:2 ~rows:2)
+        ~objective:fig1_objective ~cores:4 ~app:"fig1" ();
+      Nocmap.Es_vs_sa.certify ~rng:(Rng.split rng) ~mesh:small_mesh
+        ~objective:small_objective ~cores:5 ~app:"es-sa-3x2" ();
+    ]
+  in
+  print_string (Nocmap.Es_vs_sa.render verdicts)
+
+(* --- ablations --- *)
+
+let ablation_instance () =
+  let rng = Rng.create ~seed:(seed + 13) in
+  let spec =
+    Nocmap_tgff.Generator.default_spec ~name:"ablation" ~cores:9 ~packets:48
+      ~total_bits:60_000
+  in
+  (Mesh.create ~cols:3 ~rows:3, Nocmap_tgff.Generator.generate rng spec)
+
+let ablation_routing () =
+  banner "Ablation: XY vs YX routing (CDCM evaluation of the same mappings)";
+  let mesh, cdcg = ablation_instance () in
+  let rng = Rng.create ~seed:(seed + 14) in
+  let placement = Mapping.Placement.random rng ~cores:(Cdcg.core_count cdcg)
+      ~tiles:(Mesh.tile_count mesh)
+  in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("routing", Tablefmt.Left); ("texec (ns)", Tablefmt.Right);
+          ("contention (cycles)", Tablefmt.Right) ]
+      ()
+  in
+  let leg algo =
+    let crg = Crg.create ~routing:algo mesh in
+    let t = Wormhole.run ~trace:false ~params:example_params ~crg ~placement cdcg in
+    Tablefmt.add_row table
+      [
+        Routing.algorithm_to_string algo;
+        Printf.sprintf "%.0f" t.Trace.texec_ns;
+        string_of_int t.Trace.contention_cycles;
+      ]
+  in
+  leg Routing.Xy;
+  leg Routing.Yx;
+  leg Routing.Torus_xy;
+  leg Routing.Torus_yx;
+  Tablefmt.print table
+
+let ablation_buffers () =
+  banner "Ablation: router input-buffer capacity (backpressure model)";
+  let mesh, cdcg = ablation_instance () in
+  let crg = Crg.create mesh in
+  let rng = Rng.create ~seed:(seed + 15) in
+  let placement = Mapping.Placement.random rng ~cores:(Cdcg.core_count cdcg)
+      ~tiles:(Mesh.tile_count mesh)
+  in
+  let table =
+    Tablefmt.create
+      ~columns:[ ("buffering", Tablefmt.Left); ("texec (ns)", Tablefmt.Right) ]
+      ()
+  in
+  let leg label buffering =
+    let params = Noc_params.make ~flit_bits:16 ~buffering () in
+    match Wormhole.run ~trace:false ~params ~crg ~placement cdcg with
+    | t -> Tablefmt.add_row table [ label; Printf.sprintf "%.0f" t.Trace.texec_ns ]
+    | exception Wormhole.Deadlock _ -> Tablefmt.add_row table [ label; "deadlock" ]
+  in
+  leg "unbounded (paper)" Noc_params.Unbounded;
+  List.iter
+    (fun c -> leg (Printf.sprintf "%d flits" c) (Noc_params.Bounded c))
+    [ 64; 16; 4; 2; 1 ];
+  Tablefmt.print table
+
+let ablation_strategies () =
+  banner "Ablation: mapping strategies on the same instance (CDCM evaluation)";
+  let mesh, cdcg = ablation_instance () in
+  let crg = Crg.create mesh in
+  let cwg = Cwg.of_cdcg cdcg in
+  let tiles = Mesh.tile_count mesh in
+  let cores = Cdcg.core_count cdcg in
+  let tech = Technology.t007 in
+  let objective = Mapping.Objective.cdcm ~tech ~params:example_params ~crg ~cdcg in
+  let rng = Rng.create ~seed:(seed + 19) in
+  let strategies =
+    [
+      ( "random best-of-200",
+        fun () ->
+          Mapping.Random_search.search ~rng:(Rng.split rng) ~objective ~cores ~tiles
+            ~samples:200 );
+      ("greedy (CWM partial)", fun () -> Mapping.Greedy.search ~tech ~crg ~cwg ());
+      ( "greedy + local search",
+        fun () ->
+          let greedy = Mapping.Greedy.search ~tech ~crg ~cwg () in
+          Mapping.Local_search.search ~objective ~tiles
+            ~initial:greedy.Mapping.Objective.placement () );
+      ( "simulated annealing",
+        fun () ->
+          Mapping.Annealing.search ~rng:(Rng.split rng)
+            ~config:(Mapping.Annealing.default_config ~tiles)
+            ~tiles ~objective ~cores () );
+    ]
+  in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("strategy", Tablefmt.Left); ("texec (ns)", Tablefmt.Right);
+          ("ENoC (nJ)", Tablefmt.Right); ("peak link util", Tablefmt.Right);
+          ("cost evals", Tablefmt.Right) ]
+      ()
+  in
+  let leg (name, search) =
+    let r = search () in
+    let placement = r.Mapping.Objective.placement in
+    let e = Mapping.Cost_cdcm.evaluate ~tech ~params:example_params ~crg ~cdcg placement in
+    let trace = Wormhole.run ~params:example_params ~crg ~placement cdcg in
+    Tablefmt.add_row table
+      [
+        name;
+        Printf.sprintf "%.0f" e.Mapping.Cost_cdcm.texec_ns;
+        Printf.sprintf "%.3f" (e.Mapping.Cost_cdcm.total *. 1e9);
+        Printf.sprintf "%.0f %%" (100.0 *. Nocmap_sim.Hotspot.peak_utilization ~crg trace);
+        string_of_int r.Mapping.Objective.evaluations;
+      ]
+  in
+  List.iter leg strategies;
+  Tablefmt.print table
+
+let contention_study () =
+  banner "Workload study: how much of texec is contention (analytic vs simulated)";
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("app", Tablefmt.Left); ("structure", Tablefmt.Left);
+          ("simulated texec", Tablefmt.Right); ("analytic bound", Tablefmt.Right);
+          ("contention share", Tablefmt.Right) ]
+      ()
+  in
+  let rng = Rng.create ~seed:(seed + 23) in
+  let study (mesh, cdcg) =
+    let tiles = Mesh.tile_count mesh in
+    let cores = Cdcg.core_count cdcg in
+    if cores <= tiles then begin
+      let crg = Crg.create mesh in
+      let placement = Mapping.Placement.random (Rng.split rng) ~cores ~tiles in
+      let t = Wormhole.run ~trace:false ~params:example_params ~crg ~placement cdcg in
+      let e = Nocmap_sim.Analytic.estimate ~params:example_params ~crg ~placement cdcg in
+      let metrics = Nocmap_model.Metrics.of_cdcg cdcg in
+      Tablefmt.add_row table
+        [
+          cdcg.Cdcg.name;
+          Printf.sprintf "depth %d width %d" metrics.Nocmap_model.Metrics.depth
+            metrics.Nocmap_model.Metrics.width;
+          string_of_int t.Trace.texec_cycles;
+          string_of_int e.Nocmap_sim.Analytic.lower_bound_cycles;
+          Printf.sprintf "%.0f %%"
+            (100.0
+            *. Nocmap_sim.Analytic.contention_share e
+                 ~simulated_cycles:t.Trace.texec_cycles);
+        ]
+    end
+  in
+  List.iteri (fun i inst -> if i < 9 then study inst) (Nocmap_tgff.Suite.instances ~seed);
+  Tablefmt.print table
+
+let ablation_pareto () =
+  banner "Extension: energy/time Pareto sweep (weighted objective)";
+  let mesh, cdcg = ablation_instance () in
+  let crg = Crg.create mesh in
+  let points =
+    Mapping.Weighted.pareto_sweep
+      ~rng:(Rng.create ~seed:(seed + 27))
+      ~config:(Mapping.Annealing.default_config ~tiles:(Mesh.tile_count mesh))
+      ~tech:Technology.t007 ~params:example_params ~crg ~cdcg
+      ~alphas:[ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("alpha (energy weight)", Tablefmt.Right); ("texec (ns)", Tablefmt.Right);
+          ("ENoC (nJ)", Tablefmt.Right) ]
+      ()
+  in
+  List.iter
+    (fun (alpha, e) ->
+      Tablefmt.add_row table
+        [
+          Printf.sprintf "%.2f" alpha;
+          Printf.sprintf "%.0f" e.Mapping.Cost_cdcm.texec_ns;
+          Printf.sprintf "%.3f" (e.Mapping.Cost_cdcm.total *. 1e9);
+        ])
+    points;
+  Tablefmt.print table
+
+let ablation_packetization () =
+  banner "Ablation: packetization (Ye et al. [7] style message splitting)";
+  let mesh, cdcg = ablation_instance () in
+  let crg = Crg.create mesh in
+  let rng = Rng.create ~seed:(seed + 29) in
+  let placement = Mapping.Placement.random rng ~cores:(Cdcg.core_count cdcg)
+      ~tiles:(Mesh.tile_count mesh)
+  in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("max packet size (bits)", Tablefmt.Left); ("packets", Tablefmt.Right);
+          ("texec (ns)", Tablefmt.Right); ("contention (cycles)", Tablefmt.Right) ]
+      ()
+  in
+  let leg label c =
+    let t = Wormhole.run ~trace:false ~params:example_params ~crg ~placement c in
+    Tablefmt.add_row table
+      [
+        label;
+        string_of_int (Cdcg.packet_count c);
+        Printf.sprintf "%.0f" t.Trace.texec_ns;
+        string_of_int t.Trace.contention_cycles;
+      ]
+  in
+  leg "unsplit (paper)" cdcg;
+  List.iter
+    (fun max_bits ->
+      leg (string_of_int max_bits)
+        (Nocmap_model.Transform.split_packets ~max_bits cdcg))
+    [ 8192; 2048; 512 ];
+  Tablefmt.print table
+
+let ablation_sa_budget () =
+  banner "Ablation: annealing budget vs mapping quality (CDCM objective)";
+  let mesh, cdcg = ablation_instance () in
+  let crg = Crg.create mesh in
+  let tiles = Mesh.tile_count mesh in
+  let cores = Cdcg.core_count cdcg in
+  let objective =
+    Mapping.Objective.cdcm ~tech:Technology.t007 ~params:example_params ~crg ~cdcg
+  in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("budget", Tablefmt.Left); ("best ENoC (nJ)", Tablefmt.Right);
+          ("cost evals", Tablefmt.Right) ]
+      ()
+  in
+  let leg label config =
+    let r =
+      Mapping.Annealing.search ~rng:(Rng.create ~seed:(seed + 16)) ~config ~tiles
+        ~objective ~cores ()
+    in
+    Tablefmt.add_row table
+      [
+        label;
+        Printf.sprintf "%.3f" (r.Mapping.Objective.cost *. 1e9);
+        string_of_int r.Mapping.Objective.evaluations;
+      ]
+  in
+  leg "random (1 sample)"
+    { (Mapping.Annealing.quick_config ~tiles) with Mapping.Annealing.max_evaluations = 1 };
+  leg "quick" (Mapping.Annealing.quick_config ~tiles);
+  leg "default" (Mapping.Annealing.default_config ~tiles);
+  Tablefmt.print table
+
+(* --- Bechamel micro-benchmarks: one per table/figure --- *)
+
+let bechamel_report () =
+  banner "Bechamel: time to regenerate each artifact";
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let mesh, cdcg = ablation_instance () in
+  let crg = Crg.create mesh in
+  let cwg = Cwg.of_cdcg cdcg in
+  let rng = Rng.create ~seed:(seed + 17) in
+  let placement = Mapping.Placement.random rng ~cores:(Cdcg.core_count cdcg)
+      ~tiles:(Mesh.tile_count mesh)
+  in
+  let tests =
+    [
+      Test.make ~name:"fig2-cwm-cost" (Staged.stage (fun () -> fig2_energy Fig1.mapping_c));
+      Test.make ~name:"fig3-cdcm-eval"
+        (Staged.stage (fun () ->
+             Wormhole.run ~trace:false ~params:example_params ~crg:example_crg
+               ~placement:Fig1.mapping_c Fig1.cdcg));
+      Test.make ~name:"fig4-gantt"
+        (Staged.stage (fun () ->
+             Nocmap_sim.Gantt.render ~params:example_params ~cdcg:Fig1.cdcg
+               (fig3_run Fig1.mapping_c)));
+      Test.make ~name:"table1-features"
+        (Staged.stage (fun () -> Nocmap_model.Features.of_cdcg cdcg));
+      Test.make ~name:"table2-cwm-eval-3x3"
+        (Staged.stage (fun () -> Mapping.Cost_cwm.dynamic_energy ~tech:Technology.t007 ~crg ~cwg placement));
+      Test.make ~name:"table2-cdcm-eval-3x3"
+        (Staged.stage (fun () ->
+             Wormhole.run ~trace:false ~params:example_params ~crg ~placement cdcg));
+      Test.make ~name:"cwm-incremental-move"
+        (let inc =
+           Mapping.Cost_cwm_incremental.create ~tech:Technology.t007 ~crg ~cwg
+             ~placement
+         in
+         Staged.stage (fun () ->
+             Mapping.Cost_cwm_incremental.move_delta inc ~core:0 ~tile:3));
+      Test.make ~name:"analytic-estimate-3x3"
+        (Staged.stage (fun () ->
+             Nocmap_sim.Analytic.estimate ~params:example_params ~crg ~placement cdcg));
+      Test.make ~name:"tgff-generate"
+        (Staged.stage (fun () ->
+             Nocmap_tgff.Generator.generate
+               (Rng.create ~seed:(seed + 18))
+               (Nocmap_tgff.Generator.default_spec ~name:"bench" ~cores:9 ~packets:48
+                  ~total_bits:60_000)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let measure test = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table =
+    Tablefmt.create
+      ~columns:[ ("artifact", Tablefmt.Left); ("time per run", Tablefmt.Right) ]
+      ()
+  in
+  List.iter
+    (fun test ->
+      let raw = measure test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          let nanos =
+            match Analyze.OLS.estimates result with
+            | Some (value :: _) -> value
+            | Some [] | None -> nan
+          in
+          let rendered =
+            if Float.is_nan nanos then "n/a"
+            else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
+            else if nanos > 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
+            else Printf.sprintf "%.0f ns" nanos
+          in
+          Tablefmt.add_row table [ name; rendered ])
+        results)
+    tests;
+  Tablefmt.print table
+
+let () =
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4_5 ();
+  table1 ();
+  table2 ();
+  cputime ();
+  related_work ();
+  es_vs_sa ();
+  ablation_routing ();
+  ablation_buffers ();
+  ablation_strategies ();
+  contention_study ();
+  ablation_pareto ();
+  ablation_packetization ();
+  ablation_sa_budget ();
+  bechamel_report ();
+  print_newline ()

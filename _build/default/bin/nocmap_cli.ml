@@ -1,0 +1,471 @@
+(* nocmap — command-line front end of the FRW-style mapping framework.
+
+   Subcommands:
+     gen      generate a random CDCG benchmark (TGFF-like)
+     apps     list or dump the built-in embedded applications
+     map      search a mapping for an application on a mesh NoC
+     eval     evaluate a placement: energy, timing diagram, annotations
+     table1   regenerate the paper's Table 1
+     table2   regenerate the paper's Table 2
+     cputime  CWM vs CDCM cost-evaluation CPU comparison *)
+
+open Cmdliner
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Rng = Nocmap_util.Rng
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Textio = Nocmap_model.Textio
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Mapping = Nocmap_mapping
+
+let mesh_arg =
+  let doc = "NoC size as <cols>x<rows>, e.g. 3x3." in
+  Arg.(value & opt string "3x3" & info [ "noc" ] ~docv:"SIZE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed; every run is deterministic for a fixed seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let flit_arg =
+  let doc = "Link width in bits (flit size)." in
+  Arg.(value & opt int 16 & info [ "flit" ] ~docv:"BITS" ~doc)
+
+let tech_arg =
+  let doc = "Technology point: 0.35um, 0.18um, 0.13um or 0.07um." in
+  Arg.(value & opt string "0.07um" & info [ "tech" ] ~docv:"TECH" ~doc)
+
+let routing_arg =
+  let doc = "Routing algorithm: xy, yx, torus-xy or torus-yx." in
+  Arg.(value & opt string "xy" & info [ "routing" ] ~docv:"ALG" ~doc)
+
+let load_routing s =
+  match Nocmap_noc.Routing.algorithm_of_string s with
+  | algo -> Ok algo
+  | exception Invalid_argument msg -> Error msg
+
+let load_tech name =
+  match Technology.of_name name with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "unknown technology %S" name)
+
+let load_app ~path ~builtin =
+  match (path, builtin) with
+  | Some _, Some _ -> Error "pass either --app or --builtin, not both"
+  | Some path, None -> begin
+    match (Textio.load_cdcg ~path : (Cdcg.t, string) result) with
+    | Ok cdcg -> Ok cdcg
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  end
+  | None, Some name -> begin
+    match Nocmap_apps.Catalog.find name with
+    | Some cdcg -> Ok cdcg
+    | None -> Error (Printf.sprintf "unknown built-in application %S" name)
+  end
+  | None, None -> Error "pass --app FILE or --builtin NAME"
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("nocmap: " ^ msg);
+    exit 1
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let cores =
+    Arg.(value & opt int 9 & info [ "cores" ] ~docv:"N" ~doc:"Number of cores.")
+  in
+  let packets =
+    Arg.(value & opt int 32 & info [ "packets" ] ~docv:"N" ~doc:"Number of packets.")
+  in
+  let bits =
+    Arg.(
+      value & opt int 50_000
+      & info [ "bits" ] ~docv:"N" ~doc:"Total communication volume in bits.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run seed cores packets bits out =
+    let spec =
+      Nocmap_tgff.Generator.default_spec ~name:(Printf.sprintf "random-%d" seed)
+        ~cores ~packets ~total_bits:bits
+    in
+    let cdcg = Nocmap_tgff.Generator.generate (Rng.create ~seed) spec in
+    let text = Textio.cdcg_to_string cdcg in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      Textio.save_cdcg ~path cdcg;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a TGFF-like random CDCG benchmark")
+    Term.(const run $ seed_arg $ cores $ packets $ bits $ out)
+
+(* --- apps --- *)
+
+let apps_cmd =
+  let dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump" ] ~docv:"NAME" ~doc:"Print the CDCG of one application.")
+  in
+  let run dump =
+    match dump with
+    | None ->
+      List.iter
+        (fun (name, cdcg) ->
+          Format.printf "%-14s %a@." name Nocmap_model.Features.pp
+            (Nocmap_model.Features.of_cdcg cdcg))
+        Nocmap_apps.Catalog.all
+    | Some name -> begin
+      match Nocmap_apps.Catalog.find name with
+      | Some cdcg -> print_string (Textio.cdcg_to_string cdcg)
+      | None ->
+        prerr_endline ("nocmap: unknown application " ^ name);
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "apps" ~doc:"List or dump the built-in embedded applications")
+    Term.(const run $ dump)
+
+(* --- map --- *)
+
+let app_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "app" ] ~docv:"FILE" ~doc:"Application CDCG file.")
+
+let builtin_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "builtin" ] ~docv:"NAME" ~doc:"Built-in application name (see `apps`).")
+
+let map_cmd =
+  let model =
+    Arg.(
+      value & opt string "cdcm"
+      & info [ "model" ] ~docv:"MODEL" ~doc:"Mapping model: cwm or cdcm.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "sa"
+      & info [ "algorithm" ] ~docv:"ALG"
+          ~doc:"Search: sa, es, greedy, local, greedy+local or random.")
+  in
+  let save =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the resulting placement to a file.")
+  in
+  let run mesh seed flit tech_name routing app builtin model algorithm save =
+    let mesh = Mesh.of_string mesh in
+    let tech = or_die (load_tech tech_name) in
+    let cdcg = or_die (load_app ~path:app ~builtin) in
+    let crg = Crg.create ~routing:(or_die (load_routing routing)) mesh in
+    let params = Noc_params.make ~flit_bits:flit () in
+    let cwg = Cwg.of_cdcg cdcg in
+    let tiles = Mesh.tile_count mesh in
+    let cores = Cdcg.core_count cdcg in
+    if cores > tiles then
+      or_die (Error (Printf.sprintf "%d cores do not fit on %s" cores (Mesh.to_string mesh)));
+    let rng = Rng.create ~seed in
+    let objective =
+      match model with
+      | "cwm" -> Mapping.Objective.cwm ~tech ~crg ~cwg
+      | "cdcm" -> Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg
+      | other -> or_die (Error ("unknown model " ^ other))
+    in
+    let result =
+      match algorithm with
+      | "sa" ->
+        Mapping.Annealing.search ~rng
+          ~config:(Mapping.Annealing.default_config ~tiles)
+          ~tiles ~objective ~cores ()
+      | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ()
+      | "greedy" -> Mapping.Greedy.search ~tech ~crg ~cwg ()
+      | "local" ->
+        let initial = Mapping.Placement.random rng ~cores ~tiles in
+        Mapping.Local_search.search ~objective ~tiles ~initial ()
+      | "greedy+local" ->
+        let greedy = Mapping.Greedy.search ~tech ~crg ~cwg () in
+        Mapping.Local_search.search ~objective ~tiles
+          ~initial:greedy.Mapping.Objective.placement ()
+      | "random" ->
+        Mapping.Random_search.search ~rng ~objective ~cores ~tiles ~samples:1000
+      | other -> or_die (Error ("unknown algorithm " ^ other))
+    in
+    let evaluation =
+      Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg
+        result.Mapping.Objective.placement
+    in
+    Printf.printf "application : %s\n" cdcg.Cdcg.name;
+    Printf.printf "NoC         : %s, %s routing\n" (Mesh.to_string mesh)
+      (Nocmap_noc.Routing.algorithm_to_string (Crg.routing crg));
+    Printf.printf "model/search: %s/%s (%d cost evaluations)\n" model algorithm
+      result.Mapping.Objective.evaluations;
+    Printf.printf "mapping     : %s\n"
+      (Mapping.Placement.to_string ~core_names:cdcg.Cdcg.core_names
+         result.Mapping.Objective.placement);
+    Format.printf "evaluation  : %a@." Mapping.Cost_cdcm.pp_evaluation evaluation;
+    match save with
+    | None -> ()
+    | Some path ->
+      Mapping.Placement_io.save ~path ~mesh ~core_names:cdcg.Cdcg.core_names
+        result.Mapping.Objective.placement;
+      Printf.printf "saved       : %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Search a core-to-tile mapping for an application")
+    Term.(
+      const run $ mesh_arg $ seed_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg
+      $ builtin_arg $ model $ algorithm $ save)
+
+(* --- eval --- *)
+
+let eval_cmd =
+  let placement =
+    Arg.(
+      value & opt (some string) None
+      & info [ "placement" ] ~docv:"T0,T1,..."
+          ~doc:"Tile of each core, comma separated; default identity.")
+  in
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print the timing diagram.")
+  in
+  let annotations =
+    Arg.(
+      value & flag
+      & info [ "annotations" ] ~doc:"Print per-resource cost-variable lists.")
+  in
+  let hotspots =
+    Arg.(value & flag & info [ "hotspots" ] ~doc:"Print the busiest links.")
+  in
+  let run mesh flit tech_name routing app builtin placement gantt annotations hotspots =
+    let mesh = Mesh.of_string mesh in
+    let tech = or_die (load_tech tech_name) in
+    let cdcg = or_die (load_app ~path:app ~builtin) in
+    let crg = Crg.create ~routing:(or_die (load_routing routing)) mesh in
+    let params = Noc_params.make ~flit_bits:flit () in
+    let cores = Cdcg.core_count cdcg in
+    let placement =
+      match placement with
+      | None -> Mapping.Placement.identity ~cores
+      | Some spec -> begin
+        let parts = String.split_on_char ',' spec in
+        match List.map (fun s -> int_of_string_opt (String.trim s)) parts with
+        | tiles when List.for_all Option.is_some tiles && List.length tiles = cores ->
+          Array.of_list (List.map Option.get tiles)
+        | _ ->
+          or_die
+            (Error
+               (Printf.sprintf "--placement needs %d comma-separated tile numbers"
+                  cores))
+      end
+    in
+    let trace = Nocmap_sim.Wormhole.run ~params ~crg ~placement cdcg in
+    let evaluation = Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg placement in
+    Format.printf "%a@." Mapping.Cost_cdcm.pp_evaluation evaluation;
+    if annotations then
+      print_string (Nocmap_sim.Annotation_report.render ~cdcg ~crg trace);
+    if gantt then print_string (Nocmap_sim.Gantt.render ~params ~cdcg trace);
+    if hotspots then print_string (Nocmap_sim.Hotspot.render ~crg trace)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate one placement under the CDCM model")
+    Term.(
+      const run $ mesh_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg $ builtin_arg
+      $ placement $ gantt $ annotations $ hotspots)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run mesh flit routing app builtin placement =
+    let mesh = Mesh.of_string mesh in
+    let cdcg = or_die (load_app ~path:app ~builtin) in
+    let crg = Crg.create ~routing:(or_die (load_routing routing)) mesh in
+    let params = Noc_params.make ~flit_bits:flit () in
+    let cores = Cdcg.core_count cdcg in
+    if cores > Mesh.tile_count mesh then
+      or_die (Error "application does not fit on the NoC");
+    let placement =
+      match placement with
+      | None -> Mapping.Placement.identity ~cores
+      | Some spec -> begin
+        let parts = String.split_on_char ',' spec in
+        match List.map (fun s -> int_of_string_opt (String.trim s)) parts with
+        | tiles when List.for_all Option.is_some tiles && List.length tiles = cores ->
+          Array.of_list (List.map Option.get tiles)
+        | _ -> or_die (Error "bad --placement")
+      end
+    in
+    Format.printf "structure   : %a@." Nocmap_model.Metrics.pp
+      (Nocmap_model.Metrics.of_cdcg cdcg);
+    let trace = Nocmap_sim.Wormhole.run ~params ~crg ~placement cdcg in
+    let estimate = Nocmap_sim.Analytic.estimate ~params ~crg ~placement cdcg in
+    Printf.printf "simulated   : %d cycles (%d contention cycles, %d packets waited)\n"
+      trace.Nocmap_sim.Trace.texec_cycles trace.Nocmap_sim.Trace.contention_cycles
+      trace.Nocmap_sim.Trace.contended_packets;
+    Printf.printf
+      "analytic    : critical path %d, link load %d => lower bound %d cycles\n"
+      estimate.Nocmap_sim.Analytic.critical_path_cycles
+      estimate.Nocmap_sim.Analytic.link_load_cycles
+      estimate.Nocmap_sim.Analytic.lower_bound_cycles;
+    Printf.printf "contention  : %.1f %% of texec beyond the contention-free bound\n"
+      (100.0
+      *. Nocmap_sim.Analytic.contention_share estimate
+           ~simulated_cycles:trace.Nocmap_sim.Trace.texec_cycles);
+    print_string (Nocmap_sim.Hotspot.render ~crg trace)
+  in
+  let placement =
+    Arg.(
+      value & opt (some string) None
+      & info [ "placement" ] ~docv:"T0,T1,..." ~doc:"Tile of each core.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Structural metrics, analytic bounds and hotspots for a mapping")
+    Term.(
+      const run $ mesh_arg $ flit_arg $ routing_arg $ app_arg $ builtin_arg $ placement)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let what =
+    Arg.(
+      value & opt string "cdcg"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Graph to export: cdcg, cwg or crg.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run mesh routing app builtin what out =
+    let emit doc =
+      match out with
+      | None -> print_string doc
+      | Some path ->
+        Nocmap_graph.Dot.save ~path doc;
+        Printf.printf "wrote %s\n" path
+    in
+    match what with
+    | "crg" ->
+      let mesh = Mesh.of_string mesh in
+      let crg = Crg.create ~routing:(or_die (load_routing routing)) mesh in
+      emit
+        (Nocmap_graph.Dot.render ~graph_name:(Mesh.to_string mesh)
+           ~vertex_name:(Printf.sprintf "t%d")
+           (Crg.to_digraph crg))
+    | "cdcg" | "cwg" ->
+      let cdcg = or_die (load_app ~path:app ~builtin) in
+      if what = "cdcg" then
+        emit
+          (Nocmap_graph.Dot.render ~graph_name:cdcg.Cdcg.name
+             ~vertex_name:(fun i -> cdcg.Cdcg.packets.(i).Cdcg.label)
+             ~vertex_attrs:(fun i ->
+               let p = cdcg.Cdcg.packets.(i) in
+               [
+                 ( "label",
+                   Printf.sprintf "%s\n%d b %s->%s" p.Cdcg.label p.Cdcg.bits
+                     cdcg.Cdcg.core_names.(p.Cdcg.src)
+                     cdcg.Cdcg.core_names.(p.Cdcg.dst) );
+               ])
+             (Cdcg.to_digraph cdcg))
+      else begin
+        let cwg = Cwg.of_cdcg cdcg in
+        emit
+          (Nocmap_graph.Dot.render ~graph_name:cdcg.Cdcg.name
+             ~vertex_name:(fun i -> cwg.Cwg.core_names.(i))
+             ~edge_attrs:(fun ~src:_ ~dst:_ ~label ->
+               [ ("label", string_of_int label) ])
+             (Cwg.to_digraph cwg))
+      end
+    | other -> or_die (Error ("unknown graph kind " ^ other))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export CDCG/CWG/CRG as Graphviz DOT")
+    Term.(const run $ mesh_arg $ routing_arg $ app_arg $ builtin_arg $ what $ out)
+
+(* --- export --- *)
+
+let export_cmd =
+  let out =
+    Arg.(
+      value & opt string "trace.csv"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV file.")
+  in
+  let what =
+    Arg.(
+      value & opt string "packets"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"CSV to export: packets or links.")
+  in
+  let run mesh flit routing app builtin what out =
+    let mesh = Mesh.of_string mesh in
+    let cdcg = or_die (load_app ~path:app ~builtin) in
+    let crg = Crg.create ~routing:(or_die (load_routing routing)) mesh in
+    let params = Noc_params.make ~flit_bits:flit () in
+    let cores = Cdcg.core_count cdcg in
+    if cores > Mesh.tile_count mesh then
+      or_die (Error "application does not fit on the NoC");
+    let placement = Mapping.Placement.identity ~cores in
+    let trace = Nocmap_sim.Wormhole.run ~params ~crg ~placement cdcg in
+    let doc =
+      match what with
+      | "packets" -> Nocmap_sim.Trace_export.packets_csv ~cdcg trace
+      | "links" -> Nocmap_sim.Trace_export.link_loads_csv ~crg trace
+      | other -> or_die (Error ("unknown export kind " ^ other))
+    in
+    Nocmap_sim.Trace_export.save ~path:out doc;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Simulate with the identity placement and export CSV")
+    Term.(
+      const run $ mesh_arg $ flit_arg $ routing_arg $ app_arg $ builtin_arg $ what $ out)
+
+(* --- tables --- *)
+
+let table1_cmd =
+  let run seed = print_string (Nocmap.Table1.render ~seed) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate Table 1 (application features)")
+    Term.(const run $ seed_arg)
+
+let table2_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the small search budget.")
+  in
+  let run seed quick =
+    let config =
+      if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
+    in
+    print_string
+      (Nocmap.Table2.run_and_render ~config ~progress:prerr_endline ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Regenerate Table 2 (ETR / ECS comparison)")
+    Term.(const run $ seed_arg $ quick)
+
+let cputime_cmd =
+  let run seed = print_string (Nocmap.Cpu_time.render (Nocmap.Cpu_time.over_suite ~seed ())) in
+  Cmd.v
+    (Cmd.info "cputime" ~doc:"Compare CWM and CDCM cost-evaluation CPU time")
+    Term.(const run $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "nocmap" ~version:"1.0.0"
+      ~doc:"Energy- and timing-aware NoC mapping (CWM vs CDCM, DATE'05 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; apps_cmd; map_cmd; eval_cmd; analyze_cmd; dot_cmd; export_cmd;
+            table1_cmd; table2_cmd; cputime_cmd ]))

@@ -1,0 +1,1 @@
+examples/fft_mapping.ml: List Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_util Printf

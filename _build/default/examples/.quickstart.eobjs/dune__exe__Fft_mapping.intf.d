@@ -1,0 +1,1 @@
+examples/fft_mapping.mli:

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: List Nocmap Nocmap_noc Nocmap_tgff Nocmap_util Printf

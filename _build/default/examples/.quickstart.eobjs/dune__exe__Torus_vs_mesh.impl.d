@@ -1,0 +1,1 @@
+examples/torus_vs_mesh.ml: List Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_tgff Nocmap_util Printf

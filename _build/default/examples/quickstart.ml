@@ -1,0 +1,76 @@
+(* Quickstart: the paper's running example end to end.
+
+   Builds the Figure 1 application (4 cores, 6 packets on a 2x2 NoC),
+   evaluates the two mappings of Figure 1(c,d) under both models, and
+   prints the Figure 2 energies, the Figure 3 cost-variable lists and
+   the Figure 4/5 timing diagrams.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Fig1 = Nocmap_apps.Fig1
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Equations = Nocmap_energy.Equations
+module Mapping = Nocmap_mapping
+module Wormhole = Nocmap_sim.Wormhole
+module Trace = Nocmap_sim.Trace
+
+(* The paper's illustration parameters: ERbit = ELbit = 1 pJ/bit and
+   PstNoC = 0.1 pJ/ns on the 2x2 NoC (so 0.025 pJ/ns per router). *)
+let example_tech =
+  Technology.make ~name:"fig1" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
+    ~p_s_router:0.025e-12 ()
+
+let () =
+  let mesh = Mesh.create ~cols:2 ~rows:2 in
+  let crg = Crg.create mesh in
+  let params = Noc_params.paper_example in
+  let cdcg = Fig1.cdcg in
+  let cwg = Fig1.cwg in
+  Format.printf "Application: %d cores, %d packets, %d bits total@."
+    (Nocmap_model.Cdcg.core_count cdcg)
+    (Nocmap_model.Cdcg.packet_count cdcg)
+    (Nocmap_model.Cdcg.total_bits cdcg);
+  let show name placement =
+    Format.printf "@.=== mapping %s: %s ===@." name
+      (Mapping.Placement.to_string ~core_names:cdcg.Nocmap_model.Cdcg.core_names
+         placement);
+    let cwm_energy =
+      Mapping.Cost_cwm.dynamic_energy ~tech:example_tech ~crg ~cwg placement
+    in
+    Format.printf "CWM  (eq. 3) : EDyNoC = %.0f pJ (timing invisible to CWM)@."
+      (cwm_energy *. 1e12);
+    let trace = Wormhole.run ~params ~crg ~placement cdcg in
+    let dynamic =
+      Mapping.Cost_cdcm.dynamic_energy ~tech:example_tech ~crg ~cdcg placement
+    in
+    let static_ =
+      Equations.static_energy example_tech ~tiles:(Mesh.tile_count mesh)
+        ~texec_ns:trace.Trace.texec_ns
+    in
+    Format.printf
+      "CDCM (eq. 10): ENoC = %.0f pJ (dynamic %.0f + static %.0f), texec = %.0f ns@."
+      ((dynamic +. static_) *. 1e12)
+      (dynamic *. 1e12) (static_ *. 1e12) trace.Trace.texec_ns;
+    Format.printf "--- cost-variable lists (fig. 3 style) ---@.";
+    print_string (Nocmap_sim.Annotation_report.render ~cdcg ~crg trace);
+    Format.printf "--- timing diagram (fig. 4/5 style) ---@.";
+    print_string (Nocmap_sim.Gantt.render ~params ~cdcg trace)
+  in
+  show "(c)" Fig1.mapping_c;
+  show "(d)" Fig1.mapping_d;
+  (* And let the framework find a mapping by itself. *)
+  let rng = Nocmap_util.Rng.create ~seed:2005 in
+  let objective =
+    Mapping.Objective.cdcm ~tech:example_tech ~params ~crg ~cdcg
+  in
+  let result =
+    Mapping.Exhaustive.search ~objective ~cores:4 ~tiles:4 ()
+  in
+  ignore rng;
+  Format.printf "@.Exhaustive CDCM optimum: %s with ENoC = %.0f pJ@."
+    (Mapping.Placement.to_string ~core_names:cdcg.Nocmap_model.Cdcg.core_names
+       result.Mapping.Objective.placement)
+    (result.Mapping.Objective.cost *. 1e12)

@@ -1,0 +1,52 @@
+(* Scaling study: ETR and ECS as the NoC grows (the trend the paper
+   notes at the end of Section 5), on generated benchmarks with a fixed
+   per-tile workload density.
+
+   Run with:  dune exec examples/scaling_study.exe *)
+
+module Mesh = Nocmap_noc.Mesh
+module Rng = Nocmap_util.Rng
+module Generator = Nocmap_tgff.Generator
+module Experiment = Nocmap.Experiment
+module Tablefmt = Nocmap_util.Tablefmt
+
+let () =
+  let rng = Rng.create ~seed:99 in
+  let table =
+    Tablefmt.create ~title:"Scaling study: CDCM vs CWM as the NoC grows"
+      ~columns:
+        [
+          ("NoC", Tablefmt.Left);
+          ("cores", Tablefmt.Right);
+          ("packets", Tablefmt.Right);
+          ("ETR", Tablefmt.Right);
+          ("ECS 0.35u", Tablefmt.Right);
+          ("ECS 0.07u", Tablefmt.Right);
+        ]
+      ()
+  in
+  let config = { Experiment.default_config with Experiment.restarts = 1 } in
+  let study mesh_str =
+    let mesh = Mesh.of_string mesh_str in
+    let tiles = Mesh.tile_count mesh in
+    let cores = max 4 (tiles - 1) in
+    let packets = 6 * cores in
+    let spec =
+      Generator.default_spec
+        ~name:(Printf.sprintf "scale-%s" mesh_str)
+        ~cores ~packets ~total_bits:(packets * 1500)
+    in
+    let cdcg = Generator.generate (Rng.split rng) spec in
+    let outcome = Experiment.compare_models ~rng:(Rng.split rng) ~config ~mesh cdcg in
+    Tablefmt.add_row table
+      [
+        mesh_str;
+        string_of_int cores;
+        string_of_int packets;
+        Printf.sprintf "%.1f %%" outcome.Experiment.etr_percent;
+        Printf.sprintf "%.2f %%" outcome.Experiment.ecs_low_percent;
+        Printf.sprintf "%.1f %%" outcome.Experiment.ecs_high_percent;
+      ]
+  in
+  List.iter study [ "2x2"; "3x2"; "3x3"; "4x3"; "4x4"; "5x4" ];
+  Tablefmt.print table

@@ -1,0 +1,65 @@
+(* Mesh vs torus: the same applications and search flow on the two
+   topologies ("other NoC topologies can be equally treated", paper
+   section 3.1).  Wrap links shorten routes, which cuts both dynamic
+   energy (fewer routers per bit) and execution time.
+
+   Run with:  dune exec examples/torus_vs_mesh.exe *)
+
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Routing = Nocmap_noc.Routing
+module Rng = Nocmap_util.Rng
+module Cdcg = Nocmap_model.Cdcg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Mapping = Nocmap_mapping
+module Tablefmt = Nocmap_util.Tablefmt
+
+let () =
+  let mesh = Mesh.create ~cols:4 ~rows:4 in
+  let tiles = Mesh.tile_count mesh in
+  let params = Noc_params.paper_example in
+  let tech = Technology.t007 in
+  let rng = Rng.create ~seed:44 in
+  let spec =
+    Nocmap_tgff.Generator.default_spec ~name:"torus-study" ~cores:15 ~packets:80
+      ~total_bits:120_000
+  in
+  let cdcg = Nocmap_tgff.Generator.generate (Rng.split rng) spec in
+  let cores = Cdcg.core_count cdcg in
+  let table =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "%s (%d cores, %d packets) on 4x4: mesh vs torus"
+           cdcg.Cdcg.name cores (Cdcg.packet_count cdcg))
+      ~columns:
+        [
+          ("topology / routing", Tablefmt.Left);
+          ("texec (ns)", Tablefmt.Right);
+          ("ENoC (nJ)", Tablefmt.Right);
+          ("contention (cycles)", Tablefmt.Right);
+        ]
+      ()
+  in
+  let study routing =
+    let crg = Crg.create ~routing mesh in
+    let objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+    let result =
+      Mapping.Annealing.search ~rng:(Rng.split rng)
+        ~config:(Mapping.Annealing.default_config ~tiles)
+        ~tiles ~objective ~cores ()
+    in
+    let e =
+      Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg
+        result.Mapping.Objective.placement
+    in
+    Tablefmt.add_row table
+      [
+        Routing.algorithm_to_string routing;
+        Printf.sprintf "%.0f" e.Mapping.Cost_cdcm.texec_ns;
+        Printf.sprintf "%.3f" (e.Mapping.Cost_cdcm.total *. 1e9);
+        string_of_int e.Mapping.Cost_cdcm.contention_cycles;
+      ]
+  in
+  List.iter study [ Routing.Xy; Routing.Yx; Routing.Torus_xy; Routing.Torus_yx ];
+  Tablefmt.print table

@@ -1,0 +1,1 @@
+lib/apps/app_builder.ml: Array List Nocmap_model Printf

@@ -1,0 +1,1 @@
+lib/apps/app_builder.mli: Nocmap_model

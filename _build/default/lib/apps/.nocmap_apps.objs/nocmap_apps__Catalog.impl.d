@@ -1,0 +1,1 @@
+lib/apps/catalog.ml: Fft Image_encoder List Object_recognition Romberg

@@ -1,0 +1,1 @@
+lib/apps/fft.ml: App_builder Array Fun Hashtbl Int List Option Printf

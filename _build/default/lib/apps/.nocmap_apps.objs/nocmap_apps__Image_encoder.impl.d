@@ -1,0 +1,1 @@
+lib/apps/image_encoder.ml: App_builder Hashtbl List Option Printf

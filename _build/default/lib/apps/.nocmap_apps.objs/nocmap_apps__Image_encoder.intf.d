@@ -1,0 +1,1 @@
+lib/apps/image_encoder.mli: Nocmap_model

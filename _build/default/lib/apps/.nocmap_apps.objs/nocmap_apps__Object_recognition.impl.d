@@ -1,0 +1,1 @@
+lib/apps/object_recognition.ml: App_builder Hashtbl List Printf

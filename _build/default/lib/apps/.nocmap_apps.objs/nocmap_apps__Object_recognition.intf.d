@@ -1,0 +1,1 @@
+lib/apps/object_recognition.mli: Nocmap_model

@@ -1,0 +1,1 @@
+lib/apps/romberg.ml: App_builder List Printf

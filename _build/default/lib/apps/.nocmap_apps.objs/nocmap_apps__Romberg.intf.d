@@ -1,0 +1,1 @@
+lib/apps/romberg.mli: Nocmap_model

@@ -1,0 +1,47 @@
+module Cdcg = Nocmap_model.Cdcg
+
+type t = {
+  name : string;
+  core_names : string array;
+  mutable packets : Cdcg.packet list; (* reversed *)
+  mutable count : int;
+  mutable deps : (int * int) list;
+}
+
+let create ~name ~core_names =
+  { name; core_names = Array.of_list core_names; packets = []; count = 0; deps = [] }
+
+let core t name =
+  let rec scan i =
+    if i >= Array.length t.core_names then
+      invalid_arg ("App_builder.core: unknown core " ^ name)
+    else if t.core_names.(i) = name then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let packet t ?label ~src ~dst ~compute ~bits () =
+  let index = t.count in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "p%d" index
+  in
+  t.packets <- { Cdcg.src; dst; compute; bits; label } :: t.packets;
+  t.count <- index + 1;
+  index
+
+let depend t ~on q = t.deps <- (on, q) :: t.deps
+
+let depend_all t ~on q = List.iter (fun p -> depend t ~on:p q) on
+
+let rec serialize t = function
+  | [] | [ _ ] -> ()
+  | a :: (b :: _ as rest) ->
+    depend t ~on:a b;
+    serialize t rest
+
+let seal t =
+  Cdcg.create_exn ~name:t.name ~core_names:t.core_names
+    ~packets:(Array.of_list (List.rev t.packets))
+    ~deps:(List.rev t.deps)

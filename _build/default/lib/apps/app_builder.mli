@@ -1,0 +1,28 @@
+(** Small imperative helper for describing application CDCGs by hand:
+    declare cores, emit packets (each returning its index), and add
+    dependences; then seal the result into a validated CDCG. *)
+
+type t
+
+val create : name:string -> core_names:string list -> t
+
+val core : t -> string -> int
+(** Index of a declared core.  @raise Invalid_argument when unknown. *)
+
+val packet :
+  t -> ?label:string -> src:int -> dst:int -> compute:int -> bits:int -> unit -> int
+(** Emits a packet and returns its index; the default label is
+    [p<index>]. *)
+
+val depend : t -> on:int -> int -> unit
+(** [depend builder ~on:p q]: packet [q] waits for packet [p]. *)
+
+val depend_all : t -> on:int list -> int -> unit
+
+val serialize : t -> int list -> unit
+(** Chains the packets in order: each depends on the previous.  Used to
+    model a core that can only produce one packet at a time. *)
+
+val seal : t -> Nocmap_model.Cdcg.t
+(** Validates and returns the CDCG.
+    @raise Invalid_argument if the description is ill-formed. *)

@@ -1,0 +1,13 @@
+let all =
+  [
+    ("romberg", Romberg.make ());
+    ("romberg-wide", Romberg.make ~workers:8 ~rounds:3 ());
+    ("fft8", Fft.make ());
+    ("fft16", Fft.make ~points:16 ());
+    ("objrec", Object_recognition.make ());
+    ("objrec-deep", Object_recognition.make ~frames:8 ~extractors:5 ());
+    ("imgenc", Image_encoder.make ());
+    ("imgenc-long", Image_encoder.make ~blocks:12 ~block_bits:1024 ());
+  ]
+
+let find name = List.assoc_opt name all

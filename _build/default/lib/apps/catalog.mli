@@ -1,0 +1,9 @@
+(** The eight embedded applications of the paper's Section 5: the four
+    base algorithms and one variation of each. *)
+
+val all : (string * Nocmap_model.Cdcg.t) list
+(** [(name, cdcg)] pairs:
+    romberg / romberg-wide, fft8 / fft16, objrec / objrec-deep,
+    imgenc / imgenc-long. *)
+
+val find : string -> Nocmap_model.Cdcg.t option

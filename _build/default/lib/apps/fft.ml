@@ -1,0 +1,97 @@
+let is_power_of_two n = n >= 1 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop acc n = if n <= 1 then acc else loop (acc + 1) (n / 2) in
+  loop 0 n
+
+let dedup xs = List.sort_uniq Int.compare xs
+
+(* Decimation-in-time pairing: at stage [s] (0-based), element [k] pairs
+   with [k xor 2^s]; butterflies are identified by the low element of
+   the pair.  Every packet that exports a value depends on the packets
+   that delivered both inputs of the butterfly that produced it, so
+   [producers.(k)] tracks that packet set and [holder.(k)] the unit the
+   value lives on. *)
+let make ?(points = 8) ?(sample_bits = 32) ?(butterfly_compute = 12) () =
+  if not (is_power_of_two points) || points < 4 then
+    invalid_arg "Fft.make: points must be a power of two >= 4";
+  let units = points / 2 in
+  let stages = log2 points in
+  let names =
+    ("src" :: List.init units (fun i -> Printf.sprintf "u%d" i)) @ [ "sink" ]
+  in
+  let b = App_builder.create ~name:(Printf.sprintf "fft%d" points) ~core_names:names in
+  let src = App_builder.core b "src" in
+  let sink = App_builder.core b "sink" in
+  let unit i = 1 + i in
+  let unit_of_butterfly b_index = unit (b_index mod units) in
+  let producers = Array.make points [] in
+  let holder = Array.make points src in
+  let stage_lows stage =
+    let span = 1 lsl stage in
+    List.filter (fun k -> k land span = 0) (List.init points Fun.id)
+  in
+  (* Scatter: each stage-0 butterfly unit receives its sample pair. *)
+  List.iteri
+    (fun b_index low ->
+      let u = unit_of_butterfly b_index in
+      let p =
+        App_builder.packet b
+          ~label:(Printf.sprintf "scatter-b%d" b_index)
+          ~src ~dst:u ~compute:4 ~bits:(2 * sample_bits) ()
+      in
+      producers.(low) <- [ p ];
+      producers.(low lor 1) <- [ p ];
+      holder.(low) <- u;
+      holder.(low lor 1) <- u)
+    (stage_lows 0);
+  for stage = 0 to stages - 1 do
+    let span = 1 lsl stage in
+    let next_producers = Array.copy producers in
+    let next_holder = Array.copy holder in
+    List.iteri
+      (fun b_index low ->
+        let high = low lxor span in
+        let u = unit_of_butterfly b_index in
+        let fetch k =
+          if holder.(k) = u then producers.(k)
+          else begin
+            let p =
+              App_builder.packet b
+                ~label:(Printf.sprintf "s%d-v%d" stage k)
+                ~src:holder.(k) ~dst:u ~compute:butterfly_compute
+                ~bits:sample_bits ()
+            in
+            App_builder.depend_all b ~on:(dedup producers.(k)) p;
+            [ p ]
+          end
+        in
+        let deps = dedup (fetch low @ fetch high) in
+        next_producers.(low) <- deps;
+        next_producers.(high) <- deps;
+        next_holder.(low) <- u;
+        next_holder.(high) <- u)
+      (stage_lows stage);
+    Array.blit next_producers 0 producers 0 points;
+    Array.blit next_holder 0 holder 0 points
+  done;
+  (* Gather: every unit ships the spectrum values it ended up with. *)
+  let by_holder = Hashtbl.create 8 in
+  for k = points - 1 downto 0 do
+    let existing = Option.value (Hashtbl.find_opt by_holder holder.(k)) ~default:[] in
+    Hashtbl.replace by_holder holder.(k) (k :: existing)
+  done;
+  let holders = List.sort Int.compare (Hashtbl.fold (fun u _ acc -> u :: acc) by_holder []) in
+  List.iter
+    (fun u ->
+      let ks = Hashtbl.find by_holder u in
+      let p =
+        App_builder.packet b
+          ~label:(Printf.sprintf "gather-u%d" u)
+          ~src:u ~dst:sink ~compute:butterfly_compute
+          ~bits:(List.length ks * sample_bits)
+          ()
+      in
+      App_builder.depend_all b ~on:(dedup (List.concat_map (fun k -> producers.(k)) ks)) p)
+    holders;
+  App_builder.seal b

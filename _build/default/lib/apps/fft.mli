@@ -1,0 +1,21 @@
+(** N-point iterative Cooley-Tukey FFT mapped on butterfly units (the
+    paper's 8-point FFT embedded application; other power-of-two sizes
+    are variations).
+
+    A source core scatters the samples over [n/2] butterfly units; each
+    of the [log2 n] stages computes [n/2] butterflies, and intermediate
+    values travel between the units that produce and consume them (no
+    packet when producer and consumer coincide).  A sink core gathers
+    the spectrum.  The stage-to-stage shuffles create the all-to-all
+    communication bursts that make contention visible. *)
+
+val make :
+  ?points:int ->
+  ?sample_bits:int ->
+  ?butterfly_compute:int ->
+  unit ->
+  Nocmap_model.Cdcg.t
+(** Defaults: 8 points, 32-bit complex samples (pairs travel as 64-bit
+    packets), 12-cycle butterflies.  Cores: [src, u0 .. u(n/2-1), sink]
+    — 6 cores for the paper's 8-point instance.
+    @raise Invalid_argument unless [points] is a power of two >= 4. *)

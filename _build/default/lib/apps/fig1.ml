@@ -1,0 +1,38 @@
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+
+let core_a = 0
+let core_b = 1
+let core_e = 2
+let core_f = 3
+
+let packet ~src ~dst ~compute ~bits ~label = { Cdcg.src; dst; compute; bits; label }
+
+(* Packet indices, matching declaration order below. *)
+let p_ab1 = 0
+let p_ea1 = 1
+let p_ea2 = 2
+let p_af1 = 3
+let p_bf1 = 4
+let p_fb1 = 5
+
+let cdcg =
+  Cdcg.create_exn ~name:"fig1" ~core_names:[| "A"; "B"; "E"; "F" |]
+    ~packets:
+      [|
+        packet ~src:core_a ~dst:core_b ~compute:6 ~bits:15 ~label:"pAB1";
+        packet ~src:core_e ~dst:core_a ~compute:10 ~bits:20 ~label:"pEA1";
+        packet ~src:core_e ~dst:core_a ~compute:20 ~bits:15 ~label:"pEA2";
+        packet ~src:core_a ~dst:core_f ~compute:6 ~bits:15 ~label:"pAF1";
+        packet ~src:core_b ~dst:core_f ~compute:10 ~bits:40 ~label:"pBF1";
+        packet ~src:core_f ~dst:core_b ~compute:6 ~bits:15 ~label:"pFB1";
+      |]
+    ~deps:
+      [ (p_ea1, p_ea2); (p_ab1, p_af1); (p_ea1, p_af1); (p_af1, p_fb1); (p_bf1, p_fb1) ]
+
+let cwg = Cwg.of_cdcg cdcg
+
+(* placement.(core) = tile; cores are [A; B; E; F]. *)
+let mapping_c = [| 1; 0; 3; 2 |]
+
+let mapping_d = [| 3; 0; 1; 2 |]

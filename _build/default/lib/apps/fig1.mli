@@ -1,0 +1,22 @@
+(** The paper's running example (Figures 1-5): four cores A, B, E, F on
+    a 2x2 NoC exchanging six packets.
+
+    Evaluated with {!Nocmap_energy.Noc_params.paper_example} and
+    [ERbit = ELbit = 1 pJ/bit], [PstNoC = 0.1 pJ/ns], the two mappings
+    below reproduce the published numbers: CWM sees 390 pJ for both,
+    while CDCM distinguishes them (100 ns / 400 pJ vs 90 ns / 399 pJ). *)
+
+val cdcg : Nocmap_model.Cdcg.t
+
+val cwg : Nocmap_model.Cwg.t
+
+val core_a : int
+val core_b : int
+val core_e : int
+val core_f : int
+
+val mapping_c : int array
+(** Figure 1(c): tiles (0..3 row-major) host B, A, F, E. *)
+
+val mapping_d : int array
+(** Figure 1(d): tiles host B, E, F, A. *)

@@ -1,0 +1,39 @@
+let make ?(blocks = 6) ?(block_bits = 512) ?(stage_compute = 24) () =
+  if blocks < 1 || block_bits < 16 || stage_compute < 1 then
+    invalid_arg "Image_encoder.make: parameters must be positive (block_bits >= 16)";
+  let names = [ "src"; "dct"; "quant"; "rle"; "huff"; "store" ] in
+  let b =
+    App_builder.create ~name:(Printf.sprintf "imgenc-b%d" blocks) ~core_names:names
+  in
+  let stage name = App_builder.core b name in
+  let chain =
+    [
+      (stage "src", stage "dct", block_bits);
+      (stage "dct", stage "quant", block_bits);
+      (stage "quant", stage "rle", block_bits / 2);
+      (stage "rle", stage "huff", block_bits / 4);
+      (stage "huff", stage "store", block_bits / 8);
+    ]
+  in
+  let last_of = Hashtbl.create 8 in
+  for block = 1 to blocks do
+    let previous = ref None in
+    List.iteri
+      (fun depth (src, dst, bits) ->
+        let p =
+          App_builder.packet b
+            ~label:(Printf.sprintf "b%d-s%d" block depth)
+            ~src ~dst ~compute:stage_compute ~bits ()
+        in
+        (match !previous with
+        | Some prev -> App_builder.depend b ~on:prev p
+        | None -> ());
+        (match Hashtbl.find_opt last_of src with
+        | Some prev when prev <> Option.value !previous ~default:(-1) ->
+          App_builder.depend b ~on:prev p
+        | Some _ | None -> ());
+        Hashtbl.replace last_of src p;
+        previous := Some p)
+      chain
+  done;
+  App_builder.seal b

@@ -1,0 +1,17 @@
+(** Block-based image encoder (the paper's second image application):
+    a JPEG-style chain source -> DCT -> quantizer -> run-length coder ->
+    entropy coder -> store, streaming one macroblock at a time.
+
+    Data volumes shrink along the chain (transform coefficients compress
+    well), and every stage is serialized on its core, producing a deep
+    pipeline with uneven link loads. *)
+
+val make :
+  ?blocks:int ->
+  ?block_bits:int ->
+  ?stage_compute:int ->
+  unit ->
+  Nocmap_model.Cdcg.t
+(** Defaults: 6 macroblocks of 512 bits, 24-cycle stages.  Cores:
+    [src, dct, quant, rle, huff, store].
+    @raise Invalid_argument for non-positive parameters. *)

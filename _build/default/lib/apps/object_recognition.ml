@@ -1,0 +1,62 @@
+let make ?(frames = 4) ?(extractors = 3) ?(frame_bits = 4096) ?(region_bits = 1024)
+    ?(descriptor_bits = 256) ?(stage_compute = 30) () =
+  if frames < 1 || extractors < 1 then
+    invalid_arg "Object_recognition.make: frames and extractors must be positive";
+  let names =
+    [ "cam"; "pre"; "seg" ]
+    @ List.init extractors (fun i -> Printf.sprintf "fe%d" (i + 1))
+    @ [ "cls"; "sink" ]
+  in
+  let b =
+    App_builder.create
+      ~name:(Printf.sprintf "objrec-f%d-e%d" frames extractors)
+      ~core_names:names
+  in
+  let cam = App_builder.core b "cam" in
+  let pre = App_builder.core b "pre" in
+  let seg = App_builder.core b "seg" in
+  let fe i = App_builder.core b (Printf.sprintf "fe%d" (i + 1)) in
+  let cls = App_builder.core b "cls" in
+  let sink = App_builder.core b "sink" in
+  (* Last packet emitted by each producing stage, for serialization. *)
+  let last_of = Hashtbl.create 16 in
+  let emit ?label ~src ~dst ~compute ~bits deps =
+    let p = App_builder.packet b ?label ~src ~dst ~compute ~bits () in
+    App_builder.depend_all b ~on:deps p;
+    (match Hashtbl.find_opt last_of src with
+    | Some prev -> App_builder.depend b ~on:prev p
+    | None -> ());
+    Hashtbl.replace last_of src p;
+    p
+  in
+  for frame = 1 to frames do
+    let tag stage = Printf.sprintf "%s-f%d" stage frame in
+    let capture =
+      emit ~label:(tag "capture") ~src:cam ~dst:pre ~compute:(stage_compute / 2)
+        ~bits:frame_bits []
+    in
+    let cleaned =
+      emit ~label:(tag "cleaned") ~src:pre ~dst:seg ~compute:stage_compute
+        ~bits:frame_bits [ capture ]
+    in
+    let regions =
+      List.init extractors (fun i ->
+          emit
+            ~label:(Printf.sprintf "region%d-f%d" (i + 1) frame)
+            ~src:seg ~dst:(fe i) ~compute:stage_compute ~bits:region_bits
+            [ cleaned ])
+    in
+    let descriptors =
+      List.mapi
+        (fun i region ->
+          emit
+            ~label:(Printf.sprintf "desc%d-f%d" (i + 1) frame)
+            ~src:(fe i) ~dst:cls ~compute:stage_compute ~bits:descriptor_bits
+            [ region ])
+        regions
+    in
+    ignore
+      (emit ~label:(tag "verdict") ~src:cls ~dst:sink ~compute:stage_compute
+         ~bits:(descriptor_bits / 4) descriptors)
+  done;
+  App_builder.seal b

@@ -1,0 +1,23 @@
+(** Streaming object-recognition pipeline (the paper's first image
+    application).
+
+    Frames flow through camera -> preprocessing -> segmentation; the
+    segmented regions fan out to parallel feature extractors whose
+    descriptors are fused by a classifier that reports to a sink.  Each
+    physical core is serialized (it processes one frame at a time), so
+    successive frames pipeline — precisely the packet ordering
+    information a CWM throws away. *)
+
+val make :
+  ?frames:int ->
+  ?extractors:int ->
+  ?frame_bits:int ->
+  ?region_bits:int ->
+  ?descriptor_bits:int ->
+  ?stage_compute:int ->
+  unit ->
+  Nocmap_model.Cdcg.t
+(** Defaults: 4 frames, 3 extractors, 4096-bit frames, 1024-bit
+    regions, 256-bit descriptors, 30-cycle stages.  Cores:
+    [cam, pre, seg, fe1..feN, cls, sink].
+    @raise Invalid_argument for non-positive parameters. *)

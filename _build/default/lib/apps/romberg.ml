@@ -1,0 +1,42 @@
+let make ?(workers = 4) ?(rounds = 4) ?(interval_bits = 64) ?(result_bits = 96)
+    ?(master_compute = 8) ?(worker_compute = 40) () =
+  if workers < 1 then invalid_arg "Romberg.make: need at least one worker";
+  if rounds < 1 then invalid_arg "Romberg.make: need at least one round";
+  let names = "master" :: List.init workers (fun i -> Printf.sprintf "w%d" (i + 1)) in
+  let b =
+    App_builder.create
+      ~name:(Printf.sprintf "romberg-w%d-r%d" workers rounds)
+      ~core_names:names
+  in
+  let master = App_builder.core b "master" in
+  let worker i = i + 1 in
+  let previous_results = ref [] in
+  for round = 1 to rounds do
+    let sends =
+      List.init workers (fun i ->
+          let send =
+            App_builder.packet b
+              ~label:(Printf.sprintf "task-r%d-w%d" round (i + 1))
+              ~src:master ~dst:(worker i) ~compute:master_compute
+              ~bits:interval_bits ()
+          in
+          (* Extrapolation needs every estimate of the previous round. *)
+          App_builder.depend_all b ~on:!previous_results send;
+          send)
+    in
+    let results =
+      List.mapi
+        (fun i send ->
+          let result =
+            App_builder.packet b
+              ~label:(Printf.sprintf "estimate-r%d-w%d" round (i + 1))
+              ~src:(worker i) ~dst:master ~compute:worker_compute
+              ~bits:result_bits ()
+          in
+          App_builder.depend b ~on:send result;
+          result)
+        sends
+    in
+    previous_results := results
+  done;
+  App_builder.seal b

@@ -1,0 +1,23 @@
+(** Distributed Romberg integration (one of the paper's four embedded
+    applications).
+
+    A master core subdivides the integration interval among worker
+    cores; each round, every worker returns its trapezoid estimate, the
+    master performs the Richardson extrapolation step (which needs all
+    results of the round), and dispatches refined subintervals.  Each
+    round therefore fully synchronizes on the master — exactly the
+    dependence pattern CWM cannot see. *)
+
+val make :
+  ?workers:int ->
+  ?rounds:int ->
+  ?interval_bits:int ->
+  ?result_bits:int ->
+  ?master_compute:int ->
+  ?worker_compute:int ->
+  unit ->
+  Nocmap_model.Cdcg.t
+(** Defaults: 4 workers, 4 rounds, 64-bit interval descriptors, 96-bit
+    results, 8-cycle master step, 40-cycle worker step.  Cores:
+    [master, w1 .. wN].
+    @raise Invalid_argument for fewer than 1 worker or round. *)

@@ -1,0 +1,1 @@
+lib/core/cpu_time.ml: Array List Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_tgff Nocmap_util Printf Sys

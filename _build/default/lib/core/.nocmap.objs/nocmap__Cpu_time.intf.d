@@ -1,0 +1,1 @@
+lib/core/cpu_time.mli: Nocmap_energy Nocmap_model Nocmap_noc

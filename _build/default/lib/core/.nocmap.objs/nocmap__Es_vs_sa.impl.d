@@ -1,0 +1,1 @@
+lib/core/es_vs_sa.ml: List Nocmap_mapping Nocmap_noc Nocmap_util Printf

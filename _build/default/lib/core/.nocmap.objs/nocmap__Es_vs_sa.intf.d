@@ -1,0 +1,1 @@
+lib/core/es_vs_sa.mli: Nocmap_mapping Nocmap_noc Nocmap_util

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_util Sys

@@ -1,0 +1,1 @@
+lib/core/related_work.ml: List Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_util Printf

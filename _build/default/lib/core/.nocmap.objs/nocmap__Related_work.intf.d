@@ -1,0 +1,1 @@
+lib/core/related_work.mli: Nocmap_energy Nocmap_model Nocmap_noc Nocmap_util

@@ -1,0 +1,1 @@
+lib/core/robustness.ml: List Nocmap_util Option Printf Table2

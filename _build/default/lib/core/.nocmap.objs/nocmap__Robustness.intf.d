@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Experiment Nocmap_model Nocmap_noc

@@ -1,0 +1,1 @@
+lib/core/table1.ml: Buffer Hashtbl List Nocmap_model Nocmap_noc Nocmap_tgff Nocmap_util String

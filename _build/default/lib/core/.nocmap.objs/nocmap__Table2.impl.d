@@ -1,0 +1,1 @@
+lib/core/table2.ml: Experiment Hashtbl List Nocmap_energy Nocmap_noc Nocmap_tgff Nocmap_util Option Printf

@@ -1,0 +1,98 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Rng = Nocmap_util.Rng
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Features = Nocmap_model.Features
+module Mapping = Nocmap_mapping
+module Tablefmt = Nocmap_util.Tablefmt
+
+type measurement = {
+  app : string;
+  mesh : Mesh.t;
+  ncc : int;
+  ndp : int;
+  ndp_over_ncc : float;
+  cwm_ns_per_eval : float;
+  cdcm_ns_per_eval : float;
+  overhead_percent : float;
+}
+
+let time_per_call f placements =
+  let t0 = Sys.time () in
+  Array.iter (fun p -> ignore (f p : float)) placements;
+  (Sys.time () -. t0) *. 1e9 /. float_of_int (Array.length placements)
+
+let measure ?(evaluations = 200) ?(params = Nocmap_energy.Noc_params.default_16bit)
+    ?(tech = Nocmap_energy.Technology.t007) ~seed ~mesh cdcg =
+  let crg = Crg.create mesh in
+  let cwg = Cwg.of_cdcg cdcg in
+  let rng = Rng.create ~seed in
+  let tiles = Mesh.tile_count mesh in
+  let cores = Cdcg.core_count cdcg in
+  let placements =
+    Array.init evaluations (fun _ -> Mapping.Placement.random rng ~cores ~tiles)
+  in
+  let cwm = Mapping.Objective.cwm ~tech ~crg ~cwg in
+  let cdcm = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+  (* Warm both paths once so allocation effects do not bias the first. *)
+  ignore (cwm.Mapping.Objective.cost_fn placements.(0) : float);
+  ignore (cdcm.Mapping.Objective.cost_fn placements.(0) : float);
+  let cwm_ns_per_eval = time_per_call cwm.Mapping.Objective.cost_fn placements in
+  let cdcm_ns_per_eval = time_per_call cdcm.Mapping.Objective.cost_fn placements in
+  let features = Features.of_cdcg cdcg in
+  {
+    app = cdcg.Cdcg.name;
+    mesh;
+    ncc = features.Features.communications;
+    ndp = features.Features.packets + features.Features.dependences;
+    ndp_over_ncc = Features.ndp_over_ncc features;
+    cwm_ns_per_eval;
+    cdcm_ns_per_eval;
+    overhead_percent =
+      (if cwm_ns_per_eval > 0.0 then
+         100.0 *. (cdcm_ns_per_eval -. cwm_ns_per_eval) /. cwm_ns_per_eval
+       else 0.0);
+  }
+
+let over_suite ?evaluations ~seed () =
+  List.map
+    (fun (mesh, cdcg) -> measure ?evaluations ~seed ~mesh cdcg)
+    (Nocmap_tgff.Suite.instances ~seed)
+
+let render measurements =
+  let table =
+    Tablefmt.create ~title:"CPU time per cost evaluation: CDCM vs CWM"
+      ~columns:
+        [
+          ("App", Tablefmt.Left);
+          ("NoC", Tablefmt.Left);
+          ("NCC", Tablefmt.Right);
+          ("NDP", Tablefmt.Right);
+          ("NDP/NCC", Tablefmt.Right);
+          ("CWM ns/eval", Tablefmt.Right);
+          ("CDCM ns/eval", Tablefmt.Right);
+          ("overhead", Tablefmt.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      Tablefmt.add_row table
+        [
+          m.app;
+          Mesh.to_string m.mesh;
+          string_of_int m.ncc;
+          string_of_int m.ndp;
+          Printf.sprintf "%.1f" m.ndp_over_ncc;
+          Printf.sprintf "%.0f" m.cwm_ns_per_eval;
+          Printf.sprintf "%.0f" m.cdcm_ns_per_eval;
+          Printf.sprintf "%+.0f %%" m.overhead_percent;
+        ])
+    measurements;
+  let worst =
+    List.fold_left (fun acc m -> max acc m.overhead_percent) neg_infinity measurements
+  in
+  Tablefmt.add_summary_row table
+    [ "worst case"; ""; ""; ""; ""; ""; ""; Printf.sprintf "%+.0f %%" worst ];
+  Tablefmt.render table

@@ -1,0 +1,35 @@
+(** CPU-cost comparison of the two cost evaluators (Section 5).
+
+    The paper reports that CDCM's complexity is proportional to NDP
+    (dependences + packets) against CWM's NCC (communicating pairs), and
+    that the CPU-time overhead grows roughly linearly in NDP/NCC with a
+    small slope — at most +23 % in their experiments.  This module
+    measures evaluations of both objectives on the same instance and
+    placement stream. *)
+
+type measurement = {
+  app : string;
+  mesh : Nocmap_noc.Mesh.t;
+  ncc : int;
+  ndp : int;
+  ndp_over_ncc : float;
+  cwm_ns_per_eval : float;
+  cdcm_ns_per_eval : float;
+  overhead_percent : float;
+      (** [(cdcm - cwm) / cwm * 100] per evaluation. *)
+}
+
+val measure :
+  ?evaluations:int ->
+  ?params:Nocmap_energy.Noc_params.t ->
+  ?tech:Nocmap_energy.Technology.t ->
+  seed:int ->
+  mesh:Nocmap_noc.Mesh.t ->
+  Nocmap_model.Cdcg.t ->
+  measurement
+(** Times [evaluations] (default 200) cost calls of each model over an
+    identical random placement stream. *)
+
+val over_suite : ?evaluations:int -> seed:int -> unit -> measurement list
+
+val render : measurement list -> string

@@ -1,0 +1,85 @@
+module Mesh = Nocmap_noc.Mesh
+module Rng = Nocmap_util.Rng
+module Mapping = Nocmap_mapping
+module Tablefmt = Nocmap_util.Tablefmt
+
+type verdict = {
+  app : string;
+  mesh : Mesh.t;
+  objective_name : string;
+  es_cost : float;
+  sa_cost : float;
+  sa_reached_optimum : bool;
+  es_evaluations : int;
+  sa_evaluations : int;
+}
+
+let certify ~rng ?sa_config ?(restarts = 3) ~mesh ~objective ~cores ~app () =
+  let tiles = Mesh.tile_count mesh in
+  let sa_config =
+    match sa_config with
+    | Some c -> c
+    | None -> Mapping.Annealing.default_config ~tiles
+  in
+  let es = Mapping.Exhaustive.search ~objective ~cores ~tiles () in
+  let rec best_sa i best evals =
+    if i >= restarts then (best, evals)
+    else begin
+      let r =
+        Mapping.Annealing.search ~rng:(Rng.split rng) ~config:sa_config ~tiles
+          ~objective ~cores ()
+      in
+      let evals = evals + r.Mapping.Objective.evaluations in
+      match best with
+      | Some (b : Mapping.Objective.search_result)
+        when b.Mapping.Objective.cost <= r.Mapping.Objective.cost ->
+        best_sa (i + 1) best evals
+      | Some _ | None -> best_sa (i + 1) (Some r) evals
+    end
+  in
+  match best_sa 0 None 0 with
+  | None, _ -> assert false
+  | Some sa, sa_evaluations ->
+    {
+      app;
+      mesh;
+      objective_name = objective.Mapping.Objective.name;
+      es_cost = es.Mapping.Objective.cost;
+      sa_cost = sa.Mapping.Objective.cost;
+      sa_reached_optimum =
+        sa.Mapping.Objective.cost <= es.Mapping.Objective.cost *. (1.0 +. 1e-9);
+      es_evaluations = es.Mapping.Objective.evaluations;
+      sa_evaluations;
+    }
+
+let render verdicts =
+  let table =
+    Tablefmt.create ~title:"Exhaustive search vs simulated annealing"
+      ~columns:
+        [
+          ("App", Tablefmt.Left);
+          ("NoC", Tablefmt.Left);
+          ("Objective", Tablefmt.Left);
+          ("ES cost", Tablefmt.Right);
+          ("SA cost", Tablefmt.Right);
+          ("SA optimal?", Tablefmt.Center);
+          ("ES evals", Tablefmt.Right);
+          ("SA evals", Tablefmt.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun v ->
+      Tablefmt.add_row table
+        [
+          v.app;
+          Mesh.to_string v.mesh;
+          v.objective_name;
+          Printf.sprintf "%.6g" v.es_cost;
+          Printf.sprintf "%.6g" v.sa_cost;
+          (if v.sa_reached_optimum then "yes" else "NO");
+          string_of_int v.es_evaluations;
+          string_of_int v.sa_evaluations;
+        ])
+    verdicts;
+  Tablefmt.render table

@@ -1,0 +1,161 @@
+module Rng = Nocmap_util.Rng
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Mapping = Nocmap_mapping
+
+type budget =
+  | Quick
+  | Standard
+  | Thorough
+
+type config = {
+  budget : budget;
+  restarts : int;
+  params : Noc_params.t;
+  tech_low : Technology.t;
+  tech_high : Technology.t;
+}
+
+let default_config =
+  {
+    budget = Standard;
+    restarts = 2;
+    params = Noc_params.paper_example;
+    tech_low = Technology.t035;
+    tech_high = Technology.t007;
+  }
+
+let quick_config = { default_config with budget = Quick; restarts = 1 }
+
+type outcome = {
+  app : string;
+  mesh : Mesh.t;
+  cwm_low : Mapping.Cost_cdcm.evaluation;
+  cwm_high : Mapping.Cost_cdcm.evaluation;
+  cdcm_low : Mapping.Cost_cdcm.evaluation;
+  cdcm_high : Mapping.Cost_cdcm.evaluation;
+  etr_percent : float;
+  ecs_low_percent : float;
+  ecs_high_percent : float;
+  cwm_cpu_seconds : float;
+  cdcm_cpu_seconds : float;
+  cwm_evaluations : int;
+  cdcm_evaluations : int;
+}
+
+let sa_config config ~tiles =
+  match config.budget with
+  | Quick -> Mapping.Annealing.quick_config ~tiles
+  | Standard ->
+    {
+      Mapping.Annealing.initial_temperature = `Auto;
+      cooling = 0.95;
+      moves_per_temperature = 8 * tiles;
+      patience = 12;
+      (* larger NoCs need proportionally more moves to converge *)
+      max_evaluations = max 30_000 (350 * tiles);
+    }
+  | Thorough ->
+    {
+      Mapping.Annealing.initial_temperature = `Auto;
+      cooling = 0.975;
+      moves_per_temperature = 40 * tiles;
+      patience = 25;
+      max_evaluations = 250_000;
+    }
+
+let reduction = Nocmap_util.Stats.reduction_percent
+
+(* Best of [restarts] annealing descents; returns the result plus CPU
+   seconds and total evaluations.  CWM cost evaluations are orders of
+   magnitude cheaper than CDCM simulations, so the CWM legs get a
+   proportionally larger budget — matching how the models would be used
+   in practice and keeping the CWM baseline honestly converged. *)
+let multi_start ?(budget_scale = 1) ?warm_start ~rng ~config ~tiles ~cores objective =
+  let sa = sa_config config ~tiles in
+  let sa =
+    {
+      sa with
+      Mapping.Annealing.moves_per_temperature =
+        sa.Mapping.Annealing.moves_per_temperature * budget_scale;
+      max_evaluations = sa.Mapping.Annealing.max_evaluations * budget_scale;
+      patience = sa.Mapping.Annealing.patience + (budget_scale / 2);
+    }
+  in
+  let t0 = Sys.time () in
+  let rec loop i best evals =
+    if i >= max 1 config.restarts then (best, evals)
+    else begin
+      (* The last restart is warm-started when a seed placement is
+         given (the CWM winner): the CDCM search then never returns a
+         mapping worse than the CWM one under its own objective. *)
+      let initial = if i = max 1 config.restarts - 1 then warm_start else None in
+      let r =
+        Mapping.Annealing.search ~rng:(Rng.split rng) ~config:sa ~tiles ~objective
+          ?initial ~cores ()
+      in
+      let evals = evals + r.Mapping.Objective.evaluations in
+      let best =
+        match best with
+        | Some (b : Mapping.Objective.search_result)
+          when b.Mapping.Objective.cost <= r.Mapping.Objective.cost ->
+          Some b
+        | Some _ | None -> Some r
+      in
+      loop (i + 1) best evals
+    end
+  in
+  match loop 0 None 0 with
+  | Some best, evals -> (best, Sys.time () -. t0, evals)
+  | None, _ -> assert false
+
+let compare_models ~rng ~config ~mesh cdcg =
+  let crg = Crg.create mesh in
+  let tiles = Mesh.tile_count mesh in
+  let cores = Cdcg.core_count cdcg in
+  if cores > tiles then invalid_arg "Experiment.compare_models: more cores than tiles";
+  let cwg = Cwg.of_cdcg cdcg in
+  let params = config.params in
+  let cwm_objective = Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg in
+  let cwm_best, cwm_cpu_seconds, cwm_evaluations =
+    multi_start ~budget_scale:8 ~rng ~config ~tiles ~cores cwm_objective
+  in
+  let cdcm_search tech =
+    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ~rng ~config ~tiles
+      ~cores
+      (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
+  in
+  let cdcm_low_best, cpu_low, evals_low = cdcm_search config.tech_low in
+  let cdcm_high_best, cpu_high, evals_high = cdcm_search config.tech_high in
+  let evaluate tech placement =
+    Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg placement
+  in
+  let cwm_low = evaluate config.tech_low cwm_best.Mapping.Objective.placement in
+  let cwm_high = evaluate config.tech_high cwm_best.Mapping.Objective.placement in
+  let cdcm_low = evaluate config.tech_low cdcm_low_best.Mapping.Objective.placement in
+  let cdcm_high = evaluate config.tech_high cdcm_high_best.Mapping.Objective.placement in
+  {
+    app = cdcg.Cdcg.name;
+    mesh;
+    cwm_low;
+    cwm_high;
+    cdcm_low;
+    cdcm_high;
+    etr_percent =
+      reduction ~baseline:cwm_high.Mapping.Cost_cdcm.texec_ns
+        ~improved:cdcm_high.Mapping.Cost_cdcm.texec_ns;
+    ecs_low_percent =
+      reduction ~baseline:cwm_low.Mapping.Cost_cdcm.total
+        ~improved:cdcm_low.Mapping.Cost_cdcm.total;
+    ecs_high_percent =
+      reduction ~baseline:cwm_high.Mapping.Cost_cdcm.total
+        ~improved:cdcm_high.Mapping.Cost_cdcm.total;
+    cwm_cpu_seconds;
+    cdcm_cpu_seconds = cpu_low +. cpu_high;
+    cwm_evaluations;
+    cdcm_evaluations = evals_low + evals_high;
+  }

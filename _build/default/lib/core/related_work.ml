@@ -1,0 +1,78 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Rng = Nocmap_util.Rng
+module Stats = Nocmap_util.Stats
+module Tablefmt = Nocmap_util.Tablefmt
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Mapping = Nocmap_mapping
+
+type comparison = {
+  app : string;
+  mesh : Mesh.t;
+  random_mean_energy : float;
+  random_best_energy : float;
+  optimized_energy : float;
+  saving_percent : float;
+}
+
+let compare_random_vs_cwm ~rng ?(random_samples = 100)
+    ?(tech = Nocmap_energy.Technology.t035) ~mesh cdcg =
+  let crg = Crg.create mesh in
+  let cwg = Cwg.of_cdcg cdcg in
+  let tiles = Mesh.tile_count mesh in
+  let cores = Cdcg.core_count cdcg in
+  let energies =
+    List.init random_samples (fun _ ->
+        let placement = Mapping.Placement.random rng ~cores ~tiles in
+        Mapping.Cost_cwm.dynamic_energy ~tech ~crg ~cwg placement)
+  in
+  let sa =
+    Mapping.Annealing.search ~rng:(Rng.split rng)
+      ~config:(Mapping.Annealing.default_config ~tiles)
+      ~tiles
+      ~objective:(Mapping.Objective.cwm ~tech ~crg ~cwg)
+      ~cores ()
+  in
+  let random_mean_energy = Stats.mean energies in
+  {
+    app = cdcg.Cdcg.name;
+    mesh;
+    random_mean_energy;
+    random_best_energy = Stats.minimum energies;
+    optimized_energy = sa.Mapping.Objective.cost;
+    saving_percent =
+      Stats.reduction_percent ~baseline:random_mean_energy
+        ~improved:sa.Mapping.Objective.cost;
+  }
+
+let render comparisons =
+  let table =
+    Tablefmt.create
+      ~title:
+        "Energy-aware mapping vs random mapping (Hu & Marculescu [4]: > 60 % saving)"
+      ~columns:
+        [
+          ("App", Tablefmt.Left);
+          ("NoC", Tablefmt.Left);
+          ("random mean (pJ)", Tablefmt.Right);
+          ("random best (pJ)", Tablefmt.Right);
+          ("CWM SA (pJ)", Tablefmt.Right);
+          ("saving", Tablefmt.Right);
+        ]
+      ()
+  in
+  let pj v = Printf.sprintf "%.1f" (v *. 1e12) in
+  List.iter
+    (fun c ->
+      Tablefmt.add_row table
+        [
+          c.app;
+          Mesh.to_string c.mesh;
+          pj c.random_mean_energy;
+          pj c.random_best_energy;
+          pj c.optimized_energy;
+          Printf.sprintf "%.0f %%" c.saving_percent;
+        ])
+    comparisons;
+  Tablefmt.render table

@@ -1,0 +1,28 @@
+(** Sanity anchors against the related work the paper builds on.
+
+    Hu & Marculescu [4] report that energy-aware mapping cuts NoC energy
+    by more than 60 % versus random mapping solutions.  This module
+    reproduces that comparison with our CWM annealer: the dynamic energy
+    of the average random placement against the best found mapping. *)
+
+type comparison = {
+  app : string;
+  mesh : Nocmap_noc.Mesh.t;
+  random_mean_energy : float;   (** Mean EDyNoC over random placements. *)
+  random_best_energy : float;
+  optimized_energy : float;     (** Best CWM annealing result. *)
+  saving_percent : float;       (** Reduction of optimized vs random mean. *)
+}
+
+val compare_random_vs_cwm :
+  rng:Nocmap_util.Rng.t ->
+  ?random_samples:int ->
+  ?tech:Nocmap_energy.Technology.t ->
+  mesh:Nocmap_noc.Mesh.t ->
+  Nocmap_model.Cdcg.t ->
+  comparison
+(** Draws [random_samples] (default 100) placements and one annealing
+    run on the CWM objective (Equation 3 energy at [tech], default
+    0.35 um). *)
+
+val render : comparison list -> string

@@ -1,0 +1,72 @@
+module Stats = Nocmap_util.Stats
+module Tablefmt = Nocmap_util.Tablefmt
+
+type spread = {
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+}
+
+type t = {
+  seeds : int list;
+  etr : spread;
+  ecs_low : spread;
+  ecs_high : spread;
+}
+
+let spread_of = function
+  | [] -> { mean = 0.0; stddev = 0.0; minimum = 0.0; maximum = 0.0 }
+  | xs ->
+    {
+      mean = Stats.mean xs;
+      stddev = Stats.stddev xs;
+      minimum = Stats.minimum xs;
+      maximum = Stats.maximum xs;
+    }
+
+let run ?config ?instances_of ~seeds () =
+  if seeds = [] then invalid_arg "Robustness.run: need at least one seed";
+  let tables =
+    List.map
+      (fun seed ->
+        let instances = Option.map (fun f -> f seed) instances_of in
+        Table2.run ?config ?instances ~seed ())
+      seeds
+  in
+  {
+    seeds;
+    etr = spread_of (List.map (fun t -> t.Table2.average_etr) tables);
+    ecs_low = spread_of (List.map (fun t -> t.Table2.average_ecs_low) tables);
+    ecs_high = spread_of (List.map (fun t -> t.Table2.average_ecs_high) tables);
+  }
+
+let render t =
+  let table =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "Seed robustness over %d seeds" (List.length t.seeds))
+      ~columns:
+        [
+          ("metric", Tablefmt.Left);
+          ("mean", Tablefmt.Right);
+          ("stddev", Tablefmt.Right);
+          ("min", Tablefmt.Right);
+          ("max", Tablefmt.Right);
+        ]
+      ()
+  in
+  let row name s =
+    Tablefmt.add_row table
+      [
+        name;
+        Printf.sprintf "%.1f %%" s.mean;
+        Printf.sprintf "%.1f" s.stddev;
+        Printf.sprintf "%.1f %%" s.minimum;
+        Printf.sprintf "%.1f %%" s.maximum;
+      ]
+  in
+  row "average ETR" t.etr;
+  row "average ECS (old tech)" t.ecs_low;
+  row "average ECS (deep submicron)" t.ecs_high;
+  Tablefmt.render table

@@ -1,0 +1,34 @@
+(** Seed-robustness of the Table 2 comparison.
+
+    Both the benchmark generator and the annealer are randomized; one
+    seed gives one Table 2.  This module repeats the comparison across
+    seeds and reports the spread of the headline metrics, making the
+    conclusion "CDCM beats CWM" checkable as a distribution rather than
+    a single draw. *)
+
+type spread = {
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+}
+
+type t = {
+  seeds : int list;
+  etr : spread;
+  ecs_low : spread;
+  ecs_high : spread;
+}
+
+val run :
+  ?config:Experiment.config ->
+  ?instances_of:(int -> (Nocmap_noc.Mesh.t * Nocmap_model.Cdcg.t) list) ->
+  seeds:int list ->
+  unit ->
+  t
+(** [run ~seeds ()] computes one full Table 2 per seed (the suite is
+    regenerated per seed unless [instances_of] overrides it) and
+    aggregates the per-seed averages.
+    @raise Invalid_argument on an empty seed list. *)
+
+val render : t -> string

@@ -1,0 +1,77 @@
+module Mesh = Nocmap_noc.Mesh
+module Features = Nocmap_model.Features
+module Tablefmt = Nocmap_util.Tablefmt
+
+type row = {
+  mesh : Mesh.t;
+  cores : int list;
+  packets : int list;
+  total_bits : int list;
+}
+
+let rows ~seed =
+  let instances = Nocmap_tgff.Suite.instances ~seed in
+  let by_mesh = Hashtbl.create 8 in
+  let order = ref [] in
+  let record (mesh, cdcg) =
+    let key = Mesh.to_string mesh in
+    let features = Features.of_cdcg cdcg in
+    (match Hashtbl.find_opt by_mesh key with
+    | None ->
+      order := key :: !order;
+      Hashtbl.add by_mesh key
+        {
+          mesh;
+          cores = [ features.Features.cores ];
+          packets = [ features.Features.packets ];
+          total_bits = [ features.Features.total_bits ];
+        }
+    | Some row ->
+      Hashtbl.replace by_mesh key
+        {
+          row with
+          cores = row.cores @ [ features.Features.cores ];
+          packets = row.packets @ [ features.Features.packets ];
+          total_bits = row.total_bits @ [ features.Features.total_bits ];
+        });
+    ()
+  in
+  List.iter record instances;
+  List.rev_map (Hashtbl.find by_mesh) !order
+
+let render ~seed =
+  let table =
+    Tablefmt.create ~title:"Table 1 - Summary of NoC/application features"
+      ~columns:
+        [
+          ("NoC size", Tablefmt.Left);
+          ("Number of cores", Tablefmt.Left);
+          ("Number of packets of all cores", Tablefmt.Left);
+          ("Total volume of bits", Tablefmt.Left);
+        ]
+      ()
+  in
+  let ints xs = String.concat "; " (List.map string_of_int xs) in
+  let with_thousands v =
+    let digits = string_of_int v in
+    let n = String.length digits in
+    let buf = Buffer.create (n + (n / 3)) in
+    String.iteri
+      (fun i c ->
+        if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf c)
+      digits;
+    Buffer.contents buf
+  in
+  let grouped_ints xs = String.concat "; " (List.map with_thousands xs) in
+  let add row =
+    Tablefmt.add_row table
+      [
+        Mesh.to_string row.mesh;
+        ints row.cores;
+        ints row.packets;
+        grouped_ints row.total_bits;
+      ]
+  in
+  List.iter add (rows ~seed);
+  Tablefmt.render table

@@ -1,0 +1,19 @@
+(** Regeneration of the paper's Table 1: "Summary of NoC/application
+    features" — NoC size, number of cores, number of packets of all
+    cores and total bit volume, grouped three applications per small NoC
+    size. *)
+
+type row = {
+  mesh : Nocmap_noc.Mesh.t;
+  cores : int list;
+  packets : int list;
+  total_bits : int list;
+}
+
+val rows : seed:int -> row list
+(** Generates the 18-application suite and summarizes it exactly like
+    the paper's table (one line per NoC size, value lists separated per
+    application). *)
+
+val render : seed:int -> string
+(** ASCII rendering of the table. *)

@@ -1,0 +1,121 @@
+module Mesh = Nocmap_noc.Mesh
+module Rng = Nocmap_util.Rng
+module Stats = Nocmap_util.Stats
+module Tablefmt = Nocmap_util.Tablefmt
+
+type size_summary = {
+  mesh : Mesh.t;
+  search_method : string;
+  etr_percent : float;
+  ecs_low_percent : float;
+  ecs_high_percent : float;
+  outcomes : Experiment.outcome list;
+}
+
+type t = {
+  sizes : size_summary list;
+  average_etr : float;
+  average_ecs_low : float;
+  average_ecs_high : float;
+}
+
+let method_for mesh =
+  let small =
+    List.exists
+      (fun m -> Mesh.to_string m = Mesh.to_string mesh)
+      Nocmap_tgff.Suite.small_sizes
+  in
+  if small then "ES and SA" else "SA only"
+
+let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instances ~seed () =
+  let rng = Rng.create ~seed in
+  let instances =
+    match instances with
+    | Some given -> given
+    | None -> Nocmap_tgff.Suite.instances ~seed
+  in
+  let outcomes =
+    List.map
+      (fun (mesh, cdcg) ->
+        let outcome =
+          Experiment.compare_models ~rng:(Rng.split rng) ~config ~mesh cdcg
+        in
+        progress
+          (Printf.sprintf "%-8s %-14s ETR=%5.1f%% ECS%s=%6.2f%% ECS%s=%6.2f%%"
+             (Mesh.to_string mesh) outcome.Experiment.app
+             outcome.Experiment.etr_percent
+             config.Experiment.tech_low.Nocmap_energy.Technology.name
+             outcome.Experiment.ecs_low_percent
+             config.Experiment.tech_high.Nocmap_energy.Technology.name
+             outcome.Experiment.ecs_high_percent);
+        outcome)
+      instances
+  in
+  (* Group by NoC size preserving the suite order. *)
+  let keys = ref [] in
+  let by_mesh = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Experiment.outcome) ->
+      let key = Mesh.to_string o.Experiment.mesh in
+      if not (Hashtbl.mem by_mesh key) then keys := key :: !keys;
+      Hashtbl.replace by_mesh key
+        (o :: Option.value (Hashtbl.find_opt by_mesh key) ~default:[]))
+    outcomes;
+  let sizes =
+    List.rev_map
+      (fun key ->
+        let outcomes = List.rev (Hashtbl.find by_mesh key) in
+        let mean f = Stats.mean (List.map f outcomes) in
+        {
+          mesh = (List.hd outcomes).Experiment.mesh;
+          search_method = method_for (List.hd outcomes).Experiment.mesh;
+          etr_percent = mean (fun o -> o.Experiment.etr_percent);
+          ecs_low_percent = mean (fun o -> o.Experiment.ecs_low_percent);
+          ecs_high_percent = mean (fun o -> o.Experiment.ecs_high_percent);
+          outcomes;
+        })
+      !keys
+  in
+  {
+    sizes;
+    average_etr = Stats.mean (List.map (fun s -> s.etr_percent) sizes);
+    average_ecs_low = Stats.mean (List.map (fun s -> s.ecs_low_percent) sizes);
+    average_ecs_high = Stats.mean (List.map (fun s -> s.ecs_high_percent) sizes);
+  }
+
+let render t =
+  let table =
+    Tablefmt.create
+      ~title:"Table 2 - Average energy and execution time reductions (CDCM vs CWM)"
+      ~columns:
+        [
+          ("Algorithm", Tablefmt.Left);
+          ("NoC size", Tablefmt.Left);
+          ("ETR", Tablefmt.Right);
+          ("ECS 0.35u", Tablefmt.Right);
+          ("ECS 0.07u", Tablefmt.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun s ->
+      Tablefmt.add_row table
+        [
+          s.search_method;
+          Mesh.to_string s.mesh;
+          Printf.sprintf "%.0f %%" s.etr_percent;
+          Printf.sprintf "%.2f %%" s.ecs_low_percent;
+          Printf.sprintf "%.0f %%" s.ecs_high_percent;
+        ])
+    t.sizes;
+  Tablefmt.add_summary_row table
+    [
+      "Average";
+      "";
+      Printf.sprintf "%.0f %%" t.average_etr;
+      Printf.sprintf "%.2f %%" t.average_ecs_low;
+      Printf.sprintf "%.0f %%" t.average_ecs_high;
+    ];
+  Tablefmt.render table
+
+let run_and_render ?config ?progress ~seed () = render (run ?config ?progress ~seed ())

@@ -1,0 +1,1 @@
+lib/energy/noc_params.mli: Format

@@ -1,0 +1,1 @@
+lib/energy/technology.ml: Format List

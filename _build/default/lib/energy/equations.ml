@@ -1,0 +1,22 @@
+let ebit_single_hop (tech : Technology.t) =
+  tech.Technology.e_rbit +. tech.Technology.e_lbit +. tech.Technology.e_cbit
+
+let ebit_path (tech : Technology.t) ~routers =
+  if routers < 1 then invalid_arg "Equations.ebit_path: need at least one router";
+  (float_of_int routers *. tech.Technology.e_rbit)
+  +. (float_of_int (routers - 1) *. tech.Technology.e_lbit)
+
+let communication_energy tech ~routers ~bits =
+  float_of_int bits *. ebit_path tech ~routers
+
+let static_power (tech : Technology.t) ~tiles =
+  if tiles < 1 then invalid_arg "Equations.static_power: need at least one tile";
+  float_of_int tiles *. tech.Technology.p_s_router
+
+let static_energy tech ~tiles ~texec_ns = static_power tech ~tiles *. texec_ns
+
+let total_energy ~dynamic ~static_ = dynamic +. static_
+
+let static_share ~dynamic ~static_ =
+  let total = dynamic +. static_ in
+  if total = 0.0 then 0.0 else static_ /. total

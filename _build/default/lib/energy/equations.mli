@@ -1,0 +1,30 @@
+(** The paper's energy equations (1)-(5), (9), (10) as pure functions.
+
+    All energies are in Joules, times in nanoseconds.  The [K] argument
+    is the number of routers a bit traverses (path length in routers). *)
+
+val ebit_single_hop : Technology.t -> float
+(** Equation (1): [ERbit + ELbit + ECbit] — the energy of one bit
+    crossing one router and one link. *)
+
+val ebit_path : Technology.t -> routers:int -> float
+(** Equation (2): [K*ERbit + (K-1)*ELbit] for a path of [K] routers.
+    @raise Invalid_argument when [routers < 1]. *)
+
+val communication_energy : Technology.t -> routers:int -> bits:int -> float
+(** [EBit_ab = w_ab * EBit_ij]: dynamic energy of one communication or
+    packet over the given path. *)
+
+val static_power : Technology.t -> tiles:int -> float
+(** Equation (5): [PStNoC = n * PSRouter], in Joules per ns. *)
+
+val static_energy : Technology.t -> tiles:int -> texec_ns:float -> float
+(** Equation (9): [EStNoC = PStNoC * texec]. *)
+
+val total_energy : dynamic:float -> static_:float -> float
+(** Equation (10). *)
+
+val static_share : dynamic:float -> static_:float -> float
+(** Fraction of total energy that is static, in [\[0,1\]]; 0 when both
+    are zero.  Used to check the technology calibration against the
+    paper's "up to 20 % in new technologies" claim. *)

@@ -1,0 +1,46 @@
+type buffering =
+  | Unbounded
+  | Bounded of int
+
+type t = {
+  tr : int;
+  tl : int;
+  clock_ns : float;
+  flit_bits : int;
+  buffering : buffering;
+}
+
+let make ?(tr = 2) ?(tl = 1) ?(clock_ns = 1.0) ?(flit_bits = 1)
+    ?(buffering = Unbounded) () =
+  if tr <= 0 || tl <= 0 then invalid_arg "Noc_params.make: tr and tl must be positive";
+  if clock_ns <= 0.0 then invalid_arg "Noc_params.make: clock period must be positive";
+  if flit_bits <= 0 then invalid_arg "Noc_params.make: flit width must be positive";
+  (match buffering with
+  | Bounded c when c <= 0 -> invalid_arg "Noc_params.make: buffer capacity must be positive"
+  | Bounded _ | Unbounded -> ());
+  { tr; tl; clock_ns; flit_bits; buffering }
+
+let paper_example = make ()
+
+let default_16bit = make ~flit_bits:16 ()
+
+let flits_of_bits t bits =
+  if bits <= 0 then invalid_arg "Noc_params.flits_of_bits: bits must be positive";
+  (bits + t.flit_bits - 1) / t.flit_bits
+
+let routing_delay_cycles t ~routers = (routers * (t.tr + t.tl)) + t.tl
+
+let packet_delay_cycles t ~flits = t.tl * (flits - 1)
+
+let total_delay_cycles t ~routers ~flits = (routers * (t.tr + t.tl)) + (t.tl * flits)
+
+let cycles_to_ns t cycles = float_of_int cycles *. t.clock_ns
+
+let pp ppf t =
+  let buffering =
+    match t.buffering with
+    | Unbounded -> "unbounded buffers"
+    | Bounded c -> Printf.sprintf "%d-flit buffers" c
+  in
+  Format.fprintf ppf "tr=%d tl=%d lambda=%.2fns flit=%db %s" t.tr t.tl t.clock_ns
+    t.flit_bits buffering

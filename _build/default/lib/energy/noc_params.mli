@@ -1,0 +1,52 @@
+(** Timing parameters of the wormhole NoC (Equations 6-8).
+
+    These are architecture knobs, not process knobs: the number of
+    cycles a router spends on a routing decision ([tr]), the cycles a
+    flit takes to cross one link ([tl]), the clock period (lambda), the
+    flit width and the router input-buffer capacity. *)
+
+type buffering =
+  | Unbounded            (** The paper's worked-example assumption. *)
+  | Bounded of int       (** Capacity in flits per input buffer;
+                             backpressure stalls the upstream hop. *)
+
+type t = private {
+  tr : int;              (** Routing-decision cycles per router. *)
+  tl : int;              (** Cycles per flit per link. *)
+  clock_ns : float;      (** Clock period lambda in ns. *)
+  flit_bits : int;       (** Link width; a packet of [w] bits has
+                             [ceil(w / flit_bits)] flits. *)
+  buffering : buffering;
+}
+
+val make :
+  ?tr:int -> ?tl:int -> ?clock_ns:float -> ?flit_bits:int -> ?buffering:buffering ->
+  unit -> t
+(** Defaults are the paper's worked-example values:
+    [tr = 2], [tl = 1], [clock_ns = 1.0], [flit_bits = 1], unbounded
+    buffers.  @raise Invalid_argument on non-positive values. *)
+
+val paper_example : t
+(** Exactly the Figure 3-5 configuration. *)
+
+val default_16bit : t
+(** A realistic configuration for the Table 1/2 workloads: 16-bit flits,
+    otherwise the paper-example timing. *)
+
+val flits_of_bits : t -> int -> int
+(** [ceil(bits / flit_bits)]; the paper's [n_abq].  Requires positive
+    bit count. *)
+
+val routing_delay_cycles : t -> routers:int -> int
+(** Equation (6) without the lambda factor: [K*(tr+tl) + tl]. *)
+
+val packet_delay_cycles : t -> flits:int -> int
+(** Equation (7) without lambda: [tl*(n-1)]. *)
+
+val total_delay_cycles : t -> routers:int -> flits:int -> int
+(** Equation (8) without lambda: [K*(tr+tl) + tl*n]. *)
+
+val cycles_to_ns : t -> int -> float
+(** Multiplies by lambda. *)
+
+val pp : Format.formatter -> t -> unit

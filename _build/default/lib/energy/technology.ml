@@ -1,0 +1,45 @@
+type t = {
+  name : string;
+  feature_nm : int;
+  e_rbit : float;
+  e_lbit : float;
+  e_cbit : float;
+  p_s_router : float;
+}
+
+let make ~name ~feature_nm ~e_rbit ~e_lbit ?(e_cbit = 0.0) ~p_s_router () =
+  if e_rbit <= 0.0 || e_lbit <= 0.0 then
+    invalid_arg "Technology.make: dynamic bit energies must be positive";
+  if e_cbit < 0.0 || p_s_router < 0.0 then
+    invalid_arg "Technology.make: energies must be non-negative";
+  if feature_nm <= 0 then invalid_arg "Technology.make: feature size must be positive";
+  { name; feature_nm; e_rbit; e_lbit; e_cbit; p_s_router }
+
+(* Dynamic energy per bit falls roughly with C*V^2 as the process
+   shrinks; router leakage power falls much more slowly (and its share
+   of the total grows).  Values are in Joules (per bit) and Joules/ns
+   (per router). *)
+
+let t035 =
+  make ~name:"0.35um" ~feature_nm:350 ~e_rbit:1.0e-12 ~e_lbit:1.4e-12
+    ~p_s_router:2.5e-14 ()
+
+let t018 =
+  make ~name:"0.18um" ~feature_nm:180 ~e_rbit:0.42e-12 ~e_lbit:0.55e-12
+    ~p_s_router:4.5e-14 ()
+
+let t013 =
+  make ~name:"0.13um" ~feature_nm:130 ~e_rbit:0.24e-12 ~e_lbit:0.30e-12
+    ~p_s_router:8.0e-14 ()
+
+let t007 =
+  make ~name:"0.07um" ~feature_nm:70 ~e_rbit:0.10e-12 ~e_lbit:0.12e-12
+    ~p_s_router:1.6e-13 ()
+
+let all = [ t035; t018; t013; t007 ]
+
+let of_name name = List.find_opt (fun t -> t.name = name) all
+
+let pp ppf t =
+  Format.fprintf ppf "%s (ERbit=%.3g J, ELbit=%.3g J, PSRouter=%.3g J/ns)" t.name
+    t.e_rbit t.e_lbit t.p_s_router

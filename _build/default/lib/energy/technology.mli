@@ -1,0 +1,53 @@
+(** Per-technology energy parameters.
+
+    The paper takes its bit-energy figures from electrical simulation
+    (Ye et al. [6]) and its leakage trend from Duarte et al. [8]; neither
+    source publishes a reusable table, so these parameter sets are
+    calibrated substitutes (see DESIGN.md §3): dynamic bit energies
+    shrink with the feature size while the static (leakage) share of
+    total NoC energy grows from ≈1 % at 0.35 µm to a dominant share at
+    0.07 µm — the paper's "up to 20 % in new technologies" regime that
+    drives the ECS0.35 / ECS0.07 split of Table 2. *)
+
+type t = private {
+  name : string;          (** e.g. ["0.35um"]. *)
+  feature_nm : int;       (** Feature size in nanometres. *)
+  e_rbit : float;         (** Joules per bit traversing one router (ERbit). *)
+  e_lbit : float;         (** Joules per bit on one inter-tile link (ELbit). *)
+  e_cbit : float;         (** Joules per bit on a core-router link (ECbit);
+                              negligible per §3.2 and kept for completeness. *)
+  p_s_router : float;     (** Static power per router in Joules per ns (PSRouter). *)
+}
+
+val make :
+  name:string ->
+  feature_nm:int ->
+  e_rbit:float ->
+  e_lbit:float ->
+  ?e_cbit:float ->
+  p_s_router:float ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive dynamic energies or negative
+    static power. *)
+
+val t035 : t
+(** 0.35 µm: leakage essentially irrelevant (ECS0.35 column). *)
+
+val t018 : t
+(** 0.18 µm intermediate point (extension beyond the paper). *)
+
+val t013 : t
+(** 0.13 µm intermediate point (extension beyond the paper). *)
+
+val t007 : t
+(** 0.07 µm deep-submicron projection: leakage is a large share of NoC
+    energy (ECS0.07 column). *)
+
+val all : t list
+(** The four calibration points, largest feature size first. *)
+
+val of_name : string -> t option
+(** Looks a technology up by [name], e.g. ["0.07um"]. *)
+
+val pp : Format.formatter -> t -> unit

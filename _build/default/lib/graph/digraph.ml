@@ -1,0 +1,73 @@
+type t = {
+  n : int;
+  succ : (int * int) list array; (* reversed insertion order *)
+  pred : (int * int) list array;
+  mutable edges : int;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; succ = Array.make n []; pred = Array.make n []; edges = 0 }
+
+let vertex_count t = t.n
+
+let edge_count t = t.edges
+
+let check_vertex t v name =
+  if v < 0 || v >= t.n then invalid_arg ("Digraph." ^ name ^ ": vertex out of range")
+
+let add_edge t ~src ~dst ~label =
+  check_vertex t src "add_edge";
+  check_vertex t dst "add_edge";
+  t.succ.(src) <- (dst, label) :: t.succ.(src);
+  t.pred.(dst) <- (src, label) :: t.pred.(dst);
+  t.edges <- t.edges + 1
+
+let successors t v =
+  check_vertex t v "successors";
+  List.rev t.succ.(v)
+
+let predecessors t v =
+  check_vertex t v "predecessors";
+  List.rev t.pred.(v)
+
+let mem_edge t ~src ~dst =
+  check_vertex t src "mem_edge";
+  check_vertex t dst "mem_edge";
+  List.exists (fun (d, _) -> d = dst) t.succ.(src)
+
+let label t ~src ~dst =
+  check_vertex t src "label";
+  check_vertex t dst "label";
+  match List.find_opt (fun (d, _) -> d = dst) (List.rev t.succ.(src)) with
+  | Some (_, lbl) -> lbl
+  | None -> raise Not_found
+
+let out_degree t v =
+  check_vertex t v "out_degree";
+  List.length t.succ.(v)
+
+let in_degree t v =
+  check_vertex t v "in_degree";
+  List.length t.pred.(v)
+
+let iter_edges t f =
+  for src = 0 to t.n - 1 do
+    let each (dst, lbl) = f ~src ~dst ~label:lbl in
+    List.iter each (List.rev t.succ.(src))
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  iter_edges t (fun ~src ~dst ~label -> acc := f !acc ~src ~dst ~label);
+  !acc
+
+let transpose t =
+  let g = create ~n:t.n in
+  iter_edges t (fun ~src ~dst ~label -> add_edge g ~src:dst ~dst:src ~label);
+  g
+
+let map_labels t ~f =
+  let g = create ~n:t.n in
+  iter_edges t (fun ~src ~dst ~label -> add_edge g ~src ~dst ~label:(f ~src ~dst ~label));
+  g

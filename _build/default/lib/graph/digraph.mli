@@ -1,0 +1,46 @@
+(** Compact directed graphs over integer vertices [0 .. n-1].
+
+    This is the shared substrate beneath the application models (CWG,
+    CDCG) and the NoC resource graph (CRG).  Vertices are dense integer
+    identifiers; payloads live in caller-side arrays indexed by vertex.
+    Edges may be added with an integer label (bit volumes, path costs);
+    unlabeled edges use label [0]. *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is a graph with vertices [0..n-1] and no edges. *)
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> label:int -> unit
+(** Adds a directed edge.  Parallel edges are allowed (the CDCG has one
+    dependence edge per packet pair).
+    @raise Invalid_argument if an endpoint is out of range. *)
+
+val mem_edge : t -> src:int -> dst:int -> bool
+
+val label : t -> src:int -> dst:int -> int
+(** Label of the first [src -> dst] edge.
+    @raise Not_found if absent. *)
+
+val successors : t -> int -> (int * int) list
+(** [(dst, label)] pairs in insertion order. *)
+
+val predecessors : t -> int -> (int * int) list
+(** [(src, label)] pairs in insertion order. *)
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val iter_edges : t -> (src:int -> dst:int -> label:int -> unit) -> unit
+
+val fold_edges : t -> init:'a -> f:('a -> src:int -> dst:int -> label:int -> 'a) -> 'a
+
+val transpose : t -> t
+(** Graph with every edge reversed. *)
+
+val map_labels : t -> f:(src:int -> dst:int -> label:int -> int) -> t

@@ -1,0 +1,40 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+    let cell (k, v) = Printf.sprintf "%s=\"%s\"" k (escape v) in
+    " [" ^ String.concat ", " (List.map cell attrs) ^ "]"
+
+let render ?(graph_name = "g") ~vertex_name ?(vertex_attrs = fun _ -> [])
+    ?(edge_attrs = fun ~src:_ ~dst:_ ~label:_ -> []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape graph_name));
+  for v = 0 to Digraph.vertex_count g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  \"%s\"%s;\n" (escape (vertex_name v)) (attrs_to_string (vertex_attrs v)))
+  done;
+  Digraph.iter_edges g (fun ~src ~dst ~label ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\"%s;\n"
+           (escape (vertex_name src))
+           (escape (vertex_name dst))
+           (attrs_to_string (edge_attrs ~src ~dst ~label))));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc doc)

@@ -1,0 +1,16 @@
+(** Graphviz DOT export so that CWGs, CDCGs and mapped CRGs can be
+    inspected visually. *)
+
+val render :
+  ?graph_name:string ->
+  vertex_name:(int -> string) ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(src:int -> dst:int -> label:int -> (string * string) list) ->
+  Digraph.t ->
+  string
+(** [render ~vertex_name g] produces a [digraph { ... }] document.
+    Attribute callbacks return [(key, value)] pairs; values are quoted
+    and escaped by this module. *)
+
+val save : path:string -> string -> unit
+(** Writes a rendered document to [path]. *)

@@ -1,0 +1,89 @@
+let topological_order g =
+  let n = Digraph.vertex_count g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let rec drain acc seen =
+    if Queue.is_empty queue then (acc, seen)
+    else begin
+      let v = Queue.pop queue in
+      let relax (w, _) =
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue
+      in
+      List.iter relax (Digraph.successors g v);
+      drain (v :: acc) (seen + 1)
+    end
+  in
+  let acc, seen = drain [] 0 in
+  if seen = n then Some (List.rev acc) else None
+
+let is_dag g = topological_order g <> None
+
+(* Iterative DFS with colors; on finding a back edge, reconstruct the
+   cycle from the parent chain. *)
+let cycle g =
+  let n = Digraph.vertex_count g in
+  let color = Array.make n `White in
+  let parent = Array.make n (-1) in
+  let found = ref None in
+  let rec dfs v =
+    color.(v) <- `Gray;
+    let visit (w, _) =
+      if !found = None then
+        match color.(w) with
+        | `White ->
+          parent.(w) <- v;
+          dfs w
+        | `Gray ->
+          (* back edge v -> w closes a cycle w -> ... -> v -> w *)
+          let rec climb u acc = if u = w then u :: acc else climb parent.(u) (u :: acc) in
+          found := Some (climb v [])
+        | `Black -> ()
+    in
+    List.iter visit (Digraph.successors g v);
+    color.(v) <- `Black
+  in
+  let rec scan v =
+    if v < n && !found = None then begin
+      if color.(v) = `White then dfs v;
+      scan (v + 1)
+    end
+  in
+  scan 0;
+  !found
+
+let reachable_from g start =
+  let n = Digraph.vertex_count g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let visit (w, _) =
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        Queue.add w queue
+      end
+    in
+    List.iter visit (Digraph.successors g v)
+  done;
+  seen
+
+let longest_path_lengths g ~weight =
+  match topological_order g with
+  | None -> None
+  | Some order ->
+    let n = Digraph.vertex_count g in
+    let dist = Array.make n 0 in
+    let relax v =
+      let best =
+        List.fold_left
+          (fun acc (p, _) -> max acc dist.(p))
+          0 (Digraph.predecessors g v)
+      in
+      dist.(v) <- best + weight v
+    in
+    List.iter relax order;
+    Some dist

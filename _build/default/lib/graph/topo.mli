@@ -1,0 +1,23 @@
+(** Order-theoretic algorithms on {!Digraph.t}: the CDCG is required to
+    be a DAG between [Start] and [End], and the simulator's readiness
+    propagation is a topological sweep. *)
+
+val topological_order : Digraph.t -> int list option
+(** Kahn's algorithm.  [Some order] lists every vertex with all edge
+    sources before their destinations; [None] when the graph has a
+    cycle. *)
+
+val is_dag : Digraph.t -> bool
+
+val cycle : Digraph.t -> int list option
+(** A witness cycle as a vertex list [v1; ...; vk] with edges
+    [v1->v2-> ... ->vk->v1], or [None] for a DAG.  Used to produce
+    actionable validation errors for hand-written CDCG files. *)
+
+val reachable_from : Digraph.t -> int -> bool array
+(** Forward reachability (including the start vertex itself). *)
+
+val longest_path_lengths : Digraph.t -> weight:(int -> int) -> int array option
+(** For a DAG, the maximum total vertex [weight] over paths ending at
+    each vertex (the critical-path lower bound on execution time used by
+    search heuristics).  [None] on cyclic input. *)

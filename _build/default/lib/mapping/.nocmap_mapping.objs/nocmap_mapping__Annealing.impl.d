@@ -1,0 +1,1 @@
+lib/mapping/annealing.ml: Array Nocmap_util Objective Placement

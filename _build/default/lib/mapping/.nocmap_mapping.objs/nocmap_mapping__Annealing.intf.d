@@ -1,0 +1,1 @@
+lib/mapping/annealing.mli: Nocmap_util Objective Placement

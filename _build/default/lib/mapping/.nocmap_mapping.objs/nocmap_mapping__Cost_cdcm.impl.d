@@ -1,0 +1,1 @@
+lib/mapping/cost_cdcm.ml: Array Format Nocmap_energy Nocmap_model Nocmap_noc Nocmap_sim Placement

@@ -1,0 +1,1 @@
+lib/mapping/cost_cdcm.mli: Format Nocmap_energy Nocmap_model Nocmap_noc Placement

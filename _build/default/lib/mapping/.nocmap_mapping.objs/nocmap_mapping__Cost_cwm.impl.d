@@ -1,0 +1,1 @@
+lib/mapping/cost_cwm.ml: Array List Nocmap_energy Nocmap_model Nocmap_noc Placement

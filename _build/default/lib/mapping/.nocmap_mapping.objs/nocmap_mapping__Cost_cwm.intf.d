@@ -1,0 +1,1 @@
+lib/mapping/cost_cwm.mli: Nocmap_energy Nocmap_model Nocmap_noc Placement

@@ -1,0 +1,1 @@
+lib/mapping/cost_cwm_incremental.ml: Array Cost_cwm List Nocmap_energy Nocmap_model Nocmap_noc Placement

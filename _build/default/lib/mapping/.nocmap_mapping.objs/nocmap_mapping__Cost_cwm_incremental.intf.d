@@ -1,0 +1,1 @@
+lib/mapping/cost_cwm_incremental.mli: Nocmap_energy Nocmap_model Nocmap_noc Placement

@@ -1,0 +1,1 @@
+lib/mapping/exhaustive.ml: Array Objective Printf

@@ -1,0 +1,1 @@
+lib/mapping/exhaustive.mli: Objective

@@ -1,0 +1,1 @@
+lib/mapping/greedy.ml: Array Cost_cwm Fun Int List Nocmap_energy Nocmap_model Nocmap_noc Objective

@@ -1,0 +1,1 @@
+lib/mapping/greedy.mli: Nocmap_energy Nocmap_model Nocmap_noc Objective

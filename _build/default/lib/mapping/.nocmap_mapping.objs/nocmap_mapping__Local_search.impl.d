@@ -1,0 +1,1 @@
+lib/mapping/local_search.ml: Array Objective Placement

@@ -1,0 +1,1 @@
+lib/mapping/objective.ml: Cost_cdcm Cost_cwm Nocmap_sim Placement

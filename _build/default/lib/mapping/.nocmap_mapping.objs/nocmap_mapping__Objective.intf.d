@@ -1,0 +1,1 @@
+lib/mapping/objective.mli: Nocmap_energy Nocmap_model Nocmap_noc Placement

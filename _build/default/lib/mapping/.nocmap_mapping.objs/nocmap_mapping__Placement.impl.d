@@ -1,0 +1,1 @@
+lib/mapping/placement.ml: Array Fun List Nocmap_util Printf Result String

@@ -1,0 +1,1 @@
+lib/mapping/placement.mli: Nocmap_util

@@ -1,0 +1,1 @@
+lib/mapping/placement_io.ml: Array Buffer Fun List Nocmap_noc Placement Printf Result String

@@ -1,0 +1,1 @@
+lib/mapping/placement_io.mli: Nocmap_noc Placement

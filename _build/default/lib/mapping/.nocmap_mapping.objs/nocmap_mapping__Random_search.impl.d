@@ -1,0 +1,1 @@
+lib/mapping/random_search.ml: Objective Placement

@@ -1,0 +1,1 @@
+lib/mapping/random_search.mli: Nocmap_util Objective

@@ -1,0 +1,1 @@
+lib/mapping/weighted.ml: Annealing Cost_cdcm Float List Nocmap_model Nocmap_noc Nocmap_util Objective Placement Printf

@@ -1,0 +1,1 @@
+lib/mapping/weighted.mli: Annealing Cost_cdcm Nocmap_energy Nocmap_model Nocmap_noc Nocmap_util Objective Placement

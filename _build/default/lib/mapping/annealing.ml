@@ -1,0 +1,97 @@
+module Rng = Nocmap_util.Rng
+
+type config = {
+  initial_temperature : [ `Auto | `Fixed of float ];
+  cooling : float;
+  moves_per_temperature : int;
+  patience : int;
+  max_evaluations : int;
+}
+
+let default_config ~tiles =
+  {
+    initial_temperature = `Auto;
+    cooling = 0.95;
+    moves_per_temperature = 10 * tiles;
+    patience = 12;
+    max_evaluations = 200_000;
+  }
+
+let quick_config ~tiles =
+  {
+    initial_temperature = `Auto;
+    cooling = 0.90;
+    moves_per_temperature = 4 * tiles;
+    patience = 6;
+    max_evaluations = 8_000;
+  }
+
+(* Mean |delta| over a handful of random moves; a start temperature of
+   twice that accepts most uphill moves initially. *)
+let calibrate_temperature rng ~tiles ~(objective : Objective.t) ~placement ~cost ~evals =
+  let samples = 16 in
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let neighbor = Placement.random_neighbor rng ~tiles placement in
+    incr evals;
+    total := !total +. abs_float (objective.Objective.cost_fn neighbor -. cost)
+  done;
+  let mean = !total /. float_of_int samples in
+  if mean > 0.0 then 2.0 *. mean else 1.0
+
+let search ~rng ~config ~tiles ~objective ?initial ~cores () =
+  if cores > tiles then invalid_arg "Annealing.search: more cores than tiles";
+  if not (config.cooling > 0.0 && config.cooling < 1.0) then
+    invalid_arg "Annealing.search: cooling must lie in (0,1)";
+  let evals = ref 0 in
+  let cost_of p =
+    incr evals;
+    objective.Objective.cost_fn p
+  in
+  let current = ref (match initial with
+    | Some p -> Array.copy p
+    | None -> Placement.random rng ~cores ~tiles)
+  in
+  let current_cost = ref (cost_of !current) in
+  let best = ref !current and best_cost = ref !current_cost in
+  let temperature =
+    ref
+      (match config.initial_temperature with
+      | `Fixed t -> t
+      | `Auto ->
+        calibrate_temperature rng ~tiles ~objective ~placement:!current
+          ~cost:!current_cost ~evals)
+  in
+  let stale_levels = ref 0 in
+  let floor = !temperature *. 1e-9 in
+  while
+    !stale_levels < config.patience
+    && !evals < config.max_evaluations
+    && !temperature > floor
+    && tiles > 1
+  do
+    let improved_this_level = ref false in
+    let moves = ref 0 in
+    while !moves < config.moves_per_temperature && !evals < config.max_evaluations do
+      incr moves;
+      let neighbor = Placement.random_neighbor rng ~tiles !current in
+      let neighbor_cost = cost_of neighbor in
+      let delta = neighbor_cost -. !current_cost in
+      let accept =
+        delta <= 0.0
+        || Rng.float rng 1.0 < exp (-.delta /. !temperature)
+      in
+      if accept then begin
+        current := neighbor;
+        current_cost := neighbor_cost;
+        if neighbor_cost < !best_cost then begin
+          best := neighbor;
+          best_cost := neighbor_cost;
+          improved_this_level := true
+        end
+      end
+    done;
+    if !improved_this_level then stale_levels := 0 else incr stale_levels;
+    temperature := !temperature *. config.cooling
+  done;
+  { Objective.placement = !best; cost = !best_cost; evaluations = !evals }

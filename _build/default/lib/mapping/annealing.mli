@@ -1,0 +1,39 @@
+(** Simulated annealing over placements — the search method of the
+    paper's FRW framework (Section 4).
+
+    Both CWM and CDCM runs start from a random mapping, propose
+    single-core moves/swaps, accept cost increases with the Metropolis
+    probability, cool geometrically, and keep the best placement ever
+    visited. *)
+
+type config = {
+  initial_temperature : [ `Auto | `Fixed of float ];
+      (** [`Auto] calibrates the start temperature from the magnitude of
+          sampled move deltas so acceptance starts high. *)
+  cooling : float;             (** Geometric factor per level, in (0,1). *)
+  moves_per_temperature : int; (** Proposals at each temperature level. *)
+  patience : int;              (** Stop after this many consecutive levels
+                                   without improving the best cost. *)
+  max_evaluations : int;       (** Hard budget on cost calls. *)
+}
+
+val default_config : tiles:int -> config
+(** Scales [moves_per_temperature] with the NoC size (10 moves per
+    tile), [cooling = 0.95], [patience = 12],
+    [max_evaluations = 200_000]. *)
+
+val quick_config : tiles:int -> config
+(** A cheaper budget for tests and smoke benches. *)
+
+val search :
+  rng:Nocmap_util.Rng.t ->
+  config:config ->
+  tiles:int ->
+  objective:Objective.t ->
+  ?initial:Placement.t ->
+  cores:int ->
+  unit ->
+  Objective.search_result
+(** Runs one annealing descent.  [?initial] defaults to a random
+    placement drawn from [rng].
+    @raise Invalid_argument when [cores > tiles]. *)

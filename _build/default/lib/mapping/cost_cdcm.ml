@@ -1,0 +1,51 @@
+module Crg = Nocmap_noc.Crg
+module Cdcg = Nocmap_model.Cdcg
+module Equations = Nocmap_energy.Equations
+module Wormhole = Nocmap_sim.Wormhole
+module Trace = Nocmap_sim.Trace
+
+type evaluation = {
+  dynamic : float;
+  static_ : float;
+  total : float;
+  texec_ns : float;
+  texec_cycles : int;
+  contention_cycles : int;
+}
+
+let dynamic_energy ~tech ~crg ~cdcg placement =
+  (match Placement.validate ~tiles:(Crg.tile_count crg) placement with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cost_cdcm: " ^ msg));
+  let packet acc (p : Cdcg.packet) =
+    let routers =
+      Crg.router_count_on_path crg ~src:placement.(p.Cdcg.src)
+        ~dst:placement.(p.Cdcg.dst)
+    in
+    acc +. Equations.communication_energy tech ~routers ~bits:p.Cdcg.bits
+  in
+  Array.fold_left packet 0.0 cdcg.Cdcg.packets
+
+let evaluate ~tech ~params ~crg ~cdcg placement =
+  let trace = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
+  let dynamic = dynamic_energy ~tech ~crg ~cdcg placement in
+  let texec_ns = trace.Trace.texec_ns in
+  let static_ =
+    Equations.static_energy tech ~tiles:(Crg.tile_count crg) ~texec_ns
+  in
+  {
+    dynamic;
+    static_;
+    total = Equations.total_energy ~dynamic ~static_;
+    texec_ns;
+    texec_cycles = trace.Trace.texec_cycles;
+    contention_cycles = trace.Trace.contention_cycles;
+  }
+
+let total_energy ~tech ~params ~crg ~cdcg placement =
+  (evaluate ~tech ~params ~crg ~cdcg placement).total
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf
+    "ENoC=%.4g J (dyn %.4g + st %.4g), texec=%.4g ns, contention=%d cycles"
+    e.total e.dynamic e.static_ e.texec_ns e.contention_cycles

@@ -1,0 +1,47 @@
+(** The CDCM objective function (Equation 10).
+
+    Evaluating a placement executes the CDCG on the CRG with the
+    wormhole simulator, yielding the execution time (and thus static
+    energy, Equation 9) on top of the dynamic energy of every packet
+    (Equation 4).  This is the full cost the paper's CDCM algorithm
+    minimizes. *)
+
+type evaluation = {
+  dynamic : float;        (** [EDyNoC(CDCM)], Joules (Equation 4). *)
+  static_ : float;        (** [EStNoC], Joules (Equation 9). *)
+  total : float;          (** [ENoC], Joules (Equation 10). *)
+  texec_ns : float;       (** Application execution time. *)
+  texec_cycles : int;
+  contention_cycles : int;
+}
+
+val evaluate :
+  tech:Nocmap_energy.Technology.t ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  Placement.t ->
+  evaluation
+(** Full evaluation (simulation with tracing disabled).
+    @raise Invalid_argument on an invalid placement. *)
+
+val dynamic_energy :
+  tech:Nocmap_energy.Technology.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  Placement.t ->
+  float
+(** Equation (4) alone — no simulation needed, since dynamic energy
+    only depends on bit traffic and path lengths.  Coincides with the
+    CWM value on the projected CWG. *)
+
+val total_energy :
+  tech:Nocmap_energy.Technology.t ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  Placement.t ->
+  float
+(** [ENoC] shortcut used as the annealing cost. *)
+
+val pp_evaluation : Format.formatter -> evaluation -> unit

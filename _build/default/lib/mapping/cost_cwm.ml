@@ -1,0 +1,46 @@
+module Crg = Nocmap_noc.Crg
+module Link = Nocmap_noc.Link
+module Mesh = Nocmap_noc.Mesh
+module Cwg = Nocmap_model.Cwg
+module Equations = Nocmap_energy.Equations
+
+let check ~crg placement =
+  match Placement.validate ~tiles:(Crg.tile_count crg) placement with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cost_cwm: " ^ msg)
+
+let dynamic_energy ~tech ~crg ~cwg placement =
+  check ~crg placement;
+  let comm acc (src, dst, bits) =
+    let routers =
+      Crg.router_count_on_path crg ~src:placement.(src) ~dst:placement.(dst)
+    in
+    acc +. Equations.communication_energy tech ~routers ~bits
+  in
+  List.fold_left comm 0.0 (Cwg.communications cwg)
+
+let cost_table ~tech ~crg ~cwg placement =
+  check ~crg placement;
+  let mesh = Crg.mesh crg in
+  let routers = Array.make (Mesh.tile_count mesh) 0.0 in
+  let links = Array.make (Link.slot_count mesh) 0.0 in
+  let er = tech.Nocmap_energy.Technology.e_rbit in
+  let el = tech.Nocmap_energy.Technology.e_lbit in
+  let comm (src, dst, bits) =
+    let path = Crg.path crg ~src:placement.(src) ~dst:placement.(dst) in
+    let w = float_of_int bits in
+    Array.iter (fun tile -> routers.(tile) <- routers.(tile) +. (w *. er)) path.Crg.routers;
+    Array.iter (fun lid -> links.(lid) <- links.(lid) +. (w *. el)) path.Crg.links
+  in
+  List.iter comm (Cwg.communications cwg);
+  (routers, links)
+
+let bit_hops ~crg ~cwg placement =
+  check ~crg placement;
+  let comm acc (src, dst, bits) =
+    let routers =
+      Crg.router_count_on_path crg ~src:placement.(src) ~dst:placement.(dst)
+    in
+    acc + (bits * routers)
+  in
+  List.fold_left comm 0 (Cwg.communications cwg)

@@ -1,0 +1,32 @@
+(** The CWM objective function (Equation 3).
+
+    For a placement, every communication [a -> b] of the CWG is routed
+    on the CRG; its [w_ab] bits charge [ERbit] at each of the [K]
+    routers and [ELbit] on each of the [K-1] links.  The total is the
+    NoC dynamic energy [EDyNoC], the only quantity CWM can optimize —
+    it carries no timing, so it cannot see contention or static
+    energy. *)
+
+val dynamic_energy :
+  tech:Nocmap_energy.Technology.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cwg:Nocmap_model.Cwg.t ->
+  Placement.t ->
+  float
+(** [EDyNoC] in Joules.  @raise Invalid_argument on an invalid
+    placement. *)
+
+val cost_table :
+  tech:Nocmap_energy.Technology.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cwg:Nocmap_model.Cwg.t ->
+  Placement.t ->
+  float array * float array
+(** Per-router and per-link-slot energy cost variables (the Figure 2
+    annotations); their sum equals {!dynamic_energy}. *)
+
+val bit_hops :
+  crg:Nocmap_noc.Crg.t -> cwg:Nocmap_model.Cwg.t -> Placement.t -> int
+(** Technology-independent traffic metric: total [bits * routers]
+    traversed.  Monotone in {!dynamic_energy} only for fixed router/link
+    ratios; exposed for diagnostics and tests. *)

@@ -1,0 +1,110 @@
+module Crg = Nocmap_noc.Crg
+module Cwg = Nocmap_model.Cwg
+module Equations = Nocmap_energy.Equations
+
+type t = {
+  tech : Nocmap_energy.Technology.t;
+  crg : Crg.t;
+  cwg : Cwg.t;
+  current : int array;             (* placement, mutated in place *)
+  occupant : int array;            (* tile -> core or -1 *)
+  partners : (int * int * bool) list array;
+      (* per core: (other core, bits, outgoing?) for each communication *)
+  mutable total : float;
+}
+
+(* Energy of every communication involving [core] under a hypothetical
+   pair of positions (the core itself at [tile], one [other] core
+   possibly displaced). *)
+let core_terms t core ~tile_of =
+  let acc = ref 0.0 in
+  let add (other, bits, outgoing) =
+    let src, dst = if outgoing then (core, other) else (other, core) in
+    let routers =
+      Crg.router_count_on_path t.crg ~src:(tile_of src) ~dst:(tile_of dst)
+    in
+    acc := !acc +. Equations.communication_energy t.tech ~routers ~bits
+  in
+  List.iter add t.partners.(core);
+  !acc
+
+let create ~tech ~crg ~cwg ~placement =
+  (match Placement.validate ~tiles:(Crg.tile_count crg) placement with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cost_cwm_incremental.create: " ^ msg));
+  let cores = Cwg.core_count cwg in
+  if Array.length placement <> cores then
+    invalid_arg "Cost_cwm_incremental.create: placement length differs from core count";
+  let partners = Array.make cores [] in
+  List.iter
+    (fun (src, dst, bits) ->
+      partners.(src) <- (dst, bits, true) :: partners.(src);
+      partners.(dst) <- (src, bits, false) :: partners.(dst))
+    (Cwg.communications cwg);
+  let occupant = Array.make (Crg.tile_count crg) (-1) in
+  Array.iteri (fun core tile -> occupant.(tile) <- core) placement;
+  let t =
+    {
+      tech;
+      crg;
+      cwg;
+      current = Array.copy placement;
+      occupant;
+      partners;
+      total = 0.0;
+    }
+  in
+  t.total <- Cost_cwm.dynamic_energy ~tech ~crg ~cwg t.current;
+  t
+
+let cost t = t.total
+
+let placement t = Array.copy t.current
+
+(* The move swaps [core] with the occupant of [tile] (if any).  Only
+   communications touching the two moved cores change.  Terms between
+   the two swapped cores are double-counted by the two core sums, but a
+   swap preserves the router count between their tiles (dimension-
+   ordered routes have symmetric lengths), so those terms contribute
+   zero to the before/after difference and the delta stays exact. *)
+let affected_cost t ~core ~other ~tile_of =
+  let first = core_terms t core ~tile_of in
+  match other with
+  | None -> first
+  | Some o -> first +. core_terms t o ~tile_of
+
+let move_delta t ~core ~tile =
+  let cores = Array.length t.current in
+  if core < 0 || core >= cores then invalid_arg "Cost_cwm_incremental: core out of range";
+  if tile < 0 || tile >= Array.length t.occupant then
+    invalid_arg "Cost_cwm_incremental: tile out of range";
+  let from_tile = t.current.(core) in
+  if tile = from_tile then 0.0
+  else begin
+    let other = if t.occupant.(tile) >= 0 then Some t.occupant.(tile) else None in
+    let before = affected_cost t ~core ~other ~tile_of:(fun c -> t.current.(c)) in
+    let tile_of c =
+      if c = core then tile
+      else
+        match other with
+        | Some o when c = o -> from_tile
+        | Some _ | None -> t.current.(c)
+    in
+    let after = affected_cost t ~core ~other ~tile_of in
+    after -. before
+  end
+
+let apply_move t ~core ~tile =
+  let delta = move_delta t ~core ~tile in
+  let from_tile = t.current.(core) in
+  if tile <> from_tile then begin
+    let other = t.occupant.(tile) in
+    if other >= 0 then begin
+      t.current.(other) <- from_tile;
+      t.occupant.(from_tile) <- other
+    end
+    else t.occupant.(from_tile) <- -1;
+    t.current.(core) <- tile;
+    t.occupant.(tile) <- core;
+    t.total <- t.total +. delta
+  end

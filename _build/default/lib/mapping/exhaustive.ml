@@ -1,0 +1,49 @@
+let arrangement_count ~cores ~tiles =
+  if cores > tiles then Some 0
+  else begin
+    let rec loop i acc =
+      if i >= cores then Some acc
+      else
+        let factor = tiles - i in
+        if acc > max_int / factor then None else loop (i + 1) (acc * factor)
+    in
+    loop 0 1
+  end
+
+let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) () =
+  if cores = 0 then invalid_arg "Exhaustive.search: no cores";
+  if cores > tiles then invalid_arg "Exhaustive.search: more cores than tiles";
+  (match arrangement_count ~cores ~tiles with
+  | Some n when n <= max_arrangements -> ()
+  | Some n ->
+    invalid_arg
+      (Printf.sprintf "Exhaustive.search: %d arrangements exceed the budget of %d" n
+         max_arrangements)
+  | None -> invalid_arg "Exhaustive.search: arrangement count overflows");
+  let placement = Array.make cores 0 in
+  let used = Array.make tiles false in
+  let best = ref None in
+  let evals = ref 0 in
+  let consider () =
+    incr evals;
+    let cost = objective.Objective.cost_fn placement in
+    match !best with
+    | Some (_, best_cost) when best_cost <= cost -> ()
+    | Some _ | None -> best := Some (Array.copy placement, cost)
+  in
+  let rec assign core =
+    if core = cores then consider ()
+    else
+      for tile = 0 to tiles - 1 do
+        if not used.(tile) then begin
+          used.(tile) <- true;
+          placement.(core) <- tile;
+          assign (core + 1);
+          used.(tile) <- false
+        end
+      done
+  in
+  assign 0;
+  match !best with
+  | Some (placement, cost) -> { Objective.placement; cost; evaluations = !evals }
+  | None -> assert false

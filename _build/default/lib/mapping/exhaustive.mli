@@ -1,0 +1,23 @@
+(** Exhaustive search over all injective placements.
+
+    The paper's FRW framework uses exhaustive search (ES) on small NoCs
+    to certify that simulated annealing reaches the global optimum.  The
+    number of placements of [n] cores on [m] tiles is
+    [m! / (m-n)!], so a guard refuses instances beyond an explicit
+    budget instead of silently running for hours. *)
+
+val arrangement_count : cores:int -> tiles:int -> int option
+(** [m!/(m-n)!], or [None] on overflow. *)
+
+val search :
+  objective:Objective.t ->
+  cores:int ->
+  tiles:int ->
+  ?max_arrangements:int ->
+  unit ->
+  Objective.search_result
+(** Enumerates every placement (default budget 2,000,000 arrangements).
+    Ties are resolved toward the lexicographically first placement, so
+    the result is deterministic.
+    @raise Invalid_argument when [cores > tiles], when the instance
+    exceeds the budget, or when [cores = 0]. *)

@@ -1,0 +1,41 @@
+let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) () =
+  (match Placement.validate ~tiles initial with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Local_search.search: " ^ msg));
+  let evals = ref 0 in
+  let cost_of p =
+    incr evals;
+    objective.Objective.cost_fn p
+  in
+  let cores = Array.length initial in
+  let current = ref (Array.copy initial) in
+  let current_cost = ref (cost_of !current) in
+  (* One pass: the best strictly-improving move among all core->tile
+     relocations (swapping with the occupant when taken). *)
+  let best_move () =
+    let best = ref None in
+    for core = 0 to cores - 1 do
+      for tile = 0 to tiles - 1 do
+        if tile <> !current.(core) && !evals < max_evaluations then begin
+          let candidate = Placement.move_to_tile !current ~core ~tile in
+          let cost = cost_of candidate in
+          match !best with
+          | Some (_, best_cost) when best_cost <= cost -> ()
+          | Some _ | None -> if cost < !current_cost then best := Some (candidate, cost)
+        end
+      done
+    done;
+    !best
+  in
+  let rec descend () =
+    if !evals < max_evaluations then begin
+      match best_move () with
+      | None -> ()
+      | Some (placement, cost) ->
+        current := placement;
+        current_cost := cost;
+        descend ()
+    end
+  in
+  descend ();
+  { Objective.placement = !current; cost = !current_cost; evaluations = !evals }

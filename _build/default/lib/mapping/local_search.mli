@@ -1,0 +1,19 @@
+(** Deterministic steepest-descent local search over placements.
+
+    Starting from a given placement (typically the greedy constructive
+    result or a random start), repeatedly applies the best improving
+    move among all single-core relocations and pairwise swaps until a
+    local optimum or the evaluation budget is reached.  A deterministic
+    complement to {!Annealing} — useful as an ablation baseline and as a
+    cheap polish pass on another algorithm's output. *)
+
+val search :
+  objective:Objective.t ->
+  tiles:int ->
+  initial:Placement.t ->
+  ?max_evaluations:int ->
+  unit ->
+  Objective.search_result
+(** [search ~objective ~tiles ~initial ()] descends from [initial]
+    (default budget 100,000 cost calls).
+    @raise Invalid_argument when [initial] is not a valid placement. *)

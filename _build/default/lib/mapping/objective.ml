@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  cost_fn : Placement.t -> float;
+}
+
+type search_result = {
+  placement : Placement.t;
+  cost : float;
+  evaluations : int;
+}
+
+let cwm ~tech ~crg ~cwg =
+  { name = "cwm"; cost_fn = (fun p -> Cost_cwm.dynamic_energy ~tech ~crg ~cwg p) }
+
+let cdcm ~tech ~params ~crg ~cdcg =
+  {
+    name = "cdcm";
+    cost_fn = (fun p -> Cost_cdcm.total_energy ~tech ~params ~crg ~cdcg p);
+  }
+
+let texec ~params ~crg ~cdcg =
+  {
+    name = "texec";
+    cost_fn =
+      (fun placement ->
+        float_of_int (Nocmap_sim.Wormhole.texec_cycles ~params ~crg ~placement cdcg));
+  }

@@ -1,0 +1,39 @@
+(** Mapping objectives and the common search-result record.
+
+    A search algorithm only sees a black-box cost over placements; this
+    module builds the two costs the paper compares (plus a pure
+    execution-time objective used in ablations) and names them for
+    reports. *)
+
+type t = {
+  name : string;
+  cost_fn : Placement.t -> float;
+}
+
+type search_result = {
+  placement : Placement.t;
+  cost : float;        (** Cost of [placement] under the searched objective. *)
+  evaluations : int;   (** Number of cost-function calls. *)
+}
+
+val cwm :
+  tech:Nocmap_energy.Technology.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cwg:Nocmap_model.Cwg.t ->
+  t
+(** Equation (3): dynamic energy only. *)
+
+val cdcm :
+  tech:Nocmap_energy.Technology.t ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  t
+(** Equation (10): static + dynamic energy via simulation. *)
+
+val texec :
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  t
+(** Execution time in cycles (ablation: timing-only CDCM variant). *)

@@ -1,0 +1,69 @@
+module Rng = Nocmap_util.Rng
+
+type t = int array
+
+let validate ~tiles placement =
+  let cores = Array.length placement in
+  if cores > tiles then Error "more cores than tiles"
+  else begin
+    let used = Array.make tiles false in
+    let rec scan core =
+      if core >= cores then Ok ()
+      else
+        let tile = placement.(core) in
+        if tile < 0 || tile >= tiles then
+          Error (Printf.sprintf "core %d placed on out-of-range tile %d" core tile)
+        else if used.(tile) then
+          Error (Printf.sprintf "tile %d hosts more than one core" tile)
+        else begin
+          used.(tile) <- true;
+          scan (core + 1)
+        end
+    in
+    scan 0
+  end
+
+let is_valid ~tiles placement = Result.is_ok (validate ~tiles placement)
+
+let random rng ~cores ~tiles =
+  if cores > tiles then invalid_arg "Placement.random: more cores than tiles";
+  let tiles_arr = Array.init tiles Fun.id in
+  Rng.sample_without_replacement rng cores tiles_arr
+
+let identity ~cores = Array.init cores Fun.id
+
+let swap_cores placement a b =
+  let p = Array.copy placement in
+  p.(a) <- placement.(b);
+  p.(b) <- placement.(a);
+  p
+
+let occupant placement ~tiles =
+  let inv = Array.make tiles None in
+  Array.iteri (fun core tile -> inv.(tile) <- Some core) placement;
+  inv
+
+let move_to_tile placement ~core ~tile =
+  let p = Array.copy placement in
+  let previous = placement.(core) in
+  (match Array.find_index (fun t -> t = tile) placement with
+  | Some other -> p.(other) <- previous
+  | None -> ());
+  p.(core) <- tile;
+  p
+
+let random_neighbor rng ~tiles placement =
+  if tiles < 2 then invalid_arg "Placement.random_neighbor: need at least two tiles";
+  let cores = Array.length placement in
+  let core = Rng.int rng cores in
+  let rec fresh_tile () =
+    let tile = Rng.int rng tiles in
+    if tile = placement.(core) then fresh_tile () else tile
+  in
+  move_to_tile placement ~core ~tile:(fresh_tile ())
+
+let to_string ~core_names placement =
+  String.concat " "
+    (List.mapi
+       (fun core tile -> Printf.sprintf "%s@%d" core_names.(core) tile)
+       (Array.to_list placement))

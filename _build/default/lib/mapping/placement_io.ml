@@ -1,0 +1,99 @@
+module Mesh = Nocmap_noc.Mesh
+
+let to_string ~mesh ~core_names placement =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# nocmap placement\n";
+  Buffer.add_string buf (Printf.sprintf "noc %s\n" (Mesh.to_string mesh));
+  Array.iteri
+    (fun core tile ->
+      Buffer.add_string buf (Printf.sprintf "core %s tile %d\n" core_names.(core) tile))
+    placement;
+  Buffer.contents buf
+
+let ( let* ) r f =
+  match r with
+  | Ok v -> f v
+  | Error _ as e -> e
+
+let fail line fmt =
+  Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" line msg)) fmt
+
+let of_string ~core_names text =
+  let core_index name =
+    let rec scan i =
+      if i >= Array.length core_names then None
+      else if core_names.(i) = name then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i raw -> (i + 1, String.trim raw))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  let* mesh, body =
+    match lines with
+    | (num, first) :: rest -> begin
+      match String.split_on_char ' ' first with
+      | [ "noc"; size ] -> begin
+        match Mesh.of_string size with
+        | mesh -> Ok (mesh, rest)
+        | exception Invalid_argument _ -> fail num "bad NoC size %S" size
+      end
+      | _ -> fail num "expected \"noc <cols>x<rows>\""
+    end
+    | [] -> Error "empty document"
+  in
+  let placement = Array.make (Array.length core_names) (-1) in
+  let parse_line (num, line) =
+    match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+    | [ "core"; name; "tile"; tile ] -> begin
+      match (core_index name, int_of_string_opt tile) with
+      | None, _ -> fail num "unknown core %S" name
+      | _, None -> fail num "bad tile number %S" tile
+      | Some core, Some tile ->
+        if placement.(core) >= 0 then fail num "core %S placed twice" name
+        else begin
+          placement.(core) <- tile;
+          Ok ()
+        end
+    end
+    | _ -> fail num "expected \"core <name> tile <n>\""
+  in
+  let rec run = function
+    | [] -> Ok ()
+    | l :: rest ->
+      let* () = parse_line l in
+      run rest
+  in
+  let* () = run body in
+  (match Array.find_index (fun t -> t < 0) placement with
+  | Some core -> Error (Printf.sprintf "core %S has no tile" core_names.(core))
+  | None -> Ok ())
+  |> Result.map (fun () -> ())
+  |> fun r ->
+  let* () = r in
+  let* () =
+    Result.map_error
+      (fun msg -> "invalid placement: " ^ msg)
+      (Placement.validate ~tiles:(Mesh.tile_count mesh) placement)
+  in
+  Ok (mesh, placement)
+
+let save ~path ~mesh ~core_names placement =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~mesh ~core_names placement))
+
+let load ~path ~core_names =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string ~core_names text

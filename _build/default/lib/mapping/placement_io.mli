@@ -1,0 +1,28 @@
+(** Plain-text persistence for placements, so a mapping found by
+    [nocmap map] can be re-evaluated or visualized later:
+
+    {v
+    # nocmap placement
+    noc 3x3
+    core A tile 4
+    core B tile 1
+    v} *)
+
+val to_string : mesh:Nocmap_noc.Mesh.t -> core_names:string array -> Placement.t -> string
+
+val of_string :
+  core_names:string array -> string -> (Nocmap_noc.Mesh.t * Placement.t, string) result
+(** Parses and validates (mesh fit, injectivity, every declared core
+    placed exactly once).  Errors carry a [line N:] prefix. *)
+
+val save :
+  path:string ->
+  mesh:Nocmap_noc.Mesh.t ->
+  core_names:string array ->
+  Placement.t ->
+  unit
+
+val load :
+  path:string ->
+  core_names:string array ->
+  (Nocmap_noc.Mesh.t * Placement.t, string) result

@@ -1,0 +1,13 @@
+(** Random-mapping baseline: the best of [samples] uniformly random
+    placements.  Hu & Marculescu's comparison point — mapping algorithms
+    are reported against random solutions — and a sanity floor for every
+    search in this library. *)
+
+val search :
+  rng:Nocmap_util.Rng.t ->
+  objective:Objective.t ->
+  cores:int ->
+  tiles:int ->
+  samples:int ->
+  Objective.search_result
+(** @raise Invalid_argument when [samples < 1] or [cores > tiles]. *)

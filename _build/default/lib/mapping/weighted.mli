@@ -1,0 +1,35 @@
+(** Weighted energy/time objective for Pareto exploration.
+
+    The paper optimizes either dynamic energy (CWM) or total energy
+    (CDCM, where timing enters through the static term).  This extension
+    exposes the trade-off directly: the cost is
+
+    [alpha * ENoC / e0  +  (1 - alpha) * texec / t0]
+
+    with [e0]/[t0] normalization constants (typically the evaluation of
+    a reference placement) so the two terms are commensurable.
+    [alpha = 1] is a pure-energy objective; [alpha = 0] pure time. *)
+
+val make :
+  tech:Nocmap_energy.Technology.t ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  alpha:float ->
+  reference:Placement.t ->
+  Objective.t
+(** @raise Invalid_argument unless [alpha] lies in [\[0, 1\]] or when
+    the reference placement is invalid. *)
+
+val pareto_sweep :
+  rng:Nocmap_util.Rng.t ->
+  config:Annealing.config ->
+  tech:Nocmap_energy.Technology.t ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  alphas:float list ->
+  (float * Cost_cdcm.evaluation) list
+(** One annealing run per weight; returns [(alpha, evaluation)] pairs
+    for the best placement of each run (all evaluated under the full
+    CDCM model). *)

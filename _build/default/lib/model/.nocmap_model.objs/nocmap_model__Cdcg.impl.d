@@ -1,0 +1,1 @@
+lib/model/cdcg.ml: Array Format Fun Hashtbl List Nocmap_graph Printf String

@@ -1,0 +1,1 @@
+lib/model/cdcg.mli: Format Nocmap_graph

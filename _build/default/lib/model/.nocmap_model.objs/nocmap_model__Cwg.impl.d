@@ -1,0 +1,1 @@
+lib/model/cwg.ml: Array Cdcg Hashtbl List Nocmap_graph Printf

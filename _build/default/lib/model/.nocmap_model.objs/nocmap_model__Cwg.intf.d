@@ -1,0 +1,1 @@
+lib/model/cwg.mli: Cdcg Nocmap_graph

@@ -1,0 +1,1 @@
+lib/model/features.ml: Cdcg Cwg Format

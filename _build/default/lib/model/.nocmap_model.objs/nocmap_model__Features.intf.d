@@ -1,0 +1,1 @@
+lib/model/features.mli: Cdcg Format

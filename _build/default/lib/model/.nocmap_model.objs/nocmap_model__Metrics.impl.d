@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Array Cdcg Format Hashtbl Nocmap_graph Option

@@ -1,0 +1,1 @@
+lib/model/textio.ml: Array Buffer Cdcg Cwg Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/model/textio.mli: Cdcg Cwg

@@ -1,0 +1,1 @@
+lib/model/transform.ml: Array Buffer Cdcg List Printf

@@ -1,0 +1,1 @@
+lib/model/transform.mli: Cdcg

@@ -1,0 +1,24 @@
+type t = {
+  cores : int;
+  packets : int;
+  total_bits : int;
+  dependences : int;
+  communications : int;
+}
+
+let of_cdcg cdcg =
+  {
+    cores = Cdcg.core_count cdcg;
+    packets = Cdcg.packet_count cdcg;
+    total_bits = Cdcg.total_bits cdcg;
+    dependences = Cdcg.dependence_count cdcg;
+    communications = Cwg.ncc (Cwg.of_cdcg cdcg);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%d cores, %d packets, %d bits, %d deps, %d comms" t.cores
+    t.packets t.total_bits t.dependences t.communications
+
+let ndp_over_ncc t =
+  if t.communications = 0 then 0.0
+  else float_of_int (t.packets + t.dependences) /. float_of_int t.communications

@@ -1,0 +1,17 @@
+(** Application feature summary — the columns of the paper's Table 1. *)
+
+type t = {
+  cores : int;         (** CWG vertex count. *)
+  packets : int;       (** CDCG vertex count (excluding Start/End). *)
+  total_bits : int;    (** Total communication volume over the run. *)
+  dependences : int;   (** Explicit dependence edges. *)
+  communications : int;(** Communicating core pairs (NCC). *)
+}
+
+val of_cdcg : Cdcg.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val ndp_over_ncc : t -> float
+(** The complexity ratio the paper's CPU-time discussion is framed in
+    (NDP / NCC); 0 when the application has no communication. *)

@@ -1,0 +1,59 @@
+module Topo = Nocmap_graph.Topo
+
+type t = {
+  depth : int;
+  width : int;
+  parallelism : float;
+  mean_bits : float;
+  max_bits : int;
+  volume_concentration : float;
+}
+
+let of_cdcg cdcg =
+  let n = Cdcg.packet_count cdcg in
+  if n = 0 then
+    {
+      depth = 0;
+      width = 0;
+      parallelism = 0.0;
+      mean_bits = 0.0;
+      max_bits = 0;
+      volume_concentration = 0.0;
+    }
+  else begin
+    (* Chain depth of each packet: 1 + max over predecessors. *)
+    let levels =
+      match Topo.longest_path_lengths (Cdcg.to_digraph cdcg) ~weight:(fun _ -> 1) with
+      | Some levels -> levels
+      | None -> Array.make n 1 (* CDCGs are validated DAGs; defensive *)
+    in
+    let depth = Array.fold_left max 0 levels in
+    let per_level = Hashtbl.create 16 in
+    Array.iter
+      (fun level ->
+        Hashtbl.replace per_level level
+          (1 + Option.value (Hashtbl.find_opt per_level level) ~default:0))
+      levels;
+    let width = Hashtbl.fold (fun _ count acc -> max count acc) per_level 0 in
+    let total = Cdcg.total_bits cdcg in
+    let max_bits =
+      Array.fold_left
+        (fun acc (p : Cdcg.packet) -> max acc p.Cdcg.bits)
+        0
+        (cdcg : Cdcg.t).Cdcg.packets
+    in
+    {
+      depth;
+      width;
+      parallelism = float_of_int n /. float_of_int depth;
+      mean_bits = float_of_int total /. float_of_int n;
+      max_bits;
+      volume_concentration = float_of_int max_bits /. float_of_int total;
+    }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "depth %d, width %d, parallelism %.2f, mean %.0f bits, max %d bits (%.0f%% of volume)"
+    t.depth t.width t.parallelism t.mean_bits t.max_bits
+    (100.0 *. t.volume_concentration)

@@ -1,0 +1,24 @@
+(** Structural metrics of a CDCG, used to characterize workloads when
+    interpreting experiment results (EXPERIMENTS.md): how deep the
+    dependence chains run, how much packet-level parallelism exists and
+    how the communication volume is distributed. *)
+
+type t = {
+  depth : int;
+      (** Packets on the longest dependence chain (1 for independent
+          packets, 0 for an empty graph). *)
+  width : int;
+      (** Maximum number of packets sharing the same chain depth — an
+          upper estimate of peak packet-level parallelism. *)
+  parallelism : float;
+      (** [packets / depth]; average packets eligible per chain step. *)
+  mean_bits : float;
+  max_bits : int;
+  volume_concentration : float;
+      (** Share of the total volume carried by the largest packet, in
+          [\[0, 1\]]. *)
+}
+
+val of_cdcg : Cdcg.t -> t
+
+val pp : Format.formatter -> t -> unit

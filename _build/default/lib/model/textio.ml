@@ -1,0 +1,183 @@
+let cdcg_to_string (t : Cdcg.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "application %s\n" t.Cdcg.name);
+  Buffer.add_string buf
+    ("cores " ^ String.concat " " (Array.to_list t.Cdcg.core_names) ^ "\n");
+  Array.iter
+    (fun (p : Cdcg.packet) ->
+      Buffer.add_string buf
+        (Printf.sprintf "packet %s %s -> %s compute %d bits %d\n" p.Cdcg.label
+           t.Cdcg.core_names.(p.Cdcg.src)
+           t.Cdcg.core_names.(p.Cdcg.dst)
+           p.Cdcg.compute p.Cdcg.bits))
+    t.Cdcg.packets;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "dep %s -> %s\n" t.Cdcg.packets.(a).Cdcg.label
+           t.Cdcg.packets.(b).Cdcg.label))
+    t.Cdcg.deps;
+  Buffer.contents buf
+
+let cwg_to_string (t : Cwg.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "application %s\n" t.Cwg.name);
+  Buffer.add_string buf
+    ("cores " ^ String.concat " " (Array.to_list t.Cwg.core_names) ^ "\n");
+  List.iter
+    (fun (src, dst, w) ->
+      Buffer.add_string buf
+        (Printf.sprintf "comm %s -> %s bits %d\n" t.Cwg.core_names.(src)
+           t.Cwg.core_names.(dst) w))
+    (Cwg.communications t);
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+type line = {
+  num : int;
+  words : string list;
+}
+
+let tokenize text =
+  let lines = String.split_on_char '\n' text in
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi (fun i raw ->
+         let raw =
+           match String.index_opt raw '#' with
+           | Some j -> String.sub raw 0 j
+           | None -> raw
+         in
+         let words =
+           String.split_on_char ' ' raw
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun w -> w <> "")
+         in
+         { num = i + 1; words })
+  |> List.filter (fun l -> l.words <> [])
+
+let fail line fmt = Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" line msg)) fmt
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> fail line "%s: expected an integer, got %S" what s
+
+let find_core line names name =
+  let rec scan i =
+    if i >= Array.length names then fail line "unknown core %S" name
+    else if names.(i) = name then Ok i
+    else scan (i + 1)
+  in
+  scan 0
+
+let ( let* ) r f =
+  match r with
+  | Ok v -> f v
+  | Error _ as e -> e
+
+type header = {
+  app_name : string;
+  cores : string array;
+}
+
+(* Parses the shared "application"/"cores" prologue, returning the rest. *)
+let parse_header lines =
+  match lines with
+  | { num; words = [ "application"; name ] } :: rest -> begin
+    match rest with
+    | { words = "cores" :: core_names; _ } :: body when core_names <> [] ->
+      Ok ({ app_name = name; cores = Array.of_list core_names }, body)
+    | { num; _ } :: _ -> fail num "expected \"cores <name>...\""
+    | [] -> fail num "missing \"cores\" declaration"
+  end
+  | { num; _ } :: _ -> fail num "expected \"application <name>\""
+  | [] -> Error "empty document"
+
+let cdcg_of_string text =
+  let* header, body = parse_header (tokenize text) in
+  let packets = ref [] and deps = ref [] and labels = Hashtbl.create 64 in
+  let npackets = ref 0 in
+  let parse_line l =
+    match l.words with
+    | [ "packet"; label; src; "->"; dst; "compute"; compute; "bits"; bits ] ->
+      if Hashtbl.mem labels label then fail l.num "duplicate packet label %S" label
+      else
+        let* src = find_core l.num header.cores src in
+        let* dst = find_core l.num header.cores dst in
+        let* compute = parse_int l.num "compute" compute in
+        let* bits = parse_int l.num "bits" bits in
+        Hashtbl.add labels label !npackets;
+        incr npackets;
+        packets := { Cdcg.src; dst; compute; bits; label } :: !packets;
+        Ok ()
+    | [ "dep"; a; "->"; b ] -> begin
+      match (Hashtbl.find_opt labels a, Hashtbl.find_opt labels b) with
+      | Some pa, Some pb ->
+        deps := (pa, pb) :: !deps;
+        Ok ()
+      | None, _ -> fail l.num "dep references undeclared packet %S" a
+      | _, None -> fail l.num "dep references undeclared packet %S" b
+    end
+    | w :: _ -> fail l.num "unknown directive %S (expected packet/dep)" w
+    | [] -> Ok ()
+  in
+  let rec run = function
+    | [] ->
+      let packets = Array.of_list (List.rev !packets) in
+      (Cdcg.create ~name:header.app_name ~core_names:header.cores ~packets
+         ~deps:(List.rev !deps)
+        : (Cdcg.t, string) result)
+    | l :: rest ->
+      let* () = parse_line l in
+      run rest
+  in
+  run body
+
+let cwg_of_string text =
+  let* header, body = parse_header (tokenize text) in
+  let edges = ref [] in
+  let parse_line l =
+    match l.words with
+    | [ "comm"; src; "->"; dst; "bits"; bits ] ->
+      let* src = find_core l.num header.cores src in
+      let* dst = find_core l.num header.cores dst in
+      let* bits = parse_int l.num "bits" bits in
+      edges := (src, dst, bits) :: !edges;
+      Ok ()
+    | w :: _ -> fail l.num "unknown directive %S (expected comm)" w
+    | [] -> Ok ()
+  in
+  let rec run = function
+    | [] ->
+      Cwg.create ~name:header.app_name ~core_names:header.cores
+        ~edges:(List.rev !edges)
+    | l :: rest ->
+      let* () = parse_line l in
+      run rest
+  in
+  run body
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let load_cdcg ~path =
+  let* text = read_file path in
+  cdcg_of_string text
+
+let save_cdcg ~path t = write_file path (cdcg_to_string t)
+
+let load_cwg ~path =
+  let* text = read_file path in
+  cwg_of_string text
+
+let save_cwg ~path t = write_file path (cwg_to_string t)

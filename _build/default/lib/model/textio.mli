@@ -1,0 +1,41 @@
+(** Plain-text persistence for application models.
+
+    The paper notes that CDCGs of embedded applications are "described
+    by hand"; this module defines the line-oriented format used for that
+    purpose, with precise error positions so hand-written files are
+    debuggable.
+
+    CDCG format ([#] starts a comment, blank lines ignored):
+    {v
+    application fig1
+    cores A B E F
+    packet pEA1 E -> A compute 10 bits 20
+    packet pEA2 E -> A compute 20 bits 15
+    dep pEA1 -> pEA2
+    v}
+
+    CWG format:
+    {v
+    application fig1
+    cores A B E F
+    comm A -> B bits 15
+    v} *)
+
+val cdcg_to_string : Cdcg.t -> string
+(** Canonical rendering; [cdcg_of_string] inverts it. *)
+
+val cdcg_of_string : string -> (Cdcg.t, string) result
+(** Parses the CDCG format.  Errors carry a [line N:] prefix. *)
+
+val cwg_to_string : Cwg.t -> string
+
+val cwg_of_string : string -> (Cwg.t, string) result
+
+val load_cdcg : path:string -> (Cdcg.t, string) result
+(** Reads and parses a file; I/O failures are reported as [Error]. *)
+
+val save_cdcg : path:string -> Cdcg.t -> unit
+
+val load_cwg : path:string -> (Cwg.t, string) result
+
+val save_cwg : path:string -> Cwg.t -> unit

@@ -1,0 +1,62 @@
+let split_packets ~max_bits (cdcg : Cdcg.t) =
+  if max_bits < 1 then invalid_arg "Transform.split_packets: max_bits must be positive";
+  let next_index = ref 0 in
+  let pieces = Buffer.create 16 in
+  ignore pieces;
+  let new_packets = ref [] in
+  let emit p =
+    let index = !next_index in
+    incr next_index;
+    new_packets := p :: !new_packets;
+    index
+  in
+  (* first.(i), last.(i): sub-packet range of original packet i. *)
+  let n = Cdcg.packet_count cdcg in
+  let first = Array.make n 0 and last = Array.make n 0 in
+  let chain_deps = ref [] in
+  Array.iteri
+    (fun i (p : Cdcg.packet) ->
+      if p.Cdcg.bits <= max_bits then begin
+        let idx = emit p in
+        first.(i) <- idx;
+        last.(i) <- idx
+      end
+      else begin
+        let segments = (p.Cdcg.bits + max_bits - 1) / max_bits in
+        let base = p.Cdcg.bits / segments in
+        let remainder = p.Cdcg.bits - (base * segments) in
+        let previous = ref None in
+        for j = 0 to segments - 1 do
+          let bits = if j < remainder then base + 1 else base in
+          let idx =
+            emit
+              {
+                p with
+                Cdcg.bits;
+                compute = (if j = 0 then p.Cdcg.compute else 0);
+                label = Printf.sprintf "%s.%d" p.Cdcg.label (j + 1);
+              }
+          in
+          if j = 0 then first.(i) <- idx;
+          if j = segments - 1 then last.(i) <- idx;
+          (match !previous with
+          | Some prev -> chain_deps := (prev, idx) :: !chain_deps
+          | None -> ());
+          previous := Some idx
+        done
+      end)
+    cdcg.Cdcg.packets;
+  let deps =
+    List.map (fun (p, q) -> (last.(p), first.(q))) cdcg.Cdcg.deps
+    @ List.rev !chain_deps
+  in
+  Cdcg.create_exn
+    ~name:(cdcg.Cdcg.name ^ Printf.sprintf "-split%d" max_bits)
+    ~core_names:cdcg.Cdcg.core_names
+    ~packets:(Array.of_list (List.rev !new_packets))
+    ~deps
+
+let merge_statistics before after =
+  Printf.sprintf "%s: %d packets (%d bits) -> %s: %d packets (%d bits)"
+    (before : Cdcg.t).Cdcg.name (Cdcg.packet_count before) (Cdcg.total_bits before)
+    (after : Cdcg.t).Cdcg.name (Cdcg.packet_count after) (Cdcg.total_bits after)

@@ -1,0 +1,26 @@
+(** CDCG transformations.
+
+    {!split_packets} implements packetization: breaking messages into
+    bounded-size packets, the knob studied by Ye, Benini & De Micheli
+    [7] whose routing/packetization analysis the paper builds on.
+    Under CDCG dependence semantics the sub-packets of one message are
+    chained on delivery, so a split message releases every link between
+    its pieces — other traffic can interleave and head-of-line blocking
+    shrinks — at the price of paying the routing latency once per piece.
+    The bench harness measures this trade-off. *)
+
+val split_packets : max_bits:int -> Cdcg.t -> Cdcg.t
+(** Splits every packet larger than [max_bits] into a chain of
+    sub-packets of at most [max_bits] bits each:
+
+    - the first sub-packet inherits the original computation time and
+      dependences; later sub-packets have zero computation and depend on
+      their predecessor in the chain (the core streams the message);
+    - packets that depended on the original packet depend on the last
+      sub-packet (the message is complete only when its tail arrives);
+    - total bit volume is preserved exactly.
+
+    @raise Invalid_argument when [max_bits < 1]. *)
+
+val merge_statistics : Cdcg.t -> Cdcg.t -> string
+(** One-line before/after summary used by reports. *)

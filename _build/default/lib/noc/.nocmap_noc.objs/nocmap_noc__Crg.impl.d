@@ -1,0 +1,1 @@
+lib/noc/crg.ml: Array Link List Mesh Nocmap_graph Routing

@@ -1,0 +1,1 @@
+lib/noc/crg.mli: Mesh Nocmap_graph Routing

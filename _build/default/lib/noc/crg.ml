@@ -1,0 +1,52 @@
+type path = {
+  routers : int array;
+  links : int array;
+}
+
+type t = {
+  mesh : Mesh.t;
+  routing : Routing.algorithm;
+  paths : path array; (* index: src * n + dst *)
+}
+
+let build_path mesh routing ~src ~dst =
+  let wrap = Routing.uses_wrap_links routing in
+  let routers = Array.of_list (Routing.router_path mesh routing ~src ~dst) in
+  let links =
+    Routing.links_of_path (Array.to_list routers)
+    |> List.map (fun (a, b) -> Link.id ~wrap mesh ~src:a ~dst:b)
+    |> Array.of_list
+  in
+  { routers; links }
+
+let create ?(routing = Routing.Xy) mesh =
+  let n = Mesh.tile_count mesh in
+  let paths =
+    Array.init (n * n) (fun i -> build_path mesh routing ~src:(i / n) ~dst:(i mod n))
+  in
+  { mesh; routing; paths }
+
+let mesh t = t.mesh
+
+let routing t = t.routing
+
+let tile_count t = Mesh.tile_count t.mesh
+
+let path t ~src ~dst =
+  let n = tile_count t in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Crg.path: tile out of range";
+  t.paths.((src * n) + dst)
+
+let router_count_on_path t ~src ~dst = Array.length (path t ~src ~dst).routers
+
+let to_digraph t =
+  let wrap = Routing.uses_wrap_links t.routing in
+  let n = tile_count t in
+  let g = Nocmap_graph.Digraph.create ~n in
+  let add lid =
+    let src, dst = Link.endpoints ~wrap t.mesh lid in
+    Nocmap_graph.Digraph.add_edge g ~src ~dst ~label:0
+  in
+  List.iter add (Link.all ~wrap t.mesh);
+  g

@@ -1,0 +1,33 @@
+(** Communication resource graph (Definition 3 of the paper).
+
+    The CRG packages the target architecture: the mesh, the routing
+    algorithm, and precomputed router/link paths between every ordered
+    tile pair.  Routers and links carry the cost variables the mapping
+    algorithms accumulate; those annotations live with the evaluator,
+    while this module owns the static structure. *)
+
+type path = {
+  routers : int array;  (** Tiles traversed, source to destination inclusive. *)
+  links : int array;    (** {!Link.id}s between consecutive routers. *)
+}
+
+type t
+
+val create : ?routing:Routing.algorithm -> Mesh.t -> t
+(** Builds the CRG and precomputes all pairwise paths (XY by default). *)
+
+val mesh : t -> Mesh.t
+
+val routing : t -> Routing.algorithm
+
+val tile_count : t -> int
+
+val path : t -> src:int -> dst:int -> path
+(** Precomputed path.  @raise Invalid_argument on out-of-range tiles. *)
+
+val router_count_on_path : t -> src:int -> dst:int -> int
+(** The paper's [K]: number of routers a packet traverses. *)
+
+val to_digraph : t -> Nocmap_graph.Digraph.t
+(** Vertices are tiles, edges are physical links (label 0); the
+    architecture graph of Definition 3, e.g. for DOT export. *)

@@ -1,0 +1,80 @@
+type direction =
+  | North
+  | East
+  | South
+  | West
+
+let direction_to_string = function
+  | North -> "north"
+  | East -> "east"
+  | South -> "south"
+  | West -> "west"
+
+let direction_index = function
+  | North -> 0
+  | East -> 1
+  | South -> 2
+  | West -> 3
+
+let slot_count mesh = 4 * Mesh.tile_count mesh
+
+let check_wrap_dims mesh =
+  if mesh.Mesh.cols < 3 || mesh.Mesh.rows < 3 then
+    invalid_arg "Link: torus links require both mesh dimensions >= 3"
+
+(* Signed per-dimension offset, reduced to the shortest torus step when
+   wrapping. *)
+let direction_between ~wrap mesh ~src ~dst =
+  let xs, ys = Mesh.coord_of_tile mesh src in
+  let xd, yd = Mesh.coord_of_tile mesh dst in
+  let cols = mesh.Mesh.cols and rows = mesh.Mesh.rows in
+  let dx = xd - xs and dy = yd - ys in
+  let dx = if wrap && dx = cols - 1 then -1 else if wrap && dx = -(cols - 1) then 1 else dx in
+  let dy = if wrap && dy = rows - 1 then -1 else if wrap && dy = -(rows - 1) then 1 else dy in
+  match (dx, dy) with
+  | 0, -1 -> North
+  | 1, 0 -> East
+  | 0, 1 -> South
+  | -1, 0 -> West
+  | _, _ -> invalid_arg "Link.id: tiles are not adjacent"
+
+let id ?(wrap = false) mesh ~src ~dst =
+  if wrap then check_wrap_dims mesh;
+  (4 * src) + direction_index (direction_between ~wrap mesh ~src ~dst)
+
+let endpoints ?(wrap = false) mesh lid =
+  if wrap then check_wrap_dims mesh;
+  let src = lid / 4 in
+  if not (Mesh.in_range mesh src) then invalid_arg "Link.endpoints: id out of range";
+  let x, y = Mesh.coord_of_tile mesh src in
+  let target =
+    match lid mod 4 with
+    | 0 -> (x, y - 1)
+    | 1 -> (x + 1, y)
+    | 2 -> (x, y + 1)
+    | _ -> (x - 1, y)
+  in
+  let tx, ty = target in
+  if wrap then
+    let tx = (tx + mesh.Mesh.cols) mod mesh.Mesh.cols in
+    let ty = (ty + mesh.Mesh.rows) mod mesh.Mesh.rows in
+    (src, Mesh.tile_of_coord mesh ~x:tx ~y:ty)
+  else if tx < 0 || tx >= mesh.Mesh.cols || ty < 0 || ty >= mesh.Mesh.rows then
+    invalid_arg "Link.endpoints: slot has no physical link"
+  else (src, Mesh.tile_of_coord mesh ~x:tx ~y:ty)
+
+let exists ?(wrap = false) mesh lid =
+  lid >= 0
+  && lid < slot_count mesh
+  &&
+  match endpoints ~wrap mesh lid with
+  | _, _ -> true
+  | exception Invalid_argument _ -> false
+
+let all ?(wrap = false) mesh =
+  if wrap then check_wrap_dims mesh;
+  List.filter (exists ~wrap mesh) (List.init (slot_count mesh) Fun.id)
+
+let to_string ?(wrap = false) mesh lid =
+  let src, dst = endpoints ~wrap mesh lid in
+  Printf.sprintf "L(%d->%d)" src dst

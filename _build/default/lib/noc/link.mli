@@ -1,0 +1,44 @@
+(** Dense identifiers for directed inter-tile links.
+
+    Each tile owns four outgoing link slots (north, east, south, west);
+    the link from tile [a] to an adjacent tile [b] has identifier
+    [4*a + direction].  These identifiers index the per-link occupancy
+    and cost-variable arrays of the simulator.
+
+    With [~wrap:true] the mesh is treated as a torus: the slots leaving
+    the mesh boundary wrap to the opposite edge.  To keep the
+    (src, dst) -> id relation unambiguous, wrap mode requires both mesh
+    dimensions to be at least 3 (on a 2-wide torus the wrap channel and
+    the internal channel would connect the same tile pair). *)
+
+type direction =
+  | North
+  | East
+  | South
+  | West
+
+val direction_to_string : direction -> string
+
+val slot_count : Mesh.t -> int
+(** Size of an array indexed by link id, [4 * tile_count]. *)
+
+val id : ?wrap:bool -> Mesh.t -> src:int -> dst:int -> int
+(** Identifier of the directed link between two adjacent (or, with
+    [~wrap:true], torus-adjacent) tiles.
+    @raise Invalid_argument if the tiles are not neighbors, or if wrap
+    is requested on a mesh with a dimension below 3. *)
+
+val endpoints : ?wrap:bool -> Mesh.t -> int -> int * int
+(** [(src, dst)] of a link id.
+    @raise Invalid_argument for a slot that does not correspond to a
+    physical link. *)
+
+val exists : ?wrap:bool -> Mesh.t -> int -> bool
+(** Whether a slot in [0 .. slot_count-1] is a physical link.  On a
+    torus every in-range slot is. *)
+
+val all : ?wrap:bool -> Mesh.t -> int list
+(** Every physical link id, ascending. *)
+
+val to_string : ?wrap:bool -> Mesh.t -> int -> string
+(** Human-readable form such as ["L(3->4)"]. *)

@@ -1,0 +1,52 @@
+type t = {
+  cols : int;
+  rows : int;
+}
+
+let create ~cols ~rows =
+  if cols <= 0 || rows <= 0 then invalid_arg "Mesh.create: dimensions must be positive";
+  { cols; rows }
+
+let of_string s =
+  let fail () = invalid_arg ("Mesh.of_string: expected \"<cols>x<rows>\", got " ^ s) in
+  match String.split_on_char 'x' (String.lowercase_ascii (String.trim s)) with
+  | [ a; b ] -> begin
+    match (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b)) with
+    | Some cols, Some rows when cols > 0 && rows > 0 -> create ~cols ~rows
+    | Some _, Some _ | None, _ | _, None -> fail ()
+  end
+  | _ -> fail ()
+
+let to_string t = Printf.sprintf "%dx%d" t.cols t.rows
+
+let tile_count t = t.cols * t.rows
+
+let in_range t tile = tile >= 0 && tile < tile_count t
+
+let coord_of_tile t tile =
+  if not (in_range t tile) then invalid_arg "Mesh.coord_of_tile: tile out of range";
+  (tile mod t.cols, tile / t.cols)
+
+let tile_of_coord t ~x ~y =
+  if x < 0 || x >= t.cols || y < 0 || y >= t.rows then
+    invalid_arg "Mesh.tile_of_coord: coordinate outside mesh";
+  (y * t.cols) + x
+
+let manhattan t a b =
+  let xa, ya = coord_of_tile t a in
+  let xb, yb = coord_of_tile t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let neighbors t tile =
+  let x, y = coord_of_tile t tile in
+  let candidates =
+    [ (x, y - 1); (x, y + 1); (x - 1, y); (x + 1, y) ]
+  in
+  List.filter_map
+    (fun (nx, ny) ->
+      if nx >= 0 && nx < t.cols && ny >= 0 && ny < t.rows then
+        Some (tile_of_coord t ~x:nx ~y:ny)
+      else None)
+    candidates
+
+let pp ppf t = Format.fprintf ppf "%s mesh" (to_string t)

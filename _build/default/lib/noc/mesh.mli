@@ -1,0 +1,40 @@
+(** Regular 2-D mesh topology.
+
+    Tiles are numbered row-major from the top-left corner, matching the
+    paper's Figure 1: in a 2x2 mesh, tile 0 is the top-left (the paper's
+    tau_1), tile 1 the top-right, tile 2 the bottom-left, tile 3 the
+    bottom-right.  A tile at column [x] and row [y] has index
+    [y * cols + x]. *)
+
+type t = private {
+  cols : int;  (** NoC width (the paper's first dimension, e.g. 3 in "3x2"). *)
+  rows : int;  (** NoC height. *)
+}
+
+val create : cols:int -> rows:int -> t
+(** @raise Invalid_argument unless both dimensions are positive. *)
+
+val of_string : string -> t
+(** Parses ["3x2"] or ["3X2"].  @raise Invalid_argument on anything else. *)
+
+val to_string : t -> string
+(** ["<cols>x<rows>"]. *)
+
+val tile_count : t -> int
+
+val coord_of_tile : t -> int -> int * int
+(** [(x, y)] of a tile index.  @raise Invalid_argument when out of range. *)
+
+val tile_of_coord : t -> x:int -> y:int -> int
+(** @raise Invalid_argument when the coordinate is outside the mesh. *)
+
+val in_range : t -> int -> bool
+
+val manhattan : t -> int -> int -> int
+(** Hop distance between two tiles; the number of routers traversed by a
+    minimal path is [manhattan + 1]. *)
+
+val neighbors : t -> int -> int list
+(** Adjacent tiles (2 to 4 of them), in N, S, W, E order where present. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type algorithm =
+  | Xy
+  | Yx
+  | Torus_xy
+  | Torus_yx
+
+let algorithm_to_string = function
+  | Xy -> "xy"
+  | Yx -> "yx"
+  | Torus_xy -> "torus-xy"
+  | Torus_yx -> "torus-yx"
+
+let algorithm_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "xy" -> Xy
+  | "yx" -> Yx
+  | "torus-xy" -> Torus_xy
+  | "torus-yx" -> Torus_yx
+  | other -> invalid_arg ("Routing.algorithm_of_string: unknown algorithm " ^ other)
+
+let uses_wrap_links = function
+  | Xy | Yx -> false
+  | Torus_xy | Torus_yx -> true
+
+(* Mesh step toward the target. *)
+let step v target = if v < target then v + 1 else v - 1
+
+(* Torus step: one move along the shorter way around a dimension of
+   size [extent]; forward on ties. *)
+let torus_step v target extent =
+  let forward = (target - v + extent) mod extent in
+  let backward = (v - target + extent) mod extent in
+  if forward <= backward then (v + 1) mod extent else (v - 1 + extent) mod extent
+
+let rec walk_x ~torus mesh x y xt acc =
+  if x = xt then (x, acc)
+  else
+    let x' = if torus then torus_step x xt mesh.Mesh.cols else step x xt in
+    walk_x ~torus mesh x' y xt (Mesh.tile_of_coord mesh ~x:x' ~y :: acc)
+
+let rec walk_y ~torus mesh x y yt acc =
+  if y = yt then (y, acc)
+  else
+    let y' = if torus then torus_step y yt mesh.Mesh.rows else step y yt in
+    walk_y ~torus mesh x y' yt (Mesh.tile_of_coord mesh ~x ~y:y' :: acc)
+
+let router_path mesh algo ~src ~dst =
+  if uses_wrap_links algo && (mesh.Mesh.cols < 3 || mesh.Mesh.rows < 3) then
+    invalid_arg "Routing.router_path: torus routing requires both dimensions >= 3";
+  let xs, ys = Mesh.coord_of_tile mesh src in
+  let xd, yd = Mesh.coord_of_tile mesh dst in
+  let torus = uses_wrap_links algo in
+  let acc = [ src ] in
+  let acc =
+    match algo with
+    | Xy | Torus_xy ->
+      let x, acc = walk_x ~torus mesh xs ys xd acc in
+      let _, acc = walk_y ~torus mesh x ys yd acc in
+      acc
+    | Yx | Torus_yx ->
+      let y, acc = walk_y ~torus mesh xs ys yd acc in
+      let _, acc = walk_x ~torus mesh xs y xd acc in
+      acc
+  in
+  List.rev acc
+
+let hop_count mesh algo ~src ~dst = List.length (router_path mesh algo ~src ~dst)
+
+let rec links_of_path = function
+  | [] | [ _ ] -> []
+  | a :: (b :: _ as rest) -> (a, b) :: links_of_path rest

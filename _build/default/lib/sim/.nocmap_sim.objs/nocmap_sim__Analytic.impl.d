@@ -1,0 +1,1 @@
+lib/sim/analytic.ml: Array Float List Nocmap_energy Nocmap_graph Nocmap_model Nocmap_noc

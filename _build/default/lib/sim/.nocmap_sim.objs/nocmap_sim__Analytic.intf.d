@@ -1,0 +1,1 @@
+lib/sim/analytic.mli: Nocmap_energy Nocmap_model Nocmap_noc

@@ -1,0 +1,1 @@
+lib/sim/annotation_report.ml: Array Buffer List Nocmap_model Nocmap_noc Nocmap_util Printf String Trace

@@ -1,0 +1,1 @@
+lib/sim/annotation_report.mli: Nocmap_model Nocmap_noc Trace

@@ -1,0 +1,1 @@
+lib/sim/flit_sim.ml: Array Hashtbl List Nocmap_energy Nocmap_model Nocmap_noc Option

@@ -1,0 +1,1 @@
+lib/sim/flit_sim.mli: Nocmap_energy Nocmap_model Nocmap_noc

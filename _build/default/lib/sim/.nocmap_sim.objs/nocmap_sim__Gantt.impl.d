@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Array Buffer Bytes List Nocmap_energy Nocmap_model Printf String Trace

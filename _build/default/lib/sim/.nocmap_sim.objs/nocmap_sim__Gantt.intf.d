@@ -1,0 +1,1 @@
+lib/sim/gantt.mli: Nocmap_energy Nocmap_model Trace

@@ -1,0 +1,1 @@
+lib/sim/hotspot.ml: Array Int List Nocmap_noc Nocmap_util Printf Trace

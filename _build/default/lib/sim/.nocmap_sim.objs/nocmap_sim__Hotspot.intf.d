@@ -1,0 +1,1 @@
+lib/sim/hotspot.mli: Nocmap_noc Trace

@@ -1,0 +1,1 @@
+lib/sim/trace_export.ml: Array Buffer Fun Hotspot List Nocmap_model Nocmap_noc Printf Trace

@@ -1,0 +1,1 @@
+lib/sim/trace_export.mli: Nocmap_model Nocmap_noc Trace

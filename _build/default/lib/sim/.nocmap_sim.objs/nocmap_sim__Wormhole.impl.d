@@ -1,0 +1,1 @@
+lib/sim/wormhole.ml: Array Int List Nocmap_energy Nocmap_model Nocmap_noc Nocmap_util Printf Queue Trace

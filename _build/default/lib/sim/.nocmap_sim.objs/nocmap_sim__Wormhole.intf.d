@@ -1,0 +1,1 @@
+lib/sim/wormhole.mli: Nocmap_energy Nocmap_model Nocmap_noc Trace

@@ -1,0 +1,76 @@
+module Crg = Nocmap_noc.Crg
+module Mesh = Nocmap_noc.Mesh
+module Link = Nocmap_noc.Link
+module Cdcg = Nocmap_model.Cdcg
+module Noc_params = Nocmap_energy.Noc_params
+module Topo = Nocmap_graph.Topo
+
+type estimate = {
+  critical_path_cycles : int;
+  link_load_cycles : int;
+  lower_bound_cycles : int;
+}
+
+let validate_placement ~tiles ~cores placement =
+  if Array.length placement <> cores then
+    invalid_arg "Analytic.estimate: placement length differs from core count";
+  let used = Array.make tiles false in
+  Array.iter
+    (fun tile ->
+      if tile < 0 || tile >= tiles then
+        invalid_arg "Analytic.estimate: placement tile out of range";
+      if used.(tile) then invalid_arg "Analytic.estimate: placement is not injective";
+      used.(tile) <- true)
+    placement
+
+let estimate ~params ~crg ~placement (cdcg : Cdcg.t) =
+  validate_placement ~tiles:(Crg.tile_count crg) ~cores:(Cdcg.core_count cdcg)
+    placement;
+  let npackets = Cdcg.packet_count cdcg in
+  let path_of i =
+    let p = cdcg.Cdcg.packets.(i) in
+    Crg.path crg ~src:placement.(p.Cdcg.src) ~dst:placement.(p.Cdcg.dst)
+  in
+  let flits_of i = Noc_params.flits_of_bits params cdcg.Cdcg.packets.(i).Cdcg.bits in
+  (* Critical path: readiness propagation with eq (8) delays and no
+     contention anywhere. *)
+  let critical_path_cycles =
+    match Topo.topological_order (Cdcg.to_digraph cdcg) with
+    | None -> 0 (* validation guarantees a DAG; defensive *)
+    | Some order ->
+      let delivered = Array.make npackets 0 in
+      let relax i =
+        let ready =
+          List.fold_left (fun acc p -> max acc delivered.(p)) 0 (Cdcg.predecessors cdcg i)
+        in
+        let routers = Array.length (path_of i).Crg.routers in
+        let delay = Noc_params.total_delay_cycles params ~routers ~flits:(flits_of i) in
+        delivered.(i) <- ready + cdcg.Cdcg.packets.(i).Cdcg.compute + delay
+      in
+      List.iter relax order;
+      Array.fold_left max 0 delivered
+  in
+  (* Link-load bound: each link moves one flit per tl. *)
+  let mesh = Crg.mesh crg in
+  let demand = Array.make (Link.slot_count mesh) 0 in
+  for i = 0 to npackets - 1 do
+    let flit_cycles = flits_of i * params.Noc_params.tl in
+    Array.iter
+      (fun lid -> demand.(lid) <- demand.(lid) + flit_cycles)
+      (path_of i).Crg.links
+  done;
+  let link_load_cycles = Array.fold_left max 0 demand in
+  {
+    critical_path_cycles;
+    link_load_cycles;
+    lower_bound_cycles = max critical_path_cycles link_load_cycles;
+  }
+
+let contention_share e ~simulated_cycles =
+  if simulated_cycles <= 0 then 0.0
+  else
+    let share =
+      float_of_int (simulated_cycles - e.lower_bound_cycles)
+      /. float_of_int simulated_cycles
+    in
+    Float.max 0.0 (Float.min 1.0 share)

@@ -1,0 +1,32 @@
+(** Analytic (contention-free) execution-time estimation.
+
+    Two quickly computable lower bounds on the simulated [texec]:
+
+    + the {b critical path}: the longest ready-compute-transfer chain
+      through the dependence DAG when every packet experiences exactly
+      the Equation (8) delay (no buffering anywhere) — this equals the
+      simulation result whenever no two packets ever compete for a link;
+    + the {b link-load bound}: the busiest link must carry all its
+      traffic one flit per [tl], so [texec >= max_link busy_demand].
+
+    The estimator is orders of magnitude faster than simulation and is
+    used as an ablation ("how much of texec is contention?") and as a
+    sanity bound checked by property tests. *)
+
+type estimate = {
+  critical_path_cycles : int;  (** Dependence-chain bound. *)
+  link_load_cycles : int;      (** Busiest-link demand bound. *)
+  lower_bound_cycles : int;    (** Max of the two. *)
+}
+
+val estimate :
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  placement:int array ->
+  Nocmap_model.Cdcg.t ->
+  estimate
+(** @raise Invalid_argument on an invalid placement. *)
+
+val contention_share : estimate -> simulated_cycles:int -> float
+(** Fraction of the simulated execution time not explained by the
+    contention-free bound: [(sim - bound) / sim], clamped to [0, 1]. *)

@@ -1,0 +1,46 @@
+module Interval = Nocmap_util.Interval
+module Cdcg = Nocmap_model.Cdcg
+module Crg = Nocmap_noc.Crg
+module Link = Nocmap_noc.Link
+
+let entry ~core_names ~packets (a : Trace.annotation) =
+  let p : Cdcg.packet = packets.(a.Trace.ann_packet) in
+  Printf.sprintf "%d(%s->%s):%s" a.Trace.ann_bits core_names.(p.Cdcg.src)
+    core_names.(p.Cdcg.dst)
+    (Interval.to_string a.Trace.ann_interval)
+
+let render ~cdcg ~crg (trace : Trace.t) =
+  let core_names = cdcg.Cdcg.core_names in
+  let packets = cdcg.Cdcg.packets in
+  let buf = Buffer.create 2048 in
+  let mesh = Crg.mesh crg in
+  let wrap = Nocmap_noc.Routing.uses_wrap_links (Crg.routing crg) in
+  Array.iteri
+    (fun tile annotations ->
+      let cells = List.map (entry ~core_names ~packets) annotations in
+      Buffer.add_string buf
+        (Printf.sprintf "router %-4d %s\n" tile
+           (if cells = [] then "-" else String.concat "  " cells)))
+    trace.Trace.router_annotations;
+  Array.iteri
+    (fun lid annotations ->
+      if annotations <> [] then begin
+        let cells = List.map (entry ~core_names ~packets) annotations in
+        Buffer.add_string buf
+          (Printf.sprintf "link %-6s %s\n" (Link.to_string ~wrap mesh lid)
+             (String.concat "  " cells))
+      end)
+    trace.Trace.link_annotations;
+  Buffer.contents buf
+
+let router_bits (trace : Trace.t) =
+  Array.map
+    (fun annotations ->
+      List.fold_left (fun acc (a : Trace.annotation) -> acc + a.Trace.ann_bits) 0 annotations)
+    trace.Trace.router_annotations
+
+let link_bits ~crg:_ (trace : Trace.t) =
+  Array.map
+    (fun annotations ->
+      List.fold_left (fun acc (a : Trace.annotation) -> acc + a.Trace.ann_bits) 0 annotations)
+    trace.Trace.link_annotations

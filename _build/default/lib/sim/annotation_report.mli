@@ -1,0 +1,17 @@
+(** Rendering of the simulator's cost-variable lists in the notation of
+    the paper's Figure 3: every router and link is listed with its
+    [bits(src->dst):\[enter,exit\]] entries. *)
+
+val render :
+  cdcg:Nocmap_model.Cdcg.t ->
+  crg:Nocmap_noc.Crg.t ->
+  Trace.t ->
+  string
+
+val router_bits : Trace.t -> int array
+(** Total bits that traversed each router — the per-vertex cost
+    variables once timing is summed away. *)
+
+val link_bits : crg:Nocmap_noc.Crg.t -> Trace.t -> int array
+(** Total bits over each link slot (0 for slots without a physical
+    link). *)

@@ -1,0 +1,191 @@
+module Crg = Nocmap_noc.Crg
+module Mesh = Nocmap_noc.Mesh
+module Link = Nocmap_noc.Link
+module Cdcg = Nocmap_model.Cdcg
+module Noc_params = Nocmap_energy.Noc_params
+
+type result = {
+  texec_cycles : int;
+  delivered : int array;
+}
+
+(* Per-packet, per-hop progress.  [granted.(h)] is the cycle the output
+   port of hop [h] started serving the packet (-1 before), and
+   [buffered.(h)] counts the packet's flits currently sitting in the
+   input buffer of router [h]. *)
+type packet_state = {
+  path : Crg.path;
+  flits : int;
+  mutable remaining_deps : int;
+  mutable ready : int;
+  mutable sent : int;        (* -1 until launched *)
+  mutable injected : int;    (* flits that left the source core *)
+  arrival : int array;       (* header arrival cycle per hop; -1 unknown *)
+  granted : int array;
+  buffered : int array;
+  mutable crossed : int array;  (* flits that already left hop h *)
+  mutable delivered_at : int;
+}
+
+let validate_placement ~tiles ~cores placement =
+  if Array.length placement <> cores then
+    invalid_arg "Flit_sim.run: placement length differs from core count";
+  let used = Array.make tiles false in
+  Array.iter
+    (fun tile ->
+      if tile < 0 || tile >= tiles then
+        invalid_arg "Flit_sim.run: placement tile out of range";
+      if used.(tile) then invalid_arg "Flit_sim.run: placement is not injective";
+      used.(tile) <- true)
+    placement
+
+let run ~params ~crg ~placement ?(max_cycles = 10_000_000) (cdcg : Cdcg.t) =
+  (match params.Noc_params.buffering with
+  | Noc_params.Unbounded -> ()
+  | Noc_params.Bounded _ ->
+    invalid_arg "Flit_sim.run: only unbounded buffering is supported");
+  if params.Noc_params.tl <> 1 then
+    invalid_arg "Flit_sim.run: only tl = 1 is supported";
+  let mesh = Crg.mesh crg in
+  validate_placement ~tiles:(Mesh.tile_count mesh) ~cores:(Cdcg.core_count cdcg)
+    placement;
+  let tr = params.Noc_params.tr in
+  let npackets = Cdcg.packet_count cdcg in
+  let states =
+    Array.map
+      (fun (p : Cdcg.packet) ->
+        let path =
+          Crg.path crg ~src:placement.(p.Cdcg.src) ~dst:placement.(p.Cdcg.dst)
+        in
+        let hops = Array.length path.Crg.routers in
+        {
+          path;
+          flits = Noc_params.flits_of_bits params p.Cdcg.bits;
+          remaining_deps = 0;
+          ready = 0;
+          sent = -1;
+          injected = 0;
+          arrival = Array.make hops (-1);
+          granted = Array.make hops (-1);
+          buffered = Array.make hops 0;
+          crossed = Array.make hops 0;
+          delivered_at = -1;
+        })
+      cdcg.Cdcg.packets
+  in
+  List.iter
+    (fun (_, q) -> states.(q).remaining_deps <- states.(q).remaining_deps + 1)
+    cdcg.Cdcg.deps;
+  let launch i time =
+    let st = states.(i) in
+    st.ready <- time;
+    st.sent <- time + cdcg.Cdcg.packets.(i).Cdcg.compute
+  in
+  List.iter (fun i -> launch i 0) (Cdcg.start_packets cdcg);
+  (* Output-port ownership: the packet holding the port, or -1.  A port
+     is keyed by the link id of the hop it serves. *)
+  let port_owner = Array.make (Link.slot_count mesh) (-1) in
+  let port_free_at = Array.make (Link.slot_count mesh) 0 in
+  let remaining = ref npackets in
+  let deliver i time =
+    let st = states.(i) in
+    st.delivered_at <- time;
+    decr remaining;
+    List.iter
+      (fun q ->
+        let sq = states.(q) in
+        sq.remaining_deps <- sq.remaining_deps - 1;
+        sq.ready <- max sq.ready time;
+        if sq.remaining_deps = 0 && sq.sent < 0 then launch q sq.ready)
+      (Cdcg.successors cdcg i)
+  in
+  let cycle = ref 0 in
+  while !remaining > 0 do
+    let t = !cycle in
+    if t > max_cycles then invalid_arg "Flit_sim.run: max_cycles exceeded";
+    (* Phase A: flit movements decided by past grants (flits that
+       crossed during cycle t-1 arrive now), plus injections. *)
+    for i = 0 to npackets - 1 do
+      let st = states.(i) in
+      if st.sent >= 0 && st.delivered_at < 0 then begin
+        let hops = Array.length st.path.Crg.routers in
+        (* Injection: flit j enters the source router at sent + 1 + j. *)
+        if st.injected < st.flits && t >= st.sent + 1 + st.injected then begin
+          if st.injected = 0 then st.arrival.(0) <- t;
+          st.buffered.(0) <- st.buffered.(0) + 1;
+          st.injected <- st.injected + 1
+        end;
+        (* Link crossings: hop h transfers one flit during each cycle c
+           in [granted + tr, granted + tr + flits - 1]; the flit lands
+           in the next buffer (or the core) at c + 1. *)
+        for h = 0 to hops - 1 do
+          let s = st.granted.(h) in
+          if s >= 0 then begin
+            let c = t - 1 in
+            if c >= s + tr && c < s + tr + st.flits && st.crossed.(h) < st.flits
+            then begin
+              if st.buffered.(h) <= 0 then
+                invalid_arg "Flit_sim.run: internal bubble (buffer underrun)";
+              st.buffered.(h) <- st.buffered.(h) - 1;
+              st.crossed.(h) <- st.crossed.(h) + 1;
+              if h = hops - 1 then begin
+                if st.crossed.(h) = st.flits then deliver i t
+              end
+              else begin
+                if st.crossed.(h) = 1 then st.arrival.(h + 1) <- t;
+                st.buffered.(h + 1) <- st.buffered.(h + 1) + 1
+              end
+            end
+          end
+        done;
+        (* Port release: the tail crossed at granted + tr + flits - 1,
+           so the port can be re-granted from the next cycle. *)
+        for h = 0 to hops - 2 do
+          let s = st.granted.(h) in
+          if s >= 0 && t >= s + tr + st.flits then begin
+            let port = st.path.Crg.links.(h) in
+            if port_owner.(port) = i then port_owner.(port) <- -1
+          end
+        done
+      end
+    done;
+    (* Phase B: arbitration.  Every free output port goes to the waiting
+       header with the earliest (arrival, packet index). *)
+    let requests = Hashtbl.create 16 in
+    for i = 0 to npackets - 1 do
+      let st = states.(i) in
+      if st.sent >= 0 && st.delivered_at < 0 then begin
+        let hops = Array.length st.path.Crg.routers in
+        for h = 0 to hops - 1 do
+          if st.granted.(h) < 0 && st.arrival.(h) >= 0 && st.arrival.(h) <= t then begin
+            if h = hops - 1 then
+              (* Ejection never contends: the "grant" is immediate. *)
+              st.granted.(h) <- st.arrival.(h)
+            else begin
+              let port = st.path.Crg.links.(h) in
+              if port_owner.(port) < 0 && port_free_at.(port) <= t then begin
+                let contender =
+                  Option.value (Hashtbl.find_opt requests port) ~default:(max_int, max_int, -1)
+                in
+                let mine = (st.arrival.(h), i, h) in
+                let better (a1, p1, _) (a2, p2, _) =
+                  a1 < a2 || (a1 = a2 && p1 < p2)
+                in
+                if better mine contender then Hashtbl.replace requests port mine
+              end
+            end
+          end
+        done
+      end
+    done;
+    Hashtbl.iter
+      (fun port (_, i, h) ->
+        let st = states.(i) in
+        st.granted.(h) <- t;
+        port_owner.(port) <- i;
+        port_free_at.(port) <- t + tr + st.flits)
+      requests;
+    incr cycle
+  done;
+  let delivered = Array.map (fun st -> st.delivered_at) states in
+  { texec_cycles = Array.fold_left max 0 delivered; delivered }

@@ -1,0 +1,31 @@
+(** Cycle-accurate flit-level wormhole simulator.
+
+    An independent cross-validation of {!Wormhole}: instead of treating
+    a packet's traversal as closed-form intervals, this simulator moves
+    individual flits cycle by cycle through router input buffers with
+    per-output-port FCFS arbitration ([tr]-cycle routing decision, one
+    flit per link per [tl] cycles, unbounded input buffers).
+
+    Under the shared model assumptions the two simulators agree exactly
+    on delivery times and execution time; the property tests assert
+    equality on the paper's worked example and randomized workloads.
+    The flit-level simulator costs O(texec * packets) instead of
+    O(events), so {!Wormhole} remains the production evaluator. *)
+
+type result = {
+  texec_cycles : int;
+  delivered : int array;  (** Per packet, cycle the last flit reached the core. *)
+}
+
+val run :
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  placement:int array ->
+  ?max_cycles:int ->
+  Nocmap_model.Cdcg.t ->
+  result
+(** [run] simulates until every packet is delivered.
+    @raise Invalid_argument on an invalid placement, a bounded-buffer
+    parameter set (only the paper's unbounded mode is supported here),
+    or when [max_cycles] (default 10,000,000) elapses without
+    completion. *)

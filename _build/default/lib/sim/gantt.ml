@@ -1,0 +1,73 @@
+module Noc_params = Nocmap_energy.Noc_params
+module Cdcg = Nocmap_model.Cdcg
+
+let legend = "legend: = computation   r routing   - packet transfer   * contention"
+
+type segment = {
+  seg_from : int; (* inclusive cycle *)
+  seg_to : int;   (* exclusive cycle *)
+  glyph : char;
+}
+
+(* Classifies a packet's lifetime [ready, delivered] into contiguous
+   segments.  Between hops the header is in flight on a link; those
+   cycles and the tail transfer are rendered as '-'. *)
+let segments_of_packet ~tr (pt : Trace.packet_trace) =
+  let segs = ref [] in
+  let push seg_from seg_to glyph =
+    if seg_to > seg_from then segs := { seg_from; seg_to; glyph } :: !segs
+  in
+  push pt.Trace.ready pt.Trace.sent '=';
+  let cursor = ref pt.Trace.sent in
+  let hop (h : Trace.hop) =
+    push !cursor h.Trace.arrival '-';
+    push h.Trace.arrival h.Trace.service_start '*';
+    push h.Trace.service_start (h.Trace.service_start + tr) 'r';
+    cursor := h.Trace.service_start + tr
+  in
+  List.iter hop pt.Trace.hops;
+  push !cursor (pt.Trace.delivered + 1) '-';
+  List.rev !segs
+
+let render ~params ~cdcg ?(width = 72) (trace : Trace.t) =
+  if
+    Array.exists
+      (fun (pt : Trace.packet_trace) -> pt.Trace.hops = [])
+      trace.Trace.packets
+    && Array.length trace.Trace.packets > 0
+  then invalid_arg "Gantt.render: trace was produced with tracing disabled";
+  let tr = params.Noc_params.tr in
+  let horizon = max 1 (trace.Trace.texec_cycles + 1) in
+  let scale cycle = min (width - 1) (cycle * width / horizon) in
+  let core_names = cdcg.Cdcg.core_names in
+  let label (p : Cdcg.packet) =
+    Printf.sprintf "%d(%s->%s):%d" p.Cdcg.bits core_names.(p.Cdcg.src)
+      core_names.(p.Cdcg.dst) p.Cdcg.compute
+  in
+  let labels = Array.map label cdcg.Cdcg.packets in
+  let label_width =
+    Array.fold_left (fun acc s -> max acc (String.length s)) 0 labels
+  in
+  let buf = Buffer.create 2048 in
+  let row (pt : Trace.packet_trace) =
+    let line = Bytes.make width ' ' in
+    let paint seg =
+      let a = scale seg.seg_from and b = max (scale seg.seg_from + 1) (scale seg.seg_to) in
+      for i = a to min (width - 1) (b - 1) do
+        (* contention and routing marks win over transfer fill *)
+        let current = Bytes.get line i in
+        if current = ' ' || current = '-' then Bytes.set line i seg.glyph
+      done
+    in
+    List.iter paint (segments_of_packet ~tr pt);
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s |%s|\n" label_width labels.(pt.Trace.packet)
+         (Bytes.to_string line))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  time 0 .. %d cycles (%.0f ns)\n" label_width ""
+       trace.Trace.texec_cycles trace.Trace.texec_ns);
+  Array.iter row trace.Trace.packets;
+  Buffer.add_string buf legend;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** ASCII timing diagrams in the style of the paper's Figures 4 and 5.
+
+    One row per packet, labelled ["bits(src->dst):compute"]; the
+    timeline distinguishes the four delay classes of the paper's legend:
+    computation ([=]), routing decisions ([r]), flit transfer ([-]) and
+    contention ([*]). *)
+
+val render :
+  params:Nocmap_energy.Noc_params.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  ?width:int ->
+  Trace.t ->
+  string
+(** [render ~params ~cdcg trace] lays the packets out on a shared time
+    axis scaled to [?width] (default 72) timeline columns.  Requires a
+    trace produced with tracing enabled.
+    @raise Invalid_argument if per-hop traces are missing. *)
+
+val legend : string
+(** The symbol legend, one line. *)

@@ -1,0 +1,72 @@
+module Crg = Nocmap_noc.Crg
+module Link = Nocmap_noc.Link
+module Interval = Nocmap_util.Interval
+module Tablefmt = Nocmap_util.Tablefmt
+
+type link_load = {
+  link : int;
+  busy_cycles : int;
+  utilization : float;
+  packets : int;
+}
+
+let link_loads ~crg (trace : Trace.t) =
+  let mesh = Crg.mesh crg in
+  let wrap = Nocmap_noc.Routing.uses_wrap_links (Crg.routing crg) in
+  let horizon = max 1 trace.Trace.texec_cycles in
+  let load lid =
+    let annotations = trace.Trace.link_annotations.(lid) in
+    let busy_cycles =
+      List.fold_left
+        (fun acc (a : Trace.annotation) -> acc + Interval.length a.Trace.ann_interval)
+        0 annotations
+    in
+    {
+      link = lid;
+      busy_cycles;
+      utilization = float_of_int busy_cycles /. float_of_int horizon;
+      packets = List.length annotations;
+    }
+  in
+  Link.all ~wrap mesh
+  |> List.map load
+  |> List.sort (fun a b -> Int.compare b.busy_cycles a.busy_cycles)
+
+let peak_utilization ~crg trace =
+  match link_loads ~crg trace with
+  | [] -> 0.0
+  | top :: _ -> top.utilization
+
+let mean_utilization ~crg trace =
+  match link_loads ~crg trace with
+  | [] -> 0.0
+  | loads ->
+    List.fold_left (fun acc l -> acc +. l.utilization) 0.0 loads
+    /. float_of_int (List.length loads)
+
+let render ~crg ?(top = 8) trace =
+  let mesh = Crg.mesh crg in
+  let wrap = Nocmap_noc.Routing.uses_wrap_links (Crg.routing crg) in
+  let table =
+    Tablefmt.create ~title:"Busiest links"
+      ~columns:
+        [
+          ("link", Tablefmt.Left);
+          ("busy (cycles)", Tablefmt.Right);
+          ("utilization", Tablefmt.Right);
+          ("packets", Tablefmt.Right);
+        ]
+      ()
+  in
+  List.iteri
+    (fun i load ->
+      if i < top then
+        Tablefmt.add_row table
+          [
+            Link.to_string ~wrap mesh load.link;
+            string_of_int load.busy_cycles;
+            Printf.sprintf "%.1f %%" (100.0 *. load.utilization);
+            string_of_int load.packets;
+          ])
+    (link_loads ~crg trace);
+  Tablefmt.render table

@@ -1,0 +1,28 @@
+(** Link-utilization analysis of a simulation trace.
+
+    The CDCM argument is about shared communication resources: a
+    timing-blind mapping concentrates concurrent packets on few links.
+    This module quantifies that by computing per-link busy time and
+    ranking hotspots, which the ablation benches use to explain texec
+    differences between mappings. *)
+
+type link_load = {
+  link : int;           (** {!Nocmap_noc.Link.id} slot. *)
+  busy_cycles : int;    (** Cycles the link carried flits. *)
+  utilization : float;  (** [busy_cycles / texec], in [0,1]. *)
+  packets : int;        (** Packets that crossed the link. *)
+}
+
+val link_loads : crg:Nocmap_noc.Crg.t -> Trace.t -> link_load list
+(** Loads of every physical link, busiest first.  Requires a trace
+    recorded with tracing enabled (annotations present); links that
+    carried no traffic report zero. *)
+
+val peak_utilization : crg:Nocmap_noc.Crg.t -> Trace.t -> float
+(** Utilization of the busiest link; 0 for an empty trace. *)
+
+val mean_utilization : crg:Nocmap_noc.Crg.t -> Trace.t -> float
+(** Mean utilization over physical links. *)
+
+val render : crg:Nocmap_noc.Crg.t -> ?top:int -> Trace.t -> string
+(** Table of the [top] (default 8) busiest links. *)

@@ -1,0 +1,33 @@
+type hop = {
+  router : int;
+  arrival : int;
+  service_start : int;
+}
+
+type packet_trace = {
+  packet : int;
+  ready : int;
+  sent : int;
+  delivered : int;
+  flits : int;
+  hops : hop list;
+}
+
+let wait_cycles t =
+  List.fold_left (fun acc h -> acc + (h.service_start - h.arrival)) 0 t.hops
+
+type annotation = {
+  ann_packet : int;
+  ann_bits : int;
+  ann_interval : Nocmap_util.Interval.t;
+}
+
+type t = {
+  texec_cycles : int;
+  texec_ns : float;
+  packets : packet_trace array;
+  router_annotations : annotation list array;
+  link_annotations : annotation list array;
+  contention_cycles : int;
+  contended_packets : int;
+}

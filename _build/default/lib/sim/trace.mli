@@ -1,0 +1,43 @@
+(** Result types of the wormhole simulation.
+
+    A {!hop} records, for one router on a packet's path, when the header
+    arrived and when the output port actually started serving it; their
+    difference is contention time spent in the input buffer.  The
+    resource annotations are the paper's "cost variable lists"
+    (Figure 3): every router and link accumulates
+    [bits(src->dst):\[enter,exit\]] entries. *)
+
+type hop = {
+  router : int;         (** Tile whose router this hop traverses. *)
+  arrival : int;        (** Cycle the header reaches this router. *)
+  service_start : int;  (** Cycle the output port starts serving;
+                            [service_start > arrival] means contention. *)
+}
+
+type packet_trace = {
+  packet : int;         (** CDCG packet index. *)
+  ready : int;          (** Cycle all dependences were delivered. *)
+  sent : int;           (** [ready + compute]. *)
+  delivered : int;      (** Cycle the last flit reaches the target core. *)
+  flits : int;
+  hops : hop list;      (** Source router first; empty when tracing is off. *)
+}
+
+val wait_cycles : packet_trace -> int
+(** Total contention cycles across all hops of the packet. *)
+
+type annotation = {
+  ann_packet : int;
+  ann_bits : int;
+  ann_interval : Nocmap_util.Interval.t;
+}
+
+type t = {
+  texec_cycles : int;    (** Application execution time in cycles. *)
+  texec_ns : float;      (** Same, scaled by the clock period. *)
+  packets : packet_trace array;  (** Indexed like the CDCG packets. *)
+  router_annotations : annotation list array;  (** Per tile; chronological. *)
+  link_annotations : annotation list array;    (** Per {!Nocmap_noc.Link.id} slot. *)
+  contention_cycles : int;   (** Sum of all packet wait cycles. *)
+  contended_packets : int;   (** Packets that waited at least one cycle. *)
+}

@@ -1,0 +1,39 @@
+module Cdcg = Nocmap_model.Cdcg
+module Crg = Nocmap_noc.Crg
+module Link = Nocmap_noc.Link
+
+let packets_csv ~cdcg (trace : Trace.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "label,src,dst,bits,flits,ready,sent,delivered,latency,wait_cycles\n";
+  Array.iter
+    (fun (pt : Trace.packet_trace) ->
+      let p = cdcg.Cdcg.packets.(pt.Trace.packet) in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d\n" p.Cdcg.label
+           cdcg.Cdcg.core_names.(p.Cdcg.src)
+           cdcg.Cdcg.core_names.(p.Cdcg.dst)
+           p.Cdcg.bits pt.Trace.flits pt.Trace.ready pt.Trace.sent pt.Trace.delivered
+           (pt.Trace.delivered - pt.Trace.sent)
+           (Trace.wait_cycles pt)))
+    trace.Trace.packets;
+  Buffer.contents buf
+
+let link_loads_csv ~crg (trace : Trace.t) =
+  let mesh = Crg.mesh crg in
+  let wrap = Nocmap_noc.Routing.uses_wrap_links (Crg.routing crg) in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "link,src_tile,dst_tile,busy_cycles,utilization,packets\n";
+  List.iter
+    (fun (load : Hotspot.link_load) ->
+      let src, dst = Link.endpoints ~wrap mesh load.Hotspot.link in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%d,%.6f,%d\n"
+           (Link.to_string ~wrap mesh load.Hotspot.link)
+           src dst load.Hotspot.busy_cycles load.Hotspot.utilization
+           load.Hotspot.packets))
+    (Hotspot.link_loads ~crg trace);
+  Buffer.contents buf
+
+let save ~path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

@@ -1,0 +1,14 @@
+(** CSV export of simulation results for external analysis (plotting
+    latency distributions, link heat maps, etc.). *)
+
+val packets_csv : cdcg:Nocmap_model.Cdcg.t -> Trace.t -> string
+(** One row per packet:
+    [label,src,dst,bits,flits,ready,sent,delivered,latency,wait_cycles].
+    Core columns use core names; times are cycles. *)
+
+val link_loads_csv : crg:Nocmap_noc.Crg.t -> Trace.t -> string
+(** One row per physical link:
+    [link,src_tile,dst_tile,busy_cycles,utilization,packets]. *)
+
+val save : path:string -> string -> unit
+(** Writes a CSV document to [path]. *)

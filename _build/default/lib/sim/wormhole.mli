@@ -1,0 +1,52 @@
+(** Discrete-event execution of a CDCG on a CRG (Section 4 of the paper).
+
+    Semantics, validated against the paper's Figures 3-5 worked example
+    (see DESIGN.md §2):
+
+    - a packet becomes ready when every dependence has been delivered
+      ([Start] dependences at cycle 0) and is sent [compute] cycles
+      later; the header enters the source router one [tl] later;
+    - the contended resources are the routers' {e output ports} — one
+      per directed inter-tile link — arbitrated first-come first-served
+      on header arrival time; the router crossbar serves distinct output
+      ports concurrently and core injection/ejection links never contend;
+    - a granted port is occupied for [tr + flits*tl] cycles starting at
+      the grant; the header reaches the next router [tr + tl] cycles
+      after the grant;
+    - delivery happens [tr + tl + (flits-1)*tl] cycles after the header
+      arrival at the last router, which reduces to Equation (8) in the
+      absence of contention;
+    - with [Bounded c] buffering, a router's output port is not released
+      until the downstream hop has been granted and the flits exceeding
+      the [c]-flit downstream buffer have drained — a first-order model
+      of wormhole backpressure (upstream holds cascade through the
+      packet's own path; see {!Nocmap_energy.Noc_params.buffering}). *)
+
+exception Deadlock of string
+(** Raised when bounded-buffer backpressure produces a cyclic wait and
+    the simulation cannot make progress (impossible with unbounded
+    buffers on a dependence-acyclic CDCG). *)
+
+val run :
+  ?trace:bool ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  placement:int array ->
+  Nocmap_model.Cdcg.t ->
+  Trace.t
+(** [run ~params ~crg ~placement cdcg] simulates the whole application.
+    [placement.(core)] is the tile hosting [core]; it must be injective
+    and in range.  [?trace] (default [true]) controls whether per-hop
+    traces and resource annotations are recorded; switch it off inside
+    optimization loops.
+
+    @raise Invalid_argument on an ill-formed placement.
+    @raise Deadlock when bounded buffering deadlocks. *)
+
+val texec_cycles :
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  placement:int array ->
+  Nocmap_model.Cdcg.t ->
+  int
+(** Convenience wrapper: execution time only, tracing disabled. *)

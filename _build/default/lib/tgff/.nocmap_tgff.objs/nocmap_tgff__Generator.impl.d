@@ -1,0 +1,1 @@
+lib/tgff/generator.ml: Array Float Fun Hashtbl List Nocmap_model Nocmap_util Printf

@@ -1,0 +1,1 @@
+lib/tgff/generator.mli: Nocmap_model Nocmap_util

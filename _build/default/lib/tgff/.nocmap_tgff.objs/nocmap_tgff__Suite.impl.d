@@ -1,0 +1,1 @@
+lib/tgff/suite.ml: Generator List Nocmap_noc Nocmap_util Printf

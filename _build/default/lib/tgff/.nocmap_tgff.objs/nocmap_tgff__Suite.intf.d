@@ -1,0 +1,1 @@
+lib/tgff/suite.mli: Generator Nocmap_model Nocmap_noc

@@ -1,0 +1,165 @@
+module Rng = Nocmap_util.Rng
+module Cdcg = Nocmap_model.Cdcg
+
+type spec = {
+  name : string;
+  cores : int;
+  packets : int;
+  total_bits : int;
+  communications : int option;
+  compute_range : int * int;
+  root_fraction : float;
+  locality : float;
+  max_deps : int;
+  volume_log_range : float;
+  hubs : int;
+}
+
+let default_spec ~name ~cores ~packets ~total_bits =
+  {
+    name;
+    cores;
+    packets;
+    total_bits;
+    communications = None;
+    compute_range = (5, 50);
+    root_fraction = 0.08;
+    locality = 0.7;
+    max_deps = 3;
+    volume_log_range = 3.0;
+    hubs = 1;
+  }
+
+let check spec =
+  let fail msg = invalid_arg ("Generator.generate: " ^ msg) in
+  if spec.cores < 2 then fail "need at least two cores";
+  if spec.packets < 1 then fail "need at least one packet";
+  if spec.total_bits < spec.packets then fail "total_bits must cover one bit per packet";
+  let lo, hi = spec.compute_range in
+  if lo < 0 || hi < lo then fail "bad compute_range";
+  if spec.root_fraction < 0.0 || spec.root_fraction > 1.0 then fail "bad root_fraction";
+  if spec.locality < 0.0 || spec.locality > 1.0 then fail "bad locality";
+  if spec.max_deps < 1 then fail "max_deps must be at least 1";
+  if spec.volume_log_range < 0.0 then fail "volume_log_range must be non-negative";
+  if spec.hubs < 0 || spec.hubs >= spec.cores then fail "hubs must lie in [0, cores)"
+
+let default_communications spec = min spec.packets (spec.cores + (spec.packets / 4))
+
+(* Connected skeleton over the cores.  With [hubs = 0]: a ring over a
+   random core permutation plus random chords until [count] distinct
+   directed pairs exist.  With hubs: every non-hub core exchanges data
+   with some hub in both directions (master/worker traffic), plus random
+   chords. *)
+let skeleton rng ~cores ~hubs ~count =
+  let count = max (min count (cores * (cores - 1))) (min cores count) in
+  let order = Array.init cores Fun.id in
+  Rng.shuffle_in_place rng order;
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add src dst =
+    if src <> dst && not (Hashtbl.mem seen (src, dst)) then begin
+      Hashtbl.add seen (src, dst) ();
+      edges := (src, dst) :: !edges
+    end
+  in
+  if hubs = 0 then
+    for i = 0 to cores - 1 do
+      if List.length !edges < count then add order.(i) order.((i + 1) mod cores)
+    done
+  else begin
+    (* Cover every non-hub core with a hub->core edge first so no core
+       is left silent, then add the return directions while room
+       remains. *)
+    let hub_of = Array.init cores (fun i -> order.(i mod hubs)) in
+    Array.iteri
+      (fun i core ->
+        if i >= hubs && List.length !edges < count then add hub_of.(i) core)
+      order;
+    Array.iteri
+      (fun i core ->
+        if i >= hubs && List.length !edges < count then add core hub_of.(i))
+      order
+  end;
+  while List.length !edges < count do
+    add (Rng.int rng cores) (Rng.int rng cores)
+  done;
+  Array.of_list (List.rev !edges)
+
+(* Log-uniform raw weights scaled to sum exactly to [total], each >= 1:
+   give every packet 1 bit, then distribute the remainder by largest
+   fractional share. *)
+let volumes rng ~packets ~total ~log_range =
+  let raw = Array.init packets (fun _ -> exp (Rng.float rng log_range)) in
+  let raw_sum = Array.fold_left ( +. ) 0.0 raw in
+  let spare = total - packets in
+  let shares = Array.map (fun w -> float_of_int spare *. w /. raw_sum) raw in
+  let base = Array.map int_of_float shares in
+  let assigned = Array.fold_left ( + ) 0 base in
+  let order = Array.init packets Fun.id in
+  Array.sort
+    (fun a b ->
+      compare (shares.(b) -. Float.of_int base.(b)) (shares.(a) -. Float.of_int base.(a)))
+    order;
+  let leftover = spare - assigned in
+  for i = 0 to leftover - 1 do
+    let idx = order.(i mod packets) in
+    base.(idx) <- base.(idx) + 1
+  done;
+  Array.map (fun b -> b + 1) base
+
+let generate rng spec =
+  check spec;
+  let count =
+    match spec.communications with
+    | Some c ->
+      if c > spec.packets then
+        invalid_arg "Generator.generate: more communicating pairs than packets";
+      c
+    | None -> default_communications spec
+  in
+  let edges = skeleton rng ~cores:spec.cores ~hubs:spec.hubs ~count in
+  let nedges = Array.length edges in
+  (* Every skeleton edge carries at least one packet; the rest are
+     drawn uniformly. *)
+  let pair_of_packet =
+    Array.init spec.packets (fun i -> if i < nedges then edges.(i) else Rng.choose rng edges)
+  in
+  Rng.shuffle_in_place rng pair_of_packet;
+  let bits = volumes rng ~packets:spec.packets ~total:spec.total_bits ~log_range:spec.volume_log_range in
+  let lo, hi = spec.compute_range in
+  let core_names = Array.init spec.cores (fun i -> Printf.sprintf "c%d" i) in
+  let packets =
+    Array.init spec.packets (fun i ->
+        let src, dst = pair_of_packet.(i) in
+        {
+          Cdcg.src;
+          dst;
+          compute = Rng.int_in rng lo hi;
+          bits = bits.(i);
+          label = Printf.sprintf "p%d" i;
+        })
+  in
+  (* Dependences only point forward in index order, so the CDCG is a DAG
+     by construction.  [latest_delivery.(core)] tracks the most recent
+     packet delivered to each core for the locality bias. *)
+  let latest_delivery = Array.make spec.cores None in
+  let deps = ref [] in
+  for q = 0 to spec.packets - 1 do
+    if q > 0 && Rng.float rng 1.0 >= spec.root_fraction then begin
+      let wanted = 1 + Rng.int rng spec.max_deps in
+      let chosen = Hashtbl.create 4 in
+      for _ = 1 to wanted do
+        let candidate =
+          if Rng.float rng 1.0 < spec.locality then latest_delivery.(packets.(q).Cdcg.src)
+          else Some (Rng.int rng q)
+        in
+        match candidate with
+        | Some p when p <> q && not (Hashtbl.mem chosen p) ->
+          Hashtbl.add chosen p ();
+          deps := (p, q) :: !deps
+        | Some _ | None -> ()
+      done
+    end;
+    latest_delivery.(packets.(q).Cdcg.dst) <- Some q
+  done;
+  Cdcg.create_exn ~name:spec.name ~core_names ~packets ~deps:(List.rev !deps)

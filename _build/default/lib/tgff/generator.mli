@@ -1,0 +1,54 @@
+(** TGFF-like random CDCG benchmark generator.
+
+    The paper's random benchmarks come from "a proprietary system,
+    similar to TGFF; however, the system describes benchmarks through
+    CDCGs, representing message dependence and bit volume of each
+    message".  This module is the open substitute: it synthesizes CDCGs
+    with a controlled number of cores, packets, communicating pairs and
+    an exact total bit volume, so every Table 1 row can be regenerated
+    with matching published statistics.
+
+    Construction:
+    + a connected communication skeleton over the cores (a ring plus
+      random chords) fixes which core pairs talk;
+    + each packet picks a skeleton edge, every edge at least once;
+    + dependences go from earlier to later packets (hence acyclic), with
+      a locality bias: a packet preferentially depends on a packet that
+      was delivered to its own source core (receive-compute-send
+      chains), mimicking real streaming applications;
+    + bit volumes are drawn log-uniformly and then scaled by the largest
+      remainder method to hit [total_bits] exactly (each >= 1 bit). *)
+
+type spec = {
+  name : string;
+  cores : int;
+  packets : int;
+  total_bits : int;
+  communications : int option;
+      (** Number of communicating core pairs; [None] uses
+          [min packets (cores + packets/4)]. *)
+  compute_range : int * int;  (** Uniform per-packet computation cycles. *)
+  root_fraction : float;      (** Fraction of packets depending on Start only. *)
+  locality : float;           (** Probability a dependence follows a
+                                  receive-compute-send chain. *)
+  max_deps : int;             (** Upper bound on dependences per packet. *)
+  volume_log_range : float;   (** Bit volumes are drawn as [exp(U(0, r))]
+                                  before scaling; larger values give a
+                                  heavier-tailed volume distribution. *)
+  hubs : int;                 (** Number of hub cores; communication pairs
+                                  preferentially involve a hub (master/DSP/
+                                  shared-memory style traffic).  0 gives a
+                                  ring-plus-chords skeleton. *)
+}
+
+val default_spec : name:string -> cores:int -> packets:int -> total_bits:int -> spec
+(** [communications = None], [compute_range = (5, 50)],
+    [root_fraction = 0.08], [locality = 0.7], [max_deps = 3],
+    [volume_log_range = 3.0], [hubs = 1]. *)
+
+val generate : Nocmap_util.Rng.t -> spec -> Nocmap_model.Cdcg.t
+(** Deterministic for a given generator state; the result always
+    validates.
+    @raise Invalid_argument on inconsistent specs (fewer packets than
+    communicating pairs, fewer than 2 cores, [total_bits < packets],
+    or out-of-range probabilities). *)

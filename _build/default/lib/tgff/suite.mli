@@ -1,0 +1,26 @@
+(** The 18-application benchmark suite of the paper's Table 1.
+
+    Each row regenerates an application whose published statistics (NoC
+    size, number of cores, number of packets, total bit volume) match
+    Table 1 exactly; the graph structure itself is synthesized by
+    {!Generator} (see DESIGN.md on this substitution). *)
+
+type row = {
+  mesh : Nocmap_noc.Mesh.t;
+  spec : Generator.spec;
+}
+
+val rows : row list
+(** The 18 rows in the paper's order: three applications for each small
+    NoC size (3x2, 2x4, 3x3, 2x5, 3x4) and one each for 8x8, 10x10 and
+    12x10. *)
+
+val instances : seed:int -> (Nocmap_noc.Mesh.t * Nocmap_model.Cdcg.t) list
+(** Deterministically generates all 18 applications. *)
+
+val small_sizes : Nocmap_noc.Mesh.t list
+(** The NoC sizes where exhaustive search is still tractable
+    (the paper's "ES and SA" group): 3x2, 2x4, 3x3, 2x5, 3x4. *)
+
+val large_sizes : Nocmap_noc.Mesh.t list
+(** 8x8, 10x10, 12x10 — simulated annealing only. *)

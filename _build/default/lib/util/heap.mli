@@ -1,0 +1,28 @@
+(** Mutable binary min-heap, used as the event queue of the wormhole
+    simulator and as a priority queue in search procedures. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** O(log n) insertion. *)
+
+val peek : 'a t -> 'a option
+(** Minimum element, if any, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}. @raise Invalid_argument on an empty heap. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap; the heap itself is not modified. *)

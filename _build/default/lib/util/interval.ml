@@ -1,0 +1,33 @@
+type t = {
+  lo : int;
+  hi : int;
+}
+
+let make ~lo ~hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let length t = t.hi - t.lo + 1
+
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let contains t x = t.lo <= x && x <= t.hi
+
+let union_span a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let compare a b =
+  match Int.compare a.lo b.lo with
+  | 0 -> Int.compare a.hi b.hi
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "[%d,%d]" t.lo t.hi
+
+let to_string t = Format.asprintf "%a" pp t
+
+let disjoint_sorted xs =
+  let sorted = List.sort compare xs in
+  let rec check = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> (not (overlaps a b)) && check rest
+  in
+  check sorted

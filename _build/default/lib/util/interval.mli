@@ -1,0 +1,36 @@
+(** Closed integer intervals [\[lo, hi\]] over discrete time (clock
+    cycles).  The simulator's cost-variable lists annotate each NoC
+    resource with the interval during which a packet occupies it, exactly
+    as in Figure 3 of the paper. *)
+
+type t = private {
+  lo : int;
+  hi : int;
+}
+
+val make : lo:int -> hi:int -> t
+(** @raise Invalid_argument if [lo > hi]. *)
+
+val length : t -> int
+(** Number of cycles covered, [hi - lo + 1]. *)
+
+val overlaps : t -> t -> bool
+(** True when the two closed intervals share at least one cycle. *)
+
+val contains : t -> int -> bool
+
+val union_span : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val compare : t -> t -> int
+(** Lexicographic on [(lo, hi)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as "[lo,hi]" matching the paper's annotation style. *)
+
+val to_string : t -> string
+
+val disjoint_sorted : t list -> bool
+(** [disjoint_sorted xs] holds when the intervals, after sorting, are
+    pairwise non-overlapping — the exclusivity invariant of contended
+    NoC links checked by property tests. *)

@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+(* Unbiased bounded integer by rejection on the top 62 bits (keeps the
+   result a non-negative OCaml int). *)
+let int t bound =
+  assert (bound > 0);
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod bound in
+    if r - v > (0x3FFFFFFFFFFFFFFF - bound + 1) then draw () else v
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let sample_without_replacement t k items =
+  assert (k <= Array.length items);
+  let a = Array.copy items in
+  shuffle_in_place t a;
+  Array.sub a 0 k

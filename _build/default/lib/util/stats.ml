@@ -1,0 +1,43 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let fold_nonempty name f = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | x :: xs -> List.fold_left f x xs
+
+let minimum xs = fold_nonempty "Stats.minimum" min xs
+
+let maximum xs = fold_nonempty "Stats.maximum" max xs
+
+let sorted xs = List.sort compare xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+    let a = Array.of_list (sorted xs) in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    a.(idx)
+
+let median xs = percentile 50.0 xs
+
+let reduction_percent ~baseline ~improved =
+  if baseline = 0.0 then 0.0 else 100.0 *. (baseline -. improved) /. baseline
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)

@@ -1,0 +1,28 @@
+(** Small descriptive-statistics helpers used by experiment reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val minimum : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val maximum : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method.
+    @raise Invalid_argument on the empty list. *)
+
+val reduction_percent : baseline:float -> improved:float -> float
+(** [reduction_percent ~baseline ~improved] is
+    [100 * (baseline - improved) / baseline] — the metric behind the
+    paper's ETR and ECS columns.  0 when [baseline = 0]. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)

@@ -1,0 +1,91 @@
+type align =
+  | Left
+  | Right
+  | Center
+
+type t = {
+  title : string option;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+  mutable summary : string array list; (* reversed *)
+}
+
+let create ?title ~columns () =
+  {
+    title;
+    headers = Array.of_list (List.map fst columns);
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+    summary = [];
+  }
+
+let check_width t cells =
+  if List.length cells <> Array.length t.headers then
+    invalid_arg "Tablefmt.add_row: wrong number of cells"
+
+let add_row t cells =
+  check_width t cells;
+  t.rows <- Array.of_list cells :: t.rows
+
+let add_summary_row t cells =
+  check_width t cells;
+  t.summary <- Array.of_list cells :: t.summary
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let account row =
+    Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter account t.rows;
+  List.iter account t.summary;
+  let buf = Buffer.create 1024 in
+  let sep_line () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row row =
+    Buffer.add_char buf '|';
+    for i = 0 to ncols - 1 do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) row.(i));
+      Buffer.add_string buf " |"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  sep_line ();
+  emit_row t.headers;
+  sep_line ();
+  List.iter emit_row (List.rev t.rows);
+  if t.summary <> [] then begin
+    sep_line ();
+    List.iter emit_row (List.rev t.summary)
+  end;
+  sep_line ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for experiment reports.
+
+    Reproducing the paper means printing the same rows the paper prints;
+    this module renders column-aligned ASCII tables with an optional
+    title and a separator before trailing summary rows (the paper's
+    "Average" row in Table 2). *)
+
+type align =
+  | Left
+  | Right
+  | Center
+
+type t
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** [create ~columns ()] starts a table whose header cells and per-column
+    alignments are given by [columns]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a data row.  @raise Invalid_argument if the row width differs
+    from the number of columns. *)
+
+val add_summary_row : t -> string list -> unit
+(** Like {!add_row} but the row is rendered below a separator line. *)
+
+val render : t -> string
+(** Renders the table with box-drawing in plain ASCII. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a newline flush. *)

@@ -1,0 +1,1 @@
+test/test_annotation_report.ml: Alcotest Array Nocmap_apps Nocmap_energy Nocmap_model Nocmap_noc Nocmap_sim Test_util

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array List Nocmap_apps Nocmap_graph Nocmap_model

@@ -1,0 +1,1 @@
+test/test_backpressure.ml: Alcotest Array Nocmap_energy Nocmap_model Nocmap_noc Nocmap_sim

@@ -1,0 +1,1 @@
+test/test_cdcg.ml: Alcotest List Nocmap_graph Nocmap_model Test_util

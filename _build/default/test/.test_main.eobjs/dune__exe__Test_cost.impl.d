@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_tgff Nocmap_util

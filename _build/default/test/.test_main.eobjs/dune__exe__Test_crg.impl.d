@@ -1,0 +1,1 @@
+test/test_crg.ml: Alcotest Array List Nocmap_graph Nocmap_noc Printf

@@ -1,0 +1,1 @@
+test/test_cwg.ml: Alcotest Nocmap_apps Nocmap_model Nocmap_tgff Nocmap_util QCheck2 QCheck_alcotest Test_util

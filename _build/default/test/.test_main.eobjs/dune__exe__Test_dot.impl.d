@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Filename Nocmap_graph Printf Sys Test_util

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest List Nocmap Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_tgff Nocmap_util Test_util

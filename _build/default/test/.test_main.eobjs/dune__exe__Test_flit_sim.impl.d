@@ -1,0 +1,1 @@
+test/test_flit_sim.ml: Alcotest Array Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_noc Nocmap_sim Nocmap_tgff Nocmap_util Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gantt.ml: Alcotest List Nocmap_apps Nocmap_energy Nocmap_noc Nocmap_sim Seq String Test_util

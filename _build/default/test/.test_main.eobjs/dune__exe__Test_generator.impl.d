@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Fun List Nocmap_graph Nocmap_model Nocmap_tgff Nocmap_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Int List Nocmap_util QCheck2 QCheck_alcotest

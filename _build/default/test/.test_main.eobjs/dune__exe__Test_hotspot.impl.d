@@ -1,0 +1,1 @@
+test/test_hotspot.ml: Alcotest List Nocmap_apps Nocmap_energy Nocmap_noc Nocmap_sim Test_util

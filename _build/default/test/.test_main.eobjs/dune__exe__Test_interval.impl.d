@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Nocmap_util QCheck2 QCheck_alcotest

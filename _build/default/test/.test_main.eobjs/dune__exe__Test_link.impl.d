@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest List Nocmap_noc Printf

@@ -1,0 +1,1 @@
+test/test_local_search.ml: Alcotest Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_noc

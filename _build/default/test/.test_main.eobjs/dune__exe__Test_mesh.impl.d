@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest List Nocmap_noc Printf QCheck2 QCheck_alcotest

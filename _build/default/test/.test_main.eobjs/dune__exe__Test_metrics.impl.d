@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Format Nocmap_apps Nocmap_model Printf Test_util

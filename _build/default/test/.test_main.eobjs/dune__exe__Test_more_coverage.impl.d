@@ -1,0 +1,1 @@
+test/test_more_coverage.ml: Alcotest Array Format Nocmap_apps Nocmap_energy Nocmap_graph Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_sim Nocmap_util Printf Test_util

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Nocmap_mapping Nocmap_util QCheck2 QCheck_alcotest Test_util

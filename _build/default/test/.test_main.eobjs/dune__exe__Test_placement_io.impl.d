@@ -1,0 +1,1 @@
+test/test_placement_io.ml: Alcotest Filename Nocmap_apps Nocmap_mapping Nocmap_model Nocmap_noc Sys Test_util

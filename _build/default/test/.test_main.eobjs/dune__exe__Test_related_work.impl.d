@@ -1,0 +1,1 @@
+test/test_related_work.ml: Alcotest Nocmap Nocmap_noc Nocmap_tgff Nocmap_util Test_util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun List Nocmap_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest List Nocmap_noc QCheck2 QCheck_alcotest

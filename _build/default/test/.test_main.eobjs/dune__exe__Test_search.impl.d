@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_model Nocmap_noc Nocmap_util

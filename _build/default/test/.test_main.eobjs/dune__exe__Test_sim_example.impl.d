@@ -1,0 +1,1 @@
+test/test_sim_example.ml: Alcotest Array List Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_noc Nocmap_sim Nocmap_util Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_suite_table1.ml: Alcotest List Nocmap Nocmap_model Nocmap_noc Nocmap_tgff Test_util

@@ -1,0 +1,1 @@
+test/test_tablefmt.ml: Alcotest List Nocmap_util String Test_util

@@ -1,0 +1,1 @@
+test/test_textio.ml: Alcotest Filename List Nocmap_apps Nocmap_model Nocmap_tgff Nocmap_util QCheck2 QCheck_alcotest Sys Test_util

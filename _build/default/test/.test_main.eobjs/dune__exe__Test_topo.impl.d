@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array List Nocmap_graph QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_torus.ml: Alcotest List Nocmap_energy Nocmap_graph Nocmap_model Nocmap_noc Nocmap_sim Printf

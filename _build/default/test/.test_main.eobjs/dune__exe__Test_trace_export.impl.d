@@ -1,0 +1,1 @@
+test/test_trace_export.ml: Alcotest Filename List Nocmap_apps Nocmap_energy Nocmap_noc Nocmap_sim String Sys Test_util

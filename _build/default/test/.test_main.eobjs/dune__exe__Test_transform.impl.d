@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array List Nocmap_apps Nocmap_energy Nocmap_graph Nocmap_model Nocmap_noc Nocmap_sim Nocmap_tgff Nocmap_util QCheck2 QCheck_alcotest Test_util

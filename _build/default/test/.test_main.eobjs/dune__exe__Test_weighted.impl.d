@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest List Nocmap_apps Nocmap_energy Nocmap_mapping Nocmap_noc Nocmap_util Printf

@@ -1,0 +1,101 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Analytic = Nocmap_sim.Analytic
+module Trace = Nocmap_sim.Trace
+module Cdcg = Nocmap_model.Cdcg
+module Rng = Nocmap_util.Rng
+module Placement = Nocmap_mapping.Placement
+module Generator = Nocmap_tgff.Generator
+module Fig1 = Nocmap_apps.Fig1
+
+let params = Noc_params.paper_example
+let crg2x2 = Crg.create (Mesh.create ~cols:2 ~rows:2)
+
+let test_fig1_mapping_d_exact () =
+  (* Mapping (d) is contention-free: the critical-path bound equals the
+     simulated 90 cycles. *)
+  let e = Analytic.estimate ~params ~crg:crg2x2 ~placement:Fig1.mapping_d Fig1.cdcg in
+  Alcotest.(check int) "critical path = texec" 90 e.Analytic.critical_path_cycles;
+  Alcotest.(check int) "lower bound" 90 e.Analytic.lower_bound_cycles
+
+let test_fig1_mapping_c_gap () =
+  (* Mapping (c) simulates to 100 cycles; the contention-free bound is
+     93: pFB1 ready at pAF1's uncontended delivery (66) + 6 compute +
+     eq(8) delay 21. *)
+  let e = Analytic.estimate ~params ~crg:crg2x2 ~placement:Fig1.mapping_c Fig1.cdcg in
+  Alcotest.(check int) "critical path without contention" 93
+    e.Analytic.critical_path_cycles;
+  Alcotest.(check (float 1e-9)) "contention share" 0.07
+    (Analytic.contention_share e ~simulated_cycles:100)
+
+let test_link_load_bound () =
+  (* Two independent packets share one link on a 1x2 mesh: the link
+     must carry 2 x 10 flit-cycles. *)
+  let cdcg =
+    Cdcg.create_exn ~name:"share" ~core_names:[| "a"; "b"; "c" |]
+      ~packets:
+        [|
+          { Cdcg.src = 0; dst = 2; compute = 0; bits = 10; label = "p" };
+          { Cdcg.src = 1; dst = 2; compute = 0; bits = 10; label = "q" };
+        |]
+      ~deps:[]
+  in
+  let crg = Crg.create (Mesh.create ~cols:3 ~rows:1) in
+  let e = Analytic.estimate ~params ~crg ~placement:[| 0; 1; 2 |] cdcg in
+  (* Both packets cross link 1->2. *)
+  Alcotest.(check int) "link load" 20 e.Analytic.link_load_cycles
+
+let prop_bound_below_simulation =
+  let gen =
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* packets = int_range 1 40 in
+      return (seed, packets))
+  in
+  QCheck2.Test.make ~name:"analytic bound never exceeds simulation" ~count:100 gen
+    (fun (seed, packets) ->
+      let rng = Rng.create ~seed in
+      let spec =
+        Generator.default_spec ~name:"b" ~cores:6 ~packets
+          ~total_bits:(packets * 80)
+      in
+      let cdcg = Generator.generate rng spec in
+      let mesh = Mesh.create ~cols:3 ~rows:3 in
+      let crg = Crg.create mesh in
+      let placement = Placement.random rng ~cores:6 ~tiles:9 in
+      let e = Analytic.estimate ~params ~crg ~placement cdcg in
+      let t = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
+      e.Analytic.lower_bound_cycles <= t.Trace.texec_cycles)
+
+let prop_no_contention_means_tight =
+  QCheck2.Test.make ~name:"zero contention means the bound is tight" ~count:100
+    (QCheck2.Gen.int_range 0 100_000) (fun seed ->
+      let rng = Rng.create ~seed in
+      let spec = Generator.default_spec ~name:"t" ~cores:5 ~packets:12 ~total_bits:900 in
+      let cdcg = Generator.generate rng spec in
+      let mesh = Mesh.create ~cols:3 ~rows:2 in
+      let crg = Crg.create mesh in
+      let placement = Placement.random rng ~cores:5 ~tiles:6 in
+      let t = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
+      let e = Analytic.estimate ~params ~crg ~placement cdcg in
+      t.Trace.contention_cycles > 0
+      || e.Analytic.critical_path_cycles = t.Trace.texec_cycles)
+
+let test_invalid_placement () =
+  Alcotest.(check bool) "rejected" true
+    (match Analytic.estimate ~params ~crg:crg2x2 ~placement:[| 0; 0; 1; 2 |] Fig1.cdcg with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  ( "analytic",
+    [
+      Alcotest.test_case "fig1 (d) exact" `Quick test_fig1_mapping_d_exact;
+      Alcotest.test_case "fig1 (c) contention gap" `Quick test_fig1_mapping_c_gap;
+      Alcotest.test_case "link load bound" `Quick test_link_load_bound;
+      QCheck_alcotest.to_alcotest prop_bound_below_simulation;
+      QCheck_alcotest.to_alcotest prop_no_contention_means_tight;
+      Alcotest.test_case "invalid placement" `Quick test_invalid_placement;
+    ] )

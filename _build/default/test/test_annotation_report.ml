@@ -1,0 +1,47 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Annotation_report = Nocmap_sim.Annotation_report
+module Features = Nocmap_model.Features
+module Fig1 = Nocmap_apps.Fig1
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+
+let trace placement =
+  Wormhole.run ~params:Noc_params.paper_example ~crg ~placement Fig1.cdcg
+
+let test_router_bits () =
+  (* Figure 2(a) router annotations: 85, 65, 70, 35 pico-bits... bits. *)
+  let bits = Annotation_report.router_bits (trace Fig1.mapping_c) in
+  Alcotest.(check (array int)) "per-router bit totals" [| 85; 65; 70; 35 |] bits
+
+let test_link_bits_sum () =
+  (* Total link bits = sum over communications of w * (K - 1):
+     A->B 15*1, A->F 15*2, B->F 40*1, E->A 35*1, F->B 15*1 = 135. *)
+  let bits = Annotation_report.link_bits ~crg (trace Fig1.mapping_c) in
+  Alcotest.(check int) "total link bits" 135 (Array.fold_left ( + ) 0 bits)
+
+let test_render_structure () =
+  let out = Annotation_report.render ~cdcg:Fig1.cdcg ~crg (trace Fig1.mapping_c) in
+  Test_util.check_contains ~msg:"router line" ~needle:"router 0" out;
+  Test_util.check_contains ~msg:"figure 3 entry" ~needle:"15(A->F):[46,69]" out;
+  Test_util.check_contains ~msg:"link line" ~needle:"link L(0->2)" out
+
+let test_features_on_fig1 () =
+  let f = Features.of_cdcg Fig1.cdcg in
+  Alcotest.(check int) "cores" 4 f.Features.cores;
+  Alcotest.(check int) "packets" 6 f.Features.packets;
+  Alcotest.(check int) "bits" 120 f.Features.total_bits;
+  Alcotest.(check int) "deps" 5 f.Features.dependences;
+  Alcotest.(check int) "comms" 5 f.Features.communications;
+  Alcotest.(check (float 1e-9)) "ndp/ncc" (11.0 /. 5.0) (Features.ndp_over_ncc f)
+
+let suite =
+  ( "annotation-report",
+    [
+      Alcotest.test_case "router bits (fig 2)" `Quick test_router_bits;
+      Alcotest.test_case "link bits" `Quick test_link_bits_sum;
+      Alcotest.test_case "render structure" `Quick test_render_structure;
+      Alcotest.test_case "features on fig1" `Quick test_features_on_fig1;
+    ] )

@@ -1,0 +1,76 @@
+(* Bounded-buffer backpressure: a three-packet cascade on a 1x4 row.
+
+   P0 (x at tile 2 -> y at tile 3) hogs the last link; P1 (s at tile 0 ->
+   y) stalls behind it at router 2; with buffers smaller than P1, P1
+   keeps holding link 1->2, which delays the unrelated P2 (z at tile 1 ->
+   x at tile 2).  With unbounded buffers P2 never waits. *)
+
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Cdcg = Nocmap_model.Cdcg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Trace = Nocmap_sim.Trace
+
+let cdcg =
+  Cdcg.create_exn ~name:"cascade" ~core_names:[| "s"; "z"; "x"; "y" |]
+    ~packets:
+      [|
+        { Cdcg.src = 2; dst = 3; compute = 0; bits = 12; label = "P0" };
+        { Cdcg.src = 0; dst = 3; compute = 0; bits = 6; label = "P1" };
+        { Cdcg.src = 1; dst = 2; compute = 11; bits = 4; label = "P2" };
+      |]
+    ~deps:[]
+
+let crg = Crg.create (Mesh.create ~cols:4 ~rows:1)
+let placement = [| 0; 1; 2; 3 |]
+
+let run buffering =
+  Wormhole.run ~params:(Noc_params.make ~buffering ()) ~crg ~placement cdcg
+
+let delivered t i = t.Trace.packets.(i).Trace.delivered
+
+let test_unbounded_baseline () =
+  let t = run Noc_params.Unbounded in
+  (* P1 (K = 4 routers, 6 flits) would deliver at 1 + 4*(2+1) + 6 - 1
+     = 18 uncontended; it waits 8 cycles at router 2 for P0's link
+     2->3 (service [1,14], free at 15), so it delivers at 26.  P2 is
+     never blocked: sent at 11, K=2, n=4 -> 11 + 2*3 + 4 = 21. *)
+  Alcotest.(check int) "P0" 18 (delivered t 0);
+  Alcotest.(check int) "P1 stalls behind P0" 26 (delivered t 1);
+  Alcotest.(check int) "P2 unaffected" 21 (delivered t 2);
+  Alcotest.(check int) "texec" 26 t.Trace.texec_cycles
+
+let test_large_buffers_match_unbounded () =
+  let unbounded = run Noc_params.Unbounded in
+  let large = run (Noc_params.Bounded 64) in
+  Alcotest.(check int) "texec equal" unbounded.Trace.texec_cycles
+    large.Trace.texec_cycles;
+  Alcotest.(check int) "P2 equal" (delivered unbounded 2) (delivered large 2)
+
+let test_small_buffers_cascade () =
+  let unbounded = run Noc_params.Unbounded in
+  let tight = run (Noc_params.Bounded 2) in
+  (* The overflow of stalled P1 keeps holding link 1->2, so P2 (which
+     shares only that link with P1) is delivered strictly later. *)
+  Alcotest.(check bool) "P2 delayed by backpressure" true
+    (delivered tight 2 > delivered unbounded 2);
+  Alcotest.(check bool) "texec grows" true
+    (tight.Trace.texec_cycles > unbounded.Trace.texec_cycles)
+
+let test_monotone_in_capacity () =
+  let texec c = (run (Noc_params.Bounded c)).Trace.texec_cycles in
+  let unbounded = (run Noc_params.Unbounded).Trace.texec_cycles in
+  let t2 = texec 2 and t4 = texec 4 and t16 = texec 16 in
+  Alcotest.(check bool) "2 >= 4 >= 16 >= unbounded" true
+    (t2 >= t4 && t4 >= t16 && t16 >= unbounded)
+
+let suite =
+  ( "backpressure",
+    [
+      Alcotest.test_case "unbounded baseline" `Quick test_unbounded_baseline;
+      Alcotest.test_case "large buffers = unbounded" `Quick
+        test_large_buffers_match_unbounded;
+      Alcotest.test_case "small buffers cascade" `Quick test_small_buffers_cascade;
+      Alcotest.test_case "monotone in capacity" `Quick test_monotone_in_capacity;
+    ] )

@@ -1,0 +1,58 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Routing = Nocmap_noc.Routing
+module Link = Nocmap_noc.Link
+module Digraph = Nocmap_graph.Digraph
+
+let test_paths_match_routing () =
+  let mesh = Mesh.create ~cols:3 ~rows:4 in
+  let crg = Crg.create mesh in
+  for src = 0 to 11 do
+    for dst = 0 to 11 do
+      let path = Crg.path crg ~src ~dst in
+      Alcotest.(check (list int))
+        (Printf.sprintf "path %d->%d" src dst)
+        (Routing.router_path mesh Routing.Xy ~src ~dst)
+        (Array.to_list path.Crg.routers);
+      Alcotest.(check int)
+        (Printf.sprintf "links %d->%d" src dst)
+        (Array.length path.Crg.routers - 1)
+        (Array.length path.Crg.links)
+    done
+  done
+
+let test_router_count () =
+  let crg = Crg.create (Mesh.create ~cols:3 ~rows:3) in
+  Alcotest.(check int) "corner to corner" 5 (Crg.router_count_on_path crg ~src:0 ~dst:8);
+  Alcotest.(check int) "self" 1 (Crg.router_count_on_path crg ~src:4 ~dst:4)
+
+let test_yx_routing_option () =
+  let mesh = Mesh.create ~cols:3 ~rows:3 in
+  let crg = Crg.create ~routing:Routing.Yx mesh in
+  Alcotest.(check bool) "routing recorded" true (Crg.routing crg = Routing.Yx);
+  let path = Crg.path crg ~src:0 ~dst:8 in
+  Alcotest.(check (list int)) "yx path" [ 0; 3; 6; 7; 8 ] (Array.to_list path.Crg.routers)
+
+let test_out_of_range () =
+  let crg = Crg.create (Mesh.create ~cols:2 ~rows:2) in
+  Alcotest.check_raises "src range" (Invalid_argument "Crg.path: tile out of range")
+    (fun () -> ignore (Crg.path crg ~src:4 ~dst:0))
+
+let test_to_digraph () =
+  let mesh = Mesh.create ~cols:2 ~rows:2 in
+  let g = Crg.to_digraph (Crg.create mesh) in
+  Alcotest.(check int) "vertices" 4 (Digraph.vertex_count g);
+  Alcotest.(check int) "edges = physical links" (List.length (Link.all mesh))
+    (Digraph.edge_count g);
+  Alcotest.(check bool) "adjacency respected" true (Digraph.mem_edge g ~src:0 ~dst:1);
+  Alcotest.(check bool) "no diagonal" false (Digraph.mem_edge g ~src:0 ~dst:3)
+
+let suite =
+  ( "crg",
+    [
+      Alcotest.test_case "paths match routing" `Quick test_paths_match_routing;
+      Alcotest.test_case "router count" `Quick test_router_count;
+      Alcotest.test_case "yx option" `Quick test_yx_routing_option;
+      Alcotest.test_case "out of range" `Quick test_out_of_range;
+      Alcotest.test_case "to_digraph" `Quick test_to_digraph;
+    ] )

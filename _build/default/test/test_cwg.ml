@@ -1,0 +1,65 @@
+module Cwg = Nocmap_model.Cwg
+module Cdcg = Nocmap_model.Cdcg
+module Fig1 = Nocmap_apps.Fig1
+
+let test_create_accumulates () =
+  let t =
+    Cwg.create_exn ~name:"x" ~core_names:[| "a"; "b" |]
+      ~edges:[ (0, 1, 10); (0, 1, 5); (1, 0, 3) ]
+  in
+  Alcotest.(check int) "accumulated" 15 (Cwg.weight t ~src:0 ~dst:1);
+  Alcotest.(check int) "reverse" 3 (Cwg.weight t ~src:1 ~dst:0);
+  Alcotest.(check int) "ncc" 2 (Cwg.ncc t);
+  Alcotest.(check int) "total" 18 (Cwg.total_bits t)
+
+let test_create_errors () =
+  let check_error ~needle edges =
+    match Cwg.create ~name:"x" ~core_names:[| "a"; "b" |] ~edges with
+    | Ok _ -> Alcotest.fail "expected error"
+    | Error msg -> Test_util.check_contains ~msg:"error" ~needle msg
+  in
+  check_error ~needle:"self communication" [ (0, 0, 5) ];
+  check_error ~needle:"out of range" [ (0, 5, 5) ];
+  check_error ~needle:"volume must be positive" [ (0, 1, 0) ]
+
+let test_of_cdcg_fig1 () =
+  (* The paper's Figure 1(a): wAB=15, wAF=15, wBF=40, wEA=35, wFB=15. *)
+  let cwg = Fig1.cwg in
+  let w src dst = Cwg.weight cwg ~src ~dst in
+  Alcotest.(check int) "wAB" 15 (w Fig1.core_a Fig1.core_b);
+  Alcotest.(check int) "wAF" 15 (w Fig1.core_a Fig1.core_f);
+  Alcotest.(check int) "wBF" 40 (w Fig1.core_b Fig1.core_f);
+  Alcotest.(check int) "wEA (two packets summed)" 35 (w Fig1.core_e Fig1.core_a);
+  Alcotest.(check int) "wFB" 15 (w Fig1.core_f Fig1.core_b);
+  Alcotest.(check int) "ncc" 5 (Cwg.ncc cwg)
+
+let test_communications_sorted () =
+  let t =
+    Cwg.create_exn ~name:"x" ~core_names:[| "a"; "b"; "c" |]
+      ~edges:[ (2, 0, 1); (0, 1, 2); (1, 2, 3) ]
+  in
+  Alcotest.(check (list (triple int int int))) "ordered by (src,dst)"
+    [ (0, 1, 2); (1, 2, 3); (2, 0, 1) ]
+    (Cwg.communications t)
+
+let prop_projection_preserves_volume =
+  let gen = QCheck2.Gen.int_range 0 10_000 in
+  QCheck2.Test.make ~name:"CDCG -> CWG projection preserves total volume" ~count:50
+    gen (fun seed ->
+      let rng = Nocmap_util.Rng.create ~seed in
+      let spec =
+        Nocmap_tgff.Generator.default_spec ~name:"p" ~cores:6 ~packets:20
+          ~total_bits:5_000
+      in
+      let cdcg = Nocmap_tgff.Generator.generate rng spec in
+      Cwg.total_bits (Cwg.of_cdcg cdcg) = Cdcg.total_bits cdcg)
+
+let suite =
+  ( "cwg",
+    [
+      Alcotest.test_case "create accumulates" `Quick test_create_accumulates;
+      Alcotest.test_case "create errors" `Quick test_create_errors;
+      Alcotest.test_case "of_cdcg on fig1" `Quick test_of_cdcg_fig1;
+      Alcotest.test_case "communications sorted" `Quick test_communications_sorted;
+      QCheck_alcotest.to_alcotest prop_projection_preserves_volume;
+    ] )

@@ -1,0 +1,81 @@
+module Digraph = Nocmap_graph.Digraph
+
+let test_create () =
+  let g = Digraph.create ~n:3 in
+  Alcotest.(check int) "vertices" 3 (Digraph.vertex_count g);
+  Alcotest.(check int) "edges" 0 (Digraph.edge_count g)
+
+let test_create_negative () =
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Digraph.create: negative size") (fun () ->
+      ignore (Digraph.create ~n:(-1)))
+
+let test_add_edge_and_adjacency () =
+  let g = Digraph.create ~n:4 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:10;
+  Digraph.add_edge g ~src:0 ~dst:2 ~label:20;
+  Digraph.add_edge g ~src:3 ~dst:0 ~label:30;
+  Alcotest.(check int) "edge count" 3 (Digraph.edge_count g);
+  Alcotest.(check (list (pair int int))) "successors in insertion order"
+    [ (1, 10); (2, 20) ] (Digraph.successors g 0);
+  Alcotest.(check (list (pair int int))) "predecessors" [ (3, 30) ]
+    (Digraph.predecessors g 0);
+  Alcotest.(check int) "out degree" 2 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in degree" 1 (Digraph.in_degree g 0)
+
+let test_out_of_range () =
+  let g = Digraph.create ~n:2 in
+  Alcotest.check_raises "src out of range"
+    (Invalid_argument "Digraph.add_edge: vertex out of range") (fun () ->
+      Digraph.add_edge g ~src:5 ~dst:0 ~label:0)
+
+let test_parallel_edges () =
+  let g = Digraph.create ~n:2 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:1;
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:2;
+  Alcotest.(check int) "both stored" 2 (List.length (Digraph.successors g 0));
+  Alcotest.(check int) "first label wins lookup" 1 (Digraph.label g ~src:0 ~dst:1)
+
+let test_mem_and_label () =
+  let g = Digraph.create ~n:3 in
+  Digraph.add_edge g ~src:1 ~dst:2 ~label:7;
+  Alcotest.(check bool) "mem present" true (Digraph.mem_edge g ~src:1 ~dst:2);
+  Alcotest.(check bool) "mem absent" false (Digraph.mem_edge g ~src:2 ~dst:1);
+  Alcotest.check_raises "label absent" Not_found (fun () ->
+      ignore (Digraph.label g ~src:0 ~dst:1))
+
+let test_transpose () =
+  let g = Digraph.create ~n:3 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:5;
+  Digraph.add_edge g ~src:1 ~dst:2 ~label:6;
+  let t = Digraph.transpose g in
+  Alcotest.(check bool) "reversed edge" true (Digraph.mem_edge t ~src:1 ~dst:0);
+  Alcotest.(check bool) "original direction gone" false (Digraph.mem_edge t ~src:0 ~dst:1);
+  Alcotest.(check int) "labels preserved" 5 (Digraph.label t ~src:1 ~dst:0)
+
+let test_map_labels () =
+  let g = Digraph.create ~n:2 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:3;
+  let doubled = Digraph.map_labels g ~f:(fun ~src:_ ~dst:_ ~label -> 2 * label) in
+  Alcotest.(check int) "doubled" 6 (Digraph.label doubled ~src:0 ~dst:1)
+
+let test_fold_edges () =
+  let g = Digraph.create ~n:3 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:1;
+  Digraph.add_edge g ~src:1 ~dst:2 ~label:2;
+  let sum = Digraph.fold_edges g ~init:0 ~f:(fun acc ~src:_ ~dst:_ ~label -> acc + label) in
+  Alcotest.(check int) "label sum" 3 sum
+
+let suite =
+  ( "digraph",
+    [
+      Alcotest.test_case "create" `Quick test_create;
+      Alcotest.test_case "create negative" `Quick test_create_negative;
+      Alcotest.test_case "adjacency" `Quick test_add_edge_and_adjacency;
+      Alcotest.test_case "out of range" `Quick test_out_of_range;
+      Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+      Alcotest.test_case "mem/label" `Quick test_mem_and_label;
+      Alcotest.test_case "transpose" `Quick test_transpose;
+      Alcotest.test_case "map labels" `Quick test_map_labels;
+      Alcotest.test_case "fold edges" `Quick test_fold_edges;
+    ] )

@@ -1,0 +1,48 @@
+module Digraph = Nocmap_graph.Digraph
+module Dot = Nocmap_graph.Dot
+
+let sample () =
+  let g = Digraph.create ~n:2 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:42;
+  g
+
+let test_render_structure () =
+  let doc =
+    Dot.render ~graph_name:"test" ~vertex_name:(Printf.sprintf "v%d") (sample ())
+  in
+  Test_util.check_contains ~msg:"digraph header" ~needle:"digraph \"test\"" doc;
+  Test_util.check_contains ~msg:"vertex" ~needle:"\"v0\";" doc;
+  Test_util.check_contains ~msg:"edge" ~needle:"\"v0\" -> \"v1\"" doc
+
+let test_attributes () =
+  let doc =
+    Dot.render ~vertex_name:(Printf.sprintf "v%d")
+      ~vertex_attrs:(fun v -> [ ("shape", if v = 0 then "box" else "circle") ])
+      ~edge_attrs:(fun ~src:_ ~dst:_ ~label -> [ ("label", string_of_int label) ])
+      (sample ())
+  in
+  Test_util.check_contains ~msg:"vertex attr" ~needle:"[shape=\"box\"]" doc;
+  Test_util.check_contains ~msg:"edge attr" ~needle:"[label=\"42\"]" doc
+
+let test_escaping () =
+  let g = Digraph.create ~n:1 in
+  let doc = Dot.render ~vertex_name:(fun _ -> "we\"ird\\name") g in
+  Test_util.check_contains ~msg:"escaped quote" ~needle:"we\\\"ird\\\\name" doc
+
+let test_save () =
+  let path = Filename.temp_file "nocmap" ".dot" in
+  Dot.save ~path "digraph {}\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "digraph {}" line
+
+let suite =
+  ( "dot",
+    [
+      Alcotest.test_case "render structure" `Quick test_render_structure;
+      Alcotest.test_case "attributes" `Quick test_attributes;
+      Alcotest.test_case "escaping" `Quick test_escaping;
+      Alcotest.test_case "save" `Quick test_save;
+    ] )

@@ -1,0 +1,110 @@
+module Technology = Nocmap_energy.Technology
+module Noc_params = Nocmap_energy.Noc_params
+module Equations = Nocmap_energy.Equations
+
+let feq = Alcotest.float 1e-20
+
+let tech1pj =
+  Technology.make ~name:"unit" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
+    ~p_s_router:0.025e-12 ()
+
+let test_technology_table () =
+  Alcotest.(check int) "four points" 4 (List.length Technology.all);
+  Alcotest.(check bool) "lookup" true (Technology.of_name "0.07um" = Some Technology.t007);
+  Alcotest.(check bool) "lookup miss" true (Technology.of_name "90nm" = None);
+  (* dynamic energy shrinks, static share grows along the scaling path *)
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "ERbit decreases" true
+        (b.Technology.e_rbit < a.Technology.e_rbit);
+      Alcotest.(check bool) "leakage per router grows" true
+        (b.Technology.p_s_router > a.Technology.p_s_router);
+      pairwise rest
+    | [ _ ] | [] -> ()
+  in
+  pairwise Technology.all
+
+let test_technology_validation () =
+  Alcotest.check_raises "zero dynamic energy"
+    (Invalid_argument "Technology.make: dynamic bit energies must be positive")
+    (fun () ->
+      ignore
+        (Technology.make ~name:"bad" ~feature_nm:1 ~e_rbit:0.0 ~e_lbit:1.0
+           ~p_s_router:0.0 ()))
+
+let test_ebit_path () =
+  (* Equation (2) with ERbit = ELbit = 1 pJ: K routers cost 2K-1 pJ. *)
+  Alcotest.check feq "K=1" 1.0e-12 (Equations.ebit_path tech1pj ~routers:1);
+  Alcotest.check feq "K=2" 3.0e-12 (Equations.ebit_path tech1pj ~routers:2);
+  Alcotest.check feq "K=3" 5.0e-12 (Equations.ebit_path tech1pj ~routers:3);
+  Alcotest.check_raises "K=0"
+    (Invalid_argument "Equations.ebit_path: need at least one router") (fun () ->
+      ignore (Equations.ebit_path tech1pj ~routers:0))
+
+let test_communication_energy () =
+  (* The paper's E->A example: 35 bits across 2 routers = 105 pJ. *)
+  Alcotest.check feq "E->A" 105.0e-12
+    (Equations.communication_energy tech1pj ~routers:2 ~bits:35)
+
+let test_static () =
+  (* The paper's example: PstNoC = 0.1 pJ/ns over 4 tiles, 100 ns -> 10 pJ. *)
+  Alcotest.check feq "PstNoC" 0.1e-12 (Equations.static_power tech1pj ~tiles:4);
+  Alcotest.check feq "EStNoC" 10.0e-12
+    (Equations.static_energy tech1pj ~tiles:4 ~texec_ns:100.0);
+  Alcotest.check feq "ENoC" 400.0e-12
+    (Equations.total_energy ~dynamic:390.0e-12
+       ~static_:(Equations.static_energy tech1pj ~tiles:4 ~texec_ns:100.0))
+
+let test_static_share () =
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Equations.static_share ~dynamic:1.0 ~static_:1.0);
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Equations.static_share ~dynamic:0.0 ~static_:0.0)
+
+let test_params_defaults () =
+  let p = Noc_params.paper_example in
+  Alcotest.(check int) "tr" 2 p.Noc_params.tr;
+  Alcotest.(check int) "tl" 1 p.Noc_params.tl;
+  Alcotest.(check int) "flit" 1 p.Noc_params.flit_bits;
+  Alcotest.(check bool) "unbounded" true (p.Noc_params.buffering = Noc_params.Unbounded)
+
+let test_params_validation () =
+  Alcotest.check_raises "bad tr"
+    (Invalid_argument "Noc_params.make: tr and tl must be positive") (fun () ->
+      ignore (Noc_params.make ~tr:0 ()));
+  Alcotest.check_raises "bad buffer"
+    (Invalid_argument "Noc_params.make: buffer capacity must be positive") (fun () ->
+      ignore (Noc_params.make ~buffering:(Noc_params.Bounded 0) ()))
+
+let test_flits_of_bits () =
+  let p16 = Noc_params.make ~flit_bits:16 () in
+  Alcotest.(check int) "exact" 2 (Noc_params.flits_of_bits p16 32);
+  Alcotest.(check int) "round up" 3 (Noc_params.flits_of_bits p16 33);
+  Alcotest.(check int) "tiny packet" 1 (Noc_params.flits_of_bits p16 1);
+  Alcotest.check_raises "zero bits"
+    (Invalid_argument "Noc_params.flits_of_bits: bits must be positive") (fun () ->
+      ignore (Noc_params.flits_of_bits p16 0))
+
+let test_delay_equations () =
+  let p = Noc_params.paper_example in
+  (* Equation (8) on the paper's A->B packet: K=2, n=15 -> 21 cycles. *)
+  Alcotest.(check int) "eq 8" 21 (Noc_params.total_delay_cycles p ~routers:2 ~flits:15);
+  (* (6) + (7) = (8) *)
+  Alcotest.(check int) "6 plus 7 equals 8"
+    (Noc_params.total_delay_cycles p ~routers:3 ~flits:40)
+    (Noc_params.routing_delay_cycles p ~routers:3
+    + Noc_params.packet_delay_cycles p ~flits:40);
+  Alcotest.(check (float 1e-9)) "cycles to ns" 21.0 (Noc_params.cycles_to_ns p 21)
+
+let suite =
+  ( "energy",
+    [
+      Alcotest.test_case "technology table" `Quick test_technology_table;
+      Alcotest.test_case "technology validation" `Quick test_technology_validation;
+      Alcotest.test_case "ebit path (eq 2)" `Quick test_ebit_path;
+      Alcotest.test_case "communication energy" `Quick test_communication_energy;
+      Alcotest.test_case "static (eq 5/9/10)" `Quick test_static;
+      Alcotest.test_case "static share" `Quick test_static_share;
+      Alcotest.test_case "params defaults" `Quick test_params_defaults;
+      Alcotest.test_case "params validation" `Quick test_params_validation;
+      Alcotest.test_case "flits of bits" `Quick test_flits_of_bits;
+      Alcotest.test_case "delay equations (6-8)" `Quick test_delay_equations;
+    ] )

@@ -1,0 +1,99 @@
+(* Cross-validation: the cycle-accurate flit-level simulator must agree
+   exactly with the event-driven wormhole simulator under the shared
+   model assumptions (unbounded buffers, tl = 1, FCFS-by-(arrival,
+   packet) arbitration). *)
+
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Flit_sim = Nocmap_sim.Flit_sim
+module Trace = Nocmap_sim.Trace
+module Rng = Nocmap_util.Rng
+module Placement = Nocmap_mapping.Placement
+module Generator = Nocmap_tgff.Generator
+module Fig1 = Nocmap_apps.Fig1
+
+let params = Noc_params.paper_example
+
+let test_fig1_agreement () =
+  let crg = Crg.create (Mesh.create ~cols:2 ~rows:2) in
+  let check placement expected =
+    let flit = Flit_sim.run ~params ~crg ~placement Fig1.cdcg in
+    let worm = Wormhole.run ~trace:false ~params ~crg ~placement Fig1.cdcg in
+    Alcotest.(check int) "matches the paper" expected flit.Flit_sim.texec_cycles;
+    Alcotest.(check int) "matches wormhole" worm.Trace.texec_cycles
+      flit.Flit_sim.texec_cycles;
+    Array.iteri
+      (fun i (pt : Trace.packet_trace) ->
+        Alcotest.(check int)
+          (Printf.sprintf "packet %d delivery" i)
+          pt.Trace.delivered
+          flit.Flit_sim.delivered.(i))
+      worm.Trace.packets
+  in
+  check Fig1.mapping_c 100;
+  check Fig1.mapping_d 90
+
+let gen_scenario =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* cols = int_range 2 4 in
+    let* rows = int_range 2 3 in
+    let mesh = Mesh.create ~cols ~rows in
+    let tiles = Mesh.tile_count mesh in
+    let rng = Rng.create ~seed in
+    let* cores = int_range 2 (min 7 tiles) in
+    let* packets = int_range 1 30 in
+    let spec =
+      Generator.default_spec ~name:"x" ~cores ~packets ~total_bits:(packets * 40)
+    in
+    let cdcg = Generator.generate rng spec in
+    let placement = Placement.random rng ~cores ~tiles in
+    return (mesh, cdcg, placement))
+
+let prop_agreement =
+  QCheck2.Test.make ~name:"flit-level and event-driven simulators agree" ~count:120
+    gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let flit = Flit_sim.run ~params ~crg ~placement cdcg in
+      let worm = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
+      flit.Flit_sim.texec_cycles = worm.Trace.texec_cycles
+      && Array.for_all2
+           (fun d (pt : Trace.packet_trace) -> d = pt.Trace.delivered)
+           flit.Flit_sim.delivered worm.Trace.packets)
+
+let test_rejects_bounded () =
+  let crg = Crg.create (Mesh.create ~cols:2 ~rows:2) in
+  let bounded = Noc_params.make ~buffering:(Noc_params.Bounded 4) () in
+  Alcotest.(check bool) "bounded rejected" true
+    (match Flit_sim.run ~params:bounded ~crg ~placement:Fig1.mapping_c Fig1.cdcg with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_rejects_wide_links () =
+  let crg = Crg.create (Mesh.create ~cols:2 ~rows:2) in
+  let wide = Noc_params.make ~tl:2 () in
+  Alcotest.(check bool) "tl <> 1 rejected" true
+    (match Flit_sim.run ~params:wide ~crg ~placement:Fig1.mapping_c Fig1.cdcg with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_max_cycles_guard () =
+  let crg = Crg.create (Mesh.create ~cols:2 ~rows:2) in
+  Alcotest.(check bool) "budget guard" true
+    (match
+       Flit_sim.run ~params ~crg ~placement:Fig1.mapping_c ~max_cycles:10 Fig1.cdcg
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  ( "flit-sim",
+    [
+      Alcotest.test_case "fig1 agreement" `Quick test_fig1_agreement;
+      QCheck_alcotest.to_alcotest prop_agreement;
+      Alcotest.test_case "rejects bounded buffers" `Quick test_rejects_bounded;
+      Alcotest.test_case "rejects wide flits" `Quick test_rejects_wide_links;
+      Alcotest.test_case "max cycles guard" `Quick test_max_cycles_guard;
+    ] )

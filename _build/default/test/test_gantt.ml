@@ -1,0 +1,77 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Gantt = Nocmap_sim.Gantt
+module Fig1 = Nocmap_apps.Fig1
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+let params = Noc_params.paper_example
+
+let trace () = Wormhole.run ~params ~crg ~placement:Fig1.mapping_c Fig1.cdcg
+
+let test_row_per_packet () =
+  let rendered = Gantt.render ~params ~cdcg:Fig1.cdcg (trace ()) in
+  let rows =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun l -> Test_util.contains_substring ~needle:"|" l)
+  in
+  Alcotest.(check int) "six packet rows" 6 (List.length rows)
+
+let test_width_respected () =
+  let rendered = Gantt.render ~params ~cdcg:Fig1.cdcg ~width:40 (trace ()) in
+  String.split_on_char '\n' rendered
+  |> List.iter (fun line ->
+         match String.index_opt line '|' with
+         | Some first -> begin
+           match String.rindex_opt line '|' with
+           | Some last -> Alcotest.(check int) "timeline width" 41 (last - first)
+           | None -> ()
+         end
+         | None -> ())
+
+let test_header_reports_texec () =
+  let rendered = Gantt.render ~params ~cdcg:Fig1.cdcg (trace ()) in
+  Test_util.check_contains ~msg:"cycle count" ~needle:"time 0 .. 100 cycles" rendered;
+  Test_util.check_contains ~msg:"nanoseconds" ~needle:"(100 ns)" rendered
+
+let test_computation_prefix () =
+  (* Every row starts with '=' (computation) unless computation is 0 and
+     the row begins mid-axis; in fig1 all packets compute first. *)
+  let rendered = Gantt.render ~params ~cdcg:Fig1.cdcg (trace ()) in
+  let rows =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun l -> Test_util.contains_substring ~needle:"):" l)
+  in
+  List.iter
+    (fun row ->
+      match String.index_opt row '|' with
+      | None -> ()
+      | Some bar ->
+        let timeline = String.sub row (bar + 1) (String.length row - bar - 2) in
+        let first_mark =
+          String.to_seq timeline |> Seq.drop_while (fun c -> c = ' ') |> Seq.uncons
+        in
+        (match first_mark with
+        | Some (c, _) -> Alcotest.(check char) "starts with computation" '=' c
+        | None -> Alcotest.fail "empty timeline"))
+    rows
+
+let test_requires_traced_run () =
+  let untraced =
+    Wormhole.run ~trace:false ~params ~crg ~placement:Fig1.mapping_c Fig1.cdcg
+  in
+  Alcotest.(check bool) "rejects traceless" true
+    (match Gantt.render ~params ~cdcg:Fig1.cdcg untraced with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  ( "gantt",
+    [
+      Alcotest.test_case "row per packet" `Quick test_row_per_packet;
+      Alcotest.test_case "width respected" `Quick test_width_respected;
+      Alcotest.test_case "header reports texec" `Quick test_header_reports_texec;
+      Alcotest.test_case "computation prefix" `Quick test_computation_prefix;
+      Alcotest.test_case "requires traced run" `Quick test_requires_traced_run;
+    ] )

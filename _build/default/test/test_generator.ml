@@ -1,0 +1,118 @@
+module Generator = Nocmap_tgff.Generator
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Rng = Nocmap_util.Rng
+
+let gen_params =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* cores = int_range 2 20 in
+    let* packets = int_range 1 80 in
+    let* bits_per_packet = int_range 1 5_000 in
+    return (seed, cores, packets, packets * bits_per_packet))
+
+let generate (seed, cores, packets, total_bits) =
+  let spec = Generator.default_spec ~name:"g" ~cores ~packets ~total_bits in
+  Generator.generate (Rng.create ~seed) spec
+
+let prop_statistics_exact =
+  QCheck2.Test.make ~name:"generated stats match the spec exactly" ~count:200
+    gen_params (fun ((_, cores, packets, total_bits) as p) ->
+      let cdcg = generate p in
+      Cdcg.core_count cdcg = cores
+      && Cdcg.packet_count cdcg = packets
+      && Cdcg.total_bits cdcg = total_bits)
+
+let prop_every_core_communicates =
+  QCheck2.Test.make ~name:"every core appears in some communication" ~count:100
+    gen_params (fun ((_, cores, packets, _) as p) ->
+      QCheck2.assume (packets >= 2 * cores);
+      let cwg = Cwg.of_cdcg (generate p) in
+      List.for_all
+        (fun core ->
+          List.exists
+            (fun (s, d, _) -> s = core || d = core)
+            (Cwg.communications cwg))
+        (List.init cores Fun.id))
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"same seed, same benchmark" ~count:50 gen_params
+    (fun ((seed, _, _, _) as p) ->
+      ignore seed;
+      let a = generate p and b = generate p in
+      a.Cdcg.packets = b.Cdcg.packets && a.Cdcg.deps = b.Cdcg.deps)
+
+let test_different_seeds_differ () =
+  let spec = Generator.default_spec ~name:"g" ~cores:6 ~packets:30 ~total_bits:9_000 in
+  let a = Generator.generate (Rng.create ~seed:1) spec in
+  let b = Generator.generate (Rng.create ~seed:2) spec in
+  Alcotest.(check bool) "structures differ" true (a.Cdcg.packets <> b.Cdcg.packets)
+
+let test_spec_validation () =
+  let base = Generator.default_spec ~name:"g" ~cores:4 ~packets:10 ~total_bits:100 in
+  let rejects spec =
+    match Generator.generate (Rng.create ~seed:1) spec with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "one core" true (rejects { base with Generator.cores = 1 });
+  Alcotest.(check bool) "zero packets" true (rejects { base with Generator.packets = 0 });
+  Alcotest.(check bool) "too few bits" true
+    (rejects { base with Generator.total_bits = 5 });
+  Alcotest.(check bool) "bad locality" true
+    (rejects { base with Generator.locality = 1.5 });
+  Alcotest.(check bool) "bad root fraction" true
+    (rejects { base with Generator.root_fraction = -0.1 });
+  Alcotest.(check bool) "bad max_deps" true (rejects { base with Generator.max_deps = 0 });
+  Alcotest.(check bool) "bad hubs" true (rejects { base with Generator.hubs = 4 });
+  Alcotest.(check bool) "bad volume range" true
+    (rejects { base with Generator.volume_log_range = -1.0 });
+  Alcotest.(check bool) "too many comms" true
+    (rejects { base with Generator.communications = Some 11 })
+
+let test_communications_bound () =
+  let spec =
+    {
+      (Generator.default_spec ~name:"g" ~cores:6 ~packets:40 ~total_bits:4_000) with
+      Generator.communications = Some 9;
+    }
+  in
+  let cdcg = Generator.generate (Rng.create ~seed:3) spec in
+  Alcotest.(check int) "exactly the requested pair count" 9
+    (Cwg.ncc (Cwg.of_cdcg cdcg))
+
+let test_hub_concentration () =
+  (* With one hub, most communications touch a single core. *)
+  let spec = Generator.default_spec ~name:"g" ~cores:8 ~packets:60 ~total_bits:6_000 in
+  let cdcg = Generator.generate (Rng.create ~seed:11) spec in
+  let cwg = Cwg.of_cdcg cdcg in
+  let touches core =
+    List.length
+      (List.filter (fun (s, d, _) -> s = core || d = core) (Cwg.communications cwg))
+  in
+  let max_touches =
+    List.fold_left max 0 (List.init 8 touches)
+  in
+  Alcotest.(check bool) "a hub touches most pairs" true
+    (max_touches >= Cwg.ncc cwg / 2)
+
+let test_validates_as_dag () =
+  (* Deps must always form a DAG; Cdcg.create_exn inside generate would
+     raise otherwise, but double-check with an explicit topo sort. *)
+  let spec = Generator.default_spec ~name:"g" ~cores:5 ~packets:50 ~total_bits:5_000 in
+  let cdcg = Generator.generate (Rng.create ~seed:21) spec in
+  Alcotest.(check bool) "acyclic" true
+    (Nocmap_graph.Topo.is_dag (Cdcg.to_digraph cdcg))
+
+let suite =
+  ( "tgff-generator",
+    [
+      QCheck_alcotest.to_alcotest prop_statistics_exact;
+      QCheck_alcotest.to_alcotest prop_every_core_communicates;
+      QCheck_alcotest.to_alcotest prop_deterministic;
+      Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+      Alcotest.test_case "spec validation" `Quick test_spec_validation;
+      Alcotest.test_case "communications bound" `Quick test_communications_bound;
+      Alcotest.test_case "hub concentration" `Quick test_hub_concentration;
+      Alcotest.test_case "always a DAG" `Quick test_validates_as_dag;
+    ] )

@@ -1,0 +1,58 @@
+module Heap = Nocmap_util.Heap
+
+let test_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_pop_exn_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = Heap.of_list ~cmp:Int.compare [ 5; 1; 4; 1; 3 ] in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "to_sorted_list leaves heap intact" 5 (Heap.length h)
+
+let test_peek_is_min () =
+  let h = Heap.of_list ~cmp:Int.compare [ 9; 2; 7 ] in
+  Alcotest.(check (option int)) "peek" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 3 (Heap.length h)
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.add h 3;
+  Heap.add h 1;
+  Alcotest.(check (option int)) "first pop" (Some 1) (Heap.pop h);
+  Heap.add h 0;
+  Heap.add h 2;
+  Alcotest.(check (option int)) "second pop" (Some 0) (Heap.pop h);
+  Alcotest.(check (option int)) "third pop" (Some 2) (Heap.pop h);
+  Alcotest.(check (option int)) "fourth pop" (Some 3) (Heap.pop h)
+
+let test_custom_comparator () =
+  let cmp a b = Int.compare b a (* max-heap *) in
+  let h = Heap.of_list ~cmp [ 1; 5; 3 ] in
+  Alcotest.(check (option int)) "max first" (Some 5) (Heap.pop h)
+
+let prop_matches_sort =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun xs ->
+      let h = Heap.of_list ~cmp:Int.compare xs in
+      Heap.to_sorted_list h = List.sort Int.compare xs)
+
+let suite =
+  ( "heap",
+    [
+      Alcotest.test_case "empty heap" `Quick test_empty;
+      Alcotest.test_case "pop_exn on empty" `Quick test_pop_exn_empty;
+      Alcotest.test_case "ordering" `Quick test_ordering;
+      Alcotest.test_case "peek is min" `Quick test_peek_is_min;
+      Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
+      Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
+      QCheck_alcotest.to_alcotest prop_matches_sort;
+    ] )

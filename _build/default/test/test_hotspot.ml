@@ -1,0 +1,63 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Link = Nocmap_noc.Link
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Hotspot = Nocmap_sim.Hotspot
+module Fig1 = Nocmap_apps.Fig1
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+
+let trace () =
+  Wormhole.run ~params:Noc_params.paper_example ~crg ~placement:Fig1.mapping_c
+    Fig1.cdcg
+
+let test_loads_cover_all_links () =
+  let loads = Hotspot.link_loads ~crg (trace ()) in
+  Alcotest.(check int) "every physical link reported" 8 (List.length loads)
+
+let test_busiest_link () =
+  (* In mapping (c), link W1->W3 (tiles 0->2) carries B->F (40 flits)
+     and A->F (15 flits): the clear hotspot. *)
+  match Hotspot.link_loads ~crg (trace ()) with
+  | [] -> Alcotest.fail "no loads"
+  | top :: _ ->
+    let mesh = Crg.mesh crg in
+    Alcotest.(check int) "hotspot is L(0->2)" (Link.id mesh ~src:0 ~dst:2)
+      top.Hotspot.link;
+    Alcotest.(check int) "two packets crossed" 2 top.Hotspot.packets;
+    (* B->F occupies [13,53] (41 cycles) and A->F [55,70] (16). *)
+    Alcotest.(check int) "busy cycles" 57 top.Hotspot.busy_cycles
+
+let test_sorted_descending () =
+  let loads = Hotspot.link_loads ~crg (trace ()) in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "descending" true
+        (a.Hotspot.busy_cycles >= b.Hotspot.busy_cycles);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check loads
+
+let test_utilization_bounds () =
+  let t = trace () in
+  let peak = Hotspot.peak_utilization ~crg t in
+  let mean = Hotspot.mean_utilization ~crg t in
+  Alcotest.(check bool) "peak within [0,1]" true (peak >= 0.0 && peak <= 1.0);
+  Alcotest.(check bool) "mean <= peak" true (mean <= peak +. 1e-9)
+
+let test_render () =
+  let out = Hotspot.render ~crg ~top:3 (trace ()) in
+  Test_util.check_contains ~msg:"title" ~needle:"Busiest links" out;
+  Test_util.check_contains ~msg:"hotspot row" ~needle:"L(0->2)" out
+
+let suite =
+  ( "hotspot",
+    [
+      Alcotest.test_case "covers all links" `Quick test_loads_cover_all_links;
+      Alcotest.test_case "busiest link" `Quick test_busiest_link;
+      Alcotest.test_case "sorted descending" `Quick test_sorted_descending;
+      Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+      Alcotest.test_case "render" `Quick test_render;
+    ] )

@@ -1,0 +1,58 @@
+module Interval = Nocmap_util.Interval
+
+let mk lo hi = Interval.make ~lo ~hi
+
+let test_make_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (mk 5 4))
+
+let test_length () =
+  Alcotest.(check int) "singleton" 1 (Interval.length (mk 3 3));
+  Alcotest.(check int) "span" 11 (Interval.length (mk 0 10))
+
+let test_overlaps () =
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps (mk 0 4) (mk 5 9));
+  Alcotest.(check bool) "touching endpoint" true (Interval.overlaps (mk 0 5) (mk 5 9));
+  Alcotest.(check bool) "nested" true (Interval.overlaps (mk 0 10) (mk 3 4))
+
+let test_contains () =
+  Alcotest.(check bool) "inside" true (Interval.contains (mk 2 6) 4);
+  Alcotest.(check bool) "boundary" true (Interval.contains (mk 2 6) 6);
+  Alcotest.(check bool) "outside" false (Interval.contains (mk 2 6) 7)
+
+let test_union_span () =
+  let u = Interval.union_span (mk 1 3) (mk 7 9) in
+  Alcotest.(check int) "lo" 1 u.Interval.lo;
+  Alcotest.(check int) "hi" 9 u.Interval.hi
+
+let test_to_string () =
+  Alcotest.(check string) "paper notation" "[46,69]" (Interval.to_string (mk 46 69))
+
+let test_disjoint_sorted () =
+  Alcotest.(check bool) "disjoint list" true
+    (Interval.disjoint_sorted [ mk 5 9; mk 0 4; mk 10 12 ]);
+  Alcotest.(check bool) "overlapping list" false
+    (Interval.disjoint_sorted [ mk 0 5; mk 5 9 ]);
+  Alcotest.(check bool) "empty" true (Interval.disjoint_sorted [])
+
+let prop_overlap_symmetric =
+  let gen =
+    QCheck2.Gen.(
+      let iv = map2 (fun a len -> mk a (a + len)) (int_range 0 100) (int_range 0 20) in
+      pair iv iv)
+  in
+  QCheck2.Test.make ~name:"overlap is symmetric" ~count:300 gen (fun (a, b) ->
+      Interval.overlaps a b = Interval.overlaps b a)
+
+let suite =
+  ( "interval",
+    [
+      Alcotest.test_case "make invalid" `Quick test_make_invalid;
+      Alcotest.test_case "length" `Quick test_length;
+      Alcotest.test_case "overlaps" `Quick test_overlaps;
+      Alcotest.test_case "contains" `Quick test_contains;
+      Alcotest.test_case "union span" `Quick test_union_span;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+      Alcotest.test_case "disjoint_sorted" `Quick test_disjoint_sorted;
+      QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+    ] )

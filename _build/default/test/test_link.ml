@@ -1,0 +1,63 @@
+module Mesh = Nocmap_noc.Mesh
+module Link = Nocmap_noc.Link
+
+let test_id_endpoint_roundtrip () =
+  let mesh = Mesh.create ~cols:4 ~rows:3 in
+  let all = Link.all mesh in
+  List.iter
+    (fun lid ->
+      let src, dst = Link.endpoints mesh lid in
+      Alcotest.(check int) "id roundtrip" lid (Link.id mesh ~src ~dst);
+      Alcotest.(check int) "adjacent" 1 (Mesh.manhattan mesh src dst))
+    all
+
+let test_link_count_formula () =
+  (* Directed links in a cols x rows mesh: 2*((cols-1)*rows + cols*(rows-1)). *)
+  List.iter
+    (fun (cols, rows) ->
+      let mesh = Mesh.create ~cols ~rows in
+      let expected = 2 * (((cols - 1) * rows) + (cols * (rows - 1))) in
+      Alcotest.(check int)
+        (Printf.sprintf "%dx%d" cols rows)
+        expected
+        (List.length (Link.all mesh)))
+    [ (1, 1); (2, 2); (3, 2); (8, 8); (12, 10) ]
+
+let test_not_adjacent () =
+  let mesh = Mesh.create ~cols:3 ~rows:3 in
+  Alcotest.check_raises "diagonal" (Invalid_argument "Link.id: tiles are not adjacent")
+    (fun () -> ignore (Link.id mesh ~src:0 ~dst:4));
+  Alcotest.check_raises "distant" (Invalid_argument "Link.id: tiles are not adjacent")
+    (fun () -> ignore (Link.id mesh ~src:0 ~dst:2))
+
+let test_exists () =
+  let mesh = Mesh.create ~cols:2 ~rows:2 in
+  (* Tile 0 (top-left) has east (dir 1) and south (dir 2), not north/west. *)
+  Alcotest.(check bool) "north of corner" false (Link.exists mesh 0);
+  Alcotest.(check bool) "east of corner" true (Link.exists mesh 1);
+  Alcotest.(check bool) "south of corner" true (Link.exists mesh 2);
+  Alcotest.(check bool) "west of corner" false (Link.exists mesh 3);
+  Alcotest.(check bool) "beyond range" false (Link.exists mesh 16)
+
+let test_directions_distinct () =
+  let mesh = Mesh.create ~cols:3 ~rows:3 in
+  (* The two directions of a physical channel are distinct resources. *)
+  let forward = Link.id mesh ~src:0 ~dst:1 in
+  let backward = Link.id mesh ~src:1 ~dst:0 in
+  Alcotest.(check bool) "distinct ids" true (forward <> backward)
+
+let test_to_string () =
+  let mesh = Mesh.create ~cols:2 ~rows:2 in
+  let lid = Link.id mesh ~src:0 ~dst:2 in
+  Alcotest.(check string) "rendering" "L(0->2)" (Link.to_string mesh lid)
+
+let suite =
+  ( "link",
+    [
+      Alcotest.test_case "id/endpoints roundtrip" `Quick test_id_endpoint_roundtrip;
+      Alcotest.test_case "link count formula" `Quick test_link_count_formula;
+      Alcotest.test_case "not adjacent" `Quick test_not_adjacent;
+      Alcotest.test_case "exists" `Quick test_exists;
+      Alcotest.test_case "directions distinct" `Quick test_directions_distinct;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+    ] )

@@ -1,0 +1,69 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Mapping = Nocmap_mapping
+module Fig1 = Nocmap_apps.Fig1
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+
+let tech =
+  Technology.make ~name:"t" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
+    ~p_s_router:0.025e-12 ()
+
+let objective =
+  Mapping.Objective.cdcm ~tech ~params:Noc_params.paper_example ~crg ~cdcg:Fig1.cdcg
+
+let test_reaches_optimum_from_any_start () =
+  (* The fig1 landscape is tiny; steepest descent from every one of the
+     24 starts must reach the global optimum of 399 pJ (single-swap
+     moves connect the space). *)
+  let worst = ref 0.0 in
+  let check_from initial =
+    let r = Mapping.Local_search.search ~objective ~tiles:4 ~initial () in
+    worst := max !worst r.Mapping.Objective.cost
+  in
+  check_from Fig1.mapping_c;
+  check_from Fig1.mapping_d;
+  check_from [| 0; 1; 2; 3 |];
+  check_from [| 3; 2; 1; 0 |];
+  Alcotest.(check (float 1e-18)) "always the optimum" 399.0e-12 !worst
+
+let test_never_worse_than_start () =
+  let start = [| 2; 0; 1; 3 |] in
+  let r = Mapping.Local_search.search ~objective ~tiles:4 ~initial:start () in
+  Alcotest.(check bool) "improved or equal" true
+    (r.Mapping.Objective.cost <= objective.Mapping.Objective.cost_fn start)
+
+let test_budget_respected () =
+  let r =
+    Mapping.Local_search.search ~objective ~tiles:4 ~initial:[| 0; 1; 2; 3 |]
+      ~max_evaluations:5 ()
+  in
+  Alcotest.(check bool) "within budget" true (r.Mapping.Objective.evaluations <= 5)
+
+let test_invalid_initial () =
+  Alcotest.(check bool) "rejected" true
+    (match
+       Mapping.Local_search.search ~objective ~tiles:4 ~initial:[| 0; 0; 1; 2 |] ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_result_valid () =
+  let r =
+    Mapping.Local_search.search ~objective ~tiles:4 ~initial:[| 1; 3; 0; 2 |] ()
+  in
+  Alcotest.(check bool) "valid placement" true
+    (Mapping.Placement.is_valid ~tiles:4 r.Mapping.Objective.placement)
+
+let suite =
+  ( "local-search",
+    [
+      Alcotest.test_case "optimum from any start" `Quick
+        test_reaches_optimum_from_any_start;
+      Alcotest.test_case "never worse than start" `Quick test_never_worse_than_start;
+      Alcotest.test_case "budget respected" `Quick test_budget_respected;
+      Alcotest.test_case "invalid initial" `Quick test_invalid_initial;
+      Alcotest.test_case "result valid" `Quick test_result_valid;
+    ] )

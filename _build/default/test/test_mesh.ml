@@ -1,0 +1,85 @@
+module Mesh = Nocmap_noc.Mesh
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero dimension"
+    (Invalid_argument "Mesh.create: dimensions must be positive") (fun () ->
+      ignore (Mesh.create ~cols:0 ~rows:3))
+
+let test_of_string () =
+  let m = Mesh.of_string "3x2" in
+  Alcotest.(check int) "cols" 3 m.Mesh.cols;
+  Alcotest.(check int) "rows" 2 m.Mesh.rows;
+  Alcotest.(check string) "roundtrip" "3x2" (Mesh.to_string m);
+  let upper = Mesh.of_string " 10X10 " in
+  Alcotest.(check int) "upper-case X, spaces" 100 (Mesh.tile_count upper)
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      match Mesh.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" s))
+    [ "3"; "3x"; "x3"; "3x0"; "-1x2"; "axb"; "3x2x1" ]
+
+let test_tile_numbering () =
+  (* Row-major from top-left: matches the paper's Figure 1 tile layout. *)
+  let m = Mesh.create ~cols:2 ~rows:2 in
+  Alcotest.(check (pair int int)) "tile 0 top-left" (0, 0) (Mesh.coord_of_tile m 0);
+  Alcotest.(check (pair int int)) "tile 1 top-right" (1, 0) (Mesh.coord_of_tile m 1);
+  Alcotest.(check (pair int int)) "tile 2 bottom-left" (0, 1) (Mesh.coord_of_tile m 2);
+  Alcotest.(check int) "coord roundtrip" 3 (Mesh.tile_of_coord m ~x:1 ~y:1)
+
+let test_coord_out_of_range () =
+  let m = Mesh.create ~cols:2 ~rows:2 in
+  Alcotest.check_raises "tile out of range"
+    (Invalid_argument "Mesh.coord_of_tile: tile out of range") (fun () ->
+      ignore (Mesh.coord_of_tile m 4));
+  Alcotest.check_raises "coord outside"
+    (Invalid_argument "Mesh.tile_of_coord: coordinate outside mesh") (fun () ->
+      ignore (Mesh.tile_of_coord m ~x:2 ~y:0))
+
+let test_manhattan () =
+  let m = Mesh.create ~cols:3 ~rows:3 in
+  Alcotest.(check int) "corner to corner" 4 (Mesh.manhattan m 0 8);
+  Alcotest.(check int) "self" 0 (Mesh.manhattan m 4 4);
+  Alcotest.(check int) "symmetric" (Mesh.manhattan m 2 6) (Mesh.manhattan m 6 2)
+
+let test_neighbors () =
+  let m = Mesh.create ~cols:3 ~rows:3 in
+  Alcotest.(check int) "corner has 2" 2 (List.length (Mesh.neighbors m 0));
+  Alcotest.(check int) "edge has 3" 3 (List.length (Mesh.neighbors m 1));
+  Alcotest.(check int) "center has 4" 4 (List.length (Mesh.neighbors m 4));
+  Alcotest.(check (list int)) "center neighborhood" [ 1; 7; 3; 5 ] (Mesh.neighbors m 4)
+
+let gen_mesh =
+  QCheck2.Gen.(
+    map2 (fun cols rows -> Mesh.create ~cols ~rows) (int_range 1 12) (int_range 1 12))
+
+let prop_coord_roundtrip =
+  QCheck2.Test.make ~name:"tile <-> coord roundtrip" ~count:300
+    QCheck2.Gen.(pair gen_mesh (int_range 0 1000))
+    (fun (m, raw) ->
+      let tile = raw mod Mesh.tile_count m in
+      let x, y = Mesh.coord_of_tile m tile in
+      Mesh.tile_of_coord m ~x ~y = tile)
+
+let prop_neighbors_symmetric =
+  QCheck2.Test.make ~name:"neighbor relation is symmetric" ~count:200
+    QCheck2.Gen.(pair gen_mesh (int_range 0 1000))
+    (fun (m, raw) ->
+      let tile = raw mod Mesh.tile_count m in
+      List.for_all (fun n -> List.mem tile (Mesh.neighbors m n)) (Mesh.neighbors m tile))
+
+let suite =
+  ( "mesh",
+    [
+      Alcotest.test_case "create invalid" `Quick test_create_invalid;
+      Alcotest.test_case "of_string" `Quick test_of_string;
+      Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+      Alcotest.test_case "tile numbering" `Quick test_tile_numbering;
+      Alcotest.test_case "coord out of range" `Quick test_coord_out_of_range;
+      Alcotest.test_case "manhattan" `Quick test_manhattan;
+      Alcotest.test_case "neighbors" `Quick test_neighbors;
+      QCheck_alcotest.to_alcotest prop_coord_roundtrip;
+      QCheck_alcotest.to_alcotest prop_neighbors_symmetric;
+    ] )

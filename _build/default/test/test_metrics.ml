@@ -1,0 +1,54 @@
+module Metrics = Nocmap_model.Metrics
+module Cdcg = Nocmap_model.Cdcg
+module Fig1 = Nocmap_apps.Fig1
+
+let test_fig1_metrics () =
+  let m = Metrics.of_cdcg Fig1.cdcg in
+  (* Longest chain: pAB1/pEA1 -> pAF1 -> pFB1 = depth 3. *)
+  Alcotest.(check int) "depth" 3 m.Metrics.depth;
+  (* Level 1 holds the three root packets. *)
+  Alcotest.(check int) "width" 3 m.Metrics.width;
+  Alcotest.(check (float 1e-9)) "parallelism" 2.0 m.Metrics.parallelism;
+  Alcotest.(check (float 1e-9)) "mean bits" 20.0 m.Metrics.mean_bits;
+  Alcotest.(check int) "max bits" 40 m.Metrics.max_bits;
+  Alcotest.(check (float 1e-9)) "concentration" (40.0 /. 120.0)
+    m.Metrics.volume_concentration
+
+let test_chain_metrics () =
+  let packet i =
+    { Cdcg.src = i mod 2; dst = (i + 1) mod 2; compute = 1; bits = 10; label = Printf.sprintf "p%d" i }
+  in
+  let cdcg =
+    Cdcg.create_exn ~name:"chain" ~core_names:[| "a"; "b" |]
+      ~packets:(Array.init 5 packet)
+      ~deps:[ (0, 1); (1, 2); (2, 3); (3, 4) ]
+  in
+  let m = Metrics.of_cdcg cdcg in
+  Alcotest.(check int) "depth = packets" 5 m.Metrics.depth;
+  Alcotest.(check int) "width 1" 1 m.Metrics.width;
+  Alcotest.(check (float 1e-9)) "no parallelism" 1.0 m.Metrics.parallelism
+
+let test_independent_metrics () =
+  let packet i =
+    { Cdcg.src = 0; dst = 1; compute = 1; bits = 10; label = Printf.sprintf "p%d" i }
+  in
+  let cdcg =
+    Cdcg.create_exn ~name:"flat" ~core_names:[| "a"; "b" |]
+      ~packets:(Array.init 4 packet) ~deps:[]
+  in
+  let m = Metrics.of_cdcg cdcg in
+  Alcotest.(check int) "depth 1" 1 m.Metrics.depth;
+  Alcotest.(check int) "width = packets" 4 m.Metrics.width
+
+let test_pp () =
+  let rendered = Format.asprintf "%a" Metrics.pp (Metrics.of_cdcg Fig1.cdcg) in
+  Test_util.check_contains ~msg:"mentions depth" ~needle:"depth 3" rendered
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "fig1" `Quick test_fig1_metrics;
+      Alcotest.test_case "chain" `Quick test_chain_metrics;
+      Alcotest.test_case "independent" `Quick test_independent_metrics;
+      Alcotest.test_case "pp" `Quick test_pp;
+    ] )

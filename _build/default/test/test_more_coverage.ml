@@ -1,0 +1,133 @@
+(* Assorted edge cases that did not fit the per-module suites. *)
+
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Cwg = Nocmap_model.Cwg
+module Textio = Nocmap_model.Textio
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Mapping = Nocmap_mapping
+module Wormhole = Nocmap_sim.Wormhole
+module Annotation_report = Nocmap_sim.Annotation_report
+module Rng = Nocmap_util.Rng
+module Fig1 = Nocmap_apps.Fig1
+module Digraph = Nocmap_graph.Digraph
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+
+let tech1pj =
+  Technology.make ~name:"t" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
+    ~p_s_router:0.025e-12 ()
+
+(* Figure 2(b): per-router cost variables of mapping (d). *)
+let test_fig2b_router_totals () =
+  let trace =
+    Wormhole.run ~params:Noc_params.paper_example ~crg ~placement:Fig1.mapping_d
+      Fig1.cdcg
+  in
+  Alcotest.(check (array int)) "fig 2(b) router bits" [| 70; 35; 85; 65 |]
+    (Annotation_report.router_bits trace)
+
+let test_fig2_cost_table_matches_router_bits () =
+  (* The CWM cost table and the CDCM annotations account the same
+     per-router traffic (energy = bits * ERbit). *)
+  let routers, _ =
+    Mapping.Cost_cwm.cost_table ~tech:tech1pj ~crg ~cwg:Fig1.cwg Fig1.mapping_d
+  in
+  let trace =
+    Wormhole.run ~params:Noc_params.paper_example ~crg ~placement:Fig1.mapping_d
+      Fig1.cdcg
+  in
+  let bits = Annotation_report.router_bits trace in
+  Array.iteri
+    (fun tile energy ->
+      Alcotest.(check (float 1e-20))
+        (Printf.sprintf "tile %d" tile)
+        (float_of_int bits.(tile) *. 1.0e-12)
+        energy)
+    routers
+
+let test_cwg_to_digraph () =
+  let g = Cwg.to_digraph Fig1.cwg in
+  Alcotest.(check int) "vertices" 4 (Digraph.vertex_count g);
+  Alcotest.(check int) "edges" 5 (Digraph.edge_count g);
+  Alcotest.(check int) "volume label" 40
+    (Digraph.label g ~src:Fig1.core_b ~dst:Fig1.core_f)
+
+let test_cwg_parse_unknown_directive () =
+  match Textio.cwg_of_string "application x\ncores a b\nfrobnicate\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg -> Test_util.check_contains ~msg:"names directive" ~needle:"frobnicate" msg
+
+let test_annealing_fixed_temperature () =
+  let objective =
+    Mapping.Objective.cdcm ~tech:tech1pj ~params:Noc_params.paper_example ~crg
+      ~cdcg:Fig1.cdcg
+  in
+  let config =
+    {
+      (Mapping.Annealing.default_config ~tiles:4) with
+      Mapping.Annealing.initial_temperature = `Fixed 1.0e-12;
+    }
+  in
+  let r =
+    Mapping.Annealing.search ~rng:(Rng.create ~seed:5) ~config ~tiles:4 ~objective
+      ~cores:4 ()
+  in
+  Alcotest.(check bool) "still returns a valid mapping" true
+    (Mapping.Placement.is_valid ~tiles:4 r.Mapping.Objective.placement)
+
+let test_annealing_single_tile_noop () =
+  (* One core on one tile: nothing to search, but it must not loop. *)
+  let cdcg_one =
+    Nocmap_model.Cdcg.create_exn ~name:"pair" ~core_names:[| "a"; "b" |]
+      ~packets:
+        [| { Nocmap_model.Cdcg.src = 0; dst = 1; compute = 1; bits = 4; label = "p" } |]
+      ~deps:[]
+  in
+  let mesh = Mesh.create ~cols:2 ~rows:1 in
+  let objective =
+    Mapping.Objective.texec ~params:Noc_params.paper_example
+      ~crg:(Crg.create mesh) ~cdcg:cdcg_one
+  in
+  let r =
+    Mapping.Annealing.search ~rng:(Rng.create ~seed:1)
+      ~config:(Mapping.Annealing.quick_config ~tiles:2)
+      ~tiles:2 ~objective ~cores:2 ()
+  in
+  Alcotest.(check bool) "valid" true
+    (Mapping.Placement.is_valid ~tiles:2 r.Mapping.Objective.placement)
+
+let test_interval_private_fields () =
+  let iv = Nocmap_util.Interval.make ~lo:3 ~hi:9 in
+  Alcotest.(check int) "lo" 3 iv.Nocmap_util.Interval.lo;
+  Alcotest.(check int) "hi" 9 iv.Nocmap_util.Interval.hi
+
+let test_technology_pp () =
+  let rendered = Format.asprintf "%a" Technology.pp Technology.t007 in
+  Test_util.check_contains ~msg:"name" ~needle:"0.07um" rendered
+
+let test_noc_params_pp () =
+  let rendered = Format.asprintf "%a" Noc_params.pp Noc_params.paper_example in
+  Test_util.check_contains ~msg:"tr" ~needle:"tr=2" rendered;
+  Test_util.check_contains ~msg:"buffers" ~needle:"unbounded" rendered;
+  let bounded = Noc_params.make ~buffering:(Noc_params.Bounded 8) () in
+  Test_util.check_contains ~msg:"bounded"
+    ~needle:"8-flit"
+    (Format.asprintf "%a" Noc_params.pp bounded)
+
+let suite =
+  ( "more-coverage",
+    [
+      Alcotest.test_case "fig 2(b) router totals" `Quick test_fig2b_router_totals;
+      Alcotest.test_case "cost table = annotations" `Quick
+        test_fig2_cost_table_matches_router_bits;
+      Alcotest.test_case "cwg to digraph" `Quick test_cwg_to_digraph;
+      Alcotest.test_case "cwg parse error" `Quick test_cwg_parse_unknown_directive;
+      Alcotest.test_case "annealing fixed temperature" `Quick
+        test_annealing_fixed_temperature;
+      Alcotest.test_case "annealing tiny instance" `Quick test_annealing_single_tile_noop;
+      Alcotest.test_case "interval fields" `Quick test_interval_private_fields;
+      Alcotest.test_case "technology pp" `Quick test_technology_pp;
+      Alcotest.test_case "noc params pp" `Quick test_noc_params_pp;
+    ] )

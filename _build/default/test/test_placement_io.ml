@@ -1,0 +1,52 @@
+module Placement_io = Nocmap_mapping.Placement_io
+module Mesh = Nocmap_noc.Mesh
+module Fig1 = Nocmap_apps.Fig1
+
+let core_names = Fig1.cdcg.Nocmap_model.Cdcg.core_names
+let mesh = Mesh.create ~cols:2 ~rows:2
+
+let test_roundtrip () =
+  let text = Placement_io.to_string ~mesh ~core_names Fig1.mapping_c in
+  match Placement_io.of_string ~core_names text with
+  | Error msg -> Alcotest.fail msg
+  | Ok (parsed_mesh, placement) ->
+    Alcotest.(check string) "mesh" "2x2" (Mesh.to_string parsed_mesh);
+    Alcotest.(check (array int)) "placement" Fig1.mapping_c placement
+
+let expect_error ~needle text =
+  match Placement_io.of_string ~core_names text with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error msg -> Test_util.check_contains ~msg:"error" ~needle msg
+
+let test_errors () =
+  expect_error ~needle:"empty" "";
+  expect_error ~needle:"noc" "core A tile 0\n";
+  expect_error ~needle:"unknown core" "noc 2x2\ncore Z tile 0\n";
+  expect_error ~needle:"placed twice" "noc 2x2\ncore A tile 0\ncore A tile 1\n";
+  expect_error ~needle:"no tile" "noc 2x2\ncore A tile 0\n";
+  expect_error ~needle:"bad tile" "noc 2x2\ncore A tile x\n";
+  expect_error ~needle:"invalid placement"
+    "noc 2x2\ncore A tile 0\ncore B tile 0\ncore E tile 1\ncore F tile 2\n"
+
+let test_comments_ignored () =
+  let text = "# saved by nocmap\nnoc 2x2\n# the mapping\ncore A tile 3\ncore B tile 0\ncore E tile 1\ncore F tile 2\n" in
+  match Placement_io.of_string ~core_names text with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, placement) -> Alcotest.(check (array int)) "parsed" [| 3; 0; 1; 2 |] placement
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "nocmap" ".placement" in
+  Placement_io.save ~path ~mesh ~core_names Fig1.mapping_d;
+  (match Placement_io.load ~path ~core_names with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, placement) -> Alcotest.(check (array int)) "loaded" Fig1.mapping_d placement);
+  Sys.remove path
+
+let suite =
+  ( "placement-io",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "comments ignored" `Quick test_comments_ignored;
+      Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    ] )

@@ -1,0 +1,45 @@
+module Related_work = Nocmap.Related_work
+module Mesh = Nocmap_noc.Mesh
+module Rng = Nocmap_util.Rng
+module Generator = Nocmap_tgff.Generator
+
+let comparison () =
+  let spec = Generator.default_spec ~name:"rw" ~cores:8 ~packets:40 ~total_bits:40_000 in
+  let cdcg = Generator.generate (Rng.create ~seed:5) spec in
+  Related_work.compare_random_vs_cwm
+    ~rng:(Rng.create ~seed:6)
+    ~random_samples:50
+    ~mesh:(Mesh.create ~cols:3 ~rows:3)
+    cdcg
+
+let test_optimized_beats_random () =
+  let c = comparison () in
+  Alcotest.(check bool) "beats the random mean" true
+    (c.Related_work.optimized_energy < c.Related_work.random_mean_energy);
+  Alcotest.(check bool) "beats the best random draw" true
+    (c.Related_work.optimized_energy <= c.Related_work.random_best_energy);
+  Alcotest.(check bool) "positive saving" true (c.Related_work.saving_percent > 0.0)
+
+let test_consistent_fields () =
+  let c = comparison () in
+  Alcotest.(check bool) "mean >= best" true
+    (c.Related_work.random_mean_energy >= c.Related_work.random_best_energy);
+  let expected =
+    100.0
+    *. (c.Related_work.random_mean_energy -. c.Related_work.optimized_energy)
+    /. c.Related_work.random_mean_energy
+  in
+  Alcotest.(check (float 1e-9)) "saving formula" expected c.Related_work.saving_percent
+
+let test_render () =
+  let out = Related_work.render [ comparison () ] in
+  Test_util.check_contains ~msg:"title cites [4]" ~needle:"Hu & Marculescu" out;
+  Test_util.check_contains ~msg:"row present" ~needle:"rw" out
+
+let suite =
+  ( "related-work",
+    [
+      Alcotest.test_case "optimized beats random" `Quick test_optimized_beats_random;
+      Alcotest.test_case "consistent fields" `Quick test_consistent_fields;
+      Alcotest.test_case "render" `Quick test_render;
+    ] )

@@ -1,0 +1,96 @@
+module Rng = Nocmap_util.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds give different output" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_copy () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:5 in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "child differs from parent" false
+    (Rng.bits64 parent = Rng.bits64 child)
+
+let test_int_in_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 10 20 in
+    Alcotest.(check bool) "in [10,20]" true (v >= 10 && v <= 20)
+  done
+
+let test_int_covers_range () =
+  let rng = Rng.create ~seed:4 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all 5 values hit" true (Array.for_all Fun.id seen)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:6 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:7 in
+  let sample = Rng.sample_without_replacement rng 10 (Array.init 30 Fun.id) in
+  Alcotest.(check int) "size" 10 (Array.length sample);
+  let distinct = List.sort_uniq compare (Array.to_list sample) in
+  Alcotest.(check int) "distinct" 10 (List.length distinct)
+
+let test_choose_list_singleton () =
+  let rng = Rng.create ~seed:8 in
+  Alcotest.(check int) "singleton" 7 (Rng.choose_list rng [ 7 ])
+
+let test_choose_list_empty () =
+  let rng = Rng.create ~seed:8 in
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.choose_list: empty list")
+    (fun () -> ignore (Rng.choose_list rng []))
+
+let test_float_bounds () =
+  let rng = Rng.create ~seed:10 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let prop_int_bound =
+  QCheck2.Test.make ~name:"Rng.int stays below its bound" ~count:500
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 0 1_000_000))
+    (fun (bound, seed) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+      Alcotest.test_case "copy" `Quick test_copy;
+      Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+      Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+      Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+      Alcotest.test_case "sample without replacement" `Quick
+        test_sample_without_replacement;
+      Alcotest.test_case "choose_list singleton" `Quick test_choose_list_singleton;
+      Alcotest.test_case "choose_list empty" `Quick test_choose_list_empty;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      QCheck_alcotest.to_alcotest prop_int_bound;
+    ] )

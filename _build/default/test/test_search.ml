@@ -1,0 +1,154 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Technology = Nocmap_energy.Technology
+module Noc_params = Nocmap_energy.Noc_params
+module Mapping = Nocmap_mapping
+module Fig1 = Nocmap_apps.Fig1
+module Rng = Nocmap_util.Rng
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+let params = Noc_params.paper_example
+
+let tech =
+  Technology.make ~name:"t" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
+    ~p_s_router:0.025e-12 ()
+
+let cdcm_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:Fig1.cdcg
+
+let test_arrangement_count () =
+  Alcotest.(check (option int)) "4 cores on 4 tiles" (Some 24)
+    (Mapping.Exhaustive.arrangement_count ~cores:4 ~tiles:4);
+  Alcotest.(check (option int)) "5 on 6" (Some 720)
+    (Mapping.Exhaustive.arrangement_count ~cores:5 ~tiles:6);
+  Alcotest.(check (option int)) "too many cores" (Some 0)
+    (Mapping.Exhaustive.arrangement_count ~cores:3 ~tiles:2);
+  Alcotest.(check (option int)) "overflow" None
+    (Mapping.Exhaustive.arrangement_count ~cores:30 ~tiles:30)
+
+let test_exhaustive_finds_fig1_optimum () =
+  (* 399 pJ is the proven optimum of the worked example (mapping (d)
+     achieves it; ES must find a mapping at least as good). *)
+  let r = Mapping.Exhaustive.search ~objective:cdcm_objective ~cores:4 ~tiles:4 () in
+  Alcotest.(check (float 1e-18)) "optimum" 399.0e-12 r.Mapping.Objective.cost;
+  Alcotest.(check int) "visited all 24" 24 r.Mapping.Objective.evaluations
+
+let test_exhaustive_budget_guard () =
+  Alcotest.(check bool) "budget exceeded raises" true
+    (match
+       Mapping.Exhaustive.search ~objective:cdcm_objective ~cores:4 ~tiles:4
+         ~max_arrangements:10 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_exhaustive_more_cores_than_tiles () =
+  Alcotest.(check bool) "raises" true
+    (match Mapping.Exhaustive.search ~objective:cdcm_objective ~cores:5 ~tiles:4 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let sa_result seed =
+  Mapping.Annealing.search
+    ~rng:(Rng.create ~seed)
+    ~config:(Mapping.Annealing.default_config ~tiles:4)
+    ~tiles:4 ~objective:cdcm_objective ~cores:4 ()
+
+let test_sa_reaches_optimum_on_fig1 () =
+  let r = sa_result 17 in
+  Alcotest.(check (float 1e-18)) "SA = ES optimum" 399.0e-12 r.Mapping.Objective.cost;
+  Alcotest.(check bool) "placement valid" true
+    (Mapping.Placement.is_valid ~tiles:4 r.Mapping.Objective.placement)
+
+let test_sa_deterministic () =
+  let a = sa_result 123 and b = sa_result 123 in
+  Alcotest.(check (float 1e-30)) "same cost" a.Mapping.Objective.cost
+    b.Mapping.Objective.cost;
+  Alcotest.(check (array int)) "same placement" a.Mapping.Objective.placement
+    b.Mapping.Objective.placement
+
+let test_sa_respects_budget () =
+  let config =
+    {
+      (Mapping.Annealing.quick_config ~tiles:4) with
+      Mapping.Annealing.max_evaluations = 50;
+    }
+  in
+  let r =
+    Mapping.Annealing.search ~rng:(Rng.create ~seed:1) ~config ~tiles:4
+      ~objective:cdcm_objective ~cores:4 ()
+  in
+  Alcotest.(check bool) "within budget" true (r.Mapping.Objective.evaluations <= 50)
+
+let test_sa_bad_config () =
+  let config =
+    { (Mapping.Annealing.quick_config ~tiles:4) with Mapping.Annealing.cooling = 1.5 }
+  in
+  Alcotest.check_raises "cooling must be in (0,1)"
+    (Invalid_argument "Annealing.search: cooling must lie in (0,1)") (fun () ->
+      ignore
+        (Mapping.Annealing.search ~rng:(Rng.create ~seed:1) ~config ~tiles:4
+           ~objective:cdcm_objective ~cores:4 ()))
+
+let test_sa_initial_placement_kept_as_best () =
+  (* Warm-started from the global optimum, SA can never return worse. *)
+  let config = Mapping.Annealing.quick_config ~tiles:4 in
+  let r =
+    Mapping.Annealing.search ~rng:(Rng.create ~seed:3) ~config ~tiles:4
+      ~objective:cdcm_objective ~initial:Fig1.mapping_d ~cores:4 ()
+  in
+  Alcotest.(check bool) "never worse than the warm start" true
+    (r.Mapping.Objective.cost <= 399.0e-12 +. 1e-24)
+
+let test_random_search () =
+  let r =
+    Mapping.Random_search.search ~rng:(Rng.create ~seed:9) ~objective:cdcm_objective
+      ~cores:4 ~tiles:4 ~samples:200
+  in
+  Alcotest.(check int) "evaluations" 200 r.Mapping.Objective.evaluations;
+  Alcotest.(check bool) "valid" true
+    (Mapping.Placement.is_valid ~tiles:4 r.Mapping.Objective.placement);
+  (* 200 samples over 24 arrangements certainly hit the optimum. *)
+  Alcotest.(check (float 1e-18)) "found optimum" 399.0e-12 r.Mapping.Objective.cost
+
+let test_random_search_validation () =
+  Alcotest.check_raises "samples >= 1"
+    (Invalid_argument "Random_search.search: need at least one sample") (fun () ->
+      ignore
+        (Mapping.Random_search.search ~rng:(Rng.create ~seed:1)
+           ~objective:cdcm_objective ~cores:4 ~tiles:4 ~samples:0))
+
+let test_greedy () =
+  let r = Mapping.Greedy.search ~tech ~crg ~cwg:Fig1.cwg () in
+  Alcotest.(check bool) "valid" true
+    (Mapping.Placement.is_valid ~tiles:4 r.Mapping.Objective.placement);
+  (* On the 2x2 example every sensible mapping costs 390 pJ of dynamic
+     energy; greedy must reach that optimum. *)
+  Alcotest.(check (float 1e-18)) "dynamic optimum" 390.0e-12 r.Mapping.Objective.cost
+
+let test_greedy_more_cores_than_tiles () =
+  let cwg =
+    Nocmap_model.Cwg.create_exn ~name:"big" ~core_names:[| "a"; "b"; "c"; "d"; "e" |]
+      ~edges:[ (0, 1, 5) ]
+  in
+  Alcotest.(check bool) "raises" true
+    (match Mapping.Greedy.search ~tech ~crg ~cwg () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  ( "search",
+    [
+      Alcotest.test_case "arrangement count" `Quick test_arrangement_count;
+      Alcotest.test_case "ES optimum on fig1" `Quick test_exhaustive_finds_fig1_optimum;
+      Alcotest.test_case "ES budget guard" `Quick test_exhaustive_budget_guard;
+      Alcotest.test_case "ES cores > tiles" `Quick test_exhaustive_more_cores_than_tiles;
+      Alcotest.test_case "SA reaches ES optimum" `Quick test_sa_reaches_optimum_on_fig1;
+      Alcotest.test_case "SA deterministic" `Quick test_sa_deterministic;
+      Alcotest.test_case "SA respects budget" `Quick test_sa_respects_budget;
+      Alcotest.test_case "SA bad config" `Quick test_sa_bad_config;
+      Alcotest.test_case "SA warm start kept" `Quick test_sa_initial_placement_kept_as_best;
+      Alcotest.test_case "random search" `Quick test_random_search;
+      Alcotest.test_case "random search validation" `Quick test_random_search_validation;
+      Alcotest.test_case "greedy" `Quick test_greedy;
+      Alcotest.test_case "greedy cores > tiles" `Quick test_greedy_more_cores_than_tiles;
+    ] )

@@ -1,0 +1,140 @@
+(* Golden tests: the simulator must reproduce the paper's Figures 2-5
+   worked example exactly (see DESIGN.md section 2). *)
+
+module Fig1 = Nocmap_apps.Fig1
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Link = Nocmap_noc.Link
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Equations = Nocmap_energy.Equations
+module Wormhole = Nocmap_sim.Wormhole
+module Trace = Nocmap_sim.Trace
+module Interval = Nocmap_util.Interval
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+let params = Noc_params.paper_example
+
+let tech =
+  Technology.make ~name:"fig" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
+    ~p_s_router:0.025e-12 ()
+
+let run placement = Wormhole.run ~params ~crg ~placement Fig1.cdcg
+
+let test_texec () =
+  Alcotest.(check int) "mapping (c): 100 ns" 100 (run Fig1.mapping_c).Trace.texec_cycles;
+  Alcotest.(check int) "mapping (d): 90 ns" 90 (run Fig1.mapping_d).Trace.texec_cycles
+
+let test_contention () =
+  let c = run Fig1.mapping_c and d = run Fig1.mapping_d in
+  Alcotest.(check int) "7 contention cycles in (c)" 7 c.Trace.contention_cycles;
+  Alcotest.(check int) "one contended packet in (c)" 1 c.Trace.contended_packets;
+  Alcotest.(check int) "no contention in (d)" 0 d.Trace.contention_cycles
+
+let delivered trace i = trace.Trace.packets.(i).Trace.delivered
+
+let test_delivery_times_c () =
+  let t = run Fig1.mapping_c in
+  (* Derived in DESIGN.md from the Figure 3(a) annotations. *)
+  Alcotest.(check int) "pAB1" 27 (delivered t 0);
+  Alcotest.(check int) "pEA1" 36 (delivered t 1);
+  Alcotest.(check int) "pEA2" 77 (delivered t 2);
+  Alcotest.(check int) "pAF1 (delayed by contention)" 73 (delivered t 3);
+  Alcotest.(check int) "pBF1" 56 (delivered t 4);
+  Alcotest.(check int) "pFB1 = texec" 100 (delivered t 5)
+
+let test_delivery_times_d () =
+  let t = run Fig1.mapping_d in
+  Alcotest.(check int) "pAB1 (3 routers now)" 30 (delivered t 0);
+  Alcotest.(check int) "pAF1 (no contention)" 63 (delivered t 3);
+  Alcotest.(check int) "pFB1 = texec" 90 (delivered t 5)
+
+(* Figure 3(a): router W1 (tile 0) is annotated
+   15(A->B):[10,26] 40(B->F):[11,52] 15(A->F):[46,69] 15(F->B):[83,99]. *)
+let test_router_annotations_c () =
+  let t = run Fig1.mapping_c in
+  let anns = t.Trace.router_annotations.(0) in
+  let rendered =
+    List.map
+      (fun (a : Trace.annotation) ->
+        Printf.sprintf "%d:%s" a.Trace.ann_bits (Interval.to_string a.Trace.ann_interval))
+      anns
+  in
+  Alcotest.(check (list string)) "W1 cost-variable list"
+    [ "15:[10,26]"; "40:[11,52]"; "15:[46,69]"; "15:[83,99]" ]
+    rendered
+
+(* Figure 3 text: the link W4->W2 carries both E->A packets, "each one
+   delayed by the router delay": [13,33] and [59,74]. *)
+let test_link_annotations_c () =
+  let t = run Fig1.mapping_c in
+  let mesh = Crg.mesh crg in
+  let lid = Link.id mesh ~src:3 ~dst:1 in
+  let rendered =
+    List.map
+      (fun (a : Trace.annotation) -> Interval.to_string a.Trace.ann_interval)
+      t.Trace.link_annotations.(lid)
+  in
+  Alcotest.(check (list string)) "W4->W2 link list" [ "[13,33]"; "[59,74]" ] rendered
+
+let test_cwm_energy_fig2 () =
+  (* Figure 2: 390 pJ for both mappings; CWM cannot tell them apart. *)
+  let energy placement =
+    Nocmap_mapping.Cost_cwm.dynamic_energy ~tech ~crg ~cwg:Fig1.cwg placement
+  in
+  Alcotest.(check (float 1e-18)) "mapping (c)" 390.0e-12 (energy Fig1.mapping_c);
+  Alcotest.(check (float 1e-18)) "mapping (d)" 390.0e-12 (energy Fig1.mapping_d)
+
+let test_cdcm_energy_fig3 () =
+  (* Figure 3: 400 pJ vs 399 pJ once static energy is included. *)
+  let total placement =
+    let e =
+      Nocmap_mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg:Fig1.cdcg placement
+    in
+    e.Nocmap_mapping.Cost_cdcm.total
+  in
+  Alcotest.(check (float 1e-18)) "mapping (c)" 400.0e-12 (total Fig1.mapping_c);
+  Alcotest.(check (float 1e-18)) "mapping (d)" 399.0e-12 (total Fig1.mapping_d)
+
+let test_energy_from_annotations () =
+  (* Summing ERbit/ELbit over the cost-variable lists reproduces the
+     dynamic energy (the paper's per-resource accounting). *)
+  let t = run Fig1.mapping_c in
+  let router_bits = Nocmap_sim.Annotation_report.router_bits t in
+  let link_bits = Nocmap_sim.Annotation_report.link_bits ~crg t in
+  let dyn =
+    (Array.fold_left ( + ) 0 router_bits |> float_of_int)
+    *. tech.Technology.e_rbit
+    +. (Array.fold_left ( + ) 0 link_bits |> float_of_int)
+       *. tech.Technology.e_lbit
+  in
+  Alcotest.(check (float 1e-18)) "annotation energy = eq 4" 390.0e-12 dyn
+
+let strip_legend rendered =
+  String.split_on_char '\n' rendered
+  |> List.filter (fun line -> not (Test_util.contains_substring ~needle:"legend" line))
+  |> String.concat "\n"
+
+let test_gantt_renders () =
+  let t = run Fig1.mapping_c in
+  let g = Nocmap_sim.Gantt.render ~params ~cdcg:Fig1.cdcg t in
+  Test_util.check_contains ~msg:"labels present" ~needle:"15(A->B):6" g;
+  Test_util.check_contains ~msg:"contention marked" ~needle:"*" (strip_legend g);
+  let d = Nocmap_sim.Gantt.render ~params ~cdcg:Fig1.cdcg (run Fig1.mapping_d) in
+  Alcotest.(check bool) "no contention mark in (d)" false
+    (Test_util.contains_substring ~needle:"*" (strip_legend d))
+
+let suite =
+  ( "sim-paper-example",
+    [
+      Alcotest.test_case "texec 100 vs 90" `Quick test_texec;
+      Alcotest.test_case "contention cycles" `Quick test_contention;
+      Alcotest.test_case "delivery times (c)" `Quick test_delivery_times_c;
+      Alcotest.test_case "delivery times (d)" `Quick test_delivery_times_d;
+      Alcotest.test_case "router annotations (fig 3a)" `Quick test_router_annotations_c;
+      Alcotest.test_case "link annotations (fig 3a)" `Quick test_link_annotations_c;
+      Alcotest.test_case "CWM energy (fig 2)" `Quick test_cwm_energy_fig2;
+      Alcotest.test_case "CDCM energy (fig 3)" `Quick test_cdcm_energy_fig3;
+      Alcotest.test_case "energy from annotations" `Quick test_energy_from_annotations;
+      Alcotest.test_case "gantt rendering" `Quick test_gantt_renders;
+    ] )

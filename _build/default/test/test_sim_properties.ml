@@ -1,0 +1,180 @@
+(* Property-based tests of the wormhole simulator on random generated
+   CDCGs and placements. *)
+
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Cdcg = Nocmap_model.Cdcg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Trace = Nocmap_sim.Trace
+module Interval = Nocmap_util.Interval
+module Rng = Nocmap_util.Rng
+module Placement = Nocmap_mapping.Placement
+module Generator = Nocmap_tgff.Generator
+
+let params = Noc_params.make ~flit_bits:8 ()
+
+(* A random small scenario: mesh, CDCG, placement. *)
+let gen_scenario =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* cols = int_range 2 4 in
+    let* rows = int_range 2 4 in
+    let mesh = Mesh.create ~cols ~rows in
+    let tiles = Mesh.tile_count mesh in
+    let rng = Rng.create ~seed in
+    let* cores = int_range 2 (min 8 tiles) in
+    let* packets = int_range 1 40 in
+    let spec =
+      Generator.default_spec ~name:"prop" ~cores ~packets
+        ~total_bits:(max packets (packets * 60))
+    in
+    let cdcg = Generator.generate rng spec in
+    let placement = Placement.random rng ~cores ~tiles in
+    return (mesh, cdcg, placement))
+
+let run (mesh, cdcg, placement) =
+  Wormhole.run ~params ~crg:(Crg.create mesh) ~placement cdcg
+
+let prop_texec_is_max_delivery =
+  QCheck2.Test.make ~name:"texec equals the latest delivery" ~count:150 gen_scenario
+    (fun scenario ->
+      let t = run scenario in
+      t.Trace.texec_cycles
+      = Array.fold_left (fun acc p -> max acc p.Trace.delivered) 0 t.Trace.packets)
+
+let prop_dependences_respected =
+  QCheck2.Test.make ~name:"a packet is sent only after its deps deliver" ~count:150
+    gen_scenario (fun ((_, cdcg, _) as scenario) ->
+      let t = run scenario in
+      List.for_all
+        (fun (p, q) ->
+          t.Trace.packets.(q).Trace.sent
+          >= t.Trace.packets.(p).Trace.delivered
+             + cdcg.Cdcg.packets.(q).Cdcg.compute)
+        cdcg.Cdcg.deps)
+
+let prop_delivery_at_least_closed_form =
+  (* Equation (8) is a lower bound; equality without contention. *)
+  QCheck2.Test.make ~name:"delivery >= send + eq.(8) delay" ~count:150 gen_scenario
+    (fun ((mesh, cdcg, placement) as scenario) ->
+      let t = run scenario in
+      let crg = Crg.create mesh in
+      Array.for_all
+        (fun (pt : Trace.packet_trace) ->
+          let p = cdcg.Cdcg.packets.(pt.Trace.packet) in
+          let routers =
+            Crg.router_count_on_path crg ~src:placement.(p.Cdcg.src)
+              ~dst:placement.(p.Cdcg.dst)
+          in
+          let bound =
+            Noc_params.total_delay_cycles params ~routers ~flits:pt.Trace.flits
+          in
+          pt.Trace.delivered >= pt.Trace.sent + bound)
+        t.Trace.packets)
+
+let prop_no_contention_matches_closed_form =
+  QCheck2.Test.make ~name:"uncontended packets meet eq.(8) exactly" ~count:150
+    gen_scenario (fun ((mesh, cdcg, placement) as scenario) ->
+      let t = run scenario in
+      let crg = Crg.create mesh in
+      Array.for_all
+        (fun (pt : Trace.packet_trace) ->
+          let waited = Trace.wait_cycles pt > 0 in
+          let p = cdcg.Cdcg.packets.(pt.Trace.packet) in
+          let routers =
+            Crg.router_count_on_path crg ~src:placement.(p.Cdcg.src)
+              ~dst:placement.(p.Cdcg.dst)
+          in
+          let bound =
+            Noc_params.total_delay_cycles params ~routers ~flits:pt.Trace.flits
+          in
+          waited || pt.Trace.delivered = pt.Trace.sent + bound)
+        t.Trace.packets)
+
+let prop_link_service_exclusive =
+  (* The service part of link occupations must never overlap: links are
+     the contended resources.  The recorded link interval is exactly the
+     service window. *)
+  QCheck2.Test.make ~name:"link service windows are disjoint" ~count:150 gen_scenario
+    (fun scenario ->
+      let t = run scenario in
+      Array.for_all
+        (fun annotations ->
+          Interval.disjoint_sorted
+            (List.map (fun (a : Trace.annotation) -> a.Trace.ann_interval) annotations))
+        t.Trace.link_annotations)
+
+let prop_trace_flag_same_result =
+  QCheck2.Test.make ~name:"tracing does not change the outcome" ~count:80 gen_scenario
+    (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let a = Wormhole.run ~trace:true ~params ~crg ~placement cdcg in
+      let b = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
+      a.Trace.texec_cycles = b.Trace.texec_cycles
+      && a.Trace.contention_cycles = b.Trace.contention_cycles)
+
+let prop_bounded_never_faster =
+  QCheck2.Test.make ~name:"bounded buffers never beat unbounded" ~count:80 gen_scenario
+    (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let unbounded = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
+      let bounded_params =
+        Noc_params.make ~flit_bits:8 ~buffering:(Noc_params.Bounded 4) ()
+      in
+      match Wormhole.run ~trace:false ~params:bounded_params ~crg ~placement cdcg with
+      | bounded -> bounded.Trace.texec_cycles >= unbounded.Trace.texec_cycles
+      | exception Wormhole.Deadlock _ -> true)
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"simulation is deterministic" ~count:50 gen_scenario
+    (fun scenario ->
+      let a = run scenario and b = run scenario in
+      a.Trace.texec_cycles = b.Trace.texec_cycles
+      && Array.for_all2
+           (fun (x : Trace.packet_trace) (y : Trace.packet_trace) ->
+             x.Trace.delivered = y.Trace.delivered)
+           a.Trace.packets b.Trace.packets)
+
+let test_invalid_placements () =
+  let mesh = Mesh.create ~cols:2 ~rows:2 in
+  let crg = Crg.create mesh in
+  let cdcg = Nocmap_apps.Fig1.cdcg in
+  let attempt placement msg =
+    match Wormhole.run ~params ~crg ~placement cdcg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail msg
+  in
+  attempt [| 0; 1; 2 |] "wrong length accepted";
+  attempt [| 0; 1; 2; 4 |] "out-of-range tile accepted";
+  attempt [| 0; 1; 2; 2 |] "non-injective accepted"
+
+let test_single_packet_exact () =
+  (* One packet, no contention possible: delivery = compute + eq (8). *)
+  let cdcg =
+    Cdcg.create_exn ~name:"single" ~core_names:[| "a"; "b" |]
+      ~packets:[| { Cdcg.src = 0; dst = 1; compute = 11; bits = 40; label = "p" } |]
+      ~deps:[]
+  in
+  let mesh = Mesh.create ~cols:3 ~rows:1 in
+  let t =
+    Wormhole.run ~params:Noc_params.paper_example ~crg:(Crg.create mesh)
+      ~placement:[| 0; 2 |] cdcg
+  in
+  (* K = 3 routers, n = 40 flits: delay = 3*(2+1) + 40 = 49; sent at 11. *)
+  Alcotest.(check int) "texec" 60 t.Trace.texec_cycles
+
+let suite =
+  ( "sim-properties",
+    [
+      QCheck_alcotest.to_alcotest prop_texec_is_max_delivery;
+      QCheck_alcotest.to_alcotest prop_dependences_respected;
+      QCheck_alcotest.to_alcotest prop_delivery_at_least_closed_form;
+      QCheck_alcotest.to_alcotest prop_no_contention_matches_closed_form;
+      QCheck_alcotest.to_alcotest prop_link_service_exclusive;
+      QCheck_alcotest.to_alcotest prop_trace_flag_same_result;
+      QCheck_alcotest.to_alcotest prop_bounded_never_faster;
+      QCheck_alcotest.to_alcotest prop_deterministic;
+      Alcotest.test_case "invalid placements" `Quick test_invalid_placements;
+      Alcotest.test_case "single packet closed form" `Quick test_single_packet_exact;
+    ] )

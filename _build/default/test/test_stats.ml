@@ -1,0 +1,52 @@
+module Stats = Nocmap_util.Stats
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check feq "empty mean" 0.0 (Stats.mean [])
+
+let test_stddev () =
+  Alcotest.check feq "constant list" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  Alcotest.check feq "single" 0.0 (Stats.stddev [ 4.0 ]);
+  Alcotest.check feq "known" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_min_max () =
+  Alcotest.check feq "min" (-1.0) (Stats.minimum [ 3.0; -1.0; 2.0 ]);
+  Alcotest.check feq "max" 3.0 (Stats.maximum [ 3.0; -1.0; 2.0 ]);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.minimum: empty list")
+    (fun () -> ignore (Stats.minimum []))
+
+let test_median_percentile () =
+  Alcotest.check feq "odd median" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check feq "p100 is max" 9.0 (Stats.percentile 100.0 [ 1.0; 9.0; 5.0 ]);
+  Alcotest.check feq "p0 is min-ish" 1.0 (Stats.percentile 0.0 [ 1.0; 9.0; 5.0 ])
+
+let test_reduction_percent () =
+  Alcotest.check feq "40%" 40.0 (Stats.reduction_percent ~baseline:100.0 ~improved:60.0);
+  Alcotest.check feq "negative when worse" (-10.0)
+    (Stats.reduction_percent ~baseline:100.0 ~improved:110.0);
+  Alcotest.check feq "zero baseline" 0.0 (Stats.reduction_percent ~baseline:0.0 ~improved:5.0)
+
+let test_geometric_mean () =
+  Alcotest.check feq "geomean" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ]);
+  Alcotest.check feq "empty" 0.0 (Stats.geometric_mean [])
+
+let prop_mean_between_bounds =
+  QCheck2.Test.make ~name:"mean lies between min and max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "stddev" `Quick test_stddev;
+      Alcotest.test_case "min/max" `Quick test_min_max;
+      Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+      Alcotest.test_case "reduction percent" `Quick test_reduction_percent;
+      Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+      QCheck_alcotest.to_alcotest prop_mean_between_bounds;
+    ] )

@@ -1,0 +1,71 @@
+module Suite = Nocmap_tgff.Suite
+module Mesh = Nocmap_noc.Mesh
+module Cdcg = Nocmap_model.Cdcg
+
+(* The published Table 1 statistics (with the 3x4/14-core row corrected
+   to 12 cores — a 3x4 NoC has 12 tiles; see EXPERIMENTS.md). *)
+let expected =
+  [
+    ("3x2", 5, 43, 78_817); ("3x2", 6, 17, 174); ("3x2", 6, 43, 49_003);
+    ("2x4", 5, 16, 1_600); ("2x4", 7, 33, 23_235); ("2x4", 8, 18, 5_930);
+    ("3x3", 7, 16, 1_600); ("3x3", 9, 18, 1_860); ("3x3", 9, 32, 43_120);
+    ("2x5", 8, 24, 2_215); ("2x5", 9, 51, 23_244); ("2x5", 10, 22, 322_221);
+    ("3x4", 10, 15, 3_100); ("3x4", 12, 25, 2_578_920); ("3x4", 12, 88, 115_778);
+    ("8x8", 62, 344, 9_799_200);
+    ("10x10", 93, 415, 562_565_990);
+    ("12x10", 99, 446, 680_006_120);
+  ]
+
+let test_row_count () = Alcotest.(check int) "18 applications" 18 (List.length Suite.rows)
+
+let test_features_match_paper () =
+  let instances = Suite.instances ~seed:2005 in
+  List.iter2
+    (fun (mesh, cdcg) (noc, cores, packets, bits) ->
+      Alcotest.(check string) "NoC size" noc (Mesh.to_string mesh);
+      Alcotest.(check int) (noc ^ " cores") cores (Cdcg.core_count cdcg);
+      Alcotest.(check int) (noc ^ " packets") packets (Cdcg.packet_count cdcg);
+      Alcotest.(check int) (noc ^ " bits") bits (Cdcg.total_bits cdcg))
+    instances expected
+
+let test_apps_fit_their_noc () =
+  List.iter
+    (fun (mesh, cdcg) ->
+      Alcotest.(check bool)
+        (Mesh.to_string mesh ^ " fits")
+        true
+        (Cdcg.core_count cdcg <= Mesh.tile_count mesh))
+    (Suite.instances ~seed:7)
+
+let test_deterministic () =
+  let a = Suite.instances ~seed:3 and b = Suite.instances ~seed:3 in
+  List.iter2
+    (fun (_, (x : Cdcg.t)) (_, (y : Cdcg.t)) ->
+      Alcotest.(check bool) "same instance" true
+        (x.Cdcg.packets = y.Cdcg.packets && x.Cdcg.deps = y.Cdcg.deps))
+    a b
+
+let test_size_groups () =
+  Alcotest.(check (list string)) "small sizes"
+    [ "3x2"; "2x4"; "3x3"; "2x5"; "3x4" ]
+    (List.map Mesh.to_string Suite.small_sizes);
+  Alcotest.(check (list string)) "large sizes" [ "8x8"; "10x10"; "12x10" ]
+    (List.map Mesh.to_string Suite.large_sizes)
+
+let test_table1_render () =
+  let rendered = Nocmap.Table1.render ~seed:2005 in
+  Test_util.check_contains ~msg:"title" ~needle:"Table 1" rendered;
+  Test_util.check_contains ~msg:"3x2 row" ~needle:"3x2" rendered;
+  Test_util.check_contains ~msg:"grouped volume" ~needle:"680,006,120" rendered;
+  Test_util.check_contains ~msg:"packet counts" ~needle:"43; 17; 43" rendered
+
+let suite =
+  ( "suite-table1",
+    [
+      Alcotest.test_case "row count" `Quick test_row_count;
+      Alcotest.test_case "features match the paper" `Quick test_features_match_paper;
+      Alcotest.test_case "apps fit their NoC" `Quick test_apps_fit_their_noc;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "size groups" `Quick test_size_groups;
+      Alcotest.test_case "table 1 rendering" `Quick test_table1_render;
+    ] )

@@ -1,0 +1,50 @@
+module Tablefmt = Nocmap_util.Tablefmt
+
+let test_render_basic () =
+  let t =
+    Tablefmt.create ~title:"demo"
+      ~columns:[ ("name", Tablefmt.Left); ("value", Tablefmt.Right) ]
+      ()
+  in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b"; "22" ];
+  let out = Tablefmt.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 4 && String.sub out 0 4 = "demo");
+  Test_util.check_contains ~msg:"has alpha row" ~needle:"| alpha |" out;
+  Test_util.check_contains ~msg:"right-aligns value" ~needle:"|     1 |" out
+
+let test_summary_separator () =
+  let t = Tablefmt.create ~columns:[ ("c", Tablefmt.Left) ] () in
+  Tablefmt.add_row t [ "x" ];
+  Tablefmt.add_summary_row t [ "avg" ];
+  let out = Tablefmt.render t in
+  let lines = String.split_on_char '\n' out in
+  let separators = List.filter (fun l -> String.length l > 0 && l.[0] = '+') lines in
+  Alcotest.(check int) "header, body and summary separators" 4 (List.length separators)
+
+let test_wrong_arity () =
+  let t = Tablefmt.create ~columns:[ ("a", Tablefmt.Left); ("b", Tablefmt.Left) ] () in
+  Alcotest.check_raises "too few cells"
+    (Invalid_argument "Tablefmt.add_row: wrong number of cells") (fun () ->
+      Tablefmt.add_row t [ "only-one" ])
+
+let test_center_alignment () =
+  let t = Tablefmt.create ~columns:[ ("wide-header", Tablefmt.Center) ] () in
+  Tablefmt.add_row t [ "x" ];
+  let out = Tablefmt.render t in
+  Test_util.check_contains ~msg:"centered" ~needle:"|      x      |" out
+
+let test_no_rows () =
+  let t = Tablefmt.create ~columns:[ ("only", Tablefmt.Left) ] () in
+  let out = Tablefmt.render t in
+  Test_util.check_contains ~msg:"header still rendered" ~needle:"| only |" out
+
+let suite =
+  ( "tablefmt",
+    [
+      Alcotest.test_case "render basics" `Quick test_render_basic;
+      Alcotest.test_case "summary separator" `Quick test_summary_separator;
+      Alcotest.test_case "wrong arity" `Quick test_wrong_arity;
+      Alcotest.test_case "center alignment" `Quick test_center_alignment;
+      Alcotest.test_case "no rows" `Quick test_no_rows;
+    ] )

@@ -1,0 +1,90 @@
+module Textio = Nocmap_model.Textio
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Fig1 = Nocmap_apps.Fig1
+
+let cdcg_equal (a : Cdcg.t) (b : Cdcg.t) =
+  a.Cdcg.name = b.Cdcg.name
+  && a.Cdcg.core_names = b.Cdcg.core_names
+  && a.Cdcg.packets = b.Cdcg.packets
+  && List.sort compare a.Cdcg.deps = List.sort compare b.Cdcg.deps
+
+let test_cdcg_roundtrip_fig1 () =
+  let text = Textio.cdcg_to_string Fig1.cdcg in
+  match Textio.cdcg_of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed -> Alcotest.(check bool) "roundtrip" true (cdcg_equal Fig1.cdcg parsed)
+
+let test_cwg_roundtrip () =
+  let text = Textio.cwg_to_string Fig1.cwg in
+  match Textio.cwg_of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed ->
+    Alcotest.(check bool) "same communications" true
+      (Cwg.communications parsed = Cwg.communications Fig1.cwg)
+
+let test_comments_and_blanks () =
+  let doc =
+    "# a comment\n\napplication demo\ncores a b\n  # indented comment\npacket p0 a -> \
+     b compute 1 bits 2\n"
+  in
+  match Textio.cdcg_of_string doc with
+  | Error msg -> Alcotest.fail msg
+  | Ok t -> Alcotest.(check int) "one packet" 1 (Cdcg.packet_count t)
+
+let expect_error ~needle doc =
+  match Textio.cdcg_of_string doc with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error msg -> Test_util.check_contains ~msg:"parse error" ~needle msg
+
+let test_parse_errors () =
+  expect_error ~needle:"empty document" "";
+  expect_error ~needle:"line 1" "nonsense here\n";
+  expect_error ~needle:"missing \"cores\"" "application x\n";
+  expect_error ~needle:"line 3" "application x\ncores a b\npacket bad syntax\n";
+  expect_error ~needle:"unknown core"
+    "application x\ncores a b\npacket p0 a -> z compute 1 bits 2\n";
+  expect_error ~needle:"expected an integer"
+    "application x\ncores a b\npacket p0 a -> b compute one bits 2\n";
+  expect_error ~needle:"duplicate packet label"
+    "application x\ncores a b\npacket p0 a -> b compute 1 bits 2\npacket p0 b -> a compute 1 bits 2\n";
+  expect_error ~needle:"undeclared packet"
+    "application x\ncores a b\npacket p0 a -> b compute 1 bits 2\ndep p0 -> p9\n"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "nocmap" ".cdcg" in
+  Textio.save_cdcg ~path Fig1.cdcg;
+  (match Textio.load_cdcg ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed -> Alcotest.(check bool) "file roundtrip" true (cdcg_equal Fig1.cdcg parsed));
+  Sys.remove path
+
+let test_load_missing_file () =
+  match Textio.load_cdcg ~path:"/nonexistent/really.cdcg" with
+  | Ok _ -> Alcotest.fail "expected IO error"
+  | Error _ -> ()
+
+let prop_generated_roundtrip =
+  QCheck2.Test.make ~name:"generated CDCGs roundtrip through text" ~count:30
+    (QCheck2.Gen.int_range 0 10_000) (fun seed ->
+      let rng = Nocmap_util.Rng.create ~seed in
+      let spec =
+        Nocmap_tgff.Generator.default_spec ~name:"rt" ~cores:5 ~packets:15
+          ~total_bits:2_000
+      in
+      let cdcg = Nocmap_tgff.Generator.generate rng spec in
+      match Textio.cdcg_of_string (Textio.cdcg_to_string cdcg) with
+      | Error _ -> false
+      | Ok parsed -> cdcg_equal cdcg parsed)
+
+let suite =
+  ( "textio",
+    [
+      Alcotest.test_case "cdcg roundtrip (fig1)" `Quick test_cdcg_roundtrip_fig1;
+      Alcotest.test_case "cwg roundtrip" `Quick test_cwg_roundtrip;
+      Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+      Alcotest.test_case "missing file" `Quick test_load_missing_file;
+      QCheck_alcotest.to_alcotest prop_generated_roundtrip;
+    ] )

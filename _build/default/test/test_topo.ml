@@ -1,0 +1,103 @@
+module Digraph = Nocmap_graph.Digraph
+module Topo = Nocmap_graph.Topo
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let g = Digraph.create ~n:4 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:0;
+  Digraph.add_edge g ~src:0 ~dst:2 ~label:0;
+  Digraph.add_edge g ~src:1 ~dst:3 ~label:0;
+  Digraph.add_edge g ~src:2 ~dst:3 ~label:0;
+  g
+
+let cyclic () =
+  let g = Digraph.create ~n:3 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~label:0;
+  Digraph.add_edge g ~src:1 ~dst:2 ~label:0;
+  Digraph.add_edge g ~src:2 ~dst:0 ~label:0;
+  g
+
+let valid_topological_order g order =
+  let pos = Array.make (Digraph.vertex_count g) (-1) in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  List.length order = Digraph.vertex_count g
+  && Array.for_all (fun p -> p >= 0) pos
+  && Digraph.fold_edges g ~init:true ~f:(fun acc ~src ~dst ~label:_ ->
+         acc && pos.(src) < pos.(dst))
+
+let test_topo_dag () =
+  let g = diamond () in
+  match Topo.topological_order g with
+  | None -> Alcotest.fail "diamond is a DAG"
+  | Some order ->
+    Alcotest.(check bool) "valid order" true (valid_topological_order g order)
+
+let test_topo_cycle () =
+  Alcotest.(check bool) "cycle has no order" true (Topo.topological_order (cyclic ()) = None);
+  Alcotest.(check bool) "is_dag false" false (Topo.is_dag (cyclic ()));
+  Alcotest.(check bool) "is_dag true" true (Topo.is_dag (diamond ()))
+
+let test_cycle_witness () =
+  match Topo.cycle (cyclic ()) with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some vs ->
+    Alcotest.(check int) "length 3" 3 (List.length vs);
+    Alcotest.(check (list int)) "the full cycle, sorted" [ 0; 1; 2 ]
+      (List.sort compare vs)
+
+let test_cycle_none_on_dag () =
+  Alcotest.(check bool) "no witness on DAG" true (Topo.cycle (diamond ()) = None)
+
+let test_reachable () =
+  let g = diamond () in
+  let from0 = Topo.reachable_from g 0 in
+  Alcotest.(check (array bool)) "all reachable from 0" [| true; true; true; true |] from0;
+  let from1 = Topo.reachable_from g 1 in
+  Alcotest.(check (array bool)) "only 1 and 3 from 1" [| false; true; false; true |] from1
+
+let test_longest_path () =
+  let g = diamond () in
+  match Topo.longest_path_lengths g ~weight:(fun v -> v + 1) with
+  | None -> Alcotest.fail "DAG expected"
+  | Some dist ->
+    (* weights: v0=1 v1=2 v2=3 v3=4; longest to 3 is 0,2,3 = 8 *)
+    Alcotest.(check int) "longest ending at 3" 8 dist.(3);
+    Alcotest.(check int) "source" 1 dist.(0)
+
+let test_longest_path_cyclic () =
+  Alcotest.(check bool) "cyclic gives None" true
+    (Topo.longest_path_lengths (cyclic ()) ~weight:(fun _ -> 1) = None)
+
+(* Random DAG: edges only from lower to higher indices. *)
+let gen_dag =
+  QCheck2.Gen.(
+    let* n = int_range 2 30 in
+    let* edges = list_size (int_range 0 80) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    return (n, edges))
+
+let prop_topo_on_random_dag =
+  QCheck2.Test.make ~name:"Kahn order is valid on random DAGs" ~count:200 gen_dag
+    (fun (n, edges) ->
+      let g = Digraph.create ~n in
+      List.iter
+        (fun (a, b) ->
+          if a <> b then
+            let src = min a b and dst = max a b in
+            Digraph.add_edge g ~src ~dst ~label:0)
+        edges;
+      match Topo.topological_order g with
+      | None -> false
+      | Some order -> valid_topological_order g order)
+
+let suite =
+  ( "topo",
+    [
+      Alcotest.test_case "topological order on DAG" `Quick test_topo_dag;
+      Alcotest.test_case "cycle detection" `Quick test_topo_cycle;
+      Alcotest.test_case "cycle witness" `Quick test_cycle_witness;
+      Alcotest.test_case "no witness on DAG" `Quick test_cycle_none_on_dag;
+      Alcotest.test_case "reachability" `Quick test_reachable;
+      Alcotest.test_case "longest path" `Quick test_longest_path;
+      Alcotest.test_case "longest path cyclic" `Quick test_longest_path_cyclic;
+      QCheck_alcotest.to_alcotest prop_topo_on_random_dag;
+    ] )

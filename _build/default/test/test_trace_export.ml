@@ -1,0 +1,50 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Trace_export = Nocmap_sim.Trace_export
+module Fig1 = Nocmap_apps.Fig1
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+
+let trace () =
+  Wormhole.run ~params:Noc_params.paper_example ~crg ~placement:Fig1.mapping_c
+    Fig1.cdcg
+
+let lines s = List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+
+let test_packets_csv () =
+  let csv = Trace_export.packets_csv ~cdcg:Fig1.cdcg (trace ()) in
+  let rows = lines csv in
+  Alcotest.(check int) "header + 6 packets" 7 (List.length rows);
+  (match rows with
+  | header :: _ ->
+    Alcotest.(check string) "header"
+      "label,src,dst,bits,flits,ready,sent,delivered,latency,wait_cycles" header
+  | [] -> Alcotest.fail "empty csv");
+  Test_util.check_contains ~msg:"pAF1 row with its contention"
+    ~needle:"pAF1,A,F,15,15,36,42,73,31,7" csv
+
+let test_link_loads_csv () =
+  let csv = Trace_export.link_loads_csv ~crg (trace ()) in
+  let rows = lines csv in
+  (* header + 8 physical links of a 2x2 mesh *)
+  Alcotest.(check int) "header + links" 9 (List.length rows);
+  Test_util.check_contains ~msg:"hotspot row" ~needle:"L(0->2),0,2,57," csv
+
+let test_save () =
+  let path = Filename.temp_file "nocmap" ".csv" in
+  Trace_export.save ~path "a,b\n1,2\n";
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "written" "a,b" first
+
+let suite =
+  ( "trace-export",
+    [
+      Alcotest.test_case "packets csv" `Quick test_packets_csv;
+      Alcotest.test_case "link loads csv" `Quick test_link_loads_csv;
+      Alcotest.test_case "save" `Quick test_save;
+    ] )

@@ -1,0 +1,106 @@
+module Transform = Nocmap_model.Transform
+module Cdcg = Nocmap_model.Cdcg
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Wormhole = Nocmap_sim.Wormhole
+module Trace = Nocmap_sim.Trace
+module Rng = Nocmap_util.Rng
+module Generator = Nocmap_tgff.Generator
+module Fig1 = Nocmap_apps.Fig1
+
+let test_no_split_below_threshold () =
+  let split = Transform.split_packets ~max_bits:1_000 Fig1.cdcg in
+  Alcotest.(check int) "unchanged packet count" 6 (Cdcg.packet_count split);
+  Alcotest.(check int) "unchanged volume" 120 (Cdcg.total_bits split)
+
+let test_split_structure () =
+  (* Fig1's 40-bit B->F packet splits into 3 pieces of <= 15 bits and
+     the 20-bit E->A packet into 2. *)
+  let split = Transform.split_packets ~max_bits:15 Fig1.cdcg in
+  Alcotest.(check int) "three extra packets" 9 (Cdcg.packet_count split);
+  Alcotest.(check int) "volume preserved" 120 (Cdcg.total_bits split);
+  let sub = Cdcg.packets_from split ~src:Fig1.core_b ~dst:Fig1.core_f in
+  Alcotest.(check int) "three sub-packets" 3 (List.length sub);
+  (match sub with
+  | a :: b :: c :: _ ->
+    let bits i = split.Cdcg.packets.(i).Cdcg.bits in
+    Alcotest.(check int) "split volume" 40 (bits a + bits b + bits c);
+    Alcotest.(check bool) "bounded" true (bits a <= 15 && bits b <= 15 && bits c <= 15);
+    (* chained *)
+    Alcotest.(check (list int)) "b waits for a" [ a ] (Cdcg.predecessors split b);
+    Alcotest.(check (list int)) "c waits for b" [ b ] (Cdcg.predecessors split c);
+    (* only the first piece pays the computation time *)
+    Alcotest.(check int) "compute on first" 10 split.Cdcg.packets.(a).Cdcg.compute;
+    Alcotest.(check int) "no compute on rest" 0 split.Cdcg.packets.(b).Cdcg.compute
+  | _ -> Alcotest.fail "expected three sub-packets")
+
+let test_downstream_deps_follow_last_piece () =
+  let split = Transform.split_packets ~max_bits:15 Fig1.cdcg in
+  (* pFB1 depended on pBF1; after splitting it must wait for the LAST
+     B->F piece. *)
+  let fb = List.hd (Cdcg.packets_from split ~src:Fig1.core_f ~dst:Fig1.core_b) in
+  let bf = Cdcg.packets_from split ~src:Fig1.core_b ~dst:Fig1.core_f in
+  let last_bf = List.nth bf (List.length bf - 1) in
+  Alcotest.(check bool) "depends on the tail piece" true
+    (List.mem last_bf (Cdcg.predecessors split fb))
+
+let test_invalid_max_bits () =
+  Alcotest.(check bool) "rejected" true
+    (match Transform.split_packets ~max_bits:0 Fig1.cdcg with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_volume_and_validity_preserved =
+  QCheck2.Test.make ~name:"splitting preserves volume and validity" ~count:60
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 500))
+    (fun (seed, max_bits) ->
+      let rng = Rng.create ~seed in
+      let spec = Generator.default_spec ~name:"s" ~cores:5 ~packets:15 ~total_bits:6_000 in
+      let cdcg = Generator.generate rng spec in
+      let split = Transform.split_packets ~max_bits cdcg in
+      Cdcg.total_bits split = Cdcg.total_bits cdcg
+      && Array.for_all
+           (fun (p : Cdcg.packet) -> p.Cdcg.bits <= max_bits)
+           split.Cdcg.packets
+      && Nocmap_graph.Topo.is_dag (Cdcg.to_digraph split))
+
+let test_pipelining_effect () =
+  (* One long message over several hops: splitting lets segments
+     pipeline, but each segment pays the routing overhead again.  Both
+     directions are legitimate; we only check the simulation runs and
+     the latency changes. *)
+  let cdcg =
+    Cdcg.create_exn ~name:"long" ~core_names:[| "a"; "b" |]
+      ~packets:[| { Cdcg.src = 0; dst = 1; compute = 0; bits = 120; label = "m" } |]
+      ~deps:[]
+  in
+  let crg = Crg.create (Mesh.create ~cols:4 ~rows:1) in
+  let params = Noc_params.paper_example in
+  let texec c =
+    (Wormhole.run ~trace:false ~params ~crg ~placement:[| 0; 3 |] c).Trace.texec_cycles
+  in
+  let whole = texec cdcg in
+  let split = texec (Transform.split_packets ~max_bits:30 cdcg) in
+  (* eq (8): K = 4 routers, n = 120 flits, sent at 0. *)
+  Alcotest.(check int) "whole message" ((4 * 3) + 120) whole;
+  (* Four delivery-chained pieces each pay the routing latency. *)
+  Alcotest.(check int) "split pays per-piece routing" (4 * ((4 * 3) + 30)) split
+
+let test_merge_statistics () =
+  let split = Transform.split_packets ~max_bits:15 Fig1.cdcg in
+  let line = Transform.merge_statistics Fig1.cdcg split in
+  Test_util.check_contains ~msg:"before" ~needle:"6 packets" line;
+  Test_util.check_contains ~msg:"after" ~needle:"9 packets" line
+
+let suite =
+  ( "transform",
+    [
+      Alcotest.test_case "no split below threshold" `Quick test_no_split_below_threshold;
+      Alcotest.test_case "split structure" `Quick test_split_structure;
+      Alcotest.test_case "downstream deps" `Quick test_downstream_deps_follow_last_piece;
+      Alcotest.test_case "invalid max bits" `Quick test_invalid_max_bits;
+      QCheck_alcotest.to_alcotest prop_volume_and_validity_preserved;
+      Alcotest.test_case "pipelining effect" `Quick test_pipelining_effect;
+      Alcotest.test_case "merge statistics" `Quick test_merge_statistics;
+    ] )

@@ -1,0 +1,12 @@
+(* Shared helpers for the test suite. *)
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let check_contains ~msg ~needle haystack =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (looking for %S)" msg needle)
+    true
+    (contains_substring ~needle haystack)

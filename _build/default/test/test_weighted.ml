@@ -1,0 +1,63 @@
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Mapping = Nocmap_mapping
+module Rng = Nocmap_util.Rng
+module Fig1 = Nocmap_apps.Fig1
+
+let crg = Crg.create (Mesh.create ~cols:2 ~rows:2)
+let params = Noc_params.paper_example
+let tech = Technology.t007
+
+let make alpha =
+  Mapping.Weighted.make ~tech ~params ~crg ~cdcg:Fig1.cdcg ~alpha
+    ~reference:Fig1.mapping_c
+
+let test_reference_normalization () =
+  (* At the reference placement both normalized terms are 1, so the
+     cost is 1 for every alpha. *)
+  List.iter
+    (fun alpha ->
+      Alcotest.(check (float 1e-9)) "cost 1 at the reference" 1.0
+        ((make alpha).Mapping.Objective.cost_fn Fig1.mapping_c))
+    [ 0.0; 0.3; 1.0 ]
+
+let test_alpha_extremes_order_mappings () =
+  (* Pure time (alpha 0): mapping (d) (90 ns) beats (c) (100 ns). *)
+  let time = make 0.0 in
+  Alcotest.(check bool) "time objective prefers (d)" true
+    (time.Mapping.Objective.cost_fn Fig1.mapping_d
+    < time.Mapping.Objective.cost_fn Fig1.mapping_c)
+
+let test_alpha_validation () =
+  Alcotest.(check bool) "alpha out of range" true
+    (match make 1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pareto_sweep () =
+  let rng = Rng.create ~seed:12 in
+  let points =
+    Mapping.Weighted.pareto_sweep ~rng
+      ~config:(Mapping.Annealing.quick_config ~tiles:4)
+      ~tech ~params ~crg ~cdcg:Fig1.cdcg
+      ~alphas:[ 0.0; 0.5; 1.0 ]
+  in
+  Alcotest.(check int) "three points" 3 (List.length points);
+  List.iter
+    (fun (alpha, e) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "alpha %.1f sane" alpha)
+        true
+        (e.Mapping.Cost_cdcm.total > 0.0 && e.Mapping.Cost_cdcm.texec_ns > 0.0))
+    points
+
+let suite =
+  ( "weighted",
+    [
+      Alcotest.test_case "reference normalization" `Quick test_reference_normalization;
+      Alcotest.test_case "alpha extremes" `Quick test_alpha_extremes_order_mappings;
+      Alcotest.test_case "alpha validation" `Quick test_alpha_validation;
+      Alcotest.test_case "pareto sweep" `Quick test_pareto_sweep;
+    ] )
