@@ -1,0 +1,25 @@
+.PHONY: all build check test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+check:
+	dune build @all && dune runtest
+
+test:
+	dune runtest
+
+# Full reproduction harness: every figure/table plus BENCH_nocmap.json.
+bench:
+	dune exec bench/main.exe
+
+# Quick pass of the same harness (small search budgets, short measurement
+# windows); still emits BENCH_nocmap.json.
+bench-smoke:
+	NOCMAP_BENCH_BUDGET=quick dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -f BENCH_nocmap.json

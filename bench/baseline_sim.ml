@@ -1,0 +1,278 @@
+(* Frozen copy of the seed-commit wormhole simulator, kept as the
+   benchmark reference point.  The live simulator in [Nocmap_sim.Wormhole]
+   has since moved to packed integer events and a reusable scratch arena;
+   this module preserves the original allocation behaviour (record events,
+   one [Stdlib.Queue] per port, fresh per-packet state and a full trace
+   built on every call) so BENCH_nocmap.json can report speedups against a
+   stable baseline across PRs.  Not part of the library — bench only. *)
+
+module Interval = Nocmap_util.Interval
+module Heap = Nocmap_util.Heap
+module Crg = Nocmap_noc.Crg
+module Link = Nocmap_noc.Link
+module Mesh = Nocmap_noc.Mesh
+module Cdcg = Nocmap_model.Cdcg
+module Noc_params = Nocmap_energy.Noc_params
+module Trace = Nocmap_sim.Trace
+
+exception Deadlock of string
+
+type action =
+  | Release of int        (* port (link id) becomes grantable *)
+  | Arrive of int * int   (* packet, hop index *)
+
+type event = {
+  time : int;
+  prio : int;             (* Release before Arrive at equal times *)
+  key : int;
+  seq : int;
+  action : action;
+}
+
+let compare_event a b =
+  match Int.compare a.time b.time with
+  | 0 -> begin
+    match Int.compare a.prio b.prio with
+    | 0 -> begin
+      match Int.compare a.key b.key with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c
+    end
+    | c -> c
+  end
+  | c -> c
+
+type waiting = {
+  w_packet : int;
+  w_hop : int;
+  w_arrival : int;
+}
+
+type packet_state = {
+  path : Crg.path;
+  flits : int;
+  mutable remaining_deps : int;
+  mutable ready : int;
+  mutable sent : int;
+  mutable delivered : int;
+  arrivals : int array;
+  starts : int array;
+}
+
+let validate_placement ~tiles ~cores placement =
+  if Array.length placement <> cores then
+    invalid_arg "Wormhole.run: placement length differs from core count";
+  let used = Array.make tiles false in
+  Array.iter
+    (fun tile ->
+      if tile < 0 || tile >= tiles then
+        invalid_arg "Wormhole.run: placement tile out of range";
+      if used.(tile) then invalid_arg "Wormhole.run: placement is not injective";
+      used.(tile) <- true)
+    placement
+
+let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
+  let mesh = Crg.mesh crg in
+  let tiles = Mesh.tile_count mesh in
+  validate_placement ~tiles ~cores:(Cdcg.core_count cdcg) placement;
+  let tr = params.Noc_params.tr and tl = params.Noc_params.tl in
+  let capacity =
+    match params.Noc_params.buffering with
+    | Noc_params.Unbounded -> max_int
+    | Noc_params.Bounded c -> c
+  in
+  let states =
+    Array.map
+      (fun (p : Cdcg.packet) ->
+        let path = Crg.path crg ~src:placement.(p.Cdcg.src) ~dst:placement.(p.Cdcg.dst) in
+        let hops = Array.length path.Crg.routers in
+        assert (hops >= 2);
+        {
+          path;
+          flits = Noc_params.flits_of_bits params p.Cdcg.bits;
+          remaining_deps = 0;
+          ready = 0;
+          sent = 0;
+          delivered = -1;
+          arrivals = Array.make hops (-1);
+          starts = Array.make hops (-1);
+        })
+      cdcg.Cdcg.packets
+  in
+  List.iter (fun (_, q) -> states.(q).remaining_deps <- states.(q).remaining_deps + 1)
+    cdcg.Cdcg.deps;
+  let slot_count = Link.slot_count mesh in
+  let busy = Array.make slot_count false in
+  let queues = Array.init slot_count (fun _ -> Queue.create ()) in
+  let router_annotations = Array.make tiles [] in
+  let link_annotations = Array.make slot_count [] in
+  let events = Heap.create ~cmp:compare_event () in
+  let seq = ref 0 in
+  let schedule time prio key action =
+    assert (time >= 0);
+    incr seq;
+    Heap.add events { time; prio; key; seq = !seq; action }
+  in
+  let schedule_release port time = schedule time 0 port (Release port) in
+  let schedule_arrive packet hop time = schedule time 1 packet (Arrive (packet, hop)) in
+  let launch packet ready =
+    let st = states.(packet) in
+    st.ready <- ready;
+    st.sent <- ready + cdcg.Cdcg.packets.(packet).Cdcg.compute;
+    schedule_arrive packet 0 (st.sent + tl)
+  in
+  let annotate_router tile packet ~lo ~hi =
+    if trace then
+      router_annotations.(tile) <-
+        {
+          Trace.ann_packet = packet;
+          ann_bits = cdcg.Cdcg.packets.(packet).Cdcg.bits;
+          ann_interval = Interval.make ~lo ~hi;
+        }
+        :: router_annotations.(tile)
+  in
+  let annotate_link port packet ~lo ~hi =
+    if trace then
+      link_annotations.(port) <-
+        {
+          Trace.ann_packet = packet;
+          ann_bits = cdcg.Cdcg.packets.(packet).Cdcg.bits;
+          ann_interval = Interval.make ~lo ~hi;
+        }
+        :: link_annotations.(port)
+  in
+  let release_upstream packet hop downstream_start =
+    if capacity <> max_int && hop >= 1 then begin
+      let st = states.(packet) in
+      if st.flits > capacity then begin
+        let upstream_end = st.starts.(hop - 1) + tr + (st.flits * tl) - 1 in
+        let hold = max upstream_end (downstream_start + tr + ((st.flits - capacity) * tl) - 1) in
+        let port = st.path.Crg.links.(hop - 1) in
+        schedule_release port (hold + 1)
+      end
+    end
+  in
+  let delivered_packet packet time =
+    let st = states.(packet) in
+    st.delivered <- time;
+    let notify q =
+      let sq = states.(q) in
+      sq.remaining_deps <- sq.remaining_deps - 1;
+      sq.ready <- max sq.ready time;
+      if sq.remaining_deps = 0 then launch q sq.ready
+    in
+    List.iter notify (Cdcg.successors cdcg packet)
+  in
+  let grant port packet hop start =
+    let st = states.(packet) in
+    st.starts.(hop) <- start;
+    busy.(port) <- true;
+    let finish = start + tr + (st.flits * tl) - 1 in
+    annotate_router st.path.Crg.routers.(hop) packet ~lo:st.arrivals.(hop) ~hi:finish;
+    annotate_link port packet ~lo:(start + tr) ~hi:(start + tr + (st.flits * tl));
+    schedule_arrive packet (hop + 1) (start + tr + tl);
+    if capacity = max_int || st.flits <= capacity then schedule_release port (finish + 1);
+    release_upstream packet hop start
+  in
+  let arrive packet hop time =
+    let st = states.(packet) in
+    st.arrivals.(hop) <- time;
+    let last = Array.length st.path.Crg.routers - 1 in
+    if hop = last then begin
+      st.starts.(hop) <- time;
+      annotate_router st.path.Crg.routers.(hop) packet ~lo:time
+        ~hi:(time + tr + (st.flits * tl) - 1);
+      release_upstream packet hop time;
+      delivered_packet packet (time + tr + tl + ((st.flits - 1) * tl))
+    end
+    else begin
+      let port = st.path.Crg.links.(hop) in
+      if (not busy.(port)) && Queue.is_empty queues.(port) then
+        grant port packet hop time
+      else Queue.add { w_packet = packet; w_hop = hop; w_arrival = time } queues.(port)
+    end
+  in
+  let release port time =
+    if Queue.is_empty queues.(port) then busy.(port) <- false
+    else begin
+      let w = Queue.pop queues.(port) in
+      grant port w.w_packet w.w_hop (max time w.w_arrival)
+    end
+  in
+  List.iter (fun p -> launch p 0) (Cdcg.start_packets cdcg);
+  let rec pump () =
+    match Heap.pop events with
+    | None -> ()
+    | Some ev ->
+      (match ev.action with
+      | Arrive (packet, hop) -> arrive packet hop ev.time
+      | Release port -> release port ev.time);
+      pump ()
+  in
+  pump ();
+  let undelivered =
+    Array.to_list (Array.mapi (fun i st -> (i, st.delivered)) states)
+    |> List.filter (fun (_, d) -> d < 0)
+  in
+  (match undelivered with
+  | [] -> ()
+  | (i, _) :: _ ->
+    raise
+      (Deadlock
+         (Printf.sprintf
+            "bounded-buffer backpressure deadlock: %d packet(s) undelivered, first %s"
+            (List.length undelivered)
+            cdcg.Cdcg.packets.(i).Cdcg.label)));
+  let traces =
+    Array.mapi
+      (fun i st ->
+        let hops =
+          if trace then
+            List.init (Array.length st.path.Crg.routers) (fun h ->
+                {
+                  Trace.router = st.path.Crg.routers.(h);
+                  arrival = st.arrivals.(h);
+                  service_start = st.starts.(h);
+                })
+          else []
+        in
+        {
+          Trace.packet = i;
+          ready = st.ready;
+          sent = st.sent;
+          delivered = st.delivered;
+          flits = st.flits;
+          hops;
+        })
+      states
+  in
+  let texec_cycles = Array.fold_left (fun acc st -> max acc st.delivered) 0 states in
+  let contention_per_packet =
+    Array.map
+      (fun st ->
+        let acc = ref 0 in
+        Array.iteri (fun h s -> if s >= 0 then acc := !acc + (s - st.arrivals.(h))) st.starts;
+        !acc)
+      states
+  in
+  {
+    Trace.texec_cycles;
+    texec_ns = Noc_params.cycles_to_ns params texec_cycles;
+    packets = traces;
+    router_annotations = Array.map List.rev router_annotations;
+    link_annotations = Array.map List.rev link_annotations;
+    contention_cycles = Array.fold_left ( + ) 0 contention_per_packet;
+    contended_packets =
+      Array.fold_left (fun acc w -> if w > 0 then acc + 1 else acc) 0 contention_per_packet;
+    truncated = false;
+  }
+
+(* Seed-equivalent CDCM total-energy evaluation on top of [run]. *)
+let total_energy ~tech ~params ~crg ~cdcg placement =
+  let trace = run ~trace:false ~params ~crg ~placement cdcg in
+  let dynamic = Nocmap_mapping.Cost_cdcm.dynamic_energy ~tech ~crg ~cdcg placement in
+  let texec_ns = trace.Trace.texec_ns in
+  let static_ =
+    Nocmap_energy.Equations.static_energy tech ~tiles:(Crg.tile_count crg) ~texec_ns
+  in
+  Nocmap_energy.Equations.total_energy ~dynamic ~static_

@@ -463,6 +463,165 @@ let ablation_sa_budget () =
   leg "default" (Mapping.Annealing.default_config ~tiles);
   Tablefmt.print table
 
+(* --- machine-readable benchmark: BENCH_nocmap.json --- *)
+
+(* Throughput of the cost evaluations that dominate every search, plus
+   the sequential-vs-parallel wall time of a small Table 2 slice.  The
+   numbers land in BENCH_nocmap.json so tooling can track the
+   arena/cutoff speedup and the NOCMAP_JOBS scaling across commits. *)
+let bench_json () =
+  banner "Machine-readable benchmark (BENCH_nocmap.json)";
+  let wall = Unix.gettimeofday in
+  let window, suite_size =
+    match budget with
+    | Experiment.Quick -> (0.1, 3)
+    | Experiment.Standard -> (0.4, 6)
+    | Experiment.Thorough -> (1.0, 9)
+  in
+  let ops_per_sec f =
+    f 0;
+    (* warmup: fill caches, trigger first allocations *)
+    let t0 = wall () in
+    let stop = t0 +. window in
+    let n = ref 0 in
+    while wall () < stop do
+      f !n;
+      incr n
+    done;
+    float_of_int !n /. (wall () -. t0)
+  in
+  let mesh, cdcg = ablation_instance () in
+  let crg = Crg.create mesh in
+  let cwg = Cwg.of_cdcg cdcg in
+  let tiles = Mesh.tile_count mesh in
+  let cores = Cdcg.core_count cdcg in
+  let tech = Technology.t007 in
+  let params = example_params in
+  let rng = Rng.create ~seed:(seed + 31) in
+  let n_placements = 64 in
+  let placements = Array.make n_placements [||] in
+  for i = 0 to n_placements - 1 do
+    placements.(i) <- Mapping.Placement.random (Rng.split rng) ~cores ~tiles
+  done;
+  let pick i = placements.(i mod n_placements) in
+  let cwm_ops =
+    ops_per_sec (fun i ->
+        ignore (Mapping.Cost_cwm.dynamic_energy ~tech ~crg ~cwg (pick i)))
+  in
+  let inc =
+    Mapping.Cost_cwm_incremental.create ~tech ~crg ~cwg ~placement:(pick 0)
+  in
+  let cwm_inc_ops =
+    ops_per_sec (fun i ->
+        ignore
+          (Mapping.Cost_cwm_incremental.move_delta inc ~core:(i mod cores)
+             ~tile:(i mod tiles)))
+  in
+  (* The perf trajectory is tracked against a frozen copy of the seed
+     simulator (record events, per-call allocation of every structure) —
+     see [Baseline_sim].  Speedups below are relative to it. *)
+  let cdcm_baseline_ops =
+    ops_per_sec (fun i ->
+        ignore (Baseline_sim.total_energy ~tech ~params ~crg ~cdcg (pick i)))
+  in
+  let cdcm_fresh_ops =
+    ops_per_sec (fun i ->
+        ignore (Mapping.Cost_cdcm.total_energy ~tech ~params ~crg ~cdcg (pick i)))
+  in
+  let scratch = Wormhole.Scratch.create ~crg cdcg in
+  let cdcm_arena_ops =
+    ops_per_sec (fun i ->
+        ignore
+          (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg (pick i)))
+  in
+  (* Cutoff throughput: the local-search / SA-descent scenario — every
+     candidate is bounded against the best cost seen so far. *)
+  let incumbent =
+    let best = ref infinity in
+    for i = 0 to n_placements - 1 do
+      best :=
+        Float.min !best
+          (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg (pick i))
+    done;
+    !best
+  in
+  let cdcm_cutoff_ops =
+    ops_per_sec (fun i ->
+        ignore
+          (Mapping.Cost_cdcm.evaluate_bound ~scratch ~tech ~params ~crg ~cdcg
+             ~cutoff:incumbent (pick i)))
+  in
+  (* Sequential vs parallel wall time over a Table 2 slice. *)
+  let instances =
+    Nocmap_tgff.Suite.instances ~seed |> List.filteri (fun i _ -> i < suite_size)
+  in
+  let table2_slice pool =
+    Nocmap.Table2.run ~config:Experiment.quick_config ~instances ?pool ~seed ()
+  in
+  let fingerprint (t : Nocmap.Table2.t) =
+    List.concat_map
+      (fun (s_ : Nocmap.Table2.size_summary) ->
+        List.map
+          (fun (o : Experiment.outcome) ->
+            ( o.Experiment.app,
+              o.Experiment.etr_percent,
+              o.Experiment.ecs_low_percent,
+              o.Experiment.ecs_high_percent,
+              o.Experiment.cdcm_high.Mapping.Cost_cdcm.total ))
+          s_.Nocmap.Table2.outcomes)
+      t.Nocmap.Table2.sizes
+  in
+  let t0 = wall () in
+  let sequential = table2_slice None in
+  let seq_seconds = wall () -. t0 in
+  let jobs = Nocmap_util.Domain_pool.default_jobs () in
+  let t0 = wall () in
+  let parallel =
+    Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> table2_slice (Some pool))
+  in
+  let par_seconds = wall () -. t0 in
+  let identical = fingerprint sequential = fingerprint parallel in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "nocmap",
+  "seed": %d,
+  "budget": %S,
+  "cwm_eval_ops_per_sec": %.1f,
+  "cwm_incremental_move_ops_per_sec": %.1f,
+  "cdcm_eval_seed_baseline_ops_per_sec": %.1f,
+  "cdcm_eval_fresh_ops_per_sec": %.1f,
+  "cdcm_eval_arena_ops_per_sec": %.1f,
+  "cdcm_eval_arena_cutoff_ops_per_sec": %.1f,
+  "cdcm_arena_speedup": %.2f,
+  "cdcm_arena_cutoff_speedup": %.2f,
+  "suite_instances": %d,
+  "suite_jobs": %d,
+  "suite_sequential_seconds": %.3f,
+  "suite_parallel_seconds": %.3f,
+  "suite_parallel_speedup": %.2f,
+  "suite_parallel_identical": %b
+}
+|}
+      seed
+      (match budget with
+      | Experiment.Quick -> "quick"
+      | Experiment.Standard -> "standard"
+      | Experiment.Thorough -> "thorough")
+      cwm_ops cwm_inc_ops cdcm_baseline_ops cdcm_fresh_ops cdcm_arena_ops
+      cdcm_cutoff_ops
+      (cdcm_arena_ops /. cdcm_baseline_ops)
+      (cdcm_cutoff_ops /. cdcm_baseline_ops)
+      (List.length instances) jobs seq_seconds par_seconds
+      (seq_seconds /. Float.max par_seconds 1e-9)
+      identical
+  in
+  let oc = open_out "BENCH_nocmap.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "wrote BENCH_nocmap.json\n"
+
 (* --- Bechamel micro-benchmarks: one per table/figure --- *)
 
 let bechamel_report () =
@@ -562,5 +721,6 @@ let () =
   ablation_pareto ();
   ablation_packetization ();
   ablation_sa_budget ();
+  bench_json ();
   bechamel_report ();
   print_newline ()

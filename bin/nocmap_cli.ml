@@ -442,16 +442,31 @@ let table2_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Use the small search budget.")
   in
-  let run seed quick =
+  let jobs =
+    let doc =
+      "Parallel domains for the search ($(docv) >= 1).  Defaults to the \
+       NOCMAP_JOBS environment variable when set, else the machine's \
+       recommended domain count.  Results are identical for any value."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  in
+  let run seed quick jobs =
     let config =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
-    print_string
-      (Nocmap.Table2.run_and_render ~config ~progress:prerr_endline ~seed ())
+    let jobs = match jobs with None -> Nocmap_util.Domain_pool.default_jobs () | Some j -> j in
+    let render pool =
+      Nocmap.Table2.run_and_render ~config ~progress:prerr_endline ?pool ~seed ()
+    in
+    let output =
+      if jobs <= 1 then render None
+      else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> render (Some pool))
+    in
+    print_string output
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate Table 2 (ETR / ECS comparison)")
-    Term.(const run $ seed_arg $ quick)
+    Term.(const run $ seed_arg $ quick $ jobs)
 
 let cputime_cmd =
   let run seed = print_string (Nocmap.Cpu_time.render (Nocmap.Cpu_time.over_suite ~seed ())) in

@@ -6,6 +6,7 @@ module Cwg = Nocmap_model.Cwg
 module Noc_params = Nocmap_energy.Noc_params
 module Technology = Nocmap_energy.Technology
 module Mapping = Nocmap_mapping
+module Domain_pool = Nocmap_util.Domain_pool
 
 type budget =
   | Quick
@@ -47,9 +48,16 @@ type outcome = {
   cdcm_evaluations : int;
 }
 
+(* Pruning margin for simulation-backed objectives: a candidate proved
+   worse than [current + 20 * T] would survive the Metropolis test with
+   probability < exp(-20) ~ 2e-9, so its simulation is cut off early. *)
+let prune_margin = Some 20.0
+
 let sa_config config ~tiles =
   match config.budget with
-  | Quick -> Mapping.Annealing.quick_config ~tiles
+  | Quick ->
+    { (Mapping.Annealing.quick_config ~tiles) with
+      Mapping.Annealing.prune = prune_margin }
   | Standard ->
     {
       Mapping.Annealing.initial_temperature = `Auto;
@@ -58,6 +66,7 @@ let sa_config config ~tiles =
       patience = 12;
       (* larger NoCs need proportionally more moves to converge *)
       max_evaluations = max 30_000 (350 * tiles);
+      prune = prune_margin;
     }
   | Thorough ->
     {
@@ -66,6 +75,7 @@ let sa_config config ~tiles =
       moves_per_temperature = 40 * tiles;
       patience = 25;
       max_evaluations = 250_000;
+      prune = prune_margin;
     }
 
 let reduction = Nocmap_util.Stats.reduction_percent
@@ -74,8 +84,16 @@ let reduction = Nocmap_util.Stats.reduction_percent
    seconds and total evaluations.  CWM cost evaluations are orders of
    magnitude cheaper than CDCM simulations, so the CWM legs get a
    proportionally larger budget — matching how the models would be used
-   in practice and keeping the CWM baseline honestly converged. *)
-let multi_start ?(budget_scale = 1) ?warm_start ~rng ~config ~tiles ~cores objective =
+   in practice and keeping the CWM baseline honestly converged.
+
+   [make_objective] is a factory rather than an objective because
+   simulation-backed objectives carry a private scratch arena and are
+   not thread-safe: each restart builds its own.  Restarts run on
+   [?pool] when given; the RNG substreams are split in restart order
+   before any task is dispatched, so the pooled run is bit-identical to
+   the sequential one. *)
+let multi_start ?(budget_scale = 1) ?warm_start ?pool ~rng ~config ~tiles ~cores
+    make_objective =
   let sa = sa_config config ~tiles in
   let sa =
     {
@@ -86,48 +104,46 @@ let multi_start ?(budget_scale = 1) ?warm_start ~rng ~config ~tiles ~cores objec
       patience = sa.Mapping.Annealing.patience + (budget_scale / 2);
     }
   in
+  let restarts = max 1 config.restarts in
   let t0 = Sys.time () in
-  let rec loop i best evals =
-    if i >= max 1 config.restarts then (best, evals)
-    else begin
-      (* The last restart is warm-started when a seed placement is
-         given (the CWM winner): the CDCM search then never returns a
-         mapping worse than the CWM one under its own objective. *)
-      let initial = if i = max 1 config.restarts - 1 then warm_start else None in
-      let r =
-        Mapping.Annealing.search ~rng:(Rng.split rng) ~config:sa ~tiles ~objective
-          ?initial ~cores ()
-      in
-      let evals = evals + r.Mapping.Objective.evaluations in
-      let best =
-        match best with
-        | Some (b : Mapping.Objective.search_result)
-          when b.Mapping.Objective.cost <= r.Mapping.Objective.cost ->
-          Some b
-        | Some _ | None -> Some r
-      in
-      loop (i + 1) best evals
-    end
+  let rngs = Array.make restarts rng in
+  for i = 0 to restarts - 1 do
+    rngs.(i) <- Rng.split rng
+  done;
+  let leg i =
+    (* The last restart is warm-started when a seed placement is
+       given (the CWM winner): the CDCM search then never returns a
+       mapping worse than the CWM one under its own objective. *)
+    let initial = if i = restarts - 1 then warm_start else None in
+    let objective = make_objective () in
+    Mapping.Annealing.search ~rng:rngs.(i) ~config:sa ~tiles ~objective ?initial
+      ~cores ()
   in
-  match loop 0 None 0 with
-  | Some best, evals -> (best, Sys.time () -. t0, evals)
-  | None, _ -> assert false
+  let results = Domain_pool.map ?pool leg (Array.init restarts Fun.id) in
+  let best = ref results.(0) in
+  let evals = ref 0 in
+  Array.iteri
+    (fun i (r : Mapping.Objective.search_result) ->
+      evals := !evals + r.Mapping.Objective.evaluations;
+      if i > 0 && r.Mapping.Objective.cost < !best.Mapping.Objective.cost then
+        best := r)
+    results;
+  (!best, Sys.time () -. t0, !evals)
 
-let compare_models ~rng ~config ~mesh cdcg =
+let compare_models ?pool ~rng ~config ~mesh cdcg =
   let crg = Crg.create mesh in
   let tiles = Mesh.tile_count mesh in
   let cores = Cdcg.core_count cdcg in
   if cores > tiles then invalid_arg "Experiment.compare_models: more cores than tiles";
   let cwg = Cwg.of_cdcg cdcg in
   let params = config.params in
-  let cwm_objective = Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg in
   let cwm_best, cwm_cpu_seconds, cwm_evaluations =
-    multi_start ~budget_scale:8 ~rng ~config ~tiles ~cores cwm_objective
+    multi_start ~budget_scale:8 ?pool ~rng ~config ~tiles ~cores (fun () ->
+        Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg)
   in
   let cdcm_search tech =
-    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ~rng ~config ~tiles
-      ~cores
-      (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
+    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ~rng ~config
+      ~tiles ~cores (fun () -> Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
   in
   let cdcm_low_best, cpu_low, evals_low = cdcm_search config.tech_low in
   let cdcm_high_best, cpu_high, evals_high = cdcm_search config.tech_high in

@@ -50,12 +50,17 @@ type outcome = {
 }
 
 val compare_models :
+  ?pool:Nocmap_util.Domain_pool.t ->
   rng:Nocmap_util.Rng.t ->
   config:config ->
   mesh:Nocmap_noc.Mesh.t ->
   Nocmap_model.Cdcg.t ->
   outcome
-(** @raise Invalid_argument when the application has more cores than the
+(** [?pool] runs the annealing restarts of each search leg on a domain
+    pool; results are bit-identical to the sequential run for the same
+    [rng] (each restart gets a pre-split substream and its own
+    simulation scratch).
+    @raise Invalid_argument when the application has more cores than the
     mesh has tiles. *)
 
 val sa_config : config -> tiles:int -> Nocmap_mapping.Annealing.config

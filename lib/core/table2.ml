@@ -2,6 +2,7 @@ module Mesh = Nocmap_noc.Mesh
 module Rng = Nocmap_util.Rng
 module Stats = Nocmap_util.Stats
 module Tablefmt = Nocmap_util.Tablefmt
+module Domain_pool = Nocmap_util.Domain_pool
 
 type size_summary = {
   mesh : Mesh.t;
@@ -27,29 +28,54 @@ let method_for mesh =
   in
   if small then "ES and SA" else "SA only"
 
-let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instances ~seed () =
+let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instances
+    ?pool ~seed () =
   let rng = Rng.create ~seed in
   let instances =
     match instances with
     | Some given -> given
     | None -> Nocmap_tgff.Suite.instances ~seed
   in
+  let emit (outcome : Experiment.outcome) =
+    progress
+      (Printf.sprintf "%-8s %-14s ETR=%5.1f%% ECS%s=%6.2f%% ECS%s=%6.2f%%"
+         (Mesh.to_string outcome.Experiment.mesh) outcome.Experiment.app
+         outcome.Experiment.etr_percent
+         config.Experiment.tech_low.Nocmap_energy.Technology.name
+         outcome.Experiment.ecs_low_percent
+         config.Experiment.tech_high.Nocmap_energy.Technology.name
+         outcome.Experiment.ecs_high_percent)
+  in
+  (* Substreams are split in suite order before any comparison runs, so
+     a pooled run consumes the RNG exactly like the sequential one. *)
+  let arr = Array.of_list instances in
+  let n = Array.length arr in
+  let rngs = Array.make n rng in
+  for i = 0 to n - 1 do
+    rngs.(i) <- Rng.split rng
+  done;
+  let compare i =
+    let mesh, cdcg = arr.(i) in
+    Experiment.compare_models ?pool ~rng:rngs.(i) ~config ~mesh cdcg
+  in
+  let indices = Array.init n Fun.id in
   let outcomes =
-    List.map
-      (fun (mesh, cdcg) ->
-        let outcome =
-          Experiment.compare_models ~rng:(Rng.split rng) ~config ~mesh cdcg
-        in
-        progress
-          (Printf.sprintf "%-8s %-14s ETR=%5.1f%% ECS%s=%6.2f%% ECS%s=%6.2f%%"
-             (Mesh.to_string mesh) outcome.Experiment.app
-             outcome.Experiment.etr_percent
-             config.Experiment.tech_low.Nocmap_energy.Technology.name
-             outcome.Experiment.ecs_low_percent
-             config.Experiment.tech_high.Nocmap_energy.Technology.name
-             outcome.Experiment.ecs_high_percent);
-        outcome)
-      instances
+    match pool with
+    | None ->
+      (* Sequential: stream the progress line as each app finishes. *)
+      Array.to_list
+        (Array.map
+           (fun i ->
+             let o = compare i in
+             emit o;
+             o)
+           indices)
+    | Some _ ->
+      (* Parallel: [progress] need not be thread-safe, so the per-app
+         lines are emitted in suite order once the batch settles. *)
+      let results = Domain_pool.map ?pool compare indices in
+      Array.iter emit results;
+      Array.to_list results
   in
   (* Group by NoC size preserving the suite order. *)
   let keys = ref [] in
@@ -118,4 +144,5 @@ let render t =
     ];
   Tablefmt.render table
 
-let run_and_render ?config ?progress ~seed () = render (run ?config ?progress ~seed ())
+let run_and_render ?config ?progress ?pool ~seed () =
+  render (run ?config ?progress ?pool ~seed ())

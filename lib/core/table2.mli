@@ -24,15 +24,25 @@ val run :
   ?config:Experiment.config ->
   ?progress:(string -> unit) ->
   ?instances:(Nocmap_noc.Mesh.t * Nocmap_model.Cdcg.t) list ->
+  ?pool:Nocmap_util.Domain_pool.t ->
   seed:int ->
   unit ->
   t
 (** Runs the full 18-application comparison (deterministic per seed).
     [?progress] receives one line per finished application;
     [?instances] substitutes a custom application list for the built-in
-    suite (used by tests and ablations). *)
+    suite (used by tests and ablations).  [?pool] fans the applications
+    (and each one's annealing restarts) out across a domain pool —
+    results are bit-identical to the sequential run for the same seed;
+    progress lines are then emitted in suite order after the batch
+    finishes rather than streamed. *)
 
 val render : t -> string
 
 val run_and_render :
-  ?config:Experiment.config -> ?progress:(string -> unit) -> seed:int -> unit -> string
+  ?config:Experiment.config ->
+  ?progress:(string -> unit) ->
+  ?pool:Nocmap_util.Domain_pool.t ->
+  seed:int ->
+  unit ->
+  string

@@ -6,6 +6,7 @@ type config = {
   moves_per_temperature : int;
   patience : int;
   max_evaluations : int;
+  prune : float option;
 }
 
 let default_config ~tiles =
@@ -15,6 +16,7 @@ let default_config ~tiles =
     moves_per_temperature = 10 * tiles;
     patience = 12;
     max_evaluations = 200_000;
+    prune = None;
   }
 
 let quick_config ~tiles =
@@ -24,6 +26,7 @@ let quick_config ~tiles =
     moves_per_temperature = 4 * tiles;
     patience = 6;
     max_evaluations = 8_000;
+    prune = None;
   }
 
 (* Mean |delta| over a handful of random moves; a start temperature of
@@ -43,6 +46,10 @@ let search ~rng ~config ~tiles ~objective ?initial ~cores () =
   if cores > tiles then invalid_arg "Annealing.search: more cores than tiles";
   if not (config.cooling > 0.0 && config.cooling < 1.0) then
     invalid_arg "Annealing.search: cooling must lie in (0,1)";
+  (match config.prune with
+  | Some margin when not (margin > 0.0) ->
+    invalid_arg "Annealing.search: prune margin must be positive"
+  | Some _ | None -> ());
   let evals = ref 0 in
   let cost_of p =
     incr evals;
@@ -64,6 +71,23 @@ let search ~rng ~config ~tiles ~objective ?initial ~cores () =
   in
   let stale_levels = ref 0 in
   let floor = !temperature *. 1e-9 in
+  (* With a prune margin [m], a candidate whose cost exceeds
+     [current + m*T] would be accepted with probability < exp(-m) —
+     negligible for the margins in use — so the bound function may stop
+     simulating it at that cutoff.  A truncated verdict is a rejection:
+     since [bound > cutoff > current >= best], the candidate can beat
+     neither the incumbent nor the best, and no acceptance randomness is
+     consumed for it. *)
+  let evaluate_candidate neighbor =
+    match (config.prune, objective.Objective.bound_fn) with
+    | Some margin, Some bound_fn ->
+      incr evals;
+      let cutoff = !current_cost +. (margin *. !temperature) in
+      (match bound_fn ~cutoff neighbor with
+      | Objective.Exact c -> Some c
+      | Objective.At_least _ -> None)
+    | (Some _ | None), _ -> Some (cost_of neighbor)
+  in
   while
     !stale_levels < config.patience
     && !evals < config.max_evaluations
@@ -75,21 +99,23 @@ let search ~rng ~config ~tiles ~objective ?initial ~cores () =
     while !moves < config.moves_per_temperature && !evals < config.max_evaluations do
       incr moves;
       let neighbor = Placement.random_neighbor rng ~tiles !current in
-      let neighbor_cost = cost_of neighbor in
-      let delta = neighbor_cost -. !current_cost in
-      let accept =
-        delta <= 0.0
-        || Rng.float rng 1.0 < exp (-.delta /. !temperature)
-      in
-      if accept then begin
-        current := neighbor;
-        current_cost := neighbor_cost;
-        if neighbor_cost < !best_cost then begin
-          best := neighbor;
-          best_cost := neighbor_cost;
-          improved_this_level := true
+      match evaluate_candidate neighbor with
+      | None -> ()
+      | Some neighbor_cost ->
+        let delta = neighbor_cost -. !current_cost in
+        let accept =
+          delta <= 0.0
+          || Rng.float rng 1.0 < exp (-.delta /. !temperature)
+        in
+        if accept then begin
+          current := neighbor;
+          current_cost := neighbor_cost;
+          if neighbor_cost < !best_cost then begin
+            best := neighbor;
+            best_cost := neighbor_cost;
+            improved_this_level := true
+          end
         end
-      end
     done;
     if !improved_this_level then stale_levels := 0 else incr stale_levels;
     temperature := !temperature *. config.cooling

@@ -15,6 +15,15 @@ type config = {
   patience : int;              (** Stop after this many consecutive levels
                                    without improving the best cost. *)
   max_evaluations : int;       (** Hard budget on cost calls. *)
+  prune : float option;
+      (** When [Some m] and the objective exposes a bound function,
+          candidate evaluation is cut off at [current + m * temperature]:
+          a candidate provably above that line would survive the
+          Metropolis test with probability below [exp (-m)], so it is
+          rejected without completing its simulation (and without
+          consuming acceptance randomness).  [m = 20.] makes the error
+          probability ~2e-9 per move.  [None] (the default) evaluates
+          every candidate exactly. *)
 }
 
 val default_config : tiles:int -> config

@@ -1,8 +1,8 @@
 module Crg = Nocmap_noc.Crg
 module Cdcg = Nocmap_model.Cdcg
 module Equations = Nocmap_energy.Equations
+module Noc_params = Nocmap_energy.Noc_params
 module Wormhole = Nocmap_sim.Wormhole
-module Trace = Nocmap_sim.Trace
 
 type evaluation = {
   dynamic : float;
@@ -12,6 +12,10 @@ type evaluation = {
   texec_cycles : int;
   contention_cycles : int;
 }
+
+type bound =
+  | Exact of evaluation
+  | At_least of float
 
 let dynamic_energy ~tech ~crg ~cdcg placement =
   (match Placement.validate ~tiles:(Crg.tile_count crg) placement with
@@ -26,24 +30,56 @@ let dynamic_energy ~tech ~crg ~cdcg placement =
   in
   Array.fold_left packet 0.0 cdcg.Cdcg.packets
 
-let evaluate ~tech ~params ~crg ~cdcg placement =
-  let trace = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
-  let dynamic = dynamic_energy ~tech ~crg ~cdcg placement in
-  let texec_ns = trace.Trace.texec_ns in
-  let static_ =
-    Equations.static_energy tech ~tiles:(Crg.tile_count crg) ~texec_ns
-  in
+let evaluation_of_summary ~tech ~params ~crg ~dynamic
+    (s : Wormhole.summary) =
+  let texec_ns = Noc_params.cycles_to_ns params s.Wormhole.texec_cycles in
+  let static_ = Equations.static_energy tech ~tiles:(Crg.tile_count crg) ~texec_ns in
   {
     dynamic;
     static_;
     total = Equations.total_energy ~dynamic ~static_;
     texec_ns;
-    texec_cycles = trace.Trace.texec_cycles;
-    contention_cycles = trace.Trace.contention_cycles;
+    texec_cycles = s.Wormhole.texec_cycles;
+    contention_cycles = s.Wormhole.contention_cycles;
   }
 
-let total_energy ~tech ~params ~crg ~cdcg placement =
-  (evaluate ~tech ~params ~crg ~cdcg placement).total
+let evaluate ?scratch ~tech ~params ~crg ~cdcg placement =
+  let summary = Wormhole.run_summary ?scratch ~params ~crg ~placement cdcg in
+  let dynamic = dynamic_energy ~tech ~crg ~cdcg placement in
+  evaluation_of_summary ~tech ~params ~crg ~dynamic summary
+
+(* Largest cycle cutoff that is safe to hand to the simulator without
+   overflowing its packed-event encoding arithmetic. *)
+let no_cutoff_threshold = 1e15
+
+let evaluate_bound ?scratch ~tech ~params ~crg ~cdcg ~cutoff placement =
+  let dynamic = dynamic_energy ~tech ~crg ~cdcg placement in
+  let static_power = Equations.static_power tech ~tiles:(Crg.tile_count crg) in
+  if dynamic >= cutoff then
+    (* Equation (4) alone already exceeds the budget: the simulation can
+       only add static energy on top. *)
+    At_least dynamic
+  else begin
+    let budget_cycles =
+      if static_power <= 0.0 then infinity
+      else
+        Float.floor
+          ((cutoff -. dynamic) /. static_power /. params.Noc_params.clock_ns)
+    in
+    let cutoff_cycles =
+      if budget_cycles >= no_cutoff_threshold then None
+      else Some (max 0 (int_of_float budget_cycles))
+    in
+    let summary =
+      Wormhole.run_summary ?scratch ?cutoff:cutoff_cycles ~params ~crg ~placement
+        cdcg
+    in
+    let e = evaluation_of_summary ~tech ~params ~crg ~dynamic summary in
+    if summary.Wormhole.truncated then At_least e.total else Exact e
+  end
+
+let total_energy ?scratch ~tech ~params ~crg ~cdcg placement =
+  (evaluate ?scratch ~tech ~params ~crg ~cdcg placement).total
 
 let pp_evaluation ppf e =
   Format.fprintf ppf

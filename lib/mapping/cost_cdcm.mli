@@ -4,7 +4,11 @@
     wormhole simulator, yielding the execution time (and thus static
     energy, Equation 9) on top of the dynamic energy of every packet
     (Equation 4).  This is the full cost the paper's CDCM algorithm
-    minimizes. *)
+    minimizes.
+
+    Evaluation is the hot path of every CDCM search: all entry points
+    accept an optional {!Nocmap_sim.Wormhole.Scratch.t} so a descent
+    reuses one simulation arena instead of reallocating per call. *)
 
 type evaluation = {
   dynamic : float;        (** [EDyNoC(CDCM)], Joules (Equation 4). *)
@@ -15,7 +19,15 @@ type evaluation = {
   contention_cycles : int;
 }
 
+type bound =
+  | Exact of evaluation   (** The simulation completed; the full cost. *)
+  | At_least of float     (** The simulation was cut off: the true total
+                              energy is at least this value, which
+                              itself is at least the requested cutoff —
+                              the candidate can be rejected unseen. *)
+
 val evaluate :
+  ?scratch:Nocmap_sim.Wormhole.Scratch.t ->
   tech:Nocmap_energy.Technology.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
@@ -24,6 +36,22 @@ val evaluate :
   evaluation
 (** Full evaluation (simulation with tracing disabled).
     @raise Invalid_argument on an invalid placement. *)
+
+val evaluate_bound :
+  ?scratch:Nocmap_sim.Wormhole.Scratch.t ->
+  tech:Nocmap_energy.Technology.t ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  cutoff:float ->
+  Placement.t ->
+  bound
+(** [evaluate_bound ~cutoff placement] is {!evaluate} with early
+    abandon: the total-energy budget [cutoff] (Joules) is converted into
+    a cycle budget via the static-power inverse of Equation (9), and the
+    simulation stops as soon as it proves the candidate exceeds it.
+    When dynamic energy alone exceeds [cutoff], no simulation runs at
+    all. *)
 
 val dynamic_energy :
   tech:Nocmap_energy.Technology.t ->
@@ -36,6 +64,7 @@ val dynamic_energy :
     CWM value on the projected CWG. *)
 
 val total_energy :
+  ?scratch:Nocmap_sim.Wormhole.Scratch.t ->
   tech:Nocmap_energy.Technology.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->

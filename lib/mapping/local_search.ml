@@ -7,6 +7,19 @@ let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) () =
     incr evals;
     objective.Objective.cost_fn p
   in
+  (* Lossless pruning: only candidates strictly below [threshold] can be
+     taken, and a truncated bound is strictly above its cutoff — so
+     cutting evaluation off at the threshold never changes the chosen
+     move, it only skips the tail of doomed simulations. *)
+  let eval_below ~threshold p =
+    match objective.Objective.bound_fn with
+    | None -> Some (cost_of p)
+    | Some bound_fn ->
+      incr evals;
+      (match bound_fn ~cutoff:threshold p with
+      | Objective.Exact c -> Some c
+      | Objective.At_least _ -> None)
+  in
   let cores = Array.length initial in
   let current = ref (Array.copy initial) in
   let current_cost = ref (cost_of !current) in
@@ -18,10 +31,18 @@ let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) () =
       for tile = 0 to tiles - 1 do
         if tile <> !current.(core) && !evals < max_evaluations then begin
           let candidate = Placement.move_to_tile !current ~core ~tile in
-          let cost = cost_of candidate in
-          match !best with
-          | Some (_, best_cost) when best_cost <= cost -> ()
-          | Some _ | None -> if cost < !current_cost then best := Some (candidate, cost)
+          let threshold =
+            match !best with
+            | Some (_, best_cost) -> Float.min !current_cost best_cost
+            | None -> !current_cost
+          in
+          match eval_below ~threshold candidate with
+          | None -> ()
+          | Some cost ->
+            (match !best with
+            | Some (_, best_cost) when best_cost <= cost -> ()
+            | Some _ | None ->
+              if cost < !current_cost then best := Some (candidate, cost))
         end
       done
     done;

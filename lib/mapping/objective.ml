@@ -1,6 +1,13 @@
+module Wormhole = Nocmap_sim.Wormhole
+
+type bound =
+  | Exact of float
+  | At_least of float
+
 type t = {
   name : string;
   cost_fn : Placement.t -> float;
+  bound_fn : (cutoff:float -> Placement.t -> bound) option;
 }
 
 type search_result = {
@@ -10,18 +17,48 @@ type search_result = {
 }
 
 let cwm ~tech ~crg ~cwg =
-  { name = "cwm"; cost_fn = (fun p -> Cost_cwm.dynamic_energy ~tech ~crg ~cwg p) }
-
-let cdcm ~tech ~params ~crg ~cdcg =
   {
-    name = "cdcm";
-    cost_fn = (fun p -> Cost_cdcm.total_energy ~tech ~params ~crg ~cdcg p);
+    name = "cwm";
+    cost_fn = (fun p -> Cost_cwm.dynamic_energy ~tech ~crg ~cwg p);
+    bound_fn = None;
   }
 
+let cdcm ~tech ~params ~crg ~cdcg =
+  let scratch = Wormhole.Scratch.create ~crg cdcg in
+  {
+    name = "cdcm";
+    cost_fn = (fun p -> Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg p);
+    bound_fn =
+      Some
+        (fun ~cutoff p ->
+          match Cost_cdcm.evaluate_bound ~scratch ~tech ~params ~crg ~cdcg ~cutoff p with
+          | Cost_cdcm.Exact e -> Exact e.Cost_cdcm.total
+          | Cost_cdcm.At_least b -> At_least b);
+  }
+
+(* Largest cycle cutoff safely representable in the simulator's
+   packed-event time field. *)
+let no_cutoff_threshold = 1e15
+
 let texec ~params ~crg ~cdcg =
+  let scratch = Wormhole.Scratch.create ~crg cdcg in
   {
     name = "texec";
     cost_fn =
       (fun placement ->
-        float_of_int (Nocmap_sim.Wormhole.texec_cycles ~params ~crg ~placement cdcg));
+        float_of_int
+          (Wormhole.texec_cycles ~scratch ~params ~crg ~placement cdcg));
+    bound_fn =
+      Some
+        (fun ~cutoff placement ->
+          let cutoff_cycles =
+            if cutoff >= no_cutoff_threshold then None
+            else Some (max 0 (int_of_float (Float.floor cutoff)))
+          in
+          let s =
+            Wormhole.run_summary ~scratch ?cutoff:cutoff_cycles ~params ~crg
+              ~placement cdcg
+          in
+          let cycles = float_of_int s.Wormhole.texec_cycles in
+          if s.Wormhole.truncated then At_least cycles else Exact cycles);
   }

@@ -3,11 +3,28 @@
     A search algorithm only sees a black-box cost over placements; this
     module builds the two costs the paper compares (plus a pure
     execution-time objective used in ablations) and names them for
-    reports. *)
+    reports.
+
+    Simulation-backed objectives ({!cdcm}, {!texec}) embed a private
+    {!Nocmap_sim.Wormhole.Scratch.t} so that every cost call reuses one
+    arena — an [Objective.t] is therefore NOT thread-safe; build one per
+    domain. *)
+
+type bound =
+  | Exact of float     (** The candidate's true cost. *)
+  | At_least of float  (** Evaluation was abandoned early: the true cost
+                           is at least this value, itself strictly above
+                           the requested cutoff. *)
 
 type t = {
   name : string;
   cost_fn : Placement.t -> float;
+  bound_fn : (cutoff:float -> Placement.t -> bound) option;
+      (** When present, [bound_fn ~cutoff p] may stop evaluating as soon
+          as the cost provably exceeds [cutoff], returning {!At_least}.
+          Search procedures use it to reject doomed candidates without
+          paying for a full simulation.  [None] for closed-form costs
+          (CWM) where evaluation is already cheap. *)
 }
 
 type search_result = {
@@ -21,7 +38,7 @@ val cwm :
   crg:Nocmap_noc.Crg.t ->
   cwg:Nocmap_model.Cwg.t ->
   t
-(** Equation (3): dynamic energy only. *)
+(** Equation (3): dynamic energy only.  No [bound_fn]. *)
 
 val cdcm :
   tech:Nocmap_energy.Technology.t ->
@@ -29,11 +46,14 @@ val cdcm :
   crg:Nocmap_noc.Crg.t ->
   cdcg:Nocmap_model.Cdcg.t ->
   t
-(** Equation (10): static + dynamic energy via simulation. *)
+(** Equation (10): static + dynamic energy via simulation.  The
+    [bound_fn] converts an energy cutoff into a simulation cycle budget
+    (inverse of Equation 9) and truncates the event pump beyond it. *)
 
 val texec :
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   cdcg:Nocmap_model.Cdcg.t ->
   t
-(** Execution time in cycles (ablation: timing-only CDCM variant). *)
+(** Execution time in cycles (ablation: timing-only CDCM variant).
+    The [bound_fn] cuts the simulation off directly at [cutoff] cycles. *)

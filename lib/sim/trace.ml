@@ -25,6 +25,7 @@ type annotation = {
 type t = {
   texec_cycles : int;
   texec_ns : float;
+  truncated : bool;
   packets : packet_trace array;
   router_annotations : annotation list array;
   link_annotations : annotation list array;

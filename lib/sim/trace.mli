@@ -33,8 +33,13 @@ type annotation = {
 }
 
 type t = {
-  texec_cycles : int;    (** Application execution time in cycles. *)
+  texec_cycles : int;    (** Application execution time in cycles; when
+                             [truncated], a lower bound instead. *)
   texec_ns : float;      (** Same, scaled by the clock period. *)
+  truncated : bool;      (** The simulation was aborted by a [?cutoff]:
+                             some packets are undelivered ([delivered]
+                             = -1) and [texec_cycles] is an
+                             "at least this bad" bound. *)
   packets : packet_trace array;  (** Indexed like the CDCG packets. *)
   router_annotations : annotation list array;  (** Per tile; chronological. *)
   link_annotations : annotation list array;    (** Per {!Nocmap_noc.Link.id} slot. *)

@@ -1,5 +1,6 @@
 module Interval = Nocmap_util.Interval
-module Heap = Nocmap_util.Heap
+module Int_heap = Nocmap_util.Int_heap
+module Intqueue = Nocmap_util.Intqueue
 module Crg = Nocmap_noc.Crg
 module Link = Nocmap_noc.Link
 module Mesh = Nocmap_noc.Mesh
@@ -8,56 +9,154 @@ module Noc_params = Nocmap_energy.Noc_params
 
 exception Deadlock of string
 
-type action =
-  | Release of int        (* port (link id) becomes grantable *)
-  | Arrive of int * int   (* packet, hop index *)
+(* Events are packed into a single unboxed int so that scheduling never
+   allocates and heap ordering is one native comparison:
 
-type event = {
-  time : int;
-  prio : int;             (* Release before Arrive at equal times *)
-  key : int;              (* packet index for Arrive, port for Release:
-                             fixes same-cycle arbitration ties to the
-                             explicit (arrival, packet) rule shared with
-                             the flit-level cross-validation simulator *)
-  seq : int;
-  action : action;
-}
+     bits 25..62  event time (38 bits)
+     bit  24      priority: 0 = Release (port), 1 = Arrive (packet, hop)
+     bits 8..23   key: port id for Release, packet index for Arrive
+     bits 0..7    hop index (0 for Release)
 
-let compare_event a b =
-  match Int.compare a.time b.time with
-  | 0 -> begin
-    match Int.compare a.prio b.prio with
-    | 0 -> begin
-      match Int.compare a.key b.key with
-      | 0 -> Int.compare a.seq b.seq
-      | c -> c
-    end
-    | c -> c
-  end
-  | c -> c
+   Plain [Int.compare] on the packed word is lexicographic on
+   (time, priority, key, hop).  This matches the record-based ordering
+   the simulator used before (time, priority, key, insertion sequence):
+   two pending events never collide on (time, priority, key) — a packet
+   has at most one in-flight Arrive, and a port at most one pending
+   Release — so the final tiebreak never fires either way. *)
 
-type waiting = {
-  w_packet : int;
-  w_hop : int;
-  w_arrival : int;
-}
+let hop_bits = 8
+let key_bits = 16
+let hop_mask = (1 lsl hop_bits) - 1
+let key_mask = (1 lsl key_bits) - 1
+let max_key = key_mask
+let max_hops = hop_mask + 1
+let max_time = (1 lsl (Sys.int_size - 2 - key_bits - hop_bits)) - 1
 
-(* Per-packet mutable simulation state. *)
+let encode_event ~time ~prio ~key ~hop =
+  (((((time lsl 1) lor prio) lsl key_bits) lor key) lsl hop_bits) lor hop
+
+let event_time e = e lsr (1 + key_bits + hop_bits)
+let event_is_arrive e = (e lsr (key_bits + hop_bits)) land 1 = 1
+let event_key e = (e lsr hop_bits) land key_mask
+let event_hop e = e land hop_mask
+
+(* Waiting entries of the per-port FIFOs, same trick:
+   arrival time | packet | hop. *)
+let encode_waiting ~packet ~hop ~arrival =
+  (((arrival lsl key_bits) lor packet) lsl hop_bits) lor hop
+
+let waiting_arrival w = w lsr (key_bits + hop_bits)
+let waiting_packet w = (w lsr hop_bits) land key_mask
+let waiting_hop w = w land hop_mask
+
+(* Per-packet mutable simulation state, reused across runs. *)
 type packet_state = {
-  path : Crg.path;
-  flits : int;
+  mutable path : Crg.path;
+  mutable flits : int;
   mutable remaining_deps : int;
   mutable ready : int;       (* max delivery time of resolved deps *)
   mutable sent : int;
   mutable delivered : int;   (* -1 until delivered *)
-  arrivals : int array;      (* per hop; -1 until known *)
-  starts : int array;        (* per hop service start; -1 until known *)
+  mutable arrivals : int array;  (* per hop; -1 until known *)
+  mutable starts : int array;    (* per hop service start; -1 until known *)
 }
 
-let validate_placement ~tiles ~cores placement =
+module Scratch = struct
+  type t = {
+    tiles : int;
+    slots : int;
+    states : packet_state array;
+    busy : bool array;
+    queues : Intqueue.t array;
+    used : bool array;                            (* placement validation *)
+    router_ann : Trace.annotation list array;     (* per tile *)
+    link_ann : Trace.annotation list array;       (* per port *)
+    events : Int_heap.t;
+    (* Dependence adjacency, flattened to int arrays so the pump walks
+       successors without list allocation.  Cached per CDCG (physical
+       equality): a scratch may legally be reused with any CDCG of the
+       same packet count, so a swap rebuilds it. *)
+    mutable dep_graph_for : Cdcg.t;
+    mutable successors : int array array;         (* per packet *)
+    mutable start_packets : int array;            (* no dependences *)
+  }
+
+  let build_dep_graph (cdcg : Cdcg.t) =
+    let n = Cdcg.packet_count cdcg in
+    let out_degree = Array.make n 0 in
+    let has_pred = Array.make n false in
+    List.iter
+      (fun (p, q) ->
+        out_degree.(p) <- out_degree.(p) + 1;
+        has_pred.(q) <- true)
+      cdcg.Cdcg.deps;
+    let successors = Array.init n (fun i -> Array.make out_degree.(i) 0) in
+    let fill = Array.make n 0 in
+    List.iter
+      (fun (p, q) ->
+        successors.(p).(fill.(p)) <- q;
+        fill.(p) <- fill.(p) + 1)
+      cdcg.Cdcg.deps;
+    let starts = ref [] in
+    for i = n - 1 downto 0 do
+      if not has_pred.(i) then starts := i :: !starts
+    done;
+    (successors, Array.of_list !starts)
+
+  let refresh_dep_graph t (cdcg : Cdcg.t) =
+    if not (t.dep_graph_for == cdcg) then begin
+      let successors, start_packets = build_dep_graph cdcg in
+      t.successors <- successors;
+      t.start_packets <- start_packets;
+      t.dep_graph_for <- cdcg
+    end
+
+  let create ~crg (cdcg : Cdcg.t) =
+    let mesh = Crg.mesh crg in
+    let tiles = Mesh.tile_count mesh in
+    let slots = Link.slot_count mesh in
+    let packets = Cdcg.packet_count cdcg in
+    if packets > max_key || slots > max_key then
+      invalid_arg
+        (Printf.sprintf
+           "Wormhole.Scratch.create: instance too large (%d packets, %d link \
+            slots; both must be <= %d)"
+           packets slots max_key);
+    let dummy_path = Crg.path crg ~src:0 ~dst:0 in
+    let successors, start_packets = build_dep_graph cdcg in
+    {
+      tiles;
+      slots;
+      dep_graph_for = cdcg;
+      successors;
+      start_packets;
+      states =
+        Array.init packets (fun _ ->
+            {
+              path = dummy_path;
+              flits = 0;
+              remaining_deps = 0;
+              ready = 0;
+              sent = 0;
+              delivered = -1;
+              arrivals = [||];
+              starts = [||];
+            });
+      busy = Array.make slots false;
+      queues = Array.init slots (fun _ -> Intqueue.create ());
+      used = Array.make tiles false;
+      router_ann = Array.make tiles [];
+      link_ann = Array.make slots [];
+      events = Int_heap.create ~capacity:(4 * (packets + 1)) ();
+    }
+end
+
+let validate_placement ~(scratch : Scratch.t) ~cores placement =
+  let tiles = scratch.Scratch.tiles in
   if Array.length placement <> cores then
     invalid_arg "Wormhole.run: placement length differs from core count";
-  let used = Array.make tiles false in
+  let used = scratch.Scratch.used in
+  Array.fill used 0 tiles false;
   Array.iter
     (fun tile ->
       if tile < 0 || tile >= tiles then
@@ -66,51 +165,86 @@ let validate_placement ~tiles ~cores placement =
       used.(tile) <- true)
     placement
 
-let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
+(* Reset the arena for a new (placement, params) evaluation: O(touched)
+   — per-packet fields and the first [hops] entries of the hop arrays —
+   with no heap allocation once the arrays have reached working size. *)
+let reset ~(scratch : Scratch.t) ~params ~crg ~placement (cdcg : Cdcg.t) =
+  let s = scratch in
+  Scratch.refresh_dep_graph s cdcg;
+  Int_heap.clear s.Scratch.events;
+  Array.fill s.Scratch.busy 0 s.Scratch.slots false;
+  Array.iter Intqueue.clear s.Scratch.queues;
+  let packets = cdcg.Cdcg.packets in
+  for i = 0 to Array.length packets - 1 do
+    let p = packets.(i) in
+    let st = s.Scratch.states.(i) in
+    let path = Crg.path crg ~src:placement.(p.Cdcg.src) ~dst:placement.(p.Cdcg.dst) in
+    let hops = Array.length path.Crg.routers in
+    assert (hops >= 2);
+    if hops > max_hops then
+      invalid_arg
+        (Printf.sprintf "Wormhole.run: path of %d hops exceeds the %d-hop limit"
+           hops max_hops);
+    st.path <- path;
+    st.flits <- Noc_params.flits_of_bits params p.Cdcg.bits;
+    st.remaining_deps <- 0;
+    st.ready <- 0;
+    st.sent <- 0;
+    st.delivered <- -1;
+    if Array.length st.arrivals < hops then begin
+      st.arrivals <- Array.make hops (-1);
+      st.starts <- Array.make hops (-1)
+    end
+    else begin
+      Array.fill st.arrivals 0 hops (-1);
+      Array.fill st.starts 0 hops (-1)
+    end
+  done;
+  List.iter
+    (fun (_, q) ->
+      let st = s.Scratch.states.(q) in
+      st.remaining_deps <- st.remaining_deps + 1)
+    cdcg.Cdcg.deps
+
+(* The discrete-event pump.  Fills [scratch.states]; returns
+   [`Completed] or, when [cutoff] was exceeded with packets still in
+   flight, [`Truncated abort_time].  [abort_time] is then a lower bound
+   on every remaining delivery (events pop in time order and delivery
+   strictly follows header arrival). *)
+let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff
+    (cdcg : Cdcg.t) =
+  let s = scratch in
   let mesh = Crg.mesh crg in
   let tiles = Mesh.tile_count mesh in
-  validate_placement ~tiles ~cores:(Cdcg.core_count cdcg) placement;
+  let n = Cdcg.packet_count cdcg in
+  if
+    Array.length s.Scratch.states <> n
+    || s.Scratch.slots <> Link.slot_count mesh
+    || s.Scratch.tiles <> tiles
+  then invalid_arg "Wormhole.run: scratch was sized for a different instance";
+  validate_placement ~scratch ~cores:(Cdcg.core_count cdcg) placement;
+  reset ~scratch ~params ~crg ~placement cdcg;
+  if trace then begin
+    Array.fill s.Scratch.router_ann 0 tiles [];
+    Array.fill s.Scratch.link_ann 0 s.Scratch.slots []
+  end;
   let tr = params.Noc_params.tr and tl = params.Noc_params.tl in
   let capacity =
     match params.Noc_params.buffering with
     | Noc_params.Unbounded -> max_int
     | Noc_params.Bounded c -> c
   in
-  let states =
-    Array.map
-      (fun (p : Cdcg.packet) ->
-        let path = Crg.path crg ~src:placement.(p.Cdcg.src) ~dst:placement.(p.Cdcg.dst) in
-        let hops = Array.length path.Crg.routers in
-        assert (hops >= 2);
-        {
-          path;
-          flits = Noc_params.flits_of_bits params p.Cdcg.bits;
-          remaining_deps = 0;
-          ready = 0;
-          sent = 0;
-          delivered = -1;
-          arrivals = Array.make hops (-1);
-          starts = Array.make hops (-1);
-        })
-      cdcg.Cdcg.packets
+  let states = s.Scratch.states in
+  let busy = s.Scratch.busy in
+  let queues = s.Scratch.queues in
+  let events = s.Scratch.events in
+  let undelivered = ref n in
+  let schedule time prio key hop =
+    assert (time >= 0 && time <= max_time);
+    Int_heap.add events (encode_event ~time ~prio ~key ~hop)
   in
-  List.iter (fun (_, q) -> states.(q).remaining_deps <- states.(q).remaining_deps + 1)
-    cdcg.Cdcg.deps;
-  (* Port (directed link) state. *)
-  let slot_count = Link.slot_count mesh in
-  let busy = Array.make slot_count false in
-  let queues = Array.init slot_count (fun _ -> Queue.create ()) in
-  let router_annotations = Array.make tiles [] in
-  let link_annotations = Array.make slot_count [] in
-  let events = Heap.create ~cmp:compare_event in
-  let seq = ref 0 in
-  let schedule time prio key action =
-    assert (time >= 0);
-    incr seq;
-    Heap.add events { time; prio; key; seq = !seq; action }
-  in
-  let schedule_release port time = schedule time 0 port (Release port) in
-  let schedule_arrive packet hop time = schedule time 1 packet (Arrive (packet, hop)) in
+  let schedule_release port time = schedule time 0 port 0 in
+  let schedule_arrive packet hop time = schedule time 1 packet hop in
   let launch packet ready =
     let st = states.(packet) in
     st.ready <- ready;
@@ -119,23 +253,23 @@ let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
   in
   let annotate_router tile packet ~lo ~hi =
     if trace then
-      router_annotations.(tile) <-
+      s.Scratch.router_ann.(tile) <-
         {
           Trace.ann_packet = packet;
           ann_bits = cdcg.Cdcg.packets.(packet).Cdcg.bits;
           ann_interval = Interval.make ~lo ~hi;
         }
-        :: router_annotations.(tile)
+        :: s.Scratch.router_ann.(tile)
   in
   let annotate_link port packet ~lo ~hi =
     if trace then
-      link_annotations.(port) <-
+      s.Scratch.link_ann.(port) <-
         {
           Trace.ann_packet = packet;
           ann_bits = cdcg.Cdcg.packets.(packet).Cdcg.bits;
           ann_interval = Interval.make ~lo ~hi;
         }
-        :: link_annotations.(port)
+        :: s.Scratch.link_ann.(port)
   in
   (* Releasing the port behind hop [hop] of a packet is deferred (bounded
      buffering with a packet longer than the downstream buffer): the
@@ -146,7 +280,9 @@ let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
       let st = states.(packet) in
       if st.flits > capacity then begin
         let upstream_end = st.starts.(hop - 1) + tr + (st.flits * tl) - 1 in
-        let hold = max upstream_end (downstream_start + tr + ((st.flits - capacity) * tl) - 1) in
+        let hold =
+          max upstream_end (downstream_start + tr + ((st.flits - capacity) * tl) - 1)
+        in
         let port = st.path.Crg.links.(hop - 1) in
         schedule_release port (hold + 1)
       end
@@ -155,13 +291,15 @@ let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
   let delivered_packet packet time =
     let st = states.(packet) in
     st.delivered <- time;
-    let notify q =
+    decr undelivered;
+    let succ = s.Scratch.successors.(packet) in
+    for i = 0 to Array.length succ - 1 do
+      let q = succ.(i) in
       let sq = states.(q) in
       sq.remaining_deps <- sq.remaining_deps - 1;
       sq.ready <- max sq.ready time;
       if sq.remaining_deps = 0 then launch q sq.ready
-    in
-    List.iter notify (Cdcg.successors cdcg packet)
+    done
   in
   let grant port packet hop start =
     let st = states.(packet) in
@@ -187,85 +325,152 @@ let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
     end
     else begin
       let port = st.path.Crg.links.(hop) in
-      if (not busy.(port)) && Queue.is_empty queues.(port) then
+      if (not busy.(port)) && Intqueue.is_empty queues.(port) then
         grant port packet hop time
-      else Queue.add { w_packet = packet; w_hop = hop; w_arrival = time } queues.(port)
+      else Intqueue.push queues.(port) (encode_waiting ~packet ~hop ~arrival:time)
     end
   in
   let release port time =
-    if Queue.is_empty queues.(port) then busy.(port) <- false
+    if Intqueue.is_empty queues.(port) then busy.(port) <- false
     else begin
-      let w = Queue.pop queues.(port) in
-      grant port w.w_packet w.w_hop (max time w.w_arrival)
+      let w = Intqueue.pop_exn queues.(port) in
+      grant port (waiting_packet w) (waiting_hop w) (max time (waiting_arrival w))
     end
   in
   (* Start-dependent packets launch at cycle 0. *)
-  List.iter (fun p -> launch p 0) (Cdcg.start_packets cdcg);
+  let starts = s.Scratch.start_packets in
+  for i = 0 to Array.length starts - 1 do
+    launch starts.(i) 0
+  done;
+  (* Pump until every packet has been delivered (remaining events are
+     port releases that cannot affect the outcome), the heap runs dry
+     (deadlock), or the incumbent-based cutoff proves the candidate
+     hopeless. *)
   let rec pump () =
-    match Heap.pop events with
-    | None -> ()
-    | Some ev ->
-      (match ev.action with
-      | Arrive (packet, hop) -> arrive packet hop ev.time
-      | Release port -> release port ev.time);
-      pump ()
+    if !undelivered > 0 && not (Int_heap.is_empty events) then begin
+      let ev = Int_heap.pop_exn events in
+      let time = event_time ev in
+      if time > cutoff then `Truncated time
+      else begin
+        if event_is_arrive ev then arrive (event_key ev) (event_hop ev) time
+        else release (event_key ev) time;
+        pump ()
+      end
+    end
+    else `Completed
   in
-  pump ();
-  let undelivered =
-    Array.to_list (Array.mapi (fun i st -> (i, st.delivered)) states)
-    |> List.filter (fun (_, d) -> d < 0)
-  in
-  (match undelivered with
-  | [] -> ()
-  | (i, _) :: _ ->
-    raise
-      (Deadlock
-         (Printf.sprintf
-            "bounded-buffer backpressure deadlock: %d packet(s) undelivered, first %s"
-            (List.length undelivered)
-            cdcg.Cdcg.packets.(i).Cdcg.label)));
-  let traces =
-    Array.mapi
-      (fun i st ->
-        let hops =
-          if trace then
-            List.init (Array.length st.path.Crg.routers) (fun h ->
-                {
-                  Trace.router = st.path.Crg.routers.(h);
-                  arrival = st.arrivals.(h);
-                  service_start = st.starts.(h);
-                })
-          else []
-        in
-        {
-          Trace.packet = i;
-          ready = st.ready;
-          sent = st.sent;
-          delivered = st.delivered;
-          flits = st.flits;
-          hops;
-        })
-      states
-  in
-  let texec_cycles = Array.fold_left (fun acc st -> max acc st.delivered) 0 states in
-  let contention_per_packet =
-    Array.map
-      (fun st ->
-        let acc = ref 0 in
-        Array.iteri (fun h s -> if s >= 0 then acc := !acc + (s - st.arrivals.(h))) st.starts;
-        !acc)
-      states
-  in
-  {
-    Trace.texec_cycles;
-    texec_ns = Noc_params.cycles_to_ns params texec_cycles;
-    packets = traces;
-    router_annotations = Array.map List.rev router_annotations;
-    link_annotations = Array.map List.rev link_annotations;
-    contention_cycles = Array.fold_left ( + ) 0 contention_per_packet;
-    contended_packets =
-      Array.fold_left (fun acc w -> if w > 0 then acc + 1 else acc) 0 contention_per_packet;
-  }
+  let status = pump () in
+  (match status with
+  | `Truncated _ -> ()
+  | `Completed ->
+    if !undelivered > 0 then begin
+      let first = ref (-1) in
+      Array.iteri
+        (fun i st -> if st.delivered < 0 && !first < 0 then first := i)
+        states;
+      raise
+        (Deadlock
+           (Printf.sprintf
+              "bounded-buffer backpressure deadlock: %d packet(s) undelivered, \
+               first %s"
+              !undelivered
+              cdcg.Cdcg.packets.(!first).Cdcg.label))
+    end);
+  status
 
-let texec_cycles ~params ~crg ~placement cdcg =
-  (run ~trace:false ~params ~crg ~placement cdcg).Trace.texec_cycles
+let texec_of_states ~status states =
+  let latest = Array.fold_left (fun acc st -> max acc st.delivered) 0 states in
+  match status with
+  | `Completed -> latest
+  | `Truncated abort_time -> max latest abort_time
+
+let with_scratch ~scratch ~crg cdcg f =
+  match scratch with
+  | Some s -> f s
+  | None -> f (Scratch.create ~crg cdcg)
+
+let run ?(trace = true) ?scratch ?cutoff ~params ~crg ~placement (cdcg : Cdcg.t) =
+  with_scratch ~scratch ~crg cdcg (fun scratch ->
+      let cutoff = Option.value cutoff ~default:max_int in
+      let status = run_core ~trace ~params ~crg ~placement ~scratch ~cutoff cdcg in
+      let states = scratch.Scratch.states in
+      let traces =
+        Array.mapi
+          (fun i st ->
+            let hops =
+              if trace then
+                List.init (Array.length st.path.Crg.routers) (fun h ->
+                    {
+                      Trace.router = st.path.Crg.routers.(h);
+                      arrival = st.arrivals.(h);
+                      service_start = st.starts.(h);
+                    })
+              else []
+            in
+            {
+              Trace.packet = i;
+              ready = st.ready;
+              sent = st.sent;
+              delivered = st.delivered;
+              flits = st.flits;
+              hops;
+            })
+          states
+      in
+      let texec_cycles = texec_of_states ~status states in
+      let contention_cycles = ref 0 and contended_packets = ref 0 in
+      Array.iter
+        (fun st ->
+          let acc = ref 0 in
+          for h = 0 to Array.length st.path.Crg.routers - 1 do
+            let start = st.starts.(h) in
+            if start >= 0 then acc := !acc + (start - st.arrivals.(h))
+          done;
+          contention_cycles := !contention_cycles + !acc;
+          if !acc > 0 then incr contended_packets)
+        states;
+      {
+        Trace.texec_cycles;
+        texec_ns = Noc_params.cycles_to_ns params texec_cycles;
+        truncated = (match status with `Truncated _ -> true | `Completed -> false);
+        packets = traces;
+        router_annotations = Array.map List.rev scratch.Scratch.router_ann;
+        link_annotations = Array.map List.rev scratch.Scratch.link_ann;
+        contention_cycles = !contention_cycles;
+        contended_packets = !contended_packets;
+      })
+
+type summary = {
+  texec_cycles : int;
+  truncated : bool;
+  contention_cycles : int;
+  contended_packets : int;
+}
+
+let run_summary ?scratch ?cutoff ~params ~crg ~placement (cdcg : Cdcg.t) =
+  with_scratch ~scratch ~crg cdcg (fun scratch ->
+      let cutoff = Option.value cutoff ~default:max_int in
+      let status =
+        run_core ~trace:false ~params ~crg ~placement ~scratch ~cutoff cdcg
+      in
+      let states = scratch.Scratch.states in
+      let contention_cycles = ref 0 and contended_packets = ref 0 in
+      Array.iter
+        (fun st ->
+          let acc = ref 0 in
+          for h = 0 to Array.length st.path.Crg.routers - 1 do
+            let start = st.starts.(h) in
+            if start >= 0 then acc := !acc + (start - st.arrivals.(h))
+          done;
+          contention_cycles := !contention_cycles + !acc;
+          if !acc > 0 then incr contended_packets)
+        states;
+      {
+        texec_cycles = texec_of_states ~status states;
+        truncated = (match status with `Truncated _ -> true | `Completed -> false);
+        contention_cycles = !contention_cycles;
+        contended_packets = !contended_packets;
+      })
+
+let texec_cycles ?scratch ?cutoff ~params ~crg ~placement cdcg =
+  (run_summary ?scratch ?cutoff ~params ~crg ~placement cdcg).texec_cycles

@@ -27,8 +27,32 @@ exception Deadlock of string
     the simulation cannot make progress (impossible with unbounded
     buffers on a dependence-acyclic CDCG). *)
 
+(** Reusable simulation arena.
+
+    One evaluation of the CDCM objective is one wormhole simulation;
+    simulated annealing performs up to hundreds of thousands of them on
+    the same (CRG, CDCG) pair.  A scratch holds every mutable structure
+    a run needs — packet states, per-hop arrival/start arrays, per-port
+    waiting queues, the event heap — sized once and reset in O(touched)
+    per run, so a search descent performs near-zero heap allocation per
+    evaluation instead of reallocating all of it each time.
+
+    A scratch is NOT thread-safe: give each domain its own. *)
+module Scratch : sig
+  type t
+
+  val create : crg:Nocmap_noc.Crg.t -> Nocmap_model.Cdcg.t -> t
+  (** [create ~crg cdcg] sizes an arena for simulating [cdcg] (or any
+      CDCG with the same packet count) on [crg] (or any CRG with the
+      same tile count).
+      @raise Invalid_argument when the instance exceeds the packed-event
+      encoding limits (65535 packets or link slots). *)
+end
+
 val run :
   ?trace:bool ->
+  ?scratch:Scratch.t ->
+  ?cutoff:int ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->
@@ -40,13 +64,46 @@ val run :
     traces and resource annotations are recorded; switch it off inside
     optimization loops.
 
-    @raise Invalid_argument on an ill-formed placement.
+    [?scratch] reuses an arena built by {!Scratch.create} instead of
+    allocating fresh state; results are identical to a fresh run.
+
+    [?cutoff] aborts the event pump as soon as simulated time strictly
+    exceeds [cutoff] cycles while packets are still in flight.  The
+    returned trace then has [truncated = true] and its [texec_cycles] is
+    a valid lower bound ([> cutoff]) on the true execution time — an
+    "at least this bad" verdict search procedures can treat as a
+    rejection without paying for the full simulation.  Runs that finish
+    within the cutoff are exact and [truncated = false].
+
+    @raise Invalid_argument on an ill-formed placement or a scratch
+    sized for a different instance.
     @raise Deadlock when bounded buffering deadlocks. *)
 
+type summary = {
+  texec_cycles : int;        (** Execution time; lower bound if truncated. *)
+  truncated : bool;          (** The [?cutoff] fired. *)
+  contention_cycles : int;
+  contended_packets : int;
+}
+
+val run_summary :
+  ?scratch:Scratch.t ->
+  ?cutoff:int ->
+  params:Nocmap_energy.Noc_params.t ->
+  crg:Nocmap_noc.Crg.t ->
+  placement:int array ->
+  Nocmap_model.Cdcg.t ->
+  summary
+(** Like {!run} with tracing off, but skips building the {!Trace.t}
+    structure entirely — the hot path for cost evaluation.  With a
+    [?scratch] this allocates only the returned summary record. *)
+
 val texec_cycles :
+  ?scratch:Scratch.t ->
+  ?cutoff:int ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->
   Nocmap_model.Cdcg.t ->
   int
-(** Convenience wrapper: execution time only, tracing disabled. *)
+(** Convenience wrapper over {!run_summary}: execution time only. *)

@@ -1,0 +1,127 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;       (* new work queued, a run completed, or shutdown *)
+  tasks : (unit -> unit) Queue.t;
+  mutable alive : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let env_jobs () =
+  match Sys.getenv_opt "NOCMAP_JOBS" with
+  | None -> None
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | Some _ | None -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some j -> min j 128
+  | None -> max 1 (min 128 (Domain.recommended_domain_count ()))
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec await () =
+    if not t.alive then Mutex.unlock t.mutex
+    else
+      match Queue.take_opt t.tasks with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        worker_loop t
+      | None ->
+        Condition.wait t.wake t.mutex;
+        await ()
+  in
+  await ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j when j >= 1 -> j
+    | Some _ -> invalid_arg "Domain_pool.create: jobs must be at least 1"
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      tasks = Queue.create ();
+      alive = true;
+      workers = [];
+    }
+  in
+  (* The caller participates in [run], so [jobs] concurrent executors
+     need only [jobs - 1] worker domains. *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_alive = t.alive in
+  t.alive <- false;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  if was_alive then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let run t thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else begin
+    if not t.alive then invalid_arg "Domain_pool.run: pool is shut down";
+    let results = Array.make n None in
+    let pending = ref n in
+    let wrap i () =
+      let r = match thunks.(i) () with v -> Ok v | exception e -> Error e in
+      Mutex.lock t.mutex;
+      results.(i) <- Some r;
+      decr pending;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (wrap i) t.tasks
+    done;
+    Condition.broadcast t.wake;
+    (* Caller participation: keep executing queued tasks (ours or a
+       nested run's) until every task of THIS run has completed.  Every
+       waiter also drains the queue, so nested [run] calls from inside a
+       task can never deadlock the pool. *)
+    let rec drive () =
+      if !pending > 0 then begin
+        match Queue.take_opt t.tasks with
+        | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex;
+          drive ()
+        | None ->
+          Condition.wait t.wake t.mutex;
+          drive ()
+      end
+    in
+    drive ();
+    Mutex.unlock t.mutex;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map ?pool f xs =
+  match pool with
+  | None -> Array.map f xs
+  | Some t -> run t (Array.map (fun x () -> f x) xs)
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,49 @@
+(** Small fixed-size domain pool (OCaml 5 [Domain] + [Mutex]/[Condition],
+    no external dependencies).
+
+    The pool runs batches of independent thunks across [jobs] concurrent
+    executors.  Determinism is the caller's contract: give each task its
+    own pre-split {!Rng} substream and its own simulation scratch, and a
+    pooled run returns results bit-identical to the sequential run of
+    the same thunks in the same order, whatever the [jobs] count or
+    scheduling.
+
+    The submitting thread participates in execution, so a pool created
+    with [~jobs:1] spawns no domains at all and degenerates to plain
+    sequential execution, and nested {!run} calls from inside a task
+    (e.g. parallel restarts inside a parallel experiment leg) cannot
+    deadlock: every waiter keeps draining the shared queue. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ()] builds a pool with [jobs - 1] worker domains.  [jobs]
+    defaults to {!default_jobs}.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** The [NOCMAP_JOBS] environment variable when set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]; clamped to
+    [1 .. 128]. *)
+
+val jobs : t -> int
+(** Concurrency of the pool (including the submitting thread). *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** [run t thunks] executes every thunk (in parallel, in no particular
+    order) and returns their results positionally.  If a thunk raises,
+    the first (lowest-index) exception is re-raised after all tasks of
+    the batch have settled.
+    @raise Invalid_argument if the pool was shut down. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?pool f xs] is [run] over [f x] thunks; without [?pool] it is
+    a plain sequential [Array.map] — the two are result-identical when
+    each call [f x] is self-contained. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the worker domains.  Idempotent.  Must not be
+    called while a {!run} is in flight. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)

@@ -2,18 +2,23 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  capacity_hint : int;
 }
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+let create ?(capacity = 0) ~cmp () =
+  if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+  { cmp; data = [||]; size = 0; capacity_hint = capacity }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
+let clear t = t.size <- 0
+
 let grow t x =
   let cap = Array.length t.data in
   if t.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ncap = if cap = 0 then max t.capacity_hint 16 else cap * 2 in
     let ndata = Array.make ncap x in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
@@ -50,32 +55,31 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some top
-  end
-
 let pop_exn t =
-  match pop t with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
+
+(* [pop_exn] is the allocation-free primitive; [pop] adds the option. *)
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let of_list ~cmp l =
-  let t = create ~cmp in
+  let t = create ~cmp () in
   List.iter (add t) l;
   t
 
 let to_sorted_list t =
   if t.size = 0 then []
   else begin
-    let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in
+    let copy =
+      { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size;
+        capacity_hint = 0 }
+    in
     let rec drain acc =
       match pop copy with
       | None -> List.rev acc

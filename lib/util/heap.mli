@@ -3,12 +3,23 @@
 
 type 'a t
 
-val create : cmp:('a -> 'a -> int) -> 'a t
-(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (minimum first).
+    [?capacity] (default 0) is a hint: the backing array is allocated
+    with at least that many slots on the first {!add}, so a heap whose
+    population is known in advance never reallocates.
+    @raise Invalid_argument on a negative capacity. *)
 
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** [clear t] empties the heap in O(1) while retaining the backing
+    array, so refilling it allocates nothing.  Note that the array keeps
+    referencing the old elements until they are overwritten — use with
+    immediate (unboxed) elements, or clear promptly, when that matters
+    for the GC. *)
 
 val add : 'a t -> 'a -> unit
 (** O(log n) insertion. *)

@@ -1,0 +1,77 @@
+type t = {
+  mutable data : int array;
+  mutable size : int;
+  capacity_hint : int;
+}
+
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Int_heap.create: negative capacity";
+  { data = [||]; size = 0; capacity_hint = capacity }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let clear t = t.size <- 0
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then max t.capacity_hint 16 else cap * 2 in
+    let ndata = Array.make ncap 0 in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let add t x =
+  grow t;
+  let data = t.data in
+  (* sift up with the direct [<] order — no comparator closure. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    if x < data.(parent) then begin
+      data.(!i) <- data.(parent);
+      i := parent;
+      true
+    end
+    else false
+  do
+    ()
+  done;
+  data.(!i) <- x
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Int_heap.pop_exn: empty heap";
+  let data = t.data in
+  let top = data.(0) in
+  t.size <- t.size - 1;
+  let size = t.size in
+  if size > 0 then begin
+    let x = data.(size) in
+    (* sift down, moving the hole rather than swapping. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= size then continue := false
+      else begin
+        let r = l + 1 in
+        let c = if r < size && data.(r) < data.(l) then r else l in
+        if data.(c) < x then begin
+          data.(!i) <- data.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    data.(!i) <- x
+  end;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)

@@ -1,0 +1,35 @@
+(** Binary min-heap specialised to immediate [int] elements.
+
+    The generic {!Heap} calls a comparator closure on every sift step —
+    an indirect call that dominates discrete-event pump profiles.  This
+    variant hard-codes the [( < )] integer order so the inner loops
+    compile to straight-line array code; the wormhole simulator stores
+    packed integer events in it ({!Nocmap_sim.Wormhole}).
+
+    Like {!Heap}, the backing array is lazily allocated on the first
+    {!add} ([capacity] is a hint for that first allocation) and
+    {!clear} retains it, so a heap reused across simulation runs
+    allocates nothing in steady state. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] hints the size of the first backing-array allocation
+    (default 0: start at 16 on first [add]).
+    @raise Invalid_argument if [capacity] is negative. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Empties the heap, retaining the backing array. *)
+
+val add : t -> int -> unit
+
+val peek : t -> int option
+
+val pop : t -> int option
+
+val pop_exn : t -> int
+(** Allocation-free pop. @raise Invalid_argument on an empty heap. *)

@@ -1,0 +1,45 @@
+type t = {
+  mutable data : int array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Intqueue.create: negative capacity";
+  { data = (if capacity = 0 then [||] else Array.make capacity 0); head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap 0 in
+  (* Unroll the ring into the front of the new array. *)
+  for i = 0 to t.len - 1 do
+    ndata.(i) <- t.data.((t.head + i) mod cap)
+  done;
+  t.data <- ndata;
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.((t.head + t.len) mod Array.length t.data) <- x;
+  t.len <- t.len + 1
+
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Intqueue.pop_exn: empty queue";
+  let x = t.data.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.data;
+  t.len <- t.len - 1;
+  if t.len = 0 then t.head <- 0;
+  x
+
+let pop t = if t.len = 0 then None else Some (pop_exn t)
+
+let peek t = if t.len = 0 then None else Some t.data.(t.head)

@@ -1,0 +1,31 @@
+(** Allocation-free FIFO of unboxed integers.
+
+    A growable ring buffer used by the wormhole simulator's arena for
+    the per-port waiting queues: once grown to its working size it never
+    allocates again, unlike [Stdlib.Queue] which allocates one cell per
+    element.  Elements are plain [int]s; callers pack richer payloads
+    into the 63 available bits. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] is an empty queue.  [?capacity] pre-sizes the ring.
+    @raise Invalid_argument on a negative capacity. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** O(1); retains the backing array. *)
+
+val push : t -> int -> unit
+(** Append at the tail; amortized O(1). *)
+
+val pop : t -> int option
+(** Remove and return the head element. *)
+
+val pop_exn : t -> int
+(** Like {!pop}. @raise Invalid_argument on an empty queue. *)
+
+val peek : t -> int option

@@ -83,9 +83,48 @@ let test_objectives () =
   Alcotest.(check (float 1e-9)) "texec cost" 90.0
     (texec.Mapping.Objective.cost_fn Fig1.mapping_d)
 
+let test_evaluate_bound () =
+  let cdcg = Fig1.cdcg in
+  let scratch = Nocmap_sim.Wormhole.Scratch.create ~crg cdcg in
+  let evaluate p =
+    Mapping.Cost_cdcm.evaluate ~scratch ~tech ~params ~crg ~cdcg p
+  in
+  let bound ~cutoff p =
+    Mapping.Cost_cdcm.evaluate_bound ~scratch ~tech ~params ~crg ~cdcg ~cutoff p
+  in
+  let exact = evaluate Fig1.mapping_c in
+  (* A generous cutoff never truncates and reproduces the evaluation. *)
+  (match bound ~cutoff:(exact.Mapping.Cost_cdcm.total *. 2.0) Fig1.mapping_c with
+  | Mapping.Cost_cdcm.Exact e ->
+    Alcotest.(check (float 1e-18)) "exact under generous cutoff"
+      exact.Mapping.Cost_cdcm.total e.Mapping.Cost_cdcm.total
+  | Mapping.Cost_cdcm.At_least _ -> Alcotest.fail "truncated under generous cutoff");
+  (* A cutoff below the dynamic energy rejects without simulating; any
+     truncated verdict is a sound strict lower bound. *)
+  (match bound ~cutoff:(exact.Mapping.Cost_cdcm.dynamic /. 2.0) Fig1.mapping_c with
+  | Mapping.Cost_cdcm.Exact _ -> Alcotest.fail "expected a rejection"
+  | Mapping.Cost_cdcm.At_least b ->
+    Alcotest.(check bool) "strictly above cutoff" true
+      (b > exact.Mapping.Cost_cdcm.dynamic /. 2.0);
+    Alcotest.(check bool) "at most the true total" true
+      (b <= exact.Mapping.Cost_cdcm.total +. 1e-18));
+  (* Mid-range cutoffs: whatever the verdict, it must be consistent. *)
+  List.iter
+    (fun frac ->
+      let cutoff = exact.Mapping.Cost_cdcm.total *. frac in
+      match bound ~cutoff Fig1.mapping_c with
+      | Mapping.Cost_cdcm.Exact e ->
+        Alcotest.(check (float 1e-18)) "exact verdicts are exact"
+          exact.Mapping.Cost_cdcm.total e.Mapping.Cost_cdcm.total
+      | Mapping.Cost_cdcm.At_least b ->
+        Alcotest.(check bool) "bound in (cutoff, total]" true
+          (b > cutoff && b <= exact.Mapping.Cost_cdcm.total +. 1e-18))
+    [ 0.5; 0.9; 0.99; 1.01 ]
+
 let suite =
   ( "cost",
     [
+      Alcotest.test_case "evaluate_bound" `Quick test_evaluate_bound;
       Alcotest.test_case "cost table sums" `Quick test_cost_table_sums_to_total;
       Alcotest.test_case "cost table values (fig 2)" `Quick test_cost_table_values_fig2;
       Alcotest.test_case "bit hops" `Quick test_bit_hops;

@@ -1,0 +1,98 @@
+module Domain_pool = Nocmap_util.Domain_pool
+
+let test_map_positional () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 100 Fun.id in
+      let squares = Domain_pool.map ~pool (fun x -> x * x) xs in
+      Alcotest.(check (array int)) "positional results"
+        (Array.map (fun x -> x * x) xs)
+        squares)
+
+let test_single_job_is_sequential () =
+  (* jobs:1 spawns no domains; run degenerates to in-order execution on
+     the calling thread. *)
+  Domain_pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Domain_pool.jobs pool);
+      let order = ref [] in
+      let thunks =
+        Array.init 10 (fun i () ->
+            order := i :: !order;
+            i)
+      in
+      let results = Domain_pool.run pool thunks in
+      Alcotest.(check (array int)) "results" (Array.init 10 Fun.id) results;
+      Alcotest.(check (list int)) "executed in order" (List.init 10 (fun i -> 9 - i))
+        !order)
+
+let test_matches_sequential_map () =
+  let xs = Array.init 64 (fun i -> i - 32) in
+  let f x = (x * 7919) lxor (x lsl 3) in
+  let sequential = Domain_pool.map f xs in
+  let parallel = Domain_pool.with_pool ~jobs:8 (fun pool -> Domain_pool.map ~pool f xs) in
+  Alcotest.(check (array int)) "pooled map equals Array.map" sequential parallel
+
+let test_nested_runs () =
+  (* Tasks submitting sub-batches to the same pool must not deadlock:
+     with jobs:2 there is only one worker domain, so the caller has to
+     drain nested work itself. *)
+  Domain_pool.with_pool ~jobs:2 (fun pool ->
+      let totals =
+        Domain_pool.map ~pool
+          (fun i ->
+            let inner = Domain_pool.map ~pool (fun j -> (10 * i) + j) (Array.init 4 Fun.id) in
+            Array.fold_left ( + ) 0 inner)
+          (Array.init 4 Fun.id)
+      in
+      Alcotest.(check (array int)) "nested sums"
+        [| 6; 46; 86; 126 |]
+        totals)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let completed = Atomic.make 0 in
+      let thunks =
+        Array.init 8 (fun i () ->
+            if i = 3 || i = 5 then raise (Boom i);
+            Atomic.incr completed)
+      in
+      (match Domain_pool.run pool thunks with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+        Alcotest.(check int) "lowest-index exception wins" 3 i);
+      (* The batch settles before re-raising: every non-failing task ran. *)
+      Alcotest.(check int) "other tasks completed" 6 (Atomic.get completed))
+
+let test_shutdown () =
+  let pool = Domain_pool.create ~jobs:3 () in
+  let r = Domain_pool.run pool [| (fun () -> 42) |] in
+  Alcotest.(check (array int)) "works before shutdown" [| 42 |] r;
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Domain_pool.run: pool is shut down") (fun () ->
+      ignore (Domain_pool.run pool [| (fun () -> 0) |]))
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "zero jobs"
+    (Invalid_argument "Domain_pool.create: jobs must be at least 1") (fun () ->
+      ignore (Domain_pool.create ~jobs:0 ()))
+
+let test_default_jobs_positive () =
+  let j = Domain_pool.default_jobs () in
+  Alcotest.(check bool) "within clamp" true (j >= 1 && j <= 128)
+
+let suite =
+  ( "domain_pool",
+    [
+      Alcotest.test_case "map is positional" `Quick test_map_positional;
+      Alcotest.test_case "single job is sequential" `Quick test_single_job_is_sequential;
+      Alcotest.test_case "matches sequential map" `Quick test_matches_sequential_map;
+      Alcotest.test_case "nested runs" `Quick test_nested_runs;
+      Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+      Alcotest.test_case "shutdown" `Quick test_shutdown;
+      Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+      Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+    ] )

@@ -77,6 +77,53 @@ let test_table2_on_custom_instances () =
   Test_util.check_contains ~msg:"title" ~needle:"Table 2" rendered;
   Test_util.check_contains ~msg:"average row" ~needle:"Average" rendered
 
+let outcome_fingerprint (o : Experiment.outcome) =
+  ( o.Experiment.app,
+    o.Experiment.etr_percent,
+    o.Experiment.ecs_low_percent,
+    o.Experiment.ecs_high_percent,
+    o.Experiment.cwm_high.Mapping.Cost_cdcm.total,
+    o.Experiment.cdcm_high.Mapping.Cost_cdcm.total,
+    o.Experiment.cwm_evaluations,
+    o.Experiment.cdcm_evaluations )
+
+let test_parallel_restarts_bit_identical () =
+  (* Restarts fanned out on a domain pool must reproduce the sequential
+     outcome exactly: same pre-split RNG substreams, one scratch per
+     restart. *)
+  let mesh, cdcg = small_instance 63 in
+  let config = { Experiment.quick_config with Experiment.restarts = 4 } in
+  let outcome_with pool =
+    Experiment.compare_models ?pool ~rng:(Rng.create ~seed:63) ~config ~mesh cdcg
+  in
+  let sequential = outcome_with None in
+  let parallel =
+    Nocmap_util.Domain_pool.with_pool ~jobs:4 (fun pool ->
+        outcome_with (Some pool))
+  in
+  Alcotest.(check bool) "bit-identical outcome" true
+    (outcome_fingerprint sequential = outcome_fingerprint parallel)
+
+let test_table2_parallel_bit_identical () =
+  let instances = [ small_instance 81; small_instance 82; small_instance 83 ] in
+  let run pool =
+    Nocmap.Table2.run ~config:Experiment.quick_config ~instances ?pool ~seed:81 ()
+  in
+  let fingerprint (t : Nocmap.Table2.t) =
+    List.concat_map
+      (fun (s : Nocmap.Table2.size_summary) ->
+        List.map outcome_fingerprint s.Nocmap.Table2.outcomes)
+      t.Nocmap.Table2.sizes
+  in
+  let sequential = run None in
+  let parallel =
+    Nocmap_util.Domain_pool.with_pool ~jobs:3 (fun pool -> run (Some pool))
+  in
+  Alcotest.(check bool) "bit-identical table" true
+    (fingerprint sequential = fingerprint parallel);
+  Alcotest.(check (float 1e-12)) "same average ETR"
+    sequential.Nocmap.Table2.average_etr parallel.Nocmap.Table2.average_etr
+
 let test_cpu_time_measurement () =
   let mesh, cdcg = small_instance 55 in
   let m = Nocmap.Cpu_time.measure ~evaluations:20 ~seed:55 ~mesh cdcg in
@@ -135,6 +182,10 @@ let suite =
       Alcotest.test_case "too many cores" `Quick test_too_many_cores;
       Alcotest.test_case "sa config budgets" `Quick test_sa_config_budgets;
       Alcotest.test_case "table2 custom instances" `Quick test_table2_on_custom_instances;
+      Alcotest.test_case "parallel restarts bit-identical" `Quick
+        test_parallel_restarts_bit_identical;
+      Alcotest.test_case "table2 parallel bit-identical" `Quick
+        test_table2_parallel_bit_identical;
       Alcotest.test_case "robustness" `Quick test_robustness;
       Alcotest.test_case "cpu time measurement" `Quick test_cpu_time_measurement;
       Alcotest.test_case "es vs sa on fig1" `Quick test_es_vs_sa_on_fig1;

@@ -1,14 +1,14 @@
 module Heap = Nocmap_util.Heap
 
 let test_empty () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
   Alcotest.(check int) "length" 0 (Heap.length h);
   Alcotest.(check (option int)) "peek" None (Heap.peek h);
   Alcotest.(check (option int)) "pop" None (Heap.pop h)
 
 let test_pop_exn_empty () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
     (fun () -> ignore (Heap.pop_exn h))
 
@@ -23,7 +23,7 @@ let test_peek_is_min () =
   Alcotest.(check int) "peek does not remove" 3 (Heap.length h)
 
 let test_interleaved () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   Heap.add h 3;
   Heap.add h 1;
   Alcotest.(check (option int)) "first pop" (Some 1) (Heap.pop h);
@@ -37,6 +37,51 @@ let test_custom_comparator () =
   let cmp a b = Int.compare b a (* max-heap *) in
   let h = Heap.of_list ~cmp [ 1; 5; 3 ] in
   Alcotest.(check (option int)) "max first" (Some 5) (Heap.pop h)
+
+let test_clear () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (Heap.add h) [ 4; 2; 7; 1 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop after clear" None (Heap.pop h);
+  (* The heap stays fully usable after a clear. *)
+  List.iter (Heap.add h) [ 9; 3; 6 ];
+  Alcotest.(check (list int)) "refill drains sorted" [ 3; 6; 9 ]
+    (Heap.to_sorted_list h)
+
+let test_clear_retains_capacity () =
+  let h = Heap.create ~capacity:4 ~cmp:Int.compare () in
+  for i = 1 to 1000 do
+    Heap.add h i
+  done;
+  Heap.clear h;
+  (* After growing to 1000 elements and clearing, refilling to the same
+     size must not allocate a bigger backing array: the whole cycle
+     stays within the retained storage (measured on this domain). *)
+  let before = Gc.minor_words () in
+  for i = 1 to 1000 do
+    Heap.add h i
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "refill allocates nothing (%.0f words)" words)
+    true (words < 64.0)
+
+let test_create_capacity () =
+  let h = Heap.create ~capacity:128 ~cmp:Int.compare () in
+  Alcotest.(check int) "starts empty" 0 (Heap.length h);
+  (* The first add materializes the hinted backing array in one shot;
+     the remaining 127 must then fit without any further allocation. *)
+  Heap.add h 128;
+  let before = Gc.minor_words () in
+  for i = 127 downto 1 do
+    Heap.add h i
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "hinted adds allocate nothing (%.0f words)" words)
+    true (words < 64.0);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.peek h)
 
 let prop_matches_sort =
   QCheck2.Test.make ~name:"heap drains in sorted order" ~count:200
@@ -54,5 +99,8 @@ let suite =
       Alcotest.test_case "peek is min" `Quick test_peek_is_min;
       Alcotest.test_case "interleaved add/pop" `Quick test_interleaved;
       Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "clear retains capacity" `Quick test_clear_retains_capacity;
+      Alcotest.test_case "create with capacity" `Quick test_create_capacity;
       QCheck_alcotest.to_alcotest prop_matches_sort;
     ] )

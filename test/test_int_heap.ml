@@ -1,0 +1,77 @@
+module Int_heap = Nocmap_util.Int_heap
+module Heap = Nocmap_util.Heap
+
+let test_empty () =
+  let h = Int_heap.create () in
+  Alcotest.(check bool) "is_empty" true (Int_heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Int_heap.length h);
+  Alcotest.(check (option int)) "peek" None (Int_heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Int_heap.pop h);
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Int_heap.pop_exn: empty heap") (fun () ->
+      ignore (Int_heap.pop_exn h))
+
+let drain h =
+  let rec go acc =
+    match Int_heap.pop h with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let test_sorted_drain () =
+  let h = Int_heap.create () in
+  let xs = [ 5; -3; 9; 0; 9; 2; -3; max_int; min_int; 7 ] in
+  List.iter (Int_heap.add h) xs;
+  Alcotest.(check (list int)) "ascending" (List.sort compare xs) (drain h)
+
+let test_clear_retains_capacity () =
+  let h = Int_heap.create () in
+  for i = 0 to 999 do
+    Int_heap.add h i
+  done;
+  Int_heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Int_heap.is_empty h);
+  let before = Gc.minor_words () in
+  for i = 0 to 999 do
+    Int_heap.add h (999 - i)
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool) "refill allocation-free" true (allocated < 64.0);
+  Alcotest.(check (option int)) "min" (Some 0) (Int_heap.peek h)
+
+let test_create_capacity () =
+  let h = Int_heap.create ~capacity:128 () in
+  (* The backing array materialises on the first add. *)
+  Int_heap.add h 128;
+  let before = Gc.minor_words () in
+  for i = 0 to 126 do
+    Int_heap.add h i
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool) "hinted capacity pre-sizes" true (allocated < 64.0)
+
+let prop_matches_generic_heap =
+  QCheck2.Test.make ~count:300 ~name:"int heap matches generic heap"
+    QCheck2.Gen.(list (pair (int_range 0 2) small_signed_int))
+    (fun ops ->
+      let h = Int_heap.create () in
+      let model = Heap.create ~cmp:Int.compare () in
+      List.for_all
+        (fun (op, x) ->
+          match op with
+          | 0 | 1 ->
+            Int_heap.add h x;
+            Heap.add model x;
+            true
+          | _ -> Int_heap.pop h = Heap.pop model)
+        ops
+      && drain h = Heap.to_sorted_list model)
+
+let suite =
+  ( "int_heap",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "sorted drain" `Quick test_sorted_drain;
+      Alcotest.test_case "clear retains capacity" `Quick test_clear_retains_capacity;
+      Alcotest.test_case "create capacity" `Quick test_create_capacity;
+      QCheck_alcotest.to_alcotest prop_matches_generic_heap;
+    ] )

@@ -1,0 +1,86 @@
+module Intqueue = Nocmap_util.Intqueue
+
+let test_empty () =
+  let q = Intqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Intqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Intqueue.length q);
+  Alcotest.(check (option int)) "peek" None (Intqueue.peek q);
+  Alcotest.(check (option int)) "pop" None (Intqueue.pop q);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Intqueue.pop_exn: empty queue")
+    (fun () -> ignore (Intqueue.pop_exn q))
+
+let test_fifo_order () =
+  let q = Intqueue.create () in
+  List.iter (Intqueue.push q) [ 3; 1; 4; 1; 5 ];
+  let drained = List.init 5 (fun _ -> Intqueue.pop_exn q) in
+  Alcotest.(check (list int)) "fifo" [ 3; 1; 4; 1; 5 ] drained;
+  Alcotest.(check bool) "empty after drain" true (Intqueue.is_empty q)
+
+let test_interleaved_wraparound () =
+  (* Tiny initial ring so pushes and pops force head/tail wraparound and
+     at least one mid-flight grow. *)
+  let q = Intqueue.create ~capacity:2 () in
+  let model = Queue.create () in
+  for i = 0 to 199 do
+    Intqueue.push q i;
+    Queue.push i model;
+    if i mod 3 = 0 then begin
+      let got = Intqueue.pop_exn q in
+      let expected = Queue.pop model in
+      Alcotest.(check int) (Printf.sprintf "pop at %d" i) expected got
+    end
+  done;
+  Alcotest.(check int) "same length" (Queue.length model) (Intqueue.length q);
+  while not (Intqueue.is_empty q) do
+    Alcotest.(check int) "drain" (Queue.pop model) (Intqueue.pop_exn q)
+  done;
+  Alcotest.(check bool) "model drained too" true (Queue.is_empty model)
+
+let test_clear_and_reuse () =
+  let q = Intqueue.create () in
+  for i = 0 to 99 do
+    Intqueue.push q i
+  done;
+  Intqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Intqueue.is_empty q);
+  (* Refilling to the previous size must not allocate: the ring was
+     retained by [clear]. *)
+  let before = Gc.minor_words () in
+  for i = 0 to 99 do
+    Intqueue.push q i
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "refill allocates nothing (%.0f words)" words)
+    true (words < 64.0);
+  Alcotest.(check (option int)) "head" (Some 0) (Intqueue.peek q)
+
+let prop_matches_queue =
+  QCheck2.Test.make ~name:"intqueue behaves like Stdlib.Queue" ~count:300
+    QCheck2.Gen.(list (pair bool (int_range 0 1000)))
+    (fun ops ->
+      let q = Intqueue.create () in
+      let model = Queue.create () in
+      List.for_all
+        (fun (is_pop, x) ->
+          if is_pop then
+            match (Intqueue.pop q, Queue.take_opt model) with
+            | None, None -> true
+            | Some a, Some b -> a = b
+            | _ -> false
+          else begin
+            Intqueue.push q x;
+            Queue.push x model;
+            Intqueue.length q = Queue.length model
+          end)
+        ops)
+
+let suite =
+  ( "intqueue",
+    [
+      Alcotest.test_case "empty queue" `Quick test_empty;
+      Alcotest.test_case "fifo order" `Quick test_fifo_order;
+      Alcotest.test_case "interleaved wraparound" `Quick test_interleaved_wraparound;
+      Alcotest.test_case "clear and reuse" `Quick test_clear_and_reuse;
+      QCheck_alcotest.to_alcotest prop_matches_queue;
+    ] )

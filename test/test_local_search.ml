@@ -50,6 +50,21 @@ let test_invalid_initial () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_pruning_lossless () =
+  (* The bound-function fast path (evaluation cut off at the incumbent
+     cost) must be invisible in the outcome: same descent, same final
+     placement and cost as the plain cost-function search. *)
+  let stripped = { objective with Mapping.Objective.bound_fn = None } in
+  List.iter
+    (fun initial ->
+      let pruned = Mapping.Local_search.search ~objective ~tiles:4 ~initial () in
+      let plain = Mapping.Local_search.search ~objective:stripped ~tiles:4 ~initial () in
+      Alcotest.(check (array int)) "same placement"
+        plain.Mapping.Objective.placement pruned.Mapping.Objective.placement;
+      Alcotest.(check (float 1e-18)) "same cost" plain.Mapping.Objective.cost
+        pruned.Mapping.Objective.cost)
+    [ Fig1.mapping_c; Fig1.mapping_d; [| 0; 1; 2; 3 |]; [| 2; 0; 3; 1 |] ]
+
 let test_result_valid () =
   let r =
     Mapping.Local_search.search ~objective ~tiles:4 ~initial:[| 1; 3; 0; 2 |] ()
@@ -65,5 +80,6 @@ let suite =
       Alcotest.test_case "never worse than start" `Quick test_never_worse_than_start;
       Alcotest.test_case "budget respected" `Quick test_budget_respected;
       Alcotest.test_case "invalid initial" `Quick test_invalid_initial;
+      Alcotest.test_case "pruning is lossless" `Quick test_pruning_lossless;
       Alcotest.test_case "result valid" `Quick test_result_valid;
     ] )

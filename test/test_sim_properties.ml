@@ -136,6 +136,103 @@ let prop_deterministic =
              x.Trace.delivered = y.Trace.delivered)
            a.Trace.packets b.Trace.packets)
 
+(* --- scratch arena and cutoff properties --- *)
+
+let swap_first_two placement =
+  let other = Array.copy placement in
+  let tmp = other.(0) in
+  other.(0) <- other.(1);
+  other.(1) <- tmp;
+  other
+
+let prop_scratch_identical =
+  QCheck2.Test.make ~name:"scratch-reused runs are trace-identical to fresh runs"
+    ~count:80 gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let scratch = Wormhole.Scratch.create ~crg cdcg in
+      let fresh = Wormhole.run ~params ~crg ~placement cdcg in
+      let first = Wormhole.run ~scratch ~params ~crg ~placement cdcg in
+      (* Dirty the arena with a different placement, then reuse it again:
+         the reset must erase every trace of the interleaved run. *)
+      ignore
+        (Wormhole.run ~scratch ~params ~crg ~placement:(swap_first_two placement)
+           cdcg);
+      let second = Wormhole.run ~scratch ~params ~crg ~placement cdcg in
+      fresh = first && fresh = second)
+
+let prop_cutoff_sound =
+  QCheck2.Test.make ~name:"cutoff gives a sound strict lower bound" ~count:80
+    gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let scratch = Wormhole.Scratch.create ~crg cdcg in
+      let full = Wormhole.run_summary ~scratch ~params ~crg ~placement cdcg in
+      let t = full.Wormhole.texec_cycles in
+      let half =
+        Wormhole.run_summary ~scratch ~cutoff:(t / 2) ~params ~crg ~placement cdcg
+      in
+      let at_texec =
+        Wormhole.run_summary ~scratch ~cutoff:t ~params ~crg ~placement cdcg
+      in
+      let ok_half =
+        if half.Wormhole.truncated then
+          half.Wormhole.texec_cycles > t / 2 && half.Wormhole.texec_cycles <= t
+        else half.Wormhole.texec_cycles = t
+      in
+      (* A cutoff at the true execution time is never exceeded: the run
+         completes and is exact. *)
+      let ok_at_texec =
+        (not at_texec.Wormhole.truncated) && at_texec.Wormhole.texec_cycles = t
+      in
+      ok_half && ok_at_texec)
+
+let prop_summary_matches_run =
+  QCheck2.Test.make ~name:"run_summary agrees with run" ~count:80 gen_scenario
+    (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let t = Wormhole.run ~trace:false ~params ~crg ~placement cdcg in
+      let s = Wormhole.run_summary ~params ~crg ~placement cdcg in
+      s.Wormhole.texec_cycles = t.Trace.texec_cycles
+      && s.Wormhole.contention_cycles = t.Trace.contention_cycles
+      && s.Wormhole.contended_packets = t.Trace.contended_packets
+      && (not s.Wormhole.truncated) && not t.Trace.truncated)
+
+let test_scratch_evaluation_allocation_free () =
+  (* The tentpole claim: with a scratch arena, a CDCM-style evaluation
+     (run_summary) performs near-zero heap allocation.  The budget below
+     is two orders of magnitude under what per-run array/queue/heap
+     reallocation used to cost, yet roomy enough for the handful of
+     closures the pump builds per call. *)
+  let mesh = Mesh.create ~cols:3 ~rows:3 in
+  let crg = Crg.create mesh in
+  let rng = Rng.create ~seed:42 in
+  let cdcg =
+    Generator.generate rng
+      (Generator.default_spec ~name:"alloc" ~cores:8 ~packets:40 ~total_bits:4_000)
+  in
+  let tiles = Mesh.tile_count mesh in
+  let placements =
+    Array.init 8 (fun _ -> Placement.random rng ~cores:8 ~tiles)
+  in
+  let scratch = Wormhole.Scratch.create ~crg cdcg in
+  let eval i =
+    ignore
+      (Wormhole.run_summary ~scratch ~params ~crg
+         ~placement:placements.(i mod 8) cdcg)
+  in
+  (* Warm the arena: first runs grow hop arrays and queues to size. *)
+  for i = 0 to 15 do
+    eval i
+  done;
+  let runs = 50 in
+  let before = Gc.minor_words () in
+  for i = 0 to runs - 1 do
+    eval i
+  done;
+  let per_run = (Gc.minor_words () -. before) /. float_of_int runs in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f words/run (budget 1000)" per_run)
+    true (per_run < 1000.0)
+
 let test_invalid_placements () =
   let mesh = Mesh.create ~cols:2 ~rows:2 in
   let crg = Crg.create mesh in
@@ -175,6 +272,11 @@ let suite =
       QCheck_alcotest.to_alcotest prop_trace_flag_same_result;
       QCheck_alcotest.to_alcotest prop_bounded_never_faster;
       QCheck_alcotest.to_alcotest prop_deterministic;
+      QCheck_alcotest.to_alcotest prop_scratch_identical;
+      QCheck_alcotest.to_alcotest prop_cutoff_sound;
+      QCheck_alcotest.to_alcotest prop_summary_matches_run;
+      Alcotest.test_case "scratch evaluation is allocation-free" `Quick
+        test_scratch_evaluation_allocation_free;
       Alcotest.test_case "invalid placements" `Quick test_invalid_placements;
       Alcotest.test_case "single packet closed form" `Quick test_single_packet_exact;
     ] )
