@@ -241,6 +241,8 @@ let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
           ready = st.ready;
           sent = st.sent;
           delivered = st.delivered;
+          dropped = -1;
+          retries = 0;
           flits = st.flits;
           hops;
         })
@@ -265,6 +267,9 @@ let run ?(trace = true) ~params ~crg ~placement (cdcg : Cdcg.t) =
     contended_packets =
       Array.fold_left (fun acc w -> if w > 0 then acc + 1 else acc) 0 contention_per_packet;
     truncated = false;
+    delivered_packets = Array.length states;
+    dropped_packets = 0;
+    retries_total = 0;
   }
 
 (* Seed-equivalent CDCM total-energy evaluation on top of [run]. *)

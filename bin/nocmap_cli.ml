@@ -7,6 +7,7 @@
      eval     evaluate a placement: energy, timing diagram, annotations
      table1   regenerate the paper's Table 1
      table2   regenerate the paper's Table 2
+     faults   fault-injection campaign over optimized mappings
      cputime  CWM vs CDCM cost-evaluation CPU comparison *)
 
 open Cmdliner
@@ -70,6 +71,34 @@ let or_die = function
   | Error msg ->
     prerr_endline ("nocmap: " ^ msg);
     exit 1
+
+(* Cooperative SIGINT handling for the long-running searches: the first
+   ^C flips a flag the annealing loops poll, so the run winds down and
+   still prints its best-so-far result; a second ^C aborts outright. *)
+let interrupted = Atomic.make false
+
+let stop_requested () = Atomic.get interrupted
+
+let install_sigint () =
+  match
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if Atomic.get interrupted then exit 130
+           else begin
+             Atomic.set interrupted true;
+             prerr_endline
+               "nocmap: interrupted - finishing with best-so-far results \
+                (press ^C again to abort)"
+           end))
+  with
+  | _ -> ()
+  | exception Invalid_argument _ -> ()
+
+let parse_placement ~cores spec =
+  match Nocmap_mapping.Placement_io.parse_tiles ~cores spec with
+  | Ok placement -> placement
+  | Error msg -> or_die (Error ("--placement: " ^ msg))
 
 (* --- gen --- *)
 
@@ -182,12 +211,13 @@ let map_cmd =
       | "cdcm" -> Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg
       | other -> or_die (Error ("unknown model " ^ other))
     in
+    install_sigint ();
     let result =
       match algorithm with
       | "sa" ->
         Mapping.Annealing.search ~rng
           ~config:(Mapping.Annealing.default_config ~tiles)
-          ~tiles ~objective ~cores ()
+          ~tiles ~objective ~stop:stop_requested ~cores ()
       | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ()
       | "greedy" -> Mapping.Greedy.search ~tech ~crg ~cwg ()
       | "local" ->
@@ -205,6 +235,8 @@ let map_cmd =
       Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg
         result.Mapping.Objective.placement
     in
+    if stop_requested () then
+      Printf.printf "(search interrupted - reporting the best placement found)\n";
     Printf.printf "application : %s\n" cdcg.Cdcg.name;
     Printf.printf "NoC         : %s, %s routing\n" (Mesh.to_string mesh)
       (Nocmap_noc.Routing.algorithm_to_string (Crg.routing crg));
@@ -257,17 +289,7 @@ let eval_cmd =
     let placement =
       match placement with
       | None -> Mapping.Placement.identity ~cores
-      | Some spec -> begin
-        let parts = String.split_on_char ',' spec in
-        match List.map (fun s -> int_of_string_opt (String.trim s)) parts with
-        | tiles when List.for_all Option.is_some tiles && List.length tiles = cores ->
-          Array.of_list (List.map Option.get tiles)
-        | _ ->
-          or_die
-            (Error
-               (Printf.sprintf "--placement needs %d comma-separated tile numbers"
-                  cores))
-      end
+      | Some spec -> parse_placement ~cores spec
     in
     let trace = Nocmap_sim.Wormhole.run ~params ~crg ~placement cdcg in
     let evaluation = Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg placement in
@@ -297,13 +319,7 @@ let analyze_cmd =
     let placement =
       match placement with
       | None -> Mapping.Placement.identity ~cores
-      | Some spec -> begin
-        let parts = String.split_on_char ',' spec in
-        match List.map (fun s -> int_of_string_opt (String.trim s)) parts with
-        | tiles when List.for_all Option.is_some tiles && List.length tiles = cores ->
-          Array.of_list (List.map Option.get tiles)
-        | _ -> or_die (Error "bad --placement")
-      end
+      | Some spec -> parse_placement ~cores spec
     in
     Format.printf "structure   : %a@." Nocmap_model.Metrics.pp
       (Nocmap_model.Metrics.of_cdcg cdcg);
@@ -438,35 +454,111 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Regenerate Table 1 (application features)")
     Term.(const run $ seed_arg)
 
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use the small search budget.")
+
+let jobs_arg =
+  let doc =
+    "Parallel domains for the search ($(docv) >= 1).  Defaults to the \
+     NOCMAP_JOBS environment variable when set, else the machine's \
+     recommended domain count.  Results are identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let resolve_jobs jobs =
+  match jobs with
+  | None -> Nocmap_util.Domain_pool.default_jobs ()
+  | Some j -> j
+
+(* Run [f] on a pool of [jobs] domains, or without one when sequential. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 let table2_cmd =
-  let quick =
-    Arg.(value & flag & info [ "quick" ] ~doc:"Use the small search budget.")
-  in
-  let jobs =
-    let doc =
-      "Parallel domains for the search ($(docv) >= 1).  Defaults to the \
-       NOCMAP_JOBS environment variable when set, else the machine's \
-       recommended domain count.  Results are identical for any value."
-    in
-    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
-  in
   let run seed quick jobs =
     let config =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
-    let jobs = match jobs with None -> Nocmap_util.Domain_pool.default_jobs () | Some j -> j in
-    let render pool =
-      Nocmap.Table2.run_and_render ~config ~progress:prerr_endline ?pool ~seed ()
-    in
+    install_sigint ();
     let output =
-      if jobs <= 1 then render None
-      else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> render (Some pool))
+      with_jobs (resolve_jobs jobs) (fun pool ->
+          Nocmap.Table2.run_and_render ~config ~progress:prerr_endline ?pool
+            ~stop:stop_requested ~seed ())
     in
+    if stop_requested () then
+      prerr_endline "nocmap: table reflects best-so-far search results";
     print_string output
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate Table 2 (ETR / ECS comparison)")
-    Term.(const run $ seed_arg $ quick $ jobs)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
+
+(* --- faults --- *)
+
+let faults_cmd =
+  let multi_k =
+    Arg.(
+      value & opt int 2
+      & info [ "multi-k" ] ~docv:"K" ~doc:"Failed links per sampled multi-fault scenario.")
+  in
+  let multi_count =
+    Arg.(
+      value & opt int 8
+      & info [ "multi-count" ] ~docv:"N"
+          ~doc:"Number of sampled multi-fault scenarios (0 disables them).")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the per-scenario results as CSV.")
+  in
+  let run mesh seed tech_name app builtin quick jobs multi_k multi_count csv =
+    let mesh = Mesh.of_string mesh in
+    let tech = or_die (load_tech tech_name) in
+    let cdcg = or_die (load_app ~path:app ~builtin) in
+    if Cdcg.core_count cdcg > Mesh.tile_count mesh then
+      or_die
+        (Error
+           (Printf.sprintf "%d cores do not fit on %s" (Cdcg.core_count cdcg)
+              (Mesh.to_string mesh)));
+    let config =
+      {
+        Nocmap.Fault_campaign.default_config with
+        Nocmap.Fault_campaign.experiment =
+          (if quick then Nocmap.Experiment.quick_config
+           else Nocmap.Experiment.default_config);
+        tech;
+        multi_fault_k = multi_k;
+        multi_fault_count = multi_count;
+      }
+    in
+    install_sigint ();
+    let campaign =
+      with_jobs (resolve_jobs jobs) (fun pool ->
+          Nocmap.Fault_campaign.run ~config ?pool ~stop:stop_requested ~mesh
+            ~seed cdcg)
+    in
+    if stop_requested () then
+      prerr_endline
+        "nocmap: mapping search was interrupted - campaign ran on best-so-far \
+         placements";
+    print_string (Nocmap.Fault_campaign.render campaign);
+    match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Nocmap.Fault_campaign.to_csv campaign));
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Fault-injection campaign: degrade optimized mappings under link failures")
+    Term.(
+      const run $ mesh_arg $ seed_arg $ tech_arg $ app_arg $ builtin_arg
+      $ quick_arg $ jobs_arg $ multi_k $ multi_count $ csv)
 
 let cputime_cmd =
   let run seed = print_string (Nocmap.Cpu_time.render (Nocmap.Cpu_time.over_suite ~seed ())) in
@@ -483,4 +575,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; apps_cmd; map_cmd; eval_cmd; analyze_cmd; dot_cmd; export_cmd;
-            table1_cmd; table2_cmd; cputime_cmd ]))
+            table1_cmd; table2_cmd; faults_cmd; cputime_cmd ]))

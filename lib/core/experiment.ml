@@ -92,8 +92,8 @@ let reduction = Nocmap_util.Stats.reduction_percent
    [?pool] when given; the RNG substreams are split in restart order
    before any task is dispatched, so the pooled run is bit-identical to
    the sequential one. *)
-let multi_start ?(budget_scale = 1) ?warm_start ?pool ~rng ~config ~tiles ~cores
-    make_objective =
+let multi_start ?(budget_scale = 1) ?warm_start ?pool ?stop ~rng ~config ~tiles
+    ~cores make_objective =
   let sa = sa_config config ~tiles in
   let sa =
     {
@@ -117,7 +117,7 @@ let multi_start ?(budget_scale = 1) ?warm_start ?pool ~rng ~config ~tiles ~cores
     let initial = if i = restarts - 1 then warm_start else None in
     let objective = make_objective () in
     Mapping.Annealing.search ~rng:rngs.(i) ~config:sa ~tiles ~objective ?initial
-      ~cores ()
+      ?stop ~cores ()
   in
   let results = Domain_pool.map ?pool leg (Array.init restarts Fun.id) in
   let best = ref results.(0) in
@@ -130,7 +130,37 @@ let multi_start ?(budget_scale = 1) ?warm_start ?pool ~rng ~config ~tiles ~cores
     results;
   (!best, Sys.time () -. t0, !evals)
 
-let compare_models ?pool ~rng ~config ~mesh cdcg =
+type mapped_pair = {
+  pair_crg : Crg.t;
+  cwm_placement : Mapping.Placement.t;
+  cdcm_placement : Mapping.Placement.t;
+}
+
+(* The CWM and CDCM winners at one technology point, searched on the
+   fault-free CRG — the mappings a fault campaign then stresses. *)
+let optimize_pair ?pool ?stop ~rng ~config ~mesh ~tech cdcg =
+  let crg = Crg.create mesh in
+  let tiles = Mesh.tile_count mesh in
+  let cores = Cdcg.core_count cdcg in
+  if cores > tiles then invalid_arg "Experiment.optimize_pair: more cores than tiles";
+  let cwg = Cwg.of_cdcg cdcg in
+  let params = config.params in
+  let cwm_best, _, _ =
+    multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
+        Mapping.Objective.cwm ~tech ~crg ~cwg)
+  in
+  let cdcm_best, _, _ =
+    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
+      ~config ~tiles ~cores (fun () ->
+        Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
+  in
+  {
+    pair_crg = crg;
+    cwm_placement = cwm_best.Mapping.Objective.placement;
+    cdcm_placement = cdcm_best.Mapping.Objective.placement;
+  }
+
+let compare_models ?pool ?stop ~rng ~config ~mesh cdcg =
   let crg = Crg.create mesh in
   let tiles = Mesh.tile_count mesh in
   let cores = Cdcg.core_count cdcg in
@@ -138,12 +168,13 @@ let compare_models ?pool ~rng ~config ~mesh cdcg =
   let cwg = Cwg.of_cdcg cdcg in
   let params = config.params in
   let cwm_best, cwm_cpu_seconds, cwm_evaluations =
-    multi_start ~budget_scale:8 ?pool ~rng ~config ~tiles ~cores (fun () ->
+    multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
         Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg)
   in
   let cdcm_search tech =
-    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ~rng ~config
-      ~tiles ~cores (fun () -> Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
+    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
+      ~config ~tiles ~cores (fun () ->
+        Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
   in
   let cdcm_low_best, cpu_low, evals_low = cdcm_search config.tech_low in
   let cdcm_high_best, cpu_high, evals_high = cdcm_search config.tech_high in

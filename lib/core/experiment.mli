@@ -51,6 +51,7 @@ type outcome = {
 
 val compare_models :
   ?pool:Nocmap_util.Domain_pool.t ->
+  ?stop:(unit -> bool) ->
   rng:Nocmap_util.Rng.t ->
   config:config ->
   mesh:Nocmap_noc.Mesh.t ->
@@ -59,7 +60,30 @@ val compare_models :
 (** [?pool] runs the annealing restarts of each search leg on a domain
     pool; results are bit-identical to the sequential run for the same
     [rng] (each restart gets a pre-split substream and its own
-    simulation scratch).
+    simulation scratch).  [?stop] is polled inside every annealing
+    descent; when it flips to [true] each leg returns its best-so-far.
+    @raise Invalid_argument when the application has more cores than the
+    mesh has tiles. *)
+
+type mapped_pair = {
+  pair_crg : Nocmap_noc.Crg.t;             (** Fault-free CRG searched on. *)
+  cwm_placement : Nocmap_mapping.Placement.t;
+  cdcm_placement : Nocmap_mapping.Placement.t;
+}
+
+val optimize_pair :
+  ?pool:Nocmap_util.Domain_pool.t ->
+  ?stop:(unit -> bool) ->
+  rng:Nocmap_util.Rng.t ->
+  config:config ->
+  mesh:Nocmap_noc.Mesh.t ->
+  tech:Nocmap_energy.Technology.t ->
+  Nocmap_model.Cdcg.t ->
+  mapped_pair
+(** The CWM winner and the (warm-started) CDCM winner at one technology
+    point, both searched on the fault-free CRG — the inputs a
+    {!Fault_campaign} stresses under link failures.  Determinism and
+    [?pool]/[?stop] behave as in {!compare_models}.
     @raise Invalid_argument when the application has more cores than the
     mesh has tiles. *)
 

@@ -13,6 +13,9 @@ type spread = {
   maximum : float;
 }
 
+val spread_of : float list -> spread
+(** Aggregates a sample list; all zeros on the empty list. *)
+
 type t = {
   seeds : int list;
   etr : spread;

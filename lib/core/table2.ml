@@ -29,7 +29,7 @@ let method_for mesh =
   if small then "ES and SA" else "SA only"
 
 let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instances
-    ?pool ~seed () =
+    ?pool ?stop ~seed () =
   let rng = Rng.create ~seed in
   let instances =
     match instances with
@@ -56,7 +56,7 @@ let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instanc
   done;
   let compare i =
     let mesh, cdcg = arr.(i) in
-    Experiment.compare_models ?pool ~rng:rngs.(i) ~config ~mesh cdcg
+    Experiment.compare_models ?pool ?stop ~rng:rngs.(i) ~config ~mesh cdcg
   in
   let indices = Array.init n Fun.id in
   let outcomes =
@@ -144,5 +144,5 @@ let render t =
     ];
   Tablefmt.render table
 
-let run_and_render ?config ?progress ?pool ~seed () =
-  render (run ?config ?progress ?pool ~seed ())
+let run_and_render ?config ?progress ?pool ?stop ~seed () =
+  render (run ?config ?progress ?pool ?stop ~seed ())

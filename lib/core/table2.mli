@@ -25,6 +25,7 @@ val run :
   ?progress:(string -> unit) ->
   ?instances:(Nocmap_noc.Mesh.t * Nocmap_model.Cdcg.t) list ->
   ?pool:Nocmap_util.Domain_pool.t ->
+  ?stop:(unit -> bool) ->
   seed:int ->
   unit ->
   t
@@ -35,7 +36,9 @@ val run :
     (and each one's annealing restarts) out across a domain pool —
     results are bit-identical to the sequential run for the same seed;
     progress lines are then emitted in suite order after the batch
-    finishes rather than streamed. *)
+    finishes rather than streamed.  [?stop] is polled inside every
+    annealing descent so a signal handler can wind the whole table down
+    to best-so-far results. *)
 
 val render : t -> string
 
@@ -43,6 +46,7 @@ val run_and_render :
   ?config:Experiment.config ->
   ?progress:(string -> unit) ->
   ?pool:Nocmap_util.Domain_pool.t ->
+  ?stop:(unit -> bool) ->
   seed:int ->
   unit ->
   string

@@ -42,7 +42,8 @@ let calibrate_temperature rng ~tiles ~(objective : Objective.t) ~placement ~cost
   let mean = !total /. float_of_int samples in
   if mean > 0.0 then 2.0 *. mean else 1.0
 
-let search ~rng ~config ~tiles ~objective ?initial ~cores () =
+let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
+    ~cores () =
   if cores > tiles then invalid_arg "Annealing.search: more cores than tiles";
   if not (config.cooling > 0.0 && config.cooling < 1.0) then
     invalid_arg "Annealing.search: cooling must lie in (0,1)";
@@ -93,10 +94,15 @@ let search ~rng ~config ~tiles ~objective ?initial ~cores () =
     && !evals < config.max_evaluations
     && !temperature > floor
     && tiles > 1
+    && not (stop ())
   do
     let improved_this_level = ref false in
     let moves = ref 0 in
-    while !moves < config.moves_per_temperature && !evals < config.max_evaluations do
+    while
+      !moves < config.moves_per_temperature
+      && !evals < config.max_evaluations
+      && not (stop ())
+    do
       incr moves;
       let neighbor = Placement.random_neighbor rng ~tiles !current in
       match evaluate_candidate neighbor with

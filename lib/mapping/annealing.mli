@@ -40,9 +40,13 @@ val search :
   tiles:int ->
   objective:Objective.t ->
   ?initial:Placement.t ->
+  ?stop:(unit -> bool) ->
   cores:int ->
   unit ->
   Objective.search_result
 (** Runs one annealing descent.  [?initial] defaults to a random
-    placement drawn from [rng].
+    placement drawn from [rng].  [?stop] is polled between moves; once it
+    returns [true] the descent winds down immediately and returns the
+    best placement found so far (used for cooperative interruption, e.g.
+    a SIGINT flag).
     @raise Invalid_argument when [cores > tiles]. *)

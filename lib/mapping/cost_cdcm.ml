@@ -11,6 +11,9 @@ type evaluation = {
   texec_ns : float;
   texec_cycles : int;
   contention_cycles : int;
+  delivered_packets : int;
+  dropped_packets : int;
+  retries_total : int;
 }
 
 type bound =
@@ -26,7 +29,10 @@ let dynamic_energy ~tech ~crg ~cdcg placement =
       Crg.router_count_on_path crg ~src:placement.(p.Cdcg.src)
         ~dst:placement.(p.Cdcg.dst)
     in
-    acc +. Equations.communication_energy tech ~routers ~bits:p.Cdcg.bits
+    (* Unreachable pairs of a faulty CRG have no path: the packet is
+       dropped by the simulator and spends no link/router energy. *)
+    if routers = 0 then acc
+    else acc +. Equations.communication_energy tech ~routers ~bits:p.Cdcg.bits
   in
   Array.fold_left packet 0.0 cdcg.Cdcg.packets
 
@@ -41,10 +47,15 @@ let evaluation_of_summary ~tech ~params ~crg ~dynamic
     texec_ns;
     texec_cycles = s.Wormhole.texec_cycles;
     contention_cycles = s.Wormhole.contention_cycles;
+    delivered_packets = s.Wormhole.delivered_packets;
+    dropped_packets = s.Wormhole.dropped_packets;
+    retries_total = s.Wormhole.retries_total;
   }
 
-let evaluate ?scratch ~tech ~params ~crg ~cdcg placement =
-  let summary = Wormhole.run_summary ?scratch ~params ~crg ~placement cdcg in
+let evaluate ?scratch ?fault_policy ~tech ~params ~crg ~cdcg placement =
+  let summary =
+    Wormhole.run_summary ?scratch ?fault_policy ~params ~crg ~placement cdcg
+  in
   let dynamic = dynamic_energy ~tech ~crg ~cdcg placement in
   evaluation_of_summary ~tech ~params ~crg ~dynamic summary
 
@@ -52,7 +63,8 @@ let evaluate ?scratch ~tech ~params ~crg ~cdcg placement =
    overflowing its packed-event encoding arithmetic. *)
 let no_cutoff_threshold = 1e15
 
-let evaluate_bound ?scratch ~tech ~params ~crg ~cdcg ~cutoff placement =
+let evaluate_bound ?scratch ?fault_policy ~tech ~params ~crg ~cdcg ~cutoff
+    placement =
   let dynamic = dynamic_energy ~tech ~crg ~cdcg placement in
   let static_power = Equations.static_power tech ~tiles:(Crg.tile_count crg) in
   if dynamic >= cutoff then
@@ -71,17 +83,21 @@ let evaluate_bound ?scratch ~tech ~params ~crg ~cdcg ~cutoff placement =
       else Some (max 0 (int_of_float budget_cycles))
     in
     let summary =
-      Wormhole.run_summary ?scratch ?cutoff:cutoff_cycles ~params ~crg ~placement
-        cdcg
+      Wormhole.run_summary ?scratch ?cutoff:cutoff_cycles ?fault_policy ~params
+        ~crg ~placement cdcg
     in
     let e = evaluation_of_summary ~tech ~params ~crg ~dynamic summary in
     if summary.Wormhole.truncated then At_least e.total else Exact e
   end
 
-let total_energy ?scratch ~tech ~params ~crg ~cdcg placement =
-  (evaluate ?scratch ~tech ~params ~crg ~cdcg placement).total
+let total_energy ?scratch ?fault_policy ~tech ~params ~crg ~cdcg placement =
+  (evaluate ?scratch ?fault_policy ~tech ~params ~crg ~cdcg placement).total
 
 let pp_evaluation ppf e =
   Format.fprintf ppf
     "ENoC=%.4g J (dyn %.4g + st %.4g), texec=%.4g ns, contention=%d cycles"
-    e.total e.dynamic e.static_ e.texec_ns e.contention_cycles
+    e.total e.dynamic e.static_ e.texec_ns e.contention_cycles;
+  if e.dropped_packets > 0 then
+    Format.fprintf ppf ", dropped=%d/%d (retries %d)" e.dropped_packets
+      (e.delivered_packets + e.dropped_packets)
+      e.retries_total

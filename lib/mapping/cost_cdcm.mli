@@ -11,12 +11,18 @@
     reuses one simulation arena instead of reallocating per call. *)
 
 type evaluation = {
-  dynamic : float;        (** [EDyNoC(CDCM)], Joules (Equation 4). *)
+  dynamic : float;        (** [EDyNoC(CDCM)], Joules (Equation 4);
+                              packets on {!Nocmap_noc.Crg.Unreachable}
+                              pairs contribute nothing. *)
   static_ : float;        (** [EStNoC], Joules (Equation 9). *)
   total : float;          (** [ENoC], Joules (Equation 10). *)
   texec_ns : float;       (** Application execution time. *)
   texec_cycles : int;
   contention_cycles : int;
+  delivered_packets : int;
+  dropped_packets : int;  (** Packets abandoned under faults (0 on a
+                              fault-free CRG). *)
+  retries_total : int;
 }
 
 type bound =
@@ -28,6 +34,7 @@ type bound =
 
 val evaluate :
   ?scratch:Nocmap_sim.Wormhole.Scratch.t ->
+  ?fault_policy:Nocmap_sim.Wormhole.fault_policy ->
   tech:Nocmap_energy.Technology.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
@@ -39,6 +46,7 @@ val evaluate :
 
 val evaluate_bound :
   ?scratch:Nocmap_sim.Wormhole.Scratch.t ->
+  ?fault_policy:Nocmap_sim.Wormhole.fault_policy ->
   tech:Nocmap_energy.Technology.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
@@ -65,6 +73,7 @@ val dynamic_energy :
 
 val total_energy :
   ?scratch:Nocmap_sim.Wormhole.Scratch.t ->
+  ?fault_policy:Nocmap_sim.Wormhole.fault_policy ->
   tech:Nocmap_energy.Technology.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->

@@ -36,6 +36,58 @@ let cdcm ~tech ~params ~crg ~cdcg =
           | Cost_cdcm.At_least b -> At_least b);
   }
 
+let cdcm_expected ?fault_policy ~tech ~params ~scenarios ~cdcg () =
+  if scenarios = [] then
+    invalid_arg "Objective.cdcm_expected: need at least one scenario";
+  List.iter
+    (fun (_, w) ->
+      if not (w > 0.0) then
+        invalid_arg
+          (Printf.sprintf
+             "Objective.cdcm_expected: scenario weight %g is not positive" w))
+    scenarios;
+  let tiles = Nocmap_noc.Crg.tile_count (fst (List.hd scenarios)) in
+  List.iter
+    (fun (crg, _) ->
+      if Nocmap_noc.Crg.tile_count crg <> tiles then
+        invalid_arg "Objective.cdcm_expected: scenarios span different meshes")
+    scenarios;
+  let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 scenarios in
+  let scenarios =
+    List.map (fun (crg, w) -> (crg, w /. total_weight)) scenarios
+  in
+  (* All scenario CRGs share the tile count, so one arena serves them all. *)
+  let scratch =
+    Wormhole.Scratch.create ~crg:(fst (List.hd scenarios)) cdcg
+  in
+  let cost_fn p =
+    List.fold_left
+      (fun acc (crg, w) ->
+        acc
+        +. (w *. Cost_cdcm.total_energy ~scratch ?fault_policy ~tech ~params ~crg ~cdcg p))
+      0.0 scenarios
+  in
+  let bound_fn ~cutoff p =
+    (* Evaluate scenarios in order, tightening each scenario's private
+       cutoff by what the previous ones already spent.  Energies are
+       non-negative, so once the running expectation provably exceeds
+       [cutoff] the remaining scenarios can only push it higher and
+       [At_least acc] is sound. *)
+    let rec go acc = function
+      | [] -> Exact acc
+      | (crg, w) :: rest -> (
+        let scenario_cutoff = (cutoff -. acc) /. w in
+        match
+          Cost_cdcm.evaluate_bound ~scratch ?fault_policy ~tech ~params ~crg
+            ~cdcg ~cutoff:scenario_cutoff p
+        with
+        | Cost_cdcm.Exact e -> go (acc +. (w *. e.Cost_cdcm.total)) rest
+        | Cost_cdcm.At_least b -> At_least (acc +. (w *. b)))
+    in
+    go 0.0 scenarios
+  in
+  { name = "cdcm-expected"; cost_fn; bound_fn = Some bound_fn }
+
 (* Largest cycle cutoff safely representable in the simulator's
    packed-event time field. *)
 let no_cutoff_threshold = 1e15

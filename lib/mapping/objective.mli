@@ -50,6 +50,26 @@ val cdcm :
     [bound_fn] converts an energy cutoff into a simulation cycle budget
     (inverse of Equation 9) and truncates the event pump beyond it. *)
 
+val cdcm_expected :
+  ?fault_policy:Nocmap_sim.Wormhole.fault_policy ->
+  tech:Nocmap_energy.Technology.t ->
+  params:Nocmap_energy.Noc_params.t ->
+  scenarios:(Nocmap_noc.Crg.t * float) list ->
+  cdcg:Nocmap_model.Cdcg.t ->
+  unit ->
+  t
+(** Fault-weighted CDCM: the expected Equation-(10) energy over a
+    distribution of fault scenarios, each a CRG (typically built with
+    [Crg.create ?faults]) paired with a positive weight (normalized
+    internally).  All scenario CRGs must share one mesh so a single
+    simulation arena serves them.  The [bound_fn] threads the energy
+    cutoff through the scenarios sequentially — each scenario gets the
+    budget left by its predecessors, and a truncated scenario yields a
+    sound {!At_least} on the whole expectation because the remaining
+    terms are non-negative.
+    @raise Invalid_argument on an empty scenario list, a non-positive
+    weight, or scenarios over different meshes. *)
+
 val texec :
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->

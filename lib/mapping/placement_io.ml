@@ -96,4 +96,27 @@ let load ~path ~core_names =
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    of_string ~core_names text
+    Result.map_error (fun msg -> path ^ ": " ^ msg) (of_string ~core_names text)
+
+let parse_tiles ~cores spec =
+  let tokens = String.split_on_char ',' spec |> List.map String.trim in
+  let n = List.length tokens in
+  if n <> cores then
+    Error
+      (Printf.sprintf "expected %d comma-separated tiles, got %d in %S" cores n
+         spec)
+  else begin
+    let placement = Array.make cores (-1) in
+    let rec fill i = function
+      | [] -> Ok placement
+      | tok :: rest -> (
+        match int_of_string_opt tok with
+        | Some tile ->
+          placement.(i) <- tile;
+          fill (i + 1) rest
+        | None ->
+          Error
+            (Printf.sprintf "entry %d: %S is not a tile number" (i + 1) tok))
+    in
+    fill 0 tokens
+  end

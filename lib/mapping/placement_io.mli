@@ -26,3 +26,14 @@ val load :
   path:string ->
   core_names:string array ->
   (Nocmap_noc.Mesh.t * Placement.t, string) result
+(** {!of_string} on the file contents; parse errors are prefixed with
+    the file path, i.e. ["placements/foo.txt: line 3: unknown core
+    \"Z\""]. *)
+
+val parse_tiles : cores:int -> string -> (Placement.t, string) result
+(** Parses the CLI's inline placement syntax — [cores] comma-separated
+    tile numbers ("4,1,0,…", the i-th entry hosting core i).  Errors
+    name the offending token and its 1-based position ("entry 3: \"x\"
+    is not a tile number") rather than rejecting the whole spec
+    opaquely.  Range/injectivity validation is left to
+    {!Placement.validate}, which knows the mesh. *)

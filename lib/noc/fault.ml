@@ -1,0 +1,96 @@
+module Rng = Nocmap_util.Rng
+
+type t = {
+  mesh : Mesh.t;
+  wrap : bool;
+  failed_links : int list;    (* sorted, deduped *)
+  failed_routers : int list;  (* sorted, deduped *)
+  link_bits : Bytes.t;        (* per slot: explicitly failed or router-implied *)
+  router_bits : Bytes.t;      (* per tile *)
+}
+
+let mesh t = t.mesh
+
+let wrap t = t.wrap
+
+let failed_links t = t.failed_links
+
+let failed_routers t = t.failed_routers
+
+let is_empty t = t.failed_links = [] && t.failed_routers = []
+
+let fault_count t = List.length t.failed_links + List.length t.failed_routers
+
+let bit bytes i = Bytes.unsafe_get bytes i <> '\000'
+
+let set_bit bytes i = Bytes.unsafe_set bytes i '\001'
+
+let link_down t lid =
+  lid < 0 || lid >= Link.slot_count t.mesh || bit t.link_bits lid
+
+let router_down t tile =
+  if not (Mesh.in_range t.mesh tile) then
+    invalid_arg "Fault.router_down: tile out of range";
+  bit t.router_bits tile
+
+let make ?(wrap = false) ?(links = []) ?(routers = []) mesh =
+  let links = List.sort_uniq compare links in
+  let routers = List.sort_uniq compare routers in
+  List.iter
+    (fun lid ->
+      if not (Link.exists ~wrap mesh lid) then
+        invalid_arg (Printf.sprintf "Fault.make: slot %d is not a physical link" lid))
+    links;
+  List.iter
+    (fun tile ->
+      if not (Mesh.in_range mesh tile) then
+        invalid_arg (Printf.sprintf "Fault.make: router %d out of range" tile))
+    routers;
+  let link_bits = Bytes.make (Link.slot_count mesh) '\000' in
+  let router_bits = Bytes.make (Mesh.tile_count mesh) '\000' in
+  List.iter (set_bit link_bits) links;
+  List.iter (set_bit router_bits) routers;
+  (* A dead router takes down every link touching it. *)
+  List.iter
+    (fun tile ->
+      List.iter
+        (fun lid ->
+          let src, dst = Link.endpoints ~wrap mesh lid in
+          if src = tile || dst = tile then set_bit link_bits lid)
+        (Link.all ~wrap mesh))
+    routers;
+  { mesh; wrap; failed_links = links; failed_routers = routers; link_bits; router_bits }
+
+let none mesh = make mesh
+
+let single_link_scenarios ?(wrap = false) mesh =
+  List.map (fun lid -> make ~wrap ~links:[ lid ] mesh) (Link.all ~wrap mesh)
+
+let sample_link_scenarios ?(wrap = false) ~rng ~k ~count mesh =
+  let all = Array.of_list (Link.all ~wrap mesh) in
+  if k <= 0 then invalid_arg "Fault.sample_link_scenarios: k must be positive";
+  if k > Array.length all then
+    invalid_arg "Fault.sample_link_scenarios: k exceeds the number of links";
+  if count < 0 then invalid_arg "Fault.sample_link_scenarios: negative count";
+  List.init count (fun _ ->
+      let links = Array.to_list (Rng.sample_without_replacement rng k all) in
+      make ~wrap ~links mesh)
+
+let to_string t =
+  if is_empty t then "fault-free"
+  else begin
+    let links =
+      match t.failed_links with
+      | [] -> None
+      | ls ->
+        Some
+          ("links "
+          ^ String.concat "+" (List.map (Link.to_string ~wrap:t.wrap t.mesh) ls))
+    in
+    let routers =
+      match t.failed_routers with
+      | [] -> None
+      | rs -> Some ("routers " ^ String.concat "+" (List.map string_of_int rs))
+    in
+    String.concat "; " (List.filter_map Fun.id [ links; routers ])
+  end

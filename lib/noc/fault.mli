@@ -1,0 +1,64 @@
+(** Validated hardware-fault scenarios over a mesh/torus NoC.
+
+    The paper evaluates mappings on a fault-free architecture; this
+    module makes link and router failures first-class so the rest of the
+    stack (CRG path precomputation, the wormhole simulator, the mapping
+    objectives and the fault campaigns) can reason about degraded
+    topologies.  A scenario is a set of failed directed links
+    ({!Link.id} slots) and/or failed routers (tile indices) of one mesh;
+    a failed router implicitly takes down every link entering or leaving
+    it.
+
+    Scenarios are immutable and validated at construction, so every
+    consumer may assume the identifiers are in range and physical. *)
+
+type t
+
+val make : ?wrap:bool -> ?links:int list -> ?routers:int list -> Mesh.t -> t
+(** [make mesh ~links ~routers] builds a validated scenario.  [?wrap]
+    (default [false]) controls which link slots are physical: with
+    [~wrap:true] the boundary slots wrap torus-style (see {!Link}).
+    Duplicate identifiers are removed.
+    @raise Invalid_argument on a link slot that is not a physical link
+    under the given wrap mode, or an out-of-range router. *)
+
+val none : Mesh.t -> t
+(** The fault-free scenario. *)
+
+val is_empty : t -> bool
+
+val mesh : t -> Mesh.t
+
+val wrap : t -> bool
+
+val failed_links : t -> int list
+(** Explicitly failed link ids, ascending (router-implied link failures
+    are not listed; query {!link_down}). *)
+
+val failed_routers : t -> int list
+
+val link_down : t -> int -> bool
+(** Whether a link slot is unusable: explicitly failed, or adjacent to a
+    failed router.  Out-of-range slots are reported down. *)
+
+val router_down : t -> int -> bool
+(** @raise Invalid_argument on an out-of-range tile. *)
+
+val fault_count : t -> int
+(** Number of explicitly failed components (links + routers). *)
+
+val single_link_scenarios : ?wrap:bool -> Mesh.t -> t list
+(** One scenario per physical directed link, in ascending {!Link.id}
+    order — the exhaustive first-order fault sweep. *)
+
+val sample_link_scenarios :
+  ?wrap:bool -> rng:Nocmap_util.Rng.t -> k:int -> count:int -> Mesh.t -> t list
+(** [count] scenarios of [k] distinct failed links each, drawn from the
+    given (seeded) generator — deterministic for a fixed RNG state.
+    @raise Invalid_argument when [k] is not positive, exceeds the number
+    of physical links, or [count] is negative. *)
+
+val to_string : t -> string
+(** ["fault-free"], or e.g. ["links L(3->4)+L(7->6)"],
+    ["routers 2"], ["links L(0->1); routers 4+5"].  Comma-free, so the
+    result can be embedded in CSV cells. *)

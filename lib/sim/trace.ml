@@ -9,6 +9,8 @@ type packet_trace = {
   ready : int;
   sent : int;
   delivered : int;
+  dropped : int;
+  retries : int;
   flits : int;
   hops : hop list;
 }
@@ -31,4 +33,7 @@ type t = {
   link_annotations : annotation list array;
   contention_cycles : int;
   contended_packets : int;
+  delivered_packets : int;
+  dropped_packets : int;
+  retries_total : int;
 }

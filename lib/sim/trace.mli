@@ -18,7 +18,14 @@ type packet_trace = {
   packet : int;         (** CDCG packet index. *)
   ready : int;          (** Cycle all dependences were delivered. *)
   sent : int;           (** [ready + compute]. *)
-  delivered : int;      (** Cycle the last flit reaches the target core. *)
+  delivered : int;      (** Cycle the last flit reaches the target core;
+                            [-1] when the packet was dropped or the run
+                            was truncated before delivery. *)
+  dropped : int;        (** Cycle the packet was abandoned (severed
+                            route after the retry budget, or a dropped
+                            dependence); [-1] when not dropped. *)
+  retries : int;        (** Send retries spent before dropping; 0 for
+                            delivered and cascade-dropped packets. *)
   flits : int;
   hops : hop list;      (** Source router first; empty when tracing is off. *)
 }
@@ -45,4 +52,9 @@ type t = {
   link_annotations : annotation list array;    (** Per {!Nocmap_noc.Link.id} slot. *)
   contention_cycles : int;   (** Sum of all packet wait cycles. *)
   contended_packets : int;   (** Packets that waited at least one cycle. *)
+  delivered_packets : int;   (** Packets whose last flit arrived. *)
+  dropped_packets : int;     (** Packets abandoned under faults; on a
+                                 completed run [delivered + dropped]
+                                 equals the CDCG packet count. *)
+  retries_total : int;       (** Send retries across all packets. *)
 }

@@ -9,6 +9,19 @@ module Noc_params = Nocmap_energy.Noc_params
 
 exception Deadlock of string
 
+(* Degraded execution under a faulty CRG: how long a source core keeps
+   re-attempting a packet whose route was severed before abandoning it. *)
+type fault_policy = {
+  max_retries : int;
+  retry_backoff : int;
+}
+
+let default_fault_policy = { max_retries = 3; retry_backoff = 16 }
+
+let validate_fault_policy p =
+  if p.max_retries < 0 then invalid_arg "Wormhole: max_retries must be non-negative";
+  if p.retry_backoff < 0 then invalid_arg "Wormhole: retry_backoff must be non-negative"
+
 (* Events are packed into a single unboxed int so that scheduling never
    allocates and heap ordering is one native comparison:
 
@@ -57,6 +70,9 @@ type packet_state = {
   mutable ready : int;       (* max delivery time of resolved deps *)
   mutable sent : int;
   mutable delivered : int;   (* -1 until delivered *)
+  mutable dropped : int;     (* -1 unless abandoned under faults *)
+  mutable retries : int;     (* send retries spent before dropping *)
+  mutable dep_dropped : bool; (* some dependence was dropped *)
   mutable arrivals : int array;  (* per hop; -1 until known *)
   mutable starts : int array;    (* per hop service start; -1 until known *)
 }
@@ -139,6 +155,9 @@ module Scratch = struct
               ready = 0;
               sent = 0;
               delivered = -1;
+              dropped = -1;
+              retries = 0;
+              dep_dropped = false;
               arrivals = [||];
               starts = [||];
             });
@@ -180,7 +199,9 @@ let reset ~(scratch : Scratch.t) ~params ~crg ~placement (cdcg : Cdcg.t) =
     let st = s.Scratch.states.(i) in
     let path = Crg.path crg ~src:placement.(p.Cdcg.src) ~dst:placement.(p.Cdcg.dst) in
     let hops = Array.length path.Crg.routers in
-    assert (hops >= 2);
+    (* [hops = 0] is a severed pair of a faulty CRG; distinct placement
+       tiles otherwise give at least source and destination routers. *)
+    assert (hops = 0 || hops >= 2);
     if hops > max_hops then
       invalid_arg
         (Printf.sprintf "Wormhole.run: path of %d hops exceeds the %d-hop limit"
@@ -191,6 +212,9 @@ let reset ~(scratch : Scratch.t) ~params ~crg ~placement (cdcg : Cdcg.t) =
     st.ready <- 0;
     st.sent <- 0;
     st.delivered <- -1;
+    st.dropped <- -1;
+    st.retries <- 0;
+    st.dep_dropped <- false;
     if Array.length st.arrivals < hops then begin
       st.arrivals <- Array.make hops (-1);
       st.starts <- Array.make hops (-1)
@@ -211,8 +235,9 @@ let reset ~(scratch : Scratch.t) ~params ~crg ~placement (cdcg : Cdcg.t) =
    flight, [`Truncated abort_time].  [abort_time] is then a lower bound
    on every remaining delivery (events pop in time order and delivery
    strictly follows header arrival). *)
-let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff
+let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff ~policy
     (cdcg : Cdcg.t) =
+  validate_fault_policy policy;
   let s = scratch in
   let mesh = Crg.mesh crg in
   let tiles = Mesh.tile_count mesh in
@@ -245,11 +270,41 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff
   in
   let schedule_release port time = schedule time 0 port 0 in
   let schedule_arrive packet hop time = schedule time 1 packet hop in
-  let launch packet ready =
+  (* Dependence resolution.  A delivered or dropped packet resolves its
+     successors; a successor whose last dependence resolves launches
+     normally unless some dependence was dropped, in which case it is
+     abandoned at its ready time (cascade drop — its inputs will never
+     exist).  A packet whose own route is severed spends the bounded
+     retry/back-off budget and is then dropped; the faults are static,
+     so the futile retries are accounted for directly instead of being
+     pumped as events, and the pump always terminates.  All updates are
+     monotonic ([ready] via max, counters via decrement), so the eager
+     cascade is order-independent and deterministic. *)
+  let rec resolve_deps packet time ~was_dropped =
+    let succ = s.Scratch.successors.(packet) in
+    for i = 0 to Array.length succ - 1 do
+      let q = succ.(i) in
+      let sq = states.(q) in
+      sq.remaining_deps <- sq.remaining_deps - 1;
+      sq.ready <- max sq.ready time;
+      if was_dropped then sq.dep_dropped <- true;
+      if sq.remaining_deps = 0 then
+        if sq.dep_dropped then drop_packet q sq.ready else launch q sq.ready
+    done
+  and drop_packet packet time =
+    let st = states.(packet) in
+    st.dropped <- time;
+    decr undelivered;
+    resolve_deps packet time ~was_dropped:true
+  and launch packet ready =
     let st = states.(packet) in
     st.ready <- ready;
     st.sent <- ready + cdcg.Cdcg.packets.(packet).Cdcg.compute;
-    schedule_arrive packet 0 (st.sent + tl)
+    if Array.length st.path.Crg.routers = 0 then begin
+      st.retries <- policy.max_retries;
+      drop_packet packet (st.sent + (policy.max_retries * policy.retry_backoff))
+    end
+    else schedule_arrive packet 0 (st.sent + tl)
   in
   let annotate_router tile packet ~lo ~hi =
     if trace then
@@ -292,14 +347,7 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff
     let st = states.(packet) in
     st.delivered <- time;
     decr undelivered;
-    let succ = s.Scratch.successors.(packet) in
-    for i = 0 to Array.length succ - 1 do
-      let q = succ.(i) in
-      let sq = states.(q) in
-      sq.remaining_deps <- sq.remaining_deps - 1;
-      sq.ready <- max sq.ready time;
-      if sq.remaining_deps = 0 then launch q sq.ready
-    done
+    resolve_deps packet time ~was_dropped:false
   in
   let grant port packet hop start =
     let st = states.(packet) in
@@ -366,7 +414,7 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff
     if !undelivered > 0 then begin
       let first = ref (-1) in
       Array.iteri
-        (fun i st -> if st.delivered < 0 && !first < 0 then first := i)
+        (fun i st -> if st.delivered < 0 && st.dropped < 0 && !first < 0 then first := i)
         states;
       raise
         (Deadlock
@@ -379,20 +427,38 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff
   status
 
 let texec_of_states ~status states =
-  let latest = Array.fold_left (fun acc st -> max acc st.delivered) 0 states in
+  (* Dropped packets hold their source core through the retry window, so
+     abandonment times bound execution just like deliveries do. *)
+  let latest =
+    Array.fold_left (fun acc st -> max acc (max st.delivered st.dropped)) 0 states
+  in
   match status with
   | `Completed -> latest
   | `Truncated abort_time -> max latest abort_time
+
+let count_outcomes states =
+  let delivered = ref 0 and dropped = ref 0 and retries = ref 0 in
+  Array.iter
+    (fun st ->
+      if st.delivered >= 0 then incr delivered;
+      if st.dropped >= 0 then incr dropped;
+      retries := !retries + st.retries)
+    states;
+  (!delivered, !dropped, !retries)
 
 let with_scratch ~scratch ~crg cdcg f =
   match scratch with
   | Some s -> f s
   | None -> f (Scratch.create ~crg cdcg)
 
-let run ?(trace = true) ?scratch ?cutoff ~params ~crg ~placement (cdcg : Cdcg.t) =
+let run ?(trace = true) ?scratch ?cutoff ?(fault_policy = default_fault_policy)
+    ~params ~crg ~placement (cdcg : Cdcg.t) =
   with_scratch ~scratch ~crg cdcg (fun scratch ->
       let cutoff = Option.value cutoff ~default:max_int in
-      let status = run_core ~trace ~params ~crg ~placement ~scratch ~cutoff cdcg in
+      let status =
+        run_core ~trace ~params ~crg ~placement ~scratch ~cutoff ~policy:fault_policy
+          cdcg
+      in
       let states = scratch.Scratch.states in
       let traces =
         Array.mapi
@@ -412,11 +478,14 @@ let run ?(trace = true) ?scratch ?cutoff ~params ~crg ~placement (cdcg : Cdcg.t)
               ready = st.ready;
               sent = st.sent;
               delivered = st.delivered;
+              dropped = st.dropped;
+              retries = st.retries;
               flits = st.flits;
               hops;
             })
           states
       in
+      let delivered_packets, dropped_packets, retries_total = count_outcomes states in
       let texec_cycles = texec_of_states ~status states in
       let contention_cycles = ref 0 and contended_packets = ref 0 in
       Array.iter
@@ -438,6 +507,9 @@ let run ?(trace = true) ?scratch ?cutoff ~params ~crg ~placement (cdcg : Cdcg.t)
         link_annotations = Array.map List.rev scratch.Scratch.link_ann;
         contention_cycles = !contention_cycles;
         contended_packets = !contended_packets;
+        delivered_packets;
+        dropped_packets;
+        retries_total;
       })
 
 type summary = {
@@ -445,13 +517,18 @@ type summary = {
   truncated : bool;
   contention_cycles : int;
   contended_packets : int;
+  delivered_packets : int;
+  dropped_packets : int;
+  retries_total : int;
 }
 
-let run_summary ?scratch ?cutoff ~params ~crg ~placement (cdcg : Cdcg.t) =
+let run_summary ?scratch ?cutoff ?(fault_policy = default_fault_policy) ~params ~crg
+    ~placement (cdcg : Cdcg.t) =
   with_scratch ~scratch ~crg cdcg (fun scratch ->
       let cutoff = Option.value cutoff ~default:max_int in
       let status =
-        run_core ~trace:false ~params ~crg ~placement ~scratch ~cutoff cdcg
+        run_core ~trace:false ~params ~crg ~placement ~scratch ~cutoff
+          ~policy:fault_policy cdcg
       in
       let states = scratch.Scratch.states in
       let contention_cycles = ref 0 and contended_packets = ref 0 in
@@ -465,12 +542,17 @@ let run_summary ?scratch ?cutoff ~params ~crg ~placement (cdcg : Cdcg.t) =
           contention_cycles := !contention_cycles + !acc;
           if !acc > 0 then incr contended_packets)
         states;
+      let delivered_packets, dropped_packets, retries_total = count_outcomes states in
       {
         texec_cycles = texec_of_states ~status states;
         truncated = (match status with `Truncated _ -> true | `Completed -> false);
         contention_cycles = !contention_cycles;
         contended_packets = !contended_packets;
+        delivered_packets;
+        dropped_packets;
+        retries_total;
       })
 
-let texec_cycles ?scratch ?cutoff ~params ~crg ~placement cdcg =
-  (run_summary ?scratch ?cutoff ~params ~crg ~placement cdcg).texec_cycles
+let texec_cycles ?scratch ?cutoff ?fault_policy ~params ~crg ~placement cdcg =
+  (run_summary ?scratch ?cutoff ?fault_policy ~params ~crg ~placement cdcg)
+    .texec_cycles

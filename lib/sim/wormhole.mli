@@ -27,6 +27,24 @@ exception Deadlock of string
     the simulation cannot make progress (impossible with unbounded
     buffers on a dependence-acyclic CDCG). *)
 
+(** Graceful degradation under a faulty CRG (one built with
+    [Crg.create ?faults]).  A packet whose precomputed route is severed
+    retries the send [max_retries] times, [retry_backoff] cycles apart,
+    then is abandoned ("dropped") — the faults are static, so the futile
+    retry loop is accounted for analytically rather than pumped as
+    events, and the event pump terminates on every input.  Packets that
+    depend on a dropped packet are cascade-dropped at the cycle their
+    last dependence resolves (their inputs will never exist); delivered
+    plus dropped packets always add up to the CDCG packet count on a
+    completed run. *)
+type fault_policy = {
+  max_retries : int;     (** Futile re-sends before abandoning. *)
+  retry_backoff : int;   (** Cycles between successive attempts. *)
+}
+
+val default_fault_policy : fault_policy
+(** 3 retries, 16 cycles apart. *)
+
 (** Reusable simulation arena.
 
     One evaluation of the CDCM objective is one wormhole simulation;
@@ -53,6 +71,7 @@ val run :
   ?trace:bool ->
   ?scratch:Scratch.t ->
   ?cutoff:int ->
+  ?fault_policy:fault_policy ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->
@@ -75,8 +94,12 @@ val run :
     rejection without paying for the full simulation.  Runs that finish
     within the cutoff are exact and [truncated = false].
 
-    @raise Invalid_argument on an ill-formed placement or a scratch
-    sized for a different instance.
+    [?fault_policy] (default {!default_fault_policy}) governs severed
+    routes when [crg] carries faults; it is irrelevant on a fault-free
+    CRG.
+
+    @raise Invalid_argument on an ill-formed placement, a scratch sized
+    for a different instance, or a negative fault-policy field.
     @raise Deadlock when bounded buffering deadlocks. *)
 
 type summary = {
@@ -84,11 +107,15 @@ type summary = {
   truncated : bool;          (** The [?cutoff] fired. *)
   contention_cycles : int;
   contended_packets : int;
+  delivered_packets : int;   (** Packets whose last flit arrived. *)
+  dropped_packets : int;     (** Packets abandoned under faults. *)
+  retries_total : int;       (** Futile send retries across all packets. *)
 }
 
 val run_summary :
   ?scratch:Scratch.t ->
   ?cutoff:int ->
+  ?fault_policy:fault_policy ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->
@@ -101,6 +128,7 @@ val run_summary :
 val texec_cycles :
   ?scratch:Scratch.t ->
   ?cutoff:int ->
+  ?fault_policy:fault_policy ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->

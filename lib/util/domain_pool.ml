@@ -7,16 +7,26 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
-let env_jobs () =
-  match Sys.getenv_opt "NOCMAP_JOBS" with
-  | None -> None
-  | Some s -> ( match int_of_string_opt (String.trim s) with
-    | Some j when j >= 1 -> Some j
-    | Some _ | None -> None)
+let jobs_of_spec ?(warn = prerr_endline) spec =
+  match int_of_string_opt (String.trim spec) with
+  | Some j when j >= 1 -> min j 128
+  | Some j ->
+    warn
+      (Printf.sprintf
+         "nocmap: NOCMAP_JOBS=%d is not positive; running with 1 job" j);
+    1
+  | None ->
+    warn
+      (Printf.sprintf
+         "nocmap: NOCMAP_JOBS=%S is not an integer; running with 1 job" spec);
+    1
 
-let default_jobs () =
-  match env_jobs () with
-  | Some j -> min j 128
+let env_jobs ?warn () =
+  Option.map (jobs_of_spec ?warn) (Sys.getenv_opt "NOCMAP_JOBS")
+
+let default_jobs ?warn () =
+  match env_jobs ?warn () with
+  | Some j -> j
   | None -> max 1 (min 128 (Domain.recommended_domain_count ()))
 
 let rec worker_loop t =

@@ -21,9 +21,17 @@ val create : ?jobs:int -> unit -> t
     defaults to {!default_jobs}.
     @raise Invalid_argument when [jobs < 1]. *)
 
-val default_jobs : unit -> int
-(** The [NOCMAP_JOBS] environment variable when set to a positive
-    integer, otherwise [Domain.recommended_domain_count ()]; clamped to
+val jobs_of_spec : ?warn:(string -> unit) -> string -> int
+(** Parses a job-count spec (the [NOCMAP_JOBS] format): a positive
+    integer, clamped to 128.  A non-integer or non-positive spec is NOT
+    silently ignored — [warn] (default: a line on stderr) receives a
+    message naming the offending value and the result falls back to 1,
+    so a typo degrades to sequential execution loudly rather than
+    silently picking an unrelated parallelism. *)
+
+val default_jobs : ?warn:(string -> unit) -> unit -> int
+(** The [NOCMAP_JOBS] environment variable parsed by {!jobs_of_spec}
+    when set, otherwise [Domain.recommended_domain_count ()]; clamped to
     [1 .. 128]. *)
 
 val jobs : t -> int

@@ -84,6 +84,49 @@ let test_default_jobs_positive () =
   let j = Domain_pool.default_jobs () in
   Alcotest.(check bool) "within clamp" true (j >= 1 && j <= 128)
 
+let test_jobs_of_spec () =
+  let silent = ref [] in
+  let warn msg = silent := msg :: !silent in
+  Alcotest.(check int) "plain integer" 4 (Domain_pool.jobs_of_spec ~warn "4");
+  Alcotest.(check int) "whitespace tolerated" 2
+    (Domain_pool.jobs_of_spec ~warn " 2 ");
+  Alcotest.(check int) "clamped to 128" 128
+    (Domain_pool.jobs_of_spec ~warn "9999");
+  Alcotest.(check (list string)) "valid specs never warn" [] !silent;
+  (* Unparseable and non-positive specs fall back to 1 — loudly. *)
+  Alcotest.(check int) "garbage falls back" 1
+    (Domain_pool.jobs_of_spec ~warn "lots");
+  Alcotest.(check int) "zero falls back" 1 (Domain_pool.jobs_of_spec ~warn "0");
+  Alcotest.(check int) "negative falls back" 1
+    (Domain_pool.jobs_of_spec ~warn "-3");
+  Alcotest.(check int) "three warnings" 3 (List.length !silent);
+  List.iter
+    (fun msg ->
+      Test_util.check_contains ~msg:"warning names the variable"
+        ~needle:"NOCMAP_JOBS" msg)
+    !silent;
+  Test_util.check_contains ~msg:"garbage token quoted" ~needle:"\"lots\""
+    (List.nth (List.rev !silent) 0)
+
+let test_env_jobs_warns () =
+  let saved = Sys.getenv_opt "NOCMAP_JOBS" in
+  let restore () =
+    match saved with
+    | Some v -> Unix.putenv "NOCMAP_JOBS" v
+    | None -> Unix.putenv "NOCMAP_JOBS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "NOCMAP_JOBS" "6";
+      let warnings = ref [] in
+      let warn msg = warnings := msg :: !warnings in
+      Alcotest.(check int) "valid env respected" 6
+        (Domain_pool.default_jobs ~warn ());
+      Alcotest.(check int) "no warning for valid env" 0 (List.length !warnings);
+      Unix.putenv "NOCMAP_JOBS" "banana";
+      Alcotest.(check int) "invalid env falls back to 1" 1
+        (Domain_pool.default_jobs ~warn ());
+      Alcotest.(check int) "one warning" 1 (List.length !warnings))
+
 let suite =
   ( "domain_pool",
     [
@@ -95,4 +138,6 @@ let suite =
       Alcotest.test_case "shutdown" `Quick test_shutdown;
       Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
       Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+      Alcotest.test_case "jobs of spec" `Quick test_jobs_of_spec;
+      Alcotest.test_case "env jobs warns" `Quick test_env_jobs_warns;
     ] )

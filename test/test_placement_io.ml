@@ -42,6 +42,41 @@ let test_file_roundtrip () =
   | Ok (_, placement) -> Alcotest.(check (array int)) "loaded" Fig1.mapping_d placement);
   Sys.remove path
 
+(* A malformed file must be reported with its path, the line number, and
+   the offending token — saved, corrupted, reloaded. *)
+let test_file_error_message_roundtrip () =
+  let path = Filename.temp_file "nocmap" ".placement" in
+  Placement_io.save ~path ~mesh ~core_names Fig1.mapping_d;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "core Zebra tile 1\n";
+  close_out oc;
+  (match Placement_io.load ~path ~core_names with
+  | Ok _ -> Alcotest.fail "corrupted file accepted"
+  | Error msg ->
+    Test_util.check_contains ~msg:"names the file" ~needle:path msg;
+    Test_util.check_contains ~msg:"names the line" ~needle:"line 7" msg;
+    Test_util.check_contains ~msg:"names the token" ~needle:"\"Zebra\"" msg);
+  Sys.remove path;
+  (* A vanished file is a plain system error, not a parse error. *)
+  match Placement_io.load ~path ~core_names with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error msg -> Test_util.check_contains ~msg:"missing file" ~needle:path msg
+
+let test_parse_tiles () =
+  (match Placement_io.parse_tiles ~cores:4 "3, 0,1,2" with
+  | Ok p -> Alcotest.(check (array int)) "parsed" [| 3; 0; 1; 2 |] p
+  | Error msg -> Alcotest.fail msg);
+  (match Placement_io.parse_tiles ~cores:4 "3,0,1" with
+  | Ok _ -> Alcotest.fail "short spec accepted"
+  | Error msg ->
+    Test_util.check_contains ~msg:"expected count" ~needle:"expected 4" msg;
+    Test_util.check_contains ~msg:"actual count" ~needle:"got 3" msg);
+  match Placement_io.parse_tiles ~cores:3 "0,x,2" with
+  | Ok _ -> Alcotest.fail "bad token accepted"
+  | Error msg ->
+    Test_util.check_contains ~msg:"token position" ~needle:"entry 2" msg;
+    Test_util.check_contains ~msg:"offending token" ~needle:"\"x\"" msg
+
 let suite =
   ( "placement-io",
     [
@@ -49,4 +84,7 @@ let suite =
       Alcotest.test_case "errors" `Quick test_errors;
       Alcotest.test_case "comments ignored" `Quick test_comments_ignored;
       Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+      Alcotest.test_case "file error message roundtrip" `Quick
+        test_file_error_message_roundtrip;
+      Alcotest.test_case "parse tiles" `Quick test_parse_tiles;
     ] )

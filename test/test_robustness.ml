@@ -1,0 +1,59 @@
+(* Robustness report: spread aggregation and render shape (the full
+   pipeline is exercised in test_experiment). *)
+
+module Robustness = Nocmap.Robustness
+
+let test_spread_of () =
+  let s = Robustness.spread_of [ 2.0; 4.0; 6.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 4.0 s.Robustness.mean;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.Robustness.minimum;
+  Alcotest.(check (float 1e-9)) "max" 6.0 s.Robustness.maximum;
+  Alcotest.(check bool) "stddev positive" true (s.Robustness.stddev > 0.0);
+  let constant = Robustness.spread_of [ 5.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "constant stddev" 0.0 constant.Robustness.stddev;
+  let empty = Robustness.spread_of [] in
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 empty.Robustness.mean;
+  Alcotest.(check (float 1e-9)) "empty max" 0.0 empty.Robustness.maximum
+
+let test_render_shape () =
+  let spread mean =
+    { Robustness.mean; stddev = 0.5; minimum = mean -. 1.0; maximum = mean +. 1.0 }
+  in
+  let t =
+    {
+      Robustness.seeds = [ 1; 2; 3 ];
+      etr = spread 40.0;
+      ecs_low = spread 2.0;
+      ecs_high = spread 50.0;
+    }
+  in
+  let rendered = Robustness.render t in
+  Test_util.check_contains ~msg:"title counts seeds" ~needle:"over 3 seeds" rendered;
+  Test_util.check_contains ~msg:"etr row" ~needle:"average ETR" rendered;
+  Test_util.check_contains ~msg:"ecs low row" ~needle:"average ECS (old tech)"
+    rendered;
+  Test_util.check_contains ~msg:"ecs high row"
+    ~needle:"average ECS (deep submicron)" rendered;
+  List.iter
+    (fun needle -> Test_util.check_contains ~msg:"column header" ~needle rendered)
+    [ "metric"; "mean"; "stddev"; "min"; "max" ];
+  Test_util.check_contains ~msg:"etr mean value" ~needle:"40.0 %" rendered;
+  (* Three data rows, one per metric. *)
+  let rows =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun l -> Test_util.contains_substring ~needle:"average" l)
+  in
+  Alcotest.(check int) "three metric rows" 3 (List.length rows)
+
+let test_empty_seeds_rejected () =
+  Alcotest.check_raises "empty seed list"
+    (Invalid_argument "Robustness.run: need at least one seed") (fun () ->
+      ignore (Robustness.run ~seeds:[] ()))
+
+let suite =
+  ( "robustness",
+    [
+      Alcotest.test_case "spread_of" `Quick test_spread_of;
+      Alcotest.test_case "render shape" `Quick test_render_shape;
+      Alcotest.test_case "empty seeds rejected" `Quick test_empty_seeds_rejected;
+    ] )
