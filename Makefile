@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-smoke clean
+.PHONY: all build check test test-props bench bench-smoke clean
 
 all: build
 
@@ -10,6 +10,11 @@ check:
 
 test:
 	dune runtest
+
+# Deep property soak: every QCheck property runs with its iteration
+# count multiplied by NOCMAP_PROP_MULT (default 20x here).
+test-props:
+	NOCMAP_PROP_MULT=$${NOCMAP_PROP_MULT:-20} dune runtest --force
 
 # Full reproduction harness: every figure/table plus BENCH_nocmap.json.
 bench:

@@ -534,6 +534,16 @@ let bench_json () =
         ignore
           (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg (pick i)))
   in
+  (* Observability tax on the hottest path: the same arena-backed CDCM
+     evaluation with the metrics registry switched on (per-run flush of
+     the sim.* counters).  The instrumentation budget is <= 5%. *)
+  let cdcm_arena_metrics_ops =
+    Nocmap_obs.Metrics.with_enabled true (fun () ->
+        ops_per_sec (fun i ->
+            ignore
+              (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg
+                 (pick i))))
+  in
   (* Cutoff throughput: the local-search / SA-descent scenario — every
      candidate is bounded against the best cost seen so far. *)
   let incumbent =
@@ -592,9 +602,11 @@ let bench_json () =
   "cdcm_eval_seed_baseline_ops_per_sec": %.1f,
   "cdcm_eval_fresh_ops_per_sec": %.1f,
   "cdcm_eval_arena_ops_per_sec": %.1f,
+  "cdcm_eval_arena_metrics_ops_per_sec": %.1f,
   "cdcm_eval_arena_cutoff_ops_per_sec": %.1f,
   "cdcm_arena_speedup": %.2f,
   "cdcm_arena_cutoff_speedup": %.2f,
+  "metrics_overhead_percent": %.2f,
   "suite_instances": %d,
   "suite_jobs": %d,
   "suite_sequential_seconds": %.3f,
@@ -609,9 +621,10 @@ let bench_json () =
       | Experiment.Standard -> "standard"
       | Experiment.Thorough -> "thorough")
       cwm_ops cwm_inc_ops cdcm_baseline_ops cdcm_fresh_ops cdcm_arena_ops
-      cdcm_cutoff_ops
+      cdcm_arena_metrics_ops cdcm_cutoff_ops
       (cdcm_arena_ops /. cdcm_baseline_ops)
       (cdcm_cutoff_ops /. cdcm_baseline_ops)
+      (100.0 *. (1.0 -. (cdcm_arena_metrics_ops /. Float.max cdcm_arena_ops 1e-9)))
       (List.length instances) jobs seq_seconds par_seconds
       (seq_seconds /. Float.max par_seconds 1e-9)
       identical

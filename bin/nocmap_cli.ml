@@ -8,7 +8,8 @@
      table1   regenerate the paper's Table 1
      table2   regenerate the paper's Table 2
      faults   fault-injection campaign over optimized mappings
-     cputime  CWM vs CDCM cost-evaluation CPU comparison *)
+     cputime  CWM vs CDCM cost-evaluation CPU comparison
+     profile  optimize one application with full observability on *)
 
 open Cmdliner
 module Mesh = Nocmap_noc.Mesh
@@ -20,6 +21,7 @@ module Textio = Nocmap_model.Textio
 module Noc_params = Nocmap_energy.Noc_params
 module Technology = Nocmap_energy.Technology
 module Mapping = Nocmap_mapping
+module Obs = Nocmap_obs
 
 let mesh_arg =
   let doc = "NoC size as <cols>x<rows>, e.g. 3x3." in
@@ -99,6 +101,31 @@ let parse_placement ~cores spec =
   match Nocmap_mapping.Placement_io.parse_tiles ~cores spec with
   | Ok placement -> placement
   | Error msg -> or_die (Error ("--placement: " ^ msg))
+
+(* --- observability plumbing --- *)
+
+let metrics_arg =
+  let doc =
+    "Collect metrics during the run and append the observability report \
+     in $(docv) format: table, json or csv.  Collection never changes \
+     the results."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FMT" ~doc)
+
+(* Enable the registry for the run and print the report afterwards. *)
+let with_metrics format f =
+  match format with
+  | None -> f ()
+  | Some name ->
+    let format = or_die (Obs.Sink.format_of_string name) in
+    Obs.Metrics.set_enabled true;
+    let result = f () in
+    print_string (Obs.Sink.report format);
+    result
+
+let save_text ~path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
 
 (* --- gen --- *)
 
@@ -193,7 +220,16 @@ let map_cmd =
       value & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Save the resulting placement to a file.")
   in
-  let run mesh seed flit tech_name routing app builtin model algorithm save =
+  let convergence_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "convergence" ] ~docv:"FILE"
+          ~doc:
+            "Write the best-cost-vs-evaluations trace as CSV (sa, es, local \
+             and greedy+local searches).")
+  in
+  let run mesh seed flit tech_name routing app builtin model algorithm save metrics
+      convergence_path =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -212,25 +248,42 @@ let map_cmd =
       | other -> or_die (Error ("unknown model " ^ other))
     in
     install_sigint ();
+    with_metrics metrics @@ fun () ->
+    let convergence =
+      Option.map
+        (fun _ -> Obs.Series.create ~x_label:"evaluations" ~y_label:"best_cost" ())
+        convergence_path
+    in
     let result =
       match algorithm with
       | "sa" ->
         Mapping.Annealing.search ~rng
           ~config:(Mapping.Annealing.default_config ~tiles)
-          ~tiles ~objective ~stop:stop_requested ~cores ()
-      | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ()
+          ~tiles ~objective ~stop:stop_requested ?convergence ~cores ()
+      | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ?convergence ()
       | "greedy" -> Mapping.Greedy.search ~tech ~crg ~cwg ()
       | "local" ->
         let initial = Mapping.Placement.random rng ~cores ~tiles in
-        Mapping.Local_search.search ~objective ~tiles ~initial ()
+        Mapping.Local_search.search ~objective ~tiles ~initial ?convergence ()
       | "greedy+local" ->
         let greedy = Mapping.Greedy.search ~tech ~crg ~cwg () in
         Mapping.Local_search.search ~objective ~tiles
-          ~initial:greedy.Mapping.Objective.placement ()
+          ~initial:greedy.Mapping.Objective.placement ?convergence ()
       | "random" ->
         Mapping.Random_search.search ~rng ~objective ~cores ~tiles ~samples:1000
       | other -> or_die (Error ("unknown algorithm " ^ other))
     in
+    (match (convergence_path, convergence) with
+    | Some path, Some series ->
+      if Obs.Series.length series = 0 then
+        prerr_endline
+          (Printf.sprintf
+             "nocmap: algorithm %S records no convergence trace; %s holds only \
+              the header"
+             algorithm path);
+      Obs.Series.save_csv ~path series;
+      Printf.printf "convergence : %s (%d points)\n" path (Obs.Series.length series)
+    | _ -> ());
     let evaluation =
       Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg
         result.Mapping.Objective.placement
@@ -257,7 +310,7 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Search a core-to-tile mapping for an application")
     Term.(
       const run $ mesh_arg $ seed_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg
-      $ builtin_arg $ model $ algorithm $ save)
+      $ builtin_arg $ model $ algorithm $ save $ metrics_arg $ convergence_arg)
 
 (* --- eval --- *)
 
@@ -476,11 +529,12 @@ let with_jobs jobs f =
   else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 let table2_cmd =
-  let run seed quick jobs =
+  let run seed quick jobs metrics =
     let config =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
     install_sigint ();
+    with_metrics metrics @@ fun () ->
     let output =
       with_jobs (resolve_jobs jobs) (fun pool ->
           Nocmap.Table2.run_and_render ~config ~progress:prerr_endline ?pool
@@ -492,7 +546,7 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate Table 2 (ETR / ECS comparison)")
-    Term.(const run $ seed_arg $ quick_arg $ jobs_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ metrics_arg)
 
 (* --- faults --- *)
 
@@ -513,7 +567,7 @@ let faults_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the per-scenario results as CSV.")
   in
-  let run mesh seed tech_name app builtin quick jobs multi_k multi_count csv =
+  let run mesh seed tech_name app builtin quick jobs multi_k multi_count csv metrics =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -534,6 +588,7 @@ let faults_cmd =
       }
     in
     install_sigint ();
+    with_metrics metrics @@ fun () ->
     let campaign =
       with_jobs (resolve_jobs jobs) (fun pool ->
           Nocmap.Fault_campaign.run ~config ?pool ~stop:stop_requested ~mesh
@@ -547,10 +602,7 @@ let faults_cmd =
     match csv with
     | None -> ()
     | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Nocmap.Fault_campaign.to_csv campaign));
+      save_text ~path (Nocmap.Fault_campaign.to_csv campaign);
       Printf.printf "wrote %s\n" path
   in
   Cmd.v
@@ -558,7 +610,83 @@ let faults_cmd =
        ~doc:"Fault-injection campaign: degrade optimized mappings under link failures")
     Term.(
       const run $ mesh_arg $ seed_arg $ tech_arg $ app_arg $ builtin_arg
-      $ quick_arg $ jobs_arg $ multi_k $ multi_count $ csv)
+      $ quick_arg $ jobs_arg $ multi_k $ multi_count $ csv $ metrics_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let format_arg =
+    Arg.(
+      value & opt string "table"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: table, json or csv.")
+  in
+  let heatmap_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "heatmap" ] ~docv:"FILE"
+          ~doc:
+            "Write the optimized CDCM mapping's per-link busy-cycle heatmap \
+             as CSV (from a metered re-simulation).")
+  in
+  let run mesh seed tech_name app builtin quick jobs format heatmap =
+    let mesh = Mesh.of_string mesh in
+    let tech = or_die (load_tech tech_name) in
+    let cdcg = or_die (load_app ~path:app ~builtin) in
+    if Cdcg.core_count cdcg > Mesh.tile_count mesh then
+      or_die
+        (Error
+           (Printf.sprintf "%d cores do not fit on %s" (Cdcg.core_count cdcg)
+              (Mesh.to_string mesh)));
+    let format = or_die (Obs.Sink.format_of_string format) in
+    let config =
+      if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
+    in
+    install_sigint ();
+    Obs.Metrics.set_enabled true;
+    let pair =
+      with_jobs (resolve_jobs jobs) (fun pool ->
+          Nocmap.Experiment.optimize_pair ?pool ~stop:stop_requested
+            ~rng:(Rng.create ~seed) ~config ~mesh ~tech cdcg)
+    in
+    let params = config.Nocmap.Experiment.params in
+    let crg = pair.Nocmap.Experiment.pair_crg in
+    let meter = Nocmap_sim.Wormhole.Meter.create ~crg in
+    let summary =
+      Obs.Timer.time "metered_evaluation" (fun () ->
+          Nocmap_sim.Wormhole.run_summary ~meter ~params ~crg
+            ~placement:pair.Nocmap.Experiment.cdcm_placement cdcg)
+    in
+    Printf.printf "application : %s on %s (seed %d, %s budget)\n" cdcg.Cdcg.name
+      (Mesh.to_string mesh) seed
+      (if quick then "quick" else "standard");
+    Printf.printf "CWM mapping : %s\n"
+      (Mapping.Placement.to_string ~core_names:cdcg.Cdcg.core_names
+         pair.Nocmap.Experiment.cwm_placement);
+    Printf.printf "CDCM mapping: %s (%d cycles, %d contention cycles)\n"
+      (Mapping.Placement.to_string ~core_names:cdcg.Cdcg.core_names
+         pair.Nocmap.Experiment.cdcm_placement)
+      summary.Nocmap_sim.Wormhole.texec_cycles
+      summary.Nocmap_sim.Wormhole.contention_cycles;
+    print_string (Obs.Sink.report format);
+    match heatmap with
+    | None -> ()
+    | Some path ->
+      let loads =
+        Nocmap_sim.Hotspot.link_loads_of_meter ~crg
+          ~texec_cycles:summary.Nocmap_sim.Wormhole.texec_cycles meter
+      in
+      save_text ~path (Nocmap_sim.Hotspot.loads_csv ~crg loads);
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Optimize one application with metrics and span timing enabled, then \
+          print the observability report")
+    Term.(
+      const run $ mesh_arg $ seed_arg $ tech_arg $ app_arg $ builtin_arg $ quick_arg
+      $ jobs_arg $ format_arg $ heatmap_arg)
 
 let cputime_cmd =
   let run seed = print_string (Nocmap.Cpu_time.render (Nocmap.Cpu_time.over_suite ~seed ())) in
@@ -575,4 +703,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; apps_cmd; map_cmd; eval_cmd; analyze_cmd; dot_cmd; export_cmd;
-            table1_cmd; table2_cmd; faults_cmd; cputime_cmd ]))
+            table1_cmd; table2_cmd; faults_cmd; cputime_cmd; profile_cmd ]))

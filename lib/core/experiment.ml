@@ -7,6 +7,7 @@ module Noc_params = Nocmap_energy.Noc_params
 module Technology = Nocmap_energy.Technology
 module Mapping = Nocmap_mapping
 module Domain_pool = Nocmap_util.Domain_pool
+module Timer = Nocmap_obs.Timer
 
 type budget =
   | Quick
@@ -146,13 +147,15 @@ let optimize_pair ?pool ?stop ~rng ~config ~mesh ~tech cdcg =
   let cwg = Cwg.of_cdcg cdcg in
   let params = config.params in
   let cwm_best, _, _ =
-    multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
-        Mapping.Objective.cwm ~tech ~crg ~cwg)
+    Timer.time "cwm_search" (fun () ->
+        multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
+            Mapping.Objective.cwm ~tech ~crg ~cwg))
   in
   let cdcm_best, _, _ =
-    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
-      ~config ~tiles ~cores (fun () ->
-        Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
+    Timer.time "cdcm_search" (fun () ->
+        multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
+          ~config ~tiles ~cores (fun () ->
+            Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg))
   in
   {
     pair_crg = crg;
@@ -168,23 +171,28 @@ let compare_models ?pool ?stop ~rng ~config ~mesh cdcg =
   let cwg = Cwg.of_cdcg cdcg in
   let params = config.params in
   let cwm_best, cwm_cpu_seconds, cwm_evaluations =
-    multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
-        Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg)
+    Timer.time "cwm_search" (fun () ->
+        multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
+            Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg))
   in
   let cdcm_search tech =
-    multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
-      ~config ~tiles ~cores (fun () ->
-        Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)
+    Timer.time "cdcm_search" (fun () ->
+        multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
+          ~config ~tiles ~cores (fun () ->
+            Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg))
   in
   let cdcm_low_best, cpu_low, evals_low = cdcm_search config.tech_low in
   let cdcm_high_best, cpu_high, evals_high = cdcm_search config.tech_high in
   let evaluate tech placement =
     Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg placement
   in
-  let cwm_low = evaluate config.tech_low cwm_best.Mapping.Objective.placement in
-  let cwm_high = evaluate config.tech_high cwm_best.Mapping.Objective.placement in
-  let cdcm_low = evaluate config.tech_low cdcm_low_best.Mapping.Objective.placement in
-  let cdcm_high = evaluate config.tech_high cdcm_high_best.Mapping.Objective.placement in
+  let cwm_low, cwm_high, cdcm_low, cdcm_high =
+    Timer.time "final_evaluation" (fun () ->
+        ( evaluate config.tech_low cwm_best.Mapping.Objective.placement,
+          evaluate config.tech_high cwm_best.Mapping.Objective.placement,
+          evaluate config.tech_low cdcm_low_best.Mapping.Objective.placement,
+          evaluate config.tech_high cdcm_high_best.Mapping.Objective.placement ))
+  in
   {
     app = cdcg.Cdcg.name;
     mesh;

@@ -8,6 +8,7 @@ module Mapping = Nocmap_mapping
 module Rng = Nocmap_util.Rng
 module Tablefmt = Nocmap_util.Tablefmt
 module Domain_pool = Nocmap_util.Domain_pool
+module Timer = Nocmap_obs.Timer
 
 type config = {
   experiment : Experiment.config;
@@ -88,8 +89,9 @@ let run ?(config = default_config) ?pool ?stop ~mesh ~seed cdcg =
   let search_rng = Rng.split rng in
   let sample_rng = Rng.split rng in
   let pair =
-    Experiment.optimize_pair ?pool ?stop ~rng:search_rng
-      ~config:config.experiment ~mesh ~tech:config.tech cdcg
+    Timer.time "faults.optimize" (fun () ->
+        Experiment.optimize_pair ?pool ?stop ~rng:search_rng
+          ~config:config.experiment ~mesh ~tech:config.tech cdcg)
   in
   let params = config.experiment.Experiment.params in
   let tech = config.tech in
@@ -98,8 +100,11 @@ let run ?(config = default_config) ?pool ?stop ~mesh ~seed cdcg =
     Mapping.Cost_cdcm.evaluate ~fault_policy:config.fault_policy ~tech ~params
       ~crg:fault_free ~cdcg placement
   in
-  let cwm_baseline = baseline pair.Experiment.cwm_placement in
-  let cdcm_baseline = baseline pair.Experiment.cdcm_placement in
+  let cwm_baseline, cdcm_baseline =
+    Timer.time "faults.baselines" (fun () ->
+        ( baseline pair.Experiment.cwm_placement,
+          baseline pair.Experiment.cdcm_placement ))
+  in
   let scenarios =
     Fault.single_link_scenarios mesh
     @
@@ -127,8 +132,9 @@ let run ?(config = default_config) ?pool ?stop ~mesh ~seed cdcg =
     }
   in
   let results =
-    Domain_pool.map ?pool evaluate_scenario
-      (Array.init (Array.length scenario_arr) Fun.id)
+    Timer.time "faults.scenarios" (fun () ->
+        Domain_pool.map ?pool evaluate_scenario
+          (Array.init (Array.length scenario_arr) Fun.id))
   in
   let scenarios = Array.to_list results in
   {

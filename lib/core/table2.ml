@@ -3,6 +3,8 @@ module Rng = Nocmap_util.Rng
 module Stats = Nocmap_util.Stats
 module Tablefmt = Nocmap_util.Tablefmt
 module Domain_pool = Nocmap_util.Domain_pool
+module Cdcg = Nocmap_model.Cdcg
+module Timer = Nocmap_obs.Timer
 
 type size_summary = {
   mesh : Mesh.t;
@@ -54,12 +56,20 @@ let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instanc
   for i = 0 to n - 1 do
     rngs.(i) <- Rng.split rng
   done;
+  (* One span per (mesh, app) pair; the search spans inside
+     [compare_models] nest under it.  On a pooled run the workers' spans
+     land in their own domain-local trees, so only the sequential path
+     yields a per-app breakdown — the [table2] parent still times the
+     whole sweep either way. *)
   let compare i =
     let mesh, cdcg = arr.(i) in
-    Experiment.compare_models ?pool ?stop ~rng:rngs.(i) ~config ~mesh cdcg
+    Timer.time
+      (Printf.sprintf "%s %s" (Mesh.to_string mesh) cdcg.Cdcg.name)
+      (fun () -> Experiment.compare_models ?pool ?stop ~rng:rngs.(i) ~config ~mesh cdcg)
   in
   let indices = Array.init n Fun.id in
   let outcomes =
+    Timer.time "table2" @@ fun () ->
     match pool with
     | None ->
       (* Sequential: stream the progress line as each app finishes. *)

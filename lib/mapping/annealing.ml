@@ -1,4 +1,25 @@
 module Rng = Nocmap_util.Rng
+module Metrics = Nocmap_obs.Metrics
+module Series = Nocmap_obs.Series
+
+(* Search observability.  Counters are accumulated in locals and flushed
+   once per descent; neither they nor the optional convergence series
+   touch the RNG, so instrumented and plain runs are bit-identical. *)
+let m_runs = Metrics.counter ~help:"annealing descents executed" "search.sa_runs"
+
+let m_evals =
+  Metrics.counter ~help:"objective evaluations across all search algorithms"
+    "search.evaluations"
+
+let m_cutoff =
+  Metrics.counter ~help:"candidate evaluations truncated by a prune cutoff"
+    "search.cutoff_hits"
+
+let m_accepted = Metrics.counter ~help:"Metropolis-accepted moves" "search.sa_accepted"
+
+let m_rejected =
+  Metrics.counter ~help:"rejected moves, including pruned candidates"
+    "search.sa_rejected"
 
 type config = {
   initial_temperature : [ `Auto | `Fixed of float ];
@@ -43,7 +64,7 @@ let calibrate_temperature rng ~tiles ~(objective : Objective.t) ~placement ~cost
   if mean > 0.0 then 2.0 *. mean else 1.0
 
 let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
-    ~cores () =
+    ?convergence ~cores () =
   if cores > tiles then invalid_arg "Annealing.search: more cores than tiles";
   if not (config.cooling > 0.0 && config.cooling < 1.0) then
     invalid_arg "Annealing.search: cooling must lie in (0,1)";
@@ -60,8 +81,15 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
     | Some p -> Array.copy p
     | None -> Placement.random rng ~cores ~tiles)
   in
+  let accepted = ref 0 and rejected = ref 0 and cutoff_hits = ref 0 in
   let current_cost = ref (cost_of !current) in
   let best = ref !current and best_cost = ref !current_cost in
+  let record_best () =
+    match convergence with
+    | Some series -> Series.add series ~x:(float_of_int !evals) ~y:!best_cost
+    | None -> ()
+  in
+  record_best ();
   let temperature =
     ref
       (match config.initial_temperature with
@@ -86,7 +114,9 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
       let cutoff = !current_cost +. (margin *. !temperature) in
       (match bound_fn ~cutoff neighbor with
       | Objective.Exact c -> Some c
-      | Objective.At_least _ -> None)
+      | Objective.At_least _ ->
+        incr cutoff_hits;
+        None)
     | (Some _ | None), _ -> Some (cost_of neighbor)
   in
   while
@@ -106,7 +136,7 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
       incr moves;
       let neighbor = Placement.random_neighbor rng ~tiles !current in
       match evaluate_candidate neighbor with
-      | None -> ()
+      | None -> incr rejected
       | Some neighbor_cost ->
         let delta = neighbor_cost -. !current_cost in
         let accept =
@@ -114,16 +144,26 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
           || Rng.float rng 1.0 < exp (-.delta /. !temperature)
         in
         if accept then begin
+          incr accepted;
           current := neighbor;
           current_cost := neighbor_cost;
           if neighbor_cost < !best_cost then begin
             best := neighbor;
             best_cost := neighbor_cost;
-            improved_this_level := true
+            improved_this_level := true;
+            record_best ()
           end
         end
+        else incr rejected
     done;
     if !improved_this_level then stale_levels := 0 else incr stale_levels;
     temperature := !temperature *. config.cooling
   done;
+  if Metrics.enabled () then begin
+    Metrics.incr m_runs;
+    Metrics.add m_evals !evals;
+    Metrics.add m_cutoff !cutoff_hits;
+    Metrics.add m_accepted !accepted;
+    Metrics.add m_rejected !rejected
+  end;
   { Objective.placement = !best; cost = !best_cost; evaluations = !evals }

@@ -41,6 +41,7 @@ val search :
   objective:Objective.t ->
   ?initial:Placement.t ->
   ?stop:(unit -> bool) ->
+  ?convergence:Nocmap_obs.Series.t ->
   cores:int ->
   unit ->
   Objective.search_result
@@ -49,4 +50,13 @@ val search :
     returns [true] the descent winds down immediately and returns the
     best placement found so far (used for cooperative interruption, e.g.
     a SIGINT flag).
+
+    [?convergence] records the best-cost-so-far trajectory into a
+    caller-owned series — one point per improvement,
+    [x = evaluations so far], [y = best cost] (so [y] is non-increasing
+    in [x]).  Independent of the process-wide metrics switch and of the
+    search's random choices: passing it never changes the result.  When
+    the {!Nocmap_obs.Metrics} registry is enabled the descent also
+    flushes [search.sa_runs], [search.evaluations],
+    [search.cutoff_hits] and [search.sa_accepted]/[search.sa_rejected].
     @raise Invalid_argument when [cores > tiles]. *)

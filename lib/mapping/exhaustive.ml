@@ -1,3 +1,12 @@
+module Metrics = Nocmap_obs.Metrics
+module Series = Nocmap_obs.Series
+
+let m_runs = Metrics.counter ~help:"exhaustive enumerations executed" "search.ex_runs"
+
+let m_evals =
+  Metrics.counter ~help:"objective evaluations across all search algorithms"
+    "search.evaluations"
+
 let arrangement_count ~cores ~tiles =
   if cores > tiles then Some 0
   else begin
@@ -10,7 +19,7 @@ let arrangement_count ~cores ~tiles =
     loop 0 1
   end
 
-let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) () =
+let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) ?convergence () =
   if cores = 0 then invalid_arg "Exhaustive.search: no cores";
   if cores > tiles then invalid_arg "Exhaustive.search: more cores than tiles";
   (match arrangement_count ~cores ~tiles with
@@ -29,7 +38,11 @@ let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) () =
     let cost = objective.Objective.cost_fn placement in
     match !best with
     | Some (_, best_cost) when best_cost <= cost -> ()
-    | Some _ | None -> best := Some (Array.copy placement, cost)
+    | Some _ | None ->
+      best := Some (Array.copy placement, cost);
+      (match convergence with
+      | Some series -> Series.add series ~x:(float_of_int !evals) ~y:cost
+      | None -> ())
   in
   let rec assign core =
     if core = cores then consider ()
@@ -44,6 +57,10 @@ let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) () =
       done
   in
   assign 0;
+  if Metrics.enabled () then begin
+    Metrics.incr m_runs;
+    Metrics.add m_evals !evals
+  end;
   match !best with
   | Some (placement, cost) -> { Objective.placement; cost; evaluations = !evals }
   | None -> assert false

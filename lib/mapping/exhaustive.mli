@@ -14,10 +14,13 @@ val search :
   cores:int ->
   tiles:int ->
   ?max_arrangements:int ->
+  ?convergence:Nocmap_obs.Series.t ->
   unit ->
   Objective.search_result
 (** Enumerates every placement (default budget 2,000,000 arrangements).
     Ties are resolved toward the lexicographically first placement, so
-    the result is deterministic.
+    the result is deterministic.  [?convergence] records the
+    best-cost-so-far trajectory ([x = evaluations], one point per
+    improvement); it never changes the result.
     @raise Invalid_argument when [cores > tiles], when the instance
     exceeds the budget, or when [cores = 0]. *)

@@ -1,8 +1,25 @@
-let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) () =
+module Metrics = Nocmap_obs.Metrics
+module Series = Nocmap_obs.Series
+
+let m_runs =
+  Metrics.counter ~help:"steepest-descent searches executed" "search.ls_runs"
+
+(* Registration is idempotent, so these resolve to the same counters the
+   annealer flushes into. *)
+let m_evals =
+  Metrics.counter ~help:"objective evaluations across all search algorithms"
+    "search.evaluations"
+
+let m_cutoff =
+  Metrics.counter ~help:"candidate evaluations truncated by a prune cutoff"
+    "search.cutoff_hits"
+
+let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) ?convergence () =
   (match Placement.validate ~tiles initial with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Local_search.search: " ^ msg));
   let evals = ref 0 in
+  let cutoff_hits = ref 0 in
   let cost_of p =
     incr evals;
     objective.Objective.cost_fn p
@@ -18,11 +35,19 @@ let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) () =
       incr evals;
       (match bound_fn ~cutoff:threshold p with
       | Objective.Exact c -> Some c
-      | Objective.At_least _ -> None)
+      | Objective.At_least _ ->
+        incr cutoff_hits;
+        None)
   in
   let cores = Array.length initial in
   let current = ref (Array.copy initial) in
   let current_cost = ref (cost_of !current) in
+  let record () =
+    match convergence with
+    | Some series -> Series.add series ~x:(float_of_int !evals) ~y:!current_cost
+    | None -> ()
+  in
+  record ();
   (* One pass: the best strictly-improving move among all core->tile
      relocations (swapping with the occupant when taken). *)
   let best_move () =
@@ -55,8 +80,14 @@ let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) () =
       | Some (placement, cost) ->
         current := placement;
         current_cost := cost;
+        record ();
         descend ()
     end
   in
   descend ();
+  if Metrics.enabled () then begin
+    Metrics.incr m_runs;
+    Metrics.add m_evals !evals;
+    Metrics.add m_cutoff !cutoff_hits
+  end;
   { Objective.placement = !current; cost = !current_cost; evaluations = !evals }

@@ -12,8 +12,11 @@ val search :
   tiles:int ->
   initial:Placement.t ->
   ?max_evaluations:int ->
+  ?convergence:Nocmap_obs.Series.t ->
   unit ->
   Objective.search_result
 (** [search ~objective ~tiles ~initial ()] descends from [initial]
-    (default budget 100,000 cost calls).
+    (default budget 100,000 cost calls).  [?convergence] records the
+    (strictly decreasing) current-cost trajectory, one point per taken
+    move with [x = evaluations so far]; it never changes the result.
     @raise Invalid_argument when [initial] is not a valid placement. *)

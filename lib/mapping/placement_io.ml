@@ -35,7 +35,7 @@ let of_string ~core_names text =
   let* mesh, body =
     match lines with
     | (num, first) :: rest -> begin
-      match String.split_on_char ' ' first with
+      match String.split_on_char ' ' first |> List.filter (fun w -> w <> "") with
       | [ "noc"; size ] -> begin
         match Mesh.of_string size with
         | mesh -> Ok (mesh, rest)
@@ -97,6 +97,9 @@ let load ~path ~core_names =
         (fun () -> really_input_string ic (in_channel_length ic))
     in
     Result.map_error (fun msg -> path ^ ": " ^ msg) (of_string ~core_names text)
+
+let render_tiles placement =
+  placement |> Array.to_list |> List.map string_of_int |> String.concat ","
 
 let parse_tiles ~cores spec =
   let tokens = String.split_on_char ',' spec |> List.map String.trim in

@@ -30,6 +30,11 @@ val load :
     the file path, i.e. ["placements/foo.txt: line 3: unknown core
     \"Z\""]. *)
 
+val render_tiles : Placement.t -> string
+(** Inverse of {!parse_tiles}: the inline comma-separated syntax
+    ("4,1,0,…").  [parse_tiles ~cores (render_tiles p) = Ok p] for any
+    [p] with [cores] entries. *)
+
 val parse_tiles : cores:int -> string -> (Placement.t, string) result
 (** Parses the CLI's inline placement syntax — [cores] comma-separated
     tile numbers ("4,1,0,…", the i-th entry hosting core i).  Errors

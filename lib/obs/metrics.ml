@@ -1,0 +1,237 @@
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let with_enabled b f =
+  let saved = Atomic.get enabled_flag in
+  Atomic.set enabled_flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag saved) f
+
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_value : int Atomic.t;
+}
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_value : int Atomic.t;
+}
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_bounds : float array;
+  h_counts : int array;        (* one per bound, plus overflow last *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_lock : Mutex.t;
+}
+
+type metric =
+  | C of counter
+  | G of gauge
+  | H of histogram
+
+(* The process-wide registry.  Registration happens at module
+   initialization and in tests — never in hot loops — so one mutex
+   around the table is plenty. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let kind_name = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+
+let register name make cast =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some existing -> cast existing
+      | None ->
+        let m = make () in
+        Hashtbl.add registry name m;
+        (match cast m with
+        | v -> v
+        | exception Invalid_argument _ -> assert false))
+
+let mismatch name wanted existing =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is a %s, not a %s" name (kind_name existing)
+       wanted)
+
+let counter ?(help = "") name =
+  register name
+    (fun () -> C { c_name = name; c_help = help; c_value = Atomic.make 0 })
+    (function C c -> c | other -> mismatch name "counter" other)
+
+let incr c = if enabled () then Atomic.incr c.c_value
+
+let add c n =
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Metrics.add: negative step %d on %S" n c.c_name);
+  if enabled () then ignore (Atomic.fetch_and_add c.c_value n)
+
+let counter_value c = Atomic.get c.c_value
+
+let gauge ?(help = "") name =
+  register name
+    (fun () -> G { g_name = name; g_help = help; g_value = Atomic.make 0 })
+    (function G g -> g | other -> mismatch name "gauge" other)
+
+let set_gauge g v = if enabled () then Atomic.set g.g_value v
+
+let set_max g v =
+  if enabled () then begin
+    (* CAS loop: last-writer-wins races would lose high-water marks. *)
+    let rec update () =
+      let current = Atomic.get g.g_value in
+      if v > current && not (Atomic.compare_and_set g.g_value current v) then
+        update ()
+    in
+    update ()
+  end
+
+let gauge_value g = Atomic.get g.g_value
+
+let default_buckets = Array.init 31 (fun i -> Float.of_int (1 lsl i))
+
+let validate_buckets name bounds =
+  if Array.length bounds = 0 then
+    invalid_arg (Printf.sprintf "Metrics.histogram %S: empty buckets" name);
+  for i = 1 to Array.length bounds - 1 do
+    if not (bounds.(i) > bounds.(i - 1)) then
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram %S: buckets must increase strictly"
+           name)
+  done
+
+let histogram ?(help = "") ?(buckets = default_buckets) name =
+  validate_buckets name buckets;
+  register name
+    (fun () ->
+      {
+        h_name = name;
+        h_help = help;
+        h_bounds = Array.copy buckets;
+        h_counts = Array.make (Array.length buckets + 1) 0;
+        h_count = 0;
+        h_sum = 0.0;
+        h_lock = Mutex.create ();
+      }
+      |> fun h -> H h)
+    (function
+      | H h ->
+        if h.h_bounds <> buckets then
+          invalid_arg
+            (Printf.sprintf
+               "Metrics.histogram %S: already registered with different buckets"
+               name);
+        h
+      | other -> mismatch name "histogram" other)
+
+let bucket_index bounds x =
+  (* First bound >= x; the overflow bin is [Array.length bounds]. *)
+  let n = Array.length bounds in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if bounds.(mid) >= x then search lo mid else search (mid + 1) hi
+  in
+  search 0 n
+
+let observe h x =
+  if enabled () then begin
+    Mutex.lock h.h_lock;
+    let i = bucket_index h.h_bounds x in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. x;
+    Mutex.unlock h.h_lock
+  end
+
+let histogram_count h = h.h_count
+
+let histogram_sum h = h.h_sum
+
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg (Printf.sprintf "Metrics.quantile: %g outside [0,1]" q);
+  Mutex.lock h.h_lock;
+  let total = h.h_count in
+  let result =
+    if total = 0 then Float.nan
+    else begin
+      let target = Float.max 1.0 (Float.round (q *. float_of_int total)) in
+      let n = Array.length h.h_bounds in
+      let rec scan i acc =
+        if i > n then infinity
+        else
+          let acc = acc + h.h_counts.(i) in
+          if float_of_int acc >= target then
+            if i < n then h.h_bounds.(i) else infinity
+          else scan (i + 1) acc
+      in
+      scan 0 0
+    end
+  in
+  Mutex.unlock h.h_lock;
+  result
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+    }
+
+type sample = {
+  name : string;
+  help : string;
+  value : value;
+}
+
+let sample_of = function
+  | C c -> { name = c.c_name; help = c.c_help; value = Counter (Atomic.get c.c_value) }
+  | G g -> { name = g.g_name; help = g.g_help; value = Gauge (Atomic.get g.g_value) }
+  | H h ->
+    Mutex.lock h.h_lock;
+    let buckets =
+      List.init
+        (Array.length h.h_counts)
+        (fun i ->
+          ( (if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity),
+            h.h_counts.(i) ))
+    in
+    let v = Histogram { count = h.h_count; sum = h.h_sum; buckets } in
+    Mutex.unlock h.h_lock;
+    { name = h.h_name; help = h.h_help; value = v }
+
+let snapshot () =
+  with_registry (fun () ->
+      Hashtbl.fold (fun _ m acc -> sample_of m :: acc) registry []
+      |> List.sort (fun a b -> String.compare a.name b.name))
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | C c -> Atomic.set c.c_value 0
+          | G g -> Atomic.set g.g_value 0
+          | H h ->
+            Mutex.lock h.h_lock;
+            Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+            h.h_count <- 0;
+            h.h_sum <- 0.0;
+            Mutex.unlock h.h_lock)
+        registry)

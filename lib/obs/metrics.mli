@@ -1,0 +1,116 @@
+(** Process-wide metrics registry: typed counters, gauges and histograms.
+
+    Observability for the simulation and search layers.  Metric objects
+    are registered once (typically at module initialization) and updated
+    from hot loops; updates are gated on a single global flag so that the
+    disabled path costs one load and one branch, and instrumented code is
+    guaranteed to produce bit-identical {e results} whether metrics are
+    collected or not — metrics never feed back into control flow.
+
+    Counters and gauges are lock-free ({!Stdlib.Atomic}) and safe to
+    update from {!Nocmap_util.Domain_pool} workers; histograms take a
+    per-histogram mutex and should stay out of per-event paths. *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+(** Collection is {e off} by default: a freshly started process records
+    nothing until {!set_enabled}[ true]. *)
+
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** [with_enabled b f] runs [f] with collection forced to [b], restoring
+    the previous state afterwards (exception-safe).  Test harness
+    convenience. *)
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : ?help:string -> string -> counter
+(** [counter name] registers (or retrieves) the counter called [name].
+    Registration is idempotent: a second call with the same name returns
+    the same object.
+    @raise Invalid_argument if [name] is already registered as a
+    different metric kind. *)
+
+val incr : counter -> unit
+(** One step; a no-op while collection is disabled. *)
+
+val add : counter -> int -> unit
+(** [add c n] steps by [n]; a no-op while disabled.
+    @raise Invalid_argument on negative [n]. *)
+
+val counter_value : counter -> int
+
+(** {1 Gauges} — last-set or high-water integer values. *)
+
+type gauge
+
+val gauge : ?help:string -> string -> gauge
+(** Same registration contract as {!counter}. *)
+
+val set_gauge : gauge -> int -> unit
+(** Overwrites the value; a no-op while disabled. *)
+
+val set_max : gauge -> int -> unit
+(** High-water update: keeps the maximum of the current and given
+    values; a no-op while disabled. *)
+
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — bucketed distributions of float observations. *)
+
+type histogram
+
+val default_buckets : float array
+(** Powers of two from 1 to 2{^30}: suits cycle counts and call
+    latencies in nanoseconds alike. *)
+
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+(** [buckets] are the inclusive upper bounds of the histogram bins, in
+    strictly increasing order; observations above the last bound land in
+    an implicit overflow bin.  Same registration contract as {!counter}.
+    @raise Invalid_argument on an empty or non-increasing bucket list,
+    or if [name] exists with different buckets. *)
+
+val observe : histogram -> float -> unit
+(** Records one observation; a no-op while disabled. *)
+
+val histogram_count : histogram -> int
+
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [\[0, 1\]] estimates the [q]-quantile as
+    the upper bound of the first bucket whose cumulative count reaches
+    [q * total] ([infinity] for observations beyond the last bound,
+    [nan] when the histogram is empty).  The estimate is monotone in [q]
+    by construction.
+    @raise Invalid_argument when [q] is outside [\[0, 1\]]. *)
+
+(** {1 Registry} *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      count : int;
+      sum : float;
+      buckets : (float * int) list;  (** (upper bound, count), plus
+                                         [(infinity, overflow)] last. *)
+    }
+
+type sample = {
+  name : string;
+  help : string;
+  value : value;
+}
+
+val snapshot : unit -> sample list
+(** Current state of every registered metric, sorted by name — the
+    stable order every {!Sink} format relies on. *)
+
+val reset : unit -> unit
+(** Zeroes every registered metric without forgetting registrations. *)

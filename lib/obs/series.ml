@@ -1,0 +1,46 @@
+type t = {
+  x_label : string;
+  y_label : string;
+  mutable xs : float array;
+  mutable ys : float array;
+  mutable n : int;
+}
+
+let create ?(x_label = "x") ?(y_label = "y") () =
+  { x_label; y_label; xs = [||]; ys = [||]; n = 0 }
+
+let grow t =
+  let capacity = max 16 (2 * Array.length t.xs) in
+  let xs = Array.make capacity 0.0 and ys = Array.make capacity 0.0 in
+  Array.blit t.xs 0 xs 0 t.n;
+  Array.blit t.ys 0 ys 0 t.n;
+  t.xs <- xs;
+  t.ys <- ys
+
+let add t ~x ~y =
+  if t.n = Array.length t.xs then grow t;
+  t.xs.(t.n) <- x;
+  t.ys.(t.n) <- y;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let points t = Array.init t.n (fun i -> (t.xs.(i), t.ys.(i)))
+
+let last t = if t.n = 0 then None else Some (t.xs.(t.n - 1), t.ys.(t.n - 1))
+
+let clear t = t.n <- 0
+
+let to_csv t =
+  let buf = Buffer.create (64 + (t.n * 24)) in
+  Buffer.add_string buf (Printf.sprintf "%s,%s\n" t.x_label t.y_label);
+  for i = 0 to t.n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%.17g,%.17g\n" t.xs.(i) t.ys.(i))
+  done;
+  Buffer.contents buf
+
+let save_csv ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

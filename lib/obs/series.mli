@@ -1,0 +1,29 @@
+(** Append-only (x, y) series — convergence traces and sweeps.
+
+    A search records (evaluations, best cost) points as the incumbent
+    improves; the series then renders as CSV for plotting.  Unlike the
+    {!Metrics} registry, a series is an explicit, caller-owned object:
+    recording is not gated on {!Metrics.enabled}, passing one to a
+    search is the opt-in. *)
+
+type t
+
+val create : ?x_label:string -> ?y_label:string -> unit -> t
+(** Labels default to ["x"] and ["y"]; they become the CSV header. *)
+
+val add : t -> x:float -> y:float -> unit
+(** Amortized O(1); no allocation once the backing arrays have grown. *)
+
+val length : t -> int
+
+val points : t -> (float * float) array
+(** Points in insertion order (a fresh array). *)
+
+val last : t -> (float * float) option
+
+val clear : t -> unit
+
+val to_csv : t -> string
+(** Header line [x_label,y_label] then one [x,y] row per point. *)
+
+val save_csv : path:string -> t -> unit

@@ -1,0 +1,83 @@
+type span = {
+  span_name : string;
+  calls : int;
+  wall_seconds : float;
+  cpu_seconds : float;
+  children : span list;
+}
+
+(* Mutable tree nodes; children kept newest-first and reversed on
+   export so rendering shows phases in execution order. *)
+type node = {
+  name : string;
+  mutable n_calls : int;
+  mutable n_wall : float;
+  mutable n_cpu : float;
+  mutable n_children : node list;
+}
+
+type state = {
+  mutable roots : node list;   (* newest first *)
+  mutable stack : node list;   (* innermost open span first *)
+}
+
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { roots = []; stack = [] })
+
+let fresh name = { name; n_calls = 0; n_wall = 0.0; n_cpu = 0.0; n_children = [] }
+
+let find_or_create name siblings append =
+  match List.find_opt (fun n -> n.name = name) siblings with
+  | Some n -> n
+  | None ->
+    let n = fresh name in
+    append n;
+    n
+
+let time name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let st = Domain.DLS.get key in
+    let node =
+      match st.stack with
+      | [] -> find_or_create name st.roots (fun n -> st.roots <- n :: st.roots)
+      | parent :: _ ->
+        find_or_create name parent.n_children (fun n ->
+            parent.n_children <- n :: parent.n_children)
+    in
+    st.stack <- node :: st.stack;
+    let wall0 = Unix.gettimeofday () in
+    let cpu0 = Sys.time () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.n_calls <- node.n_calls + 1;
+        node.n_wall <- node.n_wall +. (Unix.gettimeofday () -. wall0);
+        node.n_cpu <- node.n_cpu +. (Sys.time () -. cpu0);
+        (* Pop down to (and including) this node even if a nested span
+           leaked open because its [f] raised through our handler. *)
+        let rec pop = function
+          | [] -> []
+          | n :: rest -> if n == node then rest else pop rest
+        in
+        st.stack <- pop st.stack)
+      f
+  end
+
+(* Nodes are kept newest-first, so [rev_map] restores execution order. *)
+let rec export node =
+  {
+    span_name = node.name;
+    calls = node.n_calls;
+    wall_seconds = node.n_wall;
+    cpu_seconds = node.n_cpu;
+    children = List.rev_map export node.n_children;
+  }
+
+let tree () =
+  let st = Domain.DLS.get key in
+  List.rev_map export st.roots
+
+let reset () =
+  let st = Domain.DLS.get key in
+  st.roots <- [];
+  st.stack <- []

@@ -1,0 +1,40 @@
+(** Nested span timing: where do wall-clock and CPU time go?
+
+    {!time} wraps a phase of work in a named span; spans started while
+    another span is running become its children, so a run accumulates a
+    call tree ("profile") with per-node call counts, wall seconds
+    (monotonic, [Unix.gettimeofday]) and CPU seconds ([Sys.time], which
+    is process-wide and therefore includes the work of
+    {!Nocmap_util.Domain_pool} domains spawned inside the span — exactly
+    what the paper's CPU-overhead comparison needs).
+
+    Recording obeys the global {!Metrics.enabled} switch: while
+    collection is disabled, [time name f] is exactly [f ()].
+
+    The span tree is {e domain-local} (one tree per domain, kept in
+    domain-local storage): spans opened inside pool workers never race
+    with, or attach under, the orchestrating domain's tree.  Render the
+    tree from the domain that ran the phases — for this CLI, the main
+    domain. *)
+
+type span = {
+  span_name : string;
+  calls : int;            (** Completed [time] invocations of this node. *)
+  wall_seconds : float;   (** Summed wall-clock time across calls. *)
+  cpu_seconds : float;    (** Summed process CPU time across calls. *)
+  children : span list;   (** In first-opened order. *)
+}
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] inside the span [name] (created under the
+    currently open span, or at top level).  Re-entering the same name at
+    the same position accumulates into one node.  Exception-safe: the
+    span is closed and charged even when [f] raises. *)
+
+val tree : unit -> span list
+(** Top-level spans recorded by the calling domain, in first-opened
+    order.  Spans still open (e.g. when called from inside [time]) are
+    reported with the time accumulated by their completed calls only. *)
+
+val reset : unit -> unit
+(** Drops the calling domain's span tree. *)

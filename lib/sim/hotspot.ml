@@ -32,6 +32,22 @@ let link_loads ~crg (trace : Trace.t) =
   |> List.map load
   |> List.sort (fun a b -> Int.compare b.busy_cycles a.busy_cycles)
 
+let link_loads_of_meter ~crg ~texec_cycles meter =
+  let mesh = Crg.mesh crg in
+  let wrap = Nocmap_noc.Routing.uses_wrap_links (Crg.routing crg) in
+  let busy = Wormhole.Meter.link_busy_cycles meter in
+  let packets = Wormhole.Meter.link_packet_counts meter in
+  let horizon = max 1 texec_cycles in
+  Link.all ~wrap mesh
+  |> List.map (fun lid ->
+         {
+           link = lid;
+           busy_cycles = busy.(lid);
+           utilization = float_of_int busy.(lid) /. float_of_int horizon;
+           packets = packets.(lid);
+         })
+  |> List.sort (fun a b -> Int.compare b.busy_cycles a.busy_cycles)
+
 let peak_utilization ~crg trace =
   match link_loads ~crg trace with
   | [] -> 0.0
@@ -44,7 +60,7 @@ let mean_utilization ~crg trace =
     List.fold_left (fun acc l -> acc +. l.utilization) 0.0 loads
     /. float_of_int (List.length loads)
 
-let render ~crg ?(top = 8) trace =
+let render_loads ~crg ?(top = 8) loads =
   let mesh = Crg.mesh crg in
   let wrap = Nocmap_noc.Routing.uses_wrap_links (Crg.routing crg) in
   let table =
@@ -68,5 +84,21 @@ let render ~crg ?(top = 8) trace =
             Printf.sprintf "%.1f %%" (100.0 *. load.utilization);
             string_of_int load.packets;
           ])
-    (link_loads ~crg trace);
+    loads;
   Tablefmt.render table
+
+let render ~crg ?top trace = render_loads ~crg ?top (link_loads ~crg trace)
+
+let loads_csv ~crg loads =
+  let mesh = Crg.mesh crg in
+  let wrap = Nocmap_noc.Routing.uses_wrap_links (Crg.routing crg) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "link,busy_cycles,utilization,packets\n";
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%.6f,%d\n"
+           (Link.to_string ~wrap mesh l.link)
+           l.busy_cycles l.utilization l.packets))
+    loads;
+  Buffer.contents buf

@@ -18,6 +18,15 @@ val link_loads : crg:Nocmap_noc.Crg.t -> Trace.t -> link_load list
     recorded with tracing enabled (annotations present); links that
     carried no traffic report zero. *)
 
+val link_loads_of_meter :
+  crg:Nocmap_noc.Crg.t -> texec_cycles:int -> Wormhole.Meter.t -> link_load list
+(** Same heatmap derived from a {!Wormhole.Meter.t} instead of trace
+    annotations — usable on the allocation-free [run_summary] path
+    where no trace exists.  For a single fault-free run the busy-cycle
+    and packet counts agree exactly with {!link_loads}.
+    [texec_cycles] is the utilization horizon (use the summed horizon
+    when the meter accumulated several runs). *)
+
 val peak_utilization : crg:Nocmap_noc.Crg.t -> Trace.t -> float
 (** Utilization of the busiest link; 0 for an empty trace. *)
 
@@ -26,3 +35,10 @@ val mean_utilization : crg:Nocmap_noc.Crg.t -> Trace.t -> float
 
 val render : crg:Nocmap_noc.Crg.t -> ?top:int -> Trace.t -> string
 (** Table of the [top] (default 8) busiest links. *)
+
+val render_loads : crg:Nocmap_noc.Crg.t -> ?top:int -> link_load list -> string
+(** {!render} over precomputed loads (e.g. from
+    {!link_loads_of_meter}). *)
+
+val loads_csv : crg:Nocmap_noc.Crg.t -> link_load list -> string
+(** [link,busy_cycles,utilization,packets] rows, given order. *)

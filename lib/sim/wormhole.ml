@@ -6,8 +6,45 @@ module Link = Nocmap_noc.Link
 module Mesh = Nocmap_noc.Mesh
 module Cdcg = Nocmap_model.Cdcg
 module Noc_params = Nocmap_energy.Noc_params
+module Metrics = Nocmap_obs.Metrics
 
 exception Deadlock of string
+
+(* Process-wide observability counters (see Nocmap_obs.Metrics): no-ops
+   until metrics collection is enabled, and never read by the simulator
+   — results are bit-identical either way.  Per-event quantities are
+   accumulated in locals and flushed once per run so the hot pump only
+   pays plain integer increments. *)
+let m_runs = Metrics.counter ~help:"wormhole simulations executed" "sim.runs"
+
+let m_truncated =
+  Metrics.counter ~help:"simulations aborted by the cutoff" "sim.runs_truncated"
+
+let m_events =
+  Metrics.counter ~help:"discrete events processed by the pump" "sim.events_processed"
+
+let m_flits =
+  Metrics.counter ~help:"flits forwarded across inter-tile links" "sim.flits_forwarded"
+
+let m_delivered =
+  Metrics.counter ~help:"packets whose last flit arrived" "sim.packets_delivered"
+
+let m_dropped =
+  Metrics.counter ~help:"packets abandoned under faults" "sim.packets_dropped"
+
+let m_retries =
+  Metrics.counter ~help:"futile send retries on severed routes" "sim.packet_retries"
+
+let m_stalls =
+  Metrics.counter ~help:"cycles packets waited for contended ports"
+    "sim.contention_stall_cycles"
+
+let g_queue_highwater =
+  Metrics.gauge ~help:"deepest per-port waiting queue observed"
+    "sim.queue_highwater_packets"
+
+let h_texec =
+  Metrics.histogram ~help:"execution time per simulation (cycles)" "sim.texec_cycles"
 
 (* Degraded execution under a faulty CRG: how long a source core keeps
    re-attempting a packet whose route was severed before abandoning it. *)
@@ -170,6 +207,48 @@ module Scratch = struct
     }
 end
 
+(* Per-resource utilization meter: where do the cycles go on the NoC?
+   Accumulates across runs (reset explicitly) so a campaign can heatmap
+   a whole sweep; arrays are written in place, never read by the pump. *)
+module Meter = struct
+  type t = {
+    mesh_tiles : int;
+    mesh_slots : int;
+    link_busy : int array;      (* service cycles per directed link *)
+    link_packets : int array;   (* packets granted per directed link *)
+    router_stall : int array;   (* arrival-to-grant waits per router *)
+    queue_peak : int array;     (* per-port waiting-queue high-water *)
+    mutable runs : int;
+  }
+
+  let create ~crg =
+    let mesh = Crg.mesh crg in
+    let tiles = Mesh.tile_count mesh in
+    let slots = Link.slot_count mesh in
+    {
+      mesh_tiles = tiles;
+      mesh_slots = slots;
+      link_busy = Array.make slots 0;
+      link_packets = Array.make slots 0;
+      router_stall = Array.make tiles 0;
+      queue_peak = Array.make slots 0;
+      runs = 0;
+    }
+
+  let reset m =
+    Array.fill m.link_busy 0 m.mesh_slots 0;
+    Array.fill m.link_packets 0 m.mesh_slots 0;
+    Array.fill m.router_stall 0 m.mesh_tiles 0;
+    Array.fill m.queue_peak 0 m.mesh_slots 0;
+    m.runs <- 0
+
+  let link_busy_cycles m = Array.copy m.link_busy
+  let link_packet_counts m = Array.copy m.link_packets
+  let router_stall_cycles m = Array.copy m.router_stall
+  let queue_highwater m = Array.copy m.queue_peak
+  let runs m = m.runs
+end
+
 let validate_placement ~(scratch : Scratch.t) ~cores placement =
   let tiles = scratch.Scratch.tiles in
   if Array.length placement <> cores then
@@ -236,7 +315,7 @@ let reset ~(scratch : Scratch.t) ~params ~crg ~placement (cdcg : Cdcg.t) =
    on every remaining delivery (events pop in time order and delivery
    strictly follows header arrival). *)
 let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff ~policy
-    (cdcg : Cdcg.t) =
+    ~meter (cdcg : Cdcg.t) =
   validate_fault_policy policy;
   let s = scratch in
   let mesh = Crg.mesh crg in
@@ -247,6 +326,16 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff ~poli
     || s.Scratch.slots <> Link.slot_count mesh
     || s.Scratch.tiles <> tiles
   then invalid_arg "Wormhole.run: scratch was sized for a different instance";
+  (match meter with
+  | Some m ->
+    if m.Meter.mesh_slots <> s.Scratch.slots || m.Meter.mesh_tiles <> tiles then
+      invalid_arg "Wormhole.run: meter was sized for a different mesh"
+  | None -> ());
+  (* Per-run observability accumulators; flushed to the registry after
+     the pump so the hot path never touches an atomic. *)
+  let events_seen = ref 0 in
+  let flits_forwarded = ref 0 in
+  let queue_peak_seen = ref 0 in
   validate_placement ~scratch ~cores:(Cdcg.core_count cdcg) placement;
   reset ~scratch ~params ~crg ~placement cdcg;
   if trace then begin
@@ -354,6 +443,17 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff ~poli
     st.starts.(hop) <- start;
     busy.(port) <- true;
     let finish = start + tr + (st.flits * tl) - 1 in
+    flits_forwarded := !flits_forwarded + st.flits;
+    (match meter with
+    | Some m ->
+      (* +1 matches Hotspot: link annotations are the closed interval
+         [start+tr, start+tr+flits*tl] and Interval.length = hi-lo+1. *)
+      m.Meter.link_busy.(port) <- m.Meter.link_busy.(port) + (st.flits * tl) + 1;
+      m.Meter.link_packets.(port) <- m.Meter.link_packets.(port) + 1;
+      let router = st.path.Crg.routers.(hop) in
+      m.Meter.router_stall.(router) <-
+        m.Meter.router_stall.(router) + (start - st.arrivals.(hop))
+    | None -> ());
     annotate_router st.path.Crg.routers.(hop) packet ~lo:st.arrivals.(hop) ~hi:finish;
     annotate_link port packet ~lo:(start + tr) ~hi:(start + tr + (st.flits * tl));
     schedule_arrive packet (hop + 1) (start + tr + tl);
@@ -375,7 +475,15 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff ~poli
       let port = st.path.Crg.links.(hop) in
       if (not busy.(port)) && Intqueue.is_empty queues.(port) then
         grant port packet hop time
-      else Intqueue.push queues.(port) (encode_waiting ~packet ~hop ~arrival:time)
+      else begin
+        Intqueue.push queues.(port) (encode_waiting ~packet ~hop ~arrival:time);
+        let depth = Intqueue.length queues.(port) in
+        if depth > !queue_peak_seen then queue_peak_seen := depth;
+        match meter with
+        | Some m ->
+          if depth > m.Meter.queue_peak.(port) then m.Meter.queue_peak.(port) <- depth
+        | None -> ()
+      end
     end
   in
   let release port time =
@@ -400,6 +508,7 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff ~poli
       let time = event_time ev in
       if time > cutoff then `Truncated time
       else begin
+        incr events_seen;
         if event_is_arrive ev then arrive (event_key ev) (event_hop ev) time
         else release (event_key ev) time;
         pump ()
@@ -424,6 +533,16 @@ let run_core ~trace ~params ~crg ~placement ~(scratch : Scratch.t) ~cutoff ~poli
               !undelivered
               cdcg.Cdcg.packets.(!first).Cdcg.label))
     end);
+  (match meter with Some m -> m.Meter.runs <- m.Meter.runs + 1 | None -> ());
+  if Metrics.enabled () then begin
+    Metrics.incr m_runs;
+    (match status with
+    | `Truncated _ -> Metrics.incr m_truncated
+    | `Completed -> ());
+    Metrics.add m_events !events_seen;
+    Metrics.add m_flits !flits_forwarded;
+    Metrics.set_max g_queue_highwater !queue_peak_seen
+  end;
   status
 
 let texec_of_states ~status states =
@@ -451,13 +570,24 @@ let with_scratch ~scratch ~crg cdcg f =
   | Some s -> f s
   | None -> f (Scratch.create ~crg cdcg)
 
-let run ?(trace = true) ?scratch ?cutoff ?(fault_policy = default_fault_policy)
+(* Flushed once per simulation from the already-computed aggregates, so
+   enabling metrics adds no work to the event pump itself. *)
+let flush_outcome ~delivered ~dropped ~retries ~contention ~texec =
+  if Metrics.enabled () then begin
+    Metrics.add m_delivered delivered;
+    Metrics.add m_dropped dropped;
+    Metrics.add m_retries retries;
+    Metrics.add m_stalls contention;
+    Metrics.observe h_texec (float_of_int texec)
+  end
+
+let run ?(trace = true) ?scratch ?cutoff ?(fault_policy = default_fault_policy) ?meter
     ~params ~crg ~placement (cdcg : Cdcg.t) =
   with_scratch ~scratch ~crg cdcg (fun scratch ->
       let cutoff = Option.value cutoff ~default:max_int in
       let status =
         run_core ~trace ~params ~crg ~placement ~scratch ~cutoff ~policy:fault_policy
-          cdcg
+          ~meter cdcg
       in
       let states = scratch.Scratch.states in
       let traces =
@@ -498,6 +628,8 @@ let run ?(trace = true) ?scratch ?cutoff ?(fault_policy = default_fault_policy)
           contention_cycles := !contention_cycles + !acc;
           if !acc > 0 then incr contended_packets)
         states;
+      flush_outcome ~delivered:delivered_packets ~dropped:dropped_packets
+        ~retries:retries_total ~contention:!contention_cycles ~texec:texec_cycles;
       {
         Trace.texec_cycles;
         texec_ns = Noc_params.cycles_to_ns params texec_cycles;
@@ -522,13 +654,13 @@ type summary = {
   retries_total : int;
 }
 
-let run_summary ?scratch ?cutoff ?(fault_policy = default_fault_policy) ~params ~crg
-    ~placement (cdcg : Cdcg.t) =
+let run_summary ?scratch ?cutoff ?(fault_policy = default_fault_policy) ?meter ~params
+    ~crg ~placement (cdcg : Cdcg.t) =
   with_scratch ~scratch ~crg cdcg (fun scratch ->
       let cutoff = Option.value cutoff ~default:max_int in
       let status =
         run_core ~trace:false ~params ~crg ~placement ~scratch ~cutoff
-          ~policy:fault_policy cdcg
+          ~policy:fault_policy ~meter cdcg
       in
       let states = scratch.Scratch.states in
       let contention_cycles = ref 0 and contended_packets = ref 0 in
@@ -543,8 +675,11 @@ let run_summary ?scratch ?cutoff ?(fault_policy = default_fault_policy) ~params 
           if !acc > 0 then incr contended_packets)
         states;
       let delivered_packets, dropped_packets, retries_total = count_outcomes states in
+      let texec_cycles = texec_of_states ~status states in
+      flush_outcome ~delivered:delivered_packets ~dropped:dropped_packets
+        ~retries:retries_total ~contention:!contention_cycles ~texec:texec_cycles;
       {
-        texec_cycles = texec_of_states ~status states;
+        texec_cycles;
         truncated = (match status with `Truncated _ -> true | `Completed -> false);
         contention_cycles = !contention_cycles;
         contended_packets = !contended_packets;
@@ -553,6 +688,6 @@ let run_summary ?scratch ?cutoff ?(fault_policy = default_fault_policy) ~params 
         retries_total;
       })
 
-let texec_cycles ?scratch ?cutoff ?fault_policy ~params ~crg ~placement cdcg =
-  (run_summary ?scratch ?cutoff ?fault_policy ~params ~crg ~placement cdcg)
+let texec_cycles ?scratch ?cutoff ?fault_policy ?meter ~params ~crg ~placement cdcg =
+  (run_summary ?scratch ?cutoff ?fault_policy ?meter ~params ~crg ~placement cdcg)
     .texec_cycles

@@ -67,11 +67,52 @@ module Scratch : sig
       encoding limits (65535 packets or link slots). *)
 end
 
+(** Spatial accumulator for heatmaps.
+
+    A meter aggregates per-link and per-router activity across any
+    number of runs (pass the same meter to successive simulations of
+    the same mesh): per-link busy cycles and packet counts, per-router
+    contention-stall cycles, and per-port waiting-queue high-water
+    marks.  Unlike the process-wide {!Nocmap_obs.Metrics} registry it
+    is caller-owned and always on — passing one is the opt-in — and it
+    never changes simulation results.  Feed it to
+    {!Hotspot.link_loads_of_meter} for a heatmap without tracing.
+
+    A meter is NOT thread-safe: give each domain its own. *)
+module Meter : sig
+  type t
+
+  val create : crg:Nocmap_noc.Crg.t -> t
+  (** Sized for the mesh of [crg] (any CRG on the same mesh works). *)
+
+  val reset : t -> unit
+  (** Zero every accumulator, including the run count. *)
+
+  val runs : t -> int
+  (** Simulations accumulated since creation/reset. *)
+
+  val link_busy_cycles : t -> int array
+  (** Per-link-slot cycles spent transferring flits (indexed like
+      {!Nocmap_noc.Link.slot_count}; agrees with the busy cycles that
+      {!Hotspot.link_loads} derives from trace annotations). *)
+
+  val link_packet_counts : t -> int array
+  (** Per-link-slot packets granted. *)
+
+  val router_stall_cycles : t -> int array
+  (** Per-tile cycles packets waited for this router's output ports
+      (sums to the trace's [contention_cycles]). *)
+
+  val queue_highwater : t -> int array
+  (** Per-link-slot deepest waiting queue observed. *)
+end
+
 val run :
   ?trace:bool ->
   ?scratch:Scratch.t ->
   ?cutoff:int ->
   ?fault_policy:fault_policy ->
+  ?meter:Meter.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->
@@ -98,8 +139,16 @@ val run :
     routes when [crg] carries faults; it is irrelevant on a fault-free
     CRG.
 
-    @raise Invalid_argument on an ill-formed placement, a scratch sized
-    for a different instance, or a negative fault-policy field.
+    [?meter] accumulates per-link/per-router activity into a caller
+    owned {!Meter.t} (see above).  When the process-wide
+    {!Nocmap_obs.Metrics} registry is enabled, every run additionally
+    flushes aggregate counters ([sim.runs], [sim.flits_forwarded],
+    [sim.packets_delivered], ...) — once per run, never per event, so
+    results are bit-identical with metrics on or off.
+
+    @raise Invalid_argument on an ill-formed placement, a scratch or
+    meter sized for a different instance, or a negative fault-policy
+    field.
     @raise Deadlock when bounded buffering deadlocks. *)
 
 type summary = {
@@ -116,6 +165,7 @@ val run_summary :
   ?scratch:Scratch.t ->
   ?cutoff:int ->
   ?fault_policy:fault_policy ->
+  ?meter:Meter.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->
@@ -129,6 +179,7 @@ val texec_cycles :
   ?scratch:Scratch.t ->
   ?cutoff:int ->
   ?fault_policy:fault_policy ->
+  ?meter:Meter.t ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->

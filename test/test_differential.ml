@@ -1,0 +1,155 @@
+(* Differential properties: independent implementations of the same
+   quantity must agree.  Scratch-arena simulation vs fresh allocation,
+   metrics-enabled vs metrics-disabled runs, the analytic critical path
+   vs the simulator on contention-free traffic, and pruned vs unpruned
+   search objectives. *)
+
+module Metrics = Nocmap_obs.Metrics
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Cdcg = Nocmap_model.Cdcg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Wormhole = Nocmap_sim.Wormhole
+module Analytic = Nocmap_sim.Analytic
+module Rng = Nocmap_util.Rng
+module Mapping = Nocmap_mapping
+module Generator = Nocmap_tgff.Generator
+
+let params = Noc_params.make ~flit_bits:8 ()
+
+let gen_scenario =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* cols = int_range 2 4 in
+    let* rows = int_range 2 4 in
+    let mesh = Mesh.create ~cols ~rows in
+    let tiles = Mesh.tile_count mesh in
+    let rng = Rng.create ~seed in
+    let* cores = int_range 2 (min 8 tiles) in
+    let* packets = int_range 1 40 in
+    let spec =
+      Generator.default_spec ~name:"diff" ~cores ~packets
+        ~total_bits:(max packets (packets * 60))
+    in
+    let cdcg = Generator.generate rng spec in
+    let placement = Mapping.Placement.random rng ~cores ~tiles in
+    return (mesh, cdcg, placement))
+
+let summaries_equal (a : Wormhole.summary) (b : Wormhole.summary) = a = b
+
+let prop_scratch_equals_fresh =
+  QCheck2.Test.make ~name:"scratch arena run equals fresh-allocation run"
+    ~count:(Test_util.prop_count 100) gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let scratch = Wormhole.Scratch.create ~crg cdcg in
+      let fresh = Wormhole.run_summary ~params ~crg ~placement cdcg in
+      let reused = Wormhole.run_summary ~scratch ~params ~crg ~placement cdcg in
+      (* Run the scratch twice: reset bugs would show on the second use. *)
+      let reused2 = Wormhole.run_summary ~scratch ~params ~crg ~placement cdcg in
+      summaries_equal fresh reused && summaries_equal fresh reused2)
+
+let prop_metrics_do_not_change_sim =
+  QCheck2.Test.make ~name:"simulation is bit-identical with metrics on or off"
+    ~count:(Test_util.prop_count 100) gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let run () = Wormhole.run_summary ~params ~crg ~placement cdcg in
+      let off = Metrics.with_enabled false run in
+      let on_ = Metrics.with_enabled true run in
+      let metered =
+        let meter = Wormhole.Meter.create ~crg in
+        Metrics.with_enabled true (fun () ->
+            Wormhole.run_summary ~meter ~params ~crg ~placement cdcg)
+      in
+      summaries_equal off on_ && summaries_equal off metered)
+
+let prop_metrics_do_not_change_search =
+  QCheck2.Test.make ~name:"annealing result is identical with metrics on or off"
+    ~count:(Test_util.prop_count 20) gen_scenario (fun (mesh, cdcg, _) ->
+      let crg = Crg.create mesh in
+      let tiles = Mesh.tile_count mesh in
+      let cores = Cdcg.core_count cdcg in
+      let objective =
+        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg
+      in
+      let descend enabled =
+        Metrics.with_enabled enabled (fun () ->
+            Mapping.Annealing.search ~rng:(Rng.create ~seed:11)
+              ~config:(Mapping.Annealing.quick_config ~tiles)
+              ~tiles ~objective ~cores ())
+      in
+      let off = descend false and on_ = descend true in
+      off.Mapping.Objective.placement = on_.Mapping.Objective.placement
+      && off.Mapping.Objective.cost = on_.Mapping.Objective.cost
+      && off.Mapping.Objective.evaluations = on_.Mapping.Objective.evaluations)
+
+let prop_contention_free_matches_analytic =
+  (* Whenever the simulator reports zero contention the analytic
+     critical path is exact, not just a lower bound. *)
+  QCheck2.Test.make ~name:"contention-free sim equals analytic critical path"
+    ~count:(Test_util.prop_count 200) gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let s = Wormhole.run_summary ~params ~crg ~placement cdcg in
+      s.Wormhole.contention_cycles > 0
+      ||
+      let est = Analytic.estimate ~params ~crg ~placement cdcg in
+      s.Wormhole.texec_cycles = est.Analytic.critical_path_cycles)
+
+let prop_analytic_is_lower_bound =
+  QCheck2.Test.make ~name:"analytic estimate never exceeds simulated texec"
+    ~count:(Test_util.prop_count 100) gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let s = Wormhole.run_summary ~params ~crg ~placement cdcg in
+      let est = Analytic.estimate ~params ~crg ~placement cdcg in
+      est.Analytic.lower_bound_cycles <= s.Wormhole.texec_cycles)
+
+let prop_pruned_sa_cost_consistent =
+  (* Cutoff pruning may only reject candidates; the cost reported for
+     the returned placement must equal an exact re-evaluation. *)
+  QCheck2.Test.make ~name:"pruned annealing reports the exact cost of its result"
+    ~count:(Test_util.prop_count 20) gen_scenario (fun (mesh, cdcg, _) ->
+      let crg = Crg.create mesh in
+      let tiles = Mesh.tile_count mesh in
+      let cores = Cdcg.core_count cdcg in
+      let objective =
+        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg
+      in
+      let config =
+        { (Mapping.Annealing.quick_config ~tiles) with
+          Mapping.Annealing.prune = Some 20.0
+        }
+      in
+      let result =
+        Mapping.Annealing.search ~rng:(Rng.create ~seed:23) ~config ~tiles
+          ~objective ~cores ()
+      in
+      objective.Mapping.Objective.cost_fn result.Mapping.Objective.placement
+      = result.Mapping.Objective.cost)
+
+let prop_local_search_prune_lossless =
+  (* The local-search bound check is an exact accept/reject test, so
+     stripping the bound function must not change the trajectory. *)
+  QCheck2.Test.make ~name:"local search with and without bound_fn is identical"
+    ~count:(Test_util.prop_count 20) gen_scenario (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let tiles = Mesh.tile_count mesh in
+      let objective = Mapping.Objective.texec ~params ~crg ~cdcg in
+      let unbounded = { objective with Mapping.Objective.bound_fn = None } in
+      let run objective =
+        Mapping.Local_search.search ~objective ~tiles ~initial:placement ()
+      in
+      let pruned = run objective and exact = run unbounded in
+      pruned.Mapping.Objective.placement = exact.Mapping.Objective.placement
+      && pruned.Mapping.Objective.cost = exact.Mapping.Objective.cost)
+
+let suite =
+  ( "differential",
+    [
+      QCheck_alcotest.to_alcotest prop_scratch_equals_fresh;
+      QCheck_alcotest.to_alcotest prop_metrics_do_not_change_sim;
+      QCheck_alcotest.to_alcotest prop_metrics_do_not_change_search;
+      QCheck_alcotest.to_alcotest prop_contention_free_matches_analytic;
+      QCheck_alcotest.to_alcotest prop_analytic_is_lower_bound;
+      QCheck_alcotest.to_alcotest prop_pruned_sa_cost_consistent;
+      QCheck_alcotest.to_alcotest prop_local_search_prune_lossless;
+    ] )

@@ -77,6 +77,40 @@ let test_parse_tiles () =
     Test_util.check_contains ~msg:"token position" ~needle:"entry 2" msg;
     Test_util.check_contains ~msg:"offending token" ~needle:"\"x\"" msg
 
+(* parse_tiles ∘ render_tiles is the identity on every valid placement. *)
+let prop_render_tiles_roundtrip =
+  QCheck2.Test.make ~name:"parse_tiles . render_tiles = id"
+    ~count:(Test_util.prop_count 200)
+    QCheck2.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* tiles = int_range 1 64 in
+      let* cores = int_range 1 tiles in
+      let rng = Nocmap_util.Rng.create ~seed in
+      return (Nocmap_mapping.Placement.random rng ~cores ~tiles))
+    (fun placement ->
+      let cores = Array.length placement in
+      match Placement_io.parse_tiles ~cores (Placement_io.render_tiles placement) with
+      | Ok parsed -> parsed = placement
+      | Error _ -> false)
+
+let test_render_tiles () =
+  Alcotest.(check string) "rendered" "3,0,1,2" (Placement_io.render_tiles [| 3; 0; 1; 2 |]);
+  Alcotest.(check string) "empty" "" (Placement_io.render_tiles [||])
+
+(* Malformed `noc` lines must carry the offending token, whatever the
+   whitespace shape around it. *)
+let test_noc_line_errors () =
+  expect_error ~needle:"\"2y2\"" "noc 2y2\n";
+  expect_error ~needle:"noc" "noc\n";
+  expect_error ~needle:"\"0x2\"" "noc   0x2\ncore A tile 0\n";
+  (* Extra spacing is tolerated, not an error. *)
+  match Placement_io.of_string ~core_names
+          "noc  2x2 \ncore A tile 3\ncore B tile 0\ncore E tile 1\ncore F tile 2\n"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok (parsed_mesh, _) ->
+    Alcotest.(check string) "mesh" "2x2" (Mesh.to_string parsed_mesh)
+
 let suite =
   ( "placement-io",
     [
@@ -87,4 +121,7 @@ let suite =
       Alcotest.test_case "file error message roundtrip" `Quick
         test_file_error_message_roundtrip;
       Alcotest.test_case "parse tiles" `Quick test_parse_tiles;
+      Alcotest.test_case "render tiles" `Quick test_render_tiles;
+      Alcotest.test_case "noc line errors" `Quick test_noc_line_errors;
+      QCheck_alcotest.to_alcotest prop_render_tiles_roundtrip;
     ] )

@@ -110,6 +110,41 @@ let test_energy_from_annotations () =
   in
   Alcotest.(check (float 1e-18)) "annotation energy = eq 4" 390.0e-12 dyn
 
+(* Golden per-link busy-cycle vector for mapping (c), derived from the
+   Figure 3(a) annotations (busy = sum of closed-interval lengths).
+   Pins the Meter accumulators and their agreement with the trace. *)
+let test_meter_golden_c () =
+  let meter = Wormhole.Meter.create ~crg in
+  let t = Wormhole.run ~meter ~params ~crg ~placement:Fig1.mapping_c Fig1.cdcg in
+  let mesh = Crg.mesh crg in
+  let busy = Wormhole.Meter.link_busy_cycles meter in
+  let packets = Wormhole.Meter.link_packet_counts meter in
+  let nonzero =
+    List.init (Array.length busy) Fun.id
+    |> List.filter (fun l -> busy.(l) > 0)
+    |> List.map (fun l ->
+           Printf.sprintf "%s:%d:%d" (Link.to_string mesh l) busy.(l) packets.(l))
+  in
+  Alcotest.(check (list string)) "busy-cycle vector (c)"
+    [ "L(0->2):57:2"; "L(1->0):32:2"; "L(2->0):16:1"; "L(3->1):37:2" ]
+    nonzero;
+  (* The meter heatmap and the trace-annotation heatmap agree. *)
+  let by_link loads =
+    List.sort
+      (fun (a : Nocmap_sim.Hotspot.link_load) b ->
+        Int.compare a.Nocmap_sim.Hotspot.link b.Nocmap_sim.Hotspot.link)
+      loads
+  in
+  Alcotest.(check bool) "meter equals trace heatmap" true
+    (by_link (Nocmap_sim.Hotspot.link_loads ~crg t)
+    = by_link
+        (Nocmap_sim.Hotspot.link_loads_of_meter ~crg
+           ~texec_cycles:t.Trace.texec_cycles meter));
+  (* Router-stall accounting reproduces the 7 contention cycles, all
+     charged to one router. *)
+  let stalls = Wormhole.Meter.router_stall_cycles meter in
+  Alcotest.(check int) "stalls sum to contention" 7 (Array.fold_left ( + ) 0 stalls)
+
 let strip_legend rendered =
   String.split_on_char '\n' rendered
   |> List.filter (fun line -> not (Test_util.contains_substring ~needle:"legend" line))
@@ -136,5 +171,6 @@ let suite =
       Alcotest.test_case "CWM energy (fig 2)" `Quick test_cwm_energy_fig2;
       Alcotest.test_case "CDCM energy (fig 3)" `Quick test_cdcm_energy_fig3;
       Alcotest.test_case "energy from annotations" `Quick test_energy_from_annotations;
+      Alcotest.test_case "meter golden vector (fig 3a)" `Quick test_meter_golden_c;
       Alcotest.test_case "gantt rendering" `Quick test_gantt_renders;
     ] )

@@ -10,3 +10,10 @@ let check_contains ~msg ~needle haystack =
     (Printf.sprintf "%s (looking for %S)" msg needle)
     true
     (contains_substring ~needle haystack)
+
+(* Property iteration budget.  [make test-props] sets NOCMAP_PROP_MULT to
+   multiply every property's base count for a deeper soak. *)
+let prop_count base =
+  match Option.bind (Sys.getenv_opt "NOCMAP_PROP_MULT") int_of_string_opt with
+  | Some mult when mult > 0 -> base * mult
+  | Some _ | None -> base
