@@ -1,4 +1,4 @@
-.PHONY: all build check test test-props bench bench-smoke clean
+.PHONY: all build check test test-props bench bench-smoke bench-gate lint clean
 
 all: build
 
@@ -25,6 +25,28 @@ bench:
 bench-smoke:
 	NOCMAP_BENCH_BUDGET=quick dune exec bench/main.exe
 
+# Regression gate: stash the committed baseline, regenerate the quick
+# benchmark, then compare the machine-independent ratios (arena/cutoff
+# speedups, metrics tax, cache hit rate, symmetry eval fraction, the
+# bit-identity booleans) with a +-15% tolerance.  Exit 1 on regression,
+# exit 2 on a missing or malformed metric.  To refresh the baseline
+# intentionally: run `make bench-smoke` and commit BENCH_nocmap.json.
+bench-gate:
+	cp BENCH_nocmap.json BENCH_baseline.json
+	NOCMAP_BENCH_BUDGET=quick dune exec bench/main.exe
+	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_nocmap.json
+
+# Warnings-as-errors build plus a clean-tree check: fails when the build
+# leaves the working tree dirty or drops untracked files outside _build.
+lint:
+	dune build @all --profile lint
+	@status="$$(git status --porcelain)"; \
+	if [ -n "$$status" ]; then \
+		echo "lint: dirty or untracked files after dune build:"; \
+		echo "$$status"; \
+		exit 1; \
+	fi
+
 clean:
 	dune clean
-	rm -f BENCH_nocmap.json
+	rm -f BENCH_baseline.json BENCH_comparison.json

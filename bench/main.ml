@@ -519,34 +519,15 @@ let bench_json () =
   in
   (* The perf trajectory is tracked against a frozen copy of the seed
      simulator (record events, per-call allocation of every structure) —
-     see [Baseline_sim].  Speedups below are relative to it. *)
-  let cdcm_baseline_ops =
-    ops_per_sec (fun i ->
-        ignore (Baseline_sim.total_energy ~tech ~params ~crg ~cdcg (pick i)))
-  in
-  let cdcm_fresh_ops =
-    ops_per_sec (fun i ->
-        ignore (Mapping.Cost_cdcm.total_energy ~tech ~params ~crg ~cdcg (pick i)))
-  in
+     see [Baseline_sim].  Speedups below are relative to it.
+
+     The CI gate checks ratios of these throughputs, so they are measured
+     interleaved round-robin with best-of-five windows per metric: a
+     multi-second interference burst then slows every metric of a rep
+     instead of one side of a ratio, and the max discards slowed reps. *)
   let scratch = Wormhole.Scratch.create ~crg cdcg in
-  let cdcm_arena_ops =
-    ops_per_sec (fun i ->
-        ignore
-          (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg (pick i)))
-  in
-  (* Observability tax on the hottest path: the same arena-backed CDCM
-     evaluation with the metrics registry switched on (per-run flush of
-     the sim.* counters).  The instrumentation budget is <= 5%. *)
-  let cdcm_arena_metrics_ops =
-    Nocmap_obs.Metrics.with_enabled true (fun () ->
-        ops_per_sec (fun i ->
-            ignore
-              (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg
-                 (pick i))))
-  in
-  (* Cutoff throughput: the local-search / SA-descent scenario — every
-     candidate is bounded against the best cost seen so far. *)
   let incumbent =
+    (* cutoff for the bound throughput: best cost over the sample set *)
     let best = ref infinity in
     for i = 0 to n_placements - 1 do
       best :=
@@ -555,11 +536,125 @@ let bench_json () =
     done;
     !best
   in
-  let cdcm_cutoff_ops =
-    ops_per_sec (fun i ->
-        ignore
-          (Mapping.Cost_cdcm.evaluate_bound ~scratch ~tech ~params ~crg ~cdcg
-             ~cutoff:incumbent (pick i)))
+  let cdcm_measures =
+    [|
+      (* seed-simulator baseline *)
+      (fun () ->
+        ops_per_sec (fun i ->
+            ignore (Baseline_sim.total_energy ~tech ~params ~crg ~cdcg (pick i))));
+      (* current simulator, fresh allocations per call *)
+      (fun () ->
+        ops_per_sec (fun i ->
+            ignore (Mapping.Cost_cdcm.total_energy ~tech ~params ~crg ~cdcg (pick i))));
+      (* arena-backed *)
+      (fun () ->
+        ops_per_sec (fun i ->
+            ignore
+              (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg
+                 (pick i))));
+      (* observability tax: same arena path with the metrics registry on
+         (per-run flush of the sim.* counters); budget <= 5% *)
+      (fun () ->
+        Nocmap_obs.Metrics.with_enabled true (fun () ->
+            ops_per_sec (fun i ->
+                ignore
+                  (Mapping.Cost_cdcm.total_energy ~scratch ~tech ~params ~crg ~cdcg
+                     (pick i)))));
+      (* cutoff: the local-search / SA-descent scenario — every candidate
+         is bounded against the best cost seen so far *)
+      (fun () ->
+        ops_per_sec (fun i ->
+            ignore
+              (Mapping.Cost_cdcm.evaluate_bound ~scratch ~tech ~params ~crg ~cdcg
+                 ~cutoff:incumbent (pick i))));
+    |]
+  in
+  let reps = 5 in
+  let cdcm_reps =
+    Array.init reps (fun _ -> Array.map (fun measure -> measure ()) cdcm_measures)
+  in
+  let best metric =
+    Array.fold_left (fun acc rep -> Float.max acc rep.(metric)) 0.0 cdcm_reps
+  in
+  (* Gated ratios are formed within each rep (numerator and denominator
+     measured back to back under the same machine state) and summarised
+     by the median rep, so a single interference burst cannot move
+     them. *)
+  let median_ratio num den =
+    let ratios = Array.map (fun rep -> rep.(num) /. rep.(den)) cdcm_reps in
+    Array.sort compare ratios;
+    ratios.(reps / 2)
+  in
+  let cdcm_baseline_ops = best 0 in
+  let cdcm_fresh_ops = best 1 in
+  let cdcm_arena_ops = best 2 in
+  let cdcm_arena_metrics_ops = best 3 in
+  let cdcm_cutoff_ops = best 4 in
+  let arena_speedup = median_ratio 2 0 in
+  let cutoff_speedup = median_ratio 4 0 in
+  (* Instrumentation tax from the cleanest window of each side.  On a
+     busy machine this estimate still carries several points of noise, so
+     the CI gate checks it against a fixed ceiling rather than a delta
+     from the baseline; the <= 5% budget claim holds on quiet machines. *)
+  let metrics_overhead =
+    100.0 *. (1.0 -. (cdcm_arena_metrics_ops /. Float.max cdcm_arena_ops 1e-9))
+  in
+  (* Evaluation cache: converged annealing on the ablation instance,
+     cached vs uncached.  Results must be bit-identical; the hit rate
+     and the wall-clock ratio land in the JSON. *)
+  let sa_config =
+    {
+      (Mapping.Annealing.default_config ~tiles) with
+      Mapping.Annealing.prune = Some 20.0;
+      patience = 40;
+    }
+  in
+  let sa_run objective =
+    Mapping.Annealing.search
+      ~rng:(Rng.create ~seed:(seed + 37))
+      ~config:sa_config ~tiles ~objective ~cores ()
+  in
+  let t0 = wall () in
+  let sa_plain = sa_run (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg) in
+  let sa_plain_seconds = wall () -. t0 in
+  let symmetry =
+    Nocmap_noc.Symmetry.of_crg ~level:Nocmap_noc.Symmetry.Paths crg
+  in
+  let sa_cache = Mapping.Eval_cache.create ~symmetry ~cores () in
+  let t0 = wall () in
+  let sa_cached =
+    sa_run
+      (Mapping.Objective.with_cache sa_cache
+         (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg))
+  in
+  let sa_cached_seconds = wall () -. t0 in
+  let sa_identical =
+    sa_plain.Mapping.Objective.placement = sa_cached.Mapping.Objective.placement
+    && sa_plain.Mapping.Objective.cost = sa_cached.Mapping.Objective.cost
+    && sa_plain.Mapping.Objective.evaluations
+       = sa_cached.Mapping.Objective.evaluations
+  in
+  let sa_hit_rate = 100.0 *. Mapping.Eval_cache.hit_rate sa_cache in
+  (* Symmetry-reduced exhaustive search: a 5-core CDCM instance on the
+     3x3 mesh, full enumeration vs canonical representatives only. *)
+  let es_cdcg =
+    Nocmap_tgff.Generator.generate
+      (Rng.create ~seed:(seed + 41))
+      (Nocmap_tgff.Generator.default_spec ~name:"es-cache" ~cores:5 ~packets:20
+         ~total_bits:4_000)
+  in
+  let es_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:es_cdcg in
+  let es_full = Mapping.Exhaustive.search ~objective:es_objective ~cores:5 ~tiles () in
+  let es_reduced =
+    Mapping.Exhaustive.search ~objective:es_objective ~cores:5 ~tiles ~symmetry ()
+  in
+  let es_identical =
+    es_full.Mapping.Objective.placement = es_reduced.Mapping.Objective.placement
+    && es_full.Mapping.Objective.cost = es_reduced.Mapping.Objective.cost
+  in
+  let es_fraction =
+    float_of_int es_reduced.Mapping.Objective.evaluations
+    /. float_of_int es_full.Mapping.Objective.evaluations
   in
   (* Sequential vs parallel wall time over a Table 2 slice. *)
   let instances =
@@ -607,6 +702,11 @@ let bench_json () =
   "cdcm_arena_speedup": %.2f,
   "cdcm_arena_cutoff_speedup": %.2f,
   "metrics_overhead_percent": %.2f,
+  "cache_sa_hit_rate_percent": %.1f,
+  "cache_sa_speedup": %.2f,
+  "cache_sa_identical": %b,
+  "cache_exhaustive_eval_fraction": %.4f,
+  "cache_exhaustive_identical": %b,
   "suite_instances": %d,
   "suite_jobs": %d,
   "suite_sequential_seconds": %.3f,
@@ -621,10 +721,10 @@ let bench_json () =
       | Experiment.Standard -> "standard"
       | Experiment.Thorough -> "thorough")
       cwm_ops cwm_inc_ops cdcm_baseline_ops cdcm_fresh_ops cdcm_arena_ops
-      cdcm_arena_metrics_ops cdcm_cutoff_ops
-      (cdcm_arena_ops /. cdcm_baseline_ops)
-      (cdcm_cutoff_ops /. cdcm_baseline_ops)
-      (100.0 *. (1.0 -. (cdcm_arena_metrics_ops /. Float.max cdcm_arena_ops 1e-9)))
+      cdcm_arena_metrics_ops cdcm_cutoff_ops arena_speedup cutoff_speedup
+      metrics_overhead sa_hit_rate
+      (sa_plain_seconds /. Float.max sa_cached_seconds 1e-9)
+      sa_identical es_fraction es_identical
       (List.length instances) jobs seq_seconds par_seconds
       (seq_seconds /. Float.max par_seconds 1e-9)
       identical
@@ -717,7 +817,220 @@ let bechamel_report () =
     tests;
   Tablefmt.print table
 
+(* --- benchmark regression gate: `bench/main.exe --compare BASE CUR` ---
+
+   Compares two BENCH_nocmap.json files and fails (exit 1) when a gated
+   metric regresses beyond the tolerance, or (exit 2) when a gated
+   metric is missing or malformed in either file.  Raw ops/sec numbers
+   are machine-dependent, so the gate covers only within-run ratios
+   (speedups vs the frozen seed simulator, the metrics tax, cache hit
+   rate, symmetry eval fraction) and the bit-identity booleans; the raw
+   throughputs are reported for information only. *)
+
+let parse_flat_json path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "bench-compare: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  let n = String.length text in
+  let fields = ref [] in
+  let i = ref 0 in
+  let is_blank c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  while !i < n do
+    while !i < n && text.[!i] <> '"' do incr i done;
+    if !i < n then begin
+      incr i;
+      let key_start = !i in
+      while !i < n && text.[!i] <> '"' do incr i done;
+      if !i >= n then begin
+        Printf.eprintf "bench-compare: %s: unterminated string\n" path;
+        exit 2
+      end;
+      let key = String.sub text key_start (!i - key_start) in
+      incr i;
+      while !i < n && is_blank text.[!i] do incr i done;
+      if !i < n && text.[!i] = ':' then begin
+        incr i;
+        while !i < n && is_blank text.[!i] do incr i done;
+        if !i < n && text.[!i] = '"' then begin
+          incr i;
+          let v_start = !i in
+          while !i < n && text.[!i] <> '"' do incr i done;
+          fields := (key, String.sub text v_start (!i - v_start)) :: !fields;
+          incr i
+        end
+        else begin
+          let v_start = !i in
+          while !i < n && text.[!i] <> ',' && text.[!i] <> '}' && text.[!i] <> '\n'
+          do incr i done;
+          let raw = String.trim (String.sub text v_start (!i - v_start)) in
+          if raw <> "" then fields := (key, raw) :: !fields
+        end
+      end
+    end
+  done;
+  List.rev !fields
+
+let compare_field fields path key =
+  match List.assoc_opt key fields with
+  | Some raw -> raw
+  | None ->
+      Printf.eprintf "bench-compare: metric %S missing from %s\n" key path;
+      exit 2
+
+let compare_float fields path key =
+  let raw = compare_field fields path key in
+  match float_of_string_opt raw with
+  | Some v -> v
+  | None ->
+      Printf.eprintf "bench-compare: metric %S in %s is not a number: %s\n" key
+        path raw;
+      exit 2
+
+let compare_bool fields path key =
+  let raw = compare_field fields path key in
+  match bool_of_string_opt raw with
+  | Some v -> v
+  | None ->
+      Printf.eprintf "bench-compare: metric %S in %s is not a boolean: %s\n" key
+        path raw;
+      exit 2
+
+type gate_direction = Higher_better | Lower_better
+
+let run_compare ~baseline_path ~current_path ~tolerance_percent =
+  let baseline = parse_flat_json baseline_path in
+  let current = parse_flat_json current_path in
+  let tol = tolerance_percent /. 100.0 in
+  let checks = ref [] in
+  (* (key, baseline repr, current repr, status) in insertion order *)
+  let record key b c status = checks := (key, b, c, status) :: !checks in
+  let failures = ref 0 in
+  let gate_ratio key direction =
+    let b = compare_float baseline baseline_path key in
+    let c = compare_float current current_path key in
+    let ok =
+      match direction with
+      | Higher_better -> c >= b *. (1.0 -. tol)
+      | Lower_better -> c <= b *. (1.0 +. tol)
+    in
+    if not ok then incr failures;
+    record key (Printf.sprintf "%.4f" b) (Printf.sprintf "%.4f" c)
+      (if ok then "ok" else "regression")
+  in
+  (* [metrics_overhead_percent] sits near zero and carries several
+     points of measurement noise on shared machines, so neither a
+     relative tolerance nor a baseline delta is meaningful; gate it
+     against a fixed absolute ceiling that still catches a genuine
+     instrumentation blow-up (a per-event allocation shows up as tens of
+     points).  The baseline value must still be present and is shown for
+     context. *)
+  let gate_ceiling key ceiling =
+    let b = compare_float baseline baseline_path key in
+    let c = compare_float current current_path key in
+    let ok = c <= ceiling in
+    if not ok then incr failures;
+    record key (Printf.sprintf "%.2f" b) (Printf.sprintf "%.2f" c)
+      (if ok then "ok" else "regression")
+  in
+  let gate_bool key =
+    let b = compare_bool baseline baseline_path key in
+    let c = compare_bool current current_path key in
+    let ok = c in
+    if not ok then incr failures;
+    record key (string_of_bool b) (string_of_bool c)
+      (if ok then "ok" else "regression")
+  in
+  let report_only key =
+    let b = compare_float baseline baseline_path key in
+    let c = compare_float current current_path key in
+    record key (Printf.sprintf "%.1f" b) (Printf.sprintf "%.1f" c) "info"
+  in
+  List.iter report_only
+    [
+      "cwm_eval_ops_per_sec"; "cwm_incremental_move_ops_per_sec";
+      "cdcm_eval_seed_baseline_ops_per_sec"; "cdcm_eval_fresh_ops_per_sec";
+      "cdcm_eval_arena_ops_per_sec"; "cdcm_eval_arena_metrics_ops_per_sec";
+      "cdcm_eval_arena_cutoff_ops_per_sec"; "suite_parallel_speedup";
+      "cache_sa_speedup";
+    ];
+  gate_ratio "cdcm_arena_speedup" Higher_better;
+  gate_ratio "cdcm_arena_cutoff_speedup" Higher_better;
+  gate_ratio "cache_sa_hit_rate_percent" Higher_better;
+  gate_ratio "cache_exhaustive_eval_fraction" Lower_better;
+  gate_ceiling "metrics_overhead_percent" 30.0;
+  gate_bool "suite_parallel_identical";
+  gate_bool "cache_sa_identical";
+  gate_bool "cache_exhaustive_identical";
+  let checks = List.rev !checks in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("metric", Tablefmt.Left); ("baseline", Tablefmt.Right);
+          ("current", Tablefmt.Right); ("status", Tablefmt.Left) ]
+      ()
+  in
+  List.iter (fun (k, b, c, s) -> Tablefmt.add_row table [ k; b; c; s ]) checks;
+  banner
+    (Printf.sprintf "Benchmark comparison: %s vs %s (tolerance %.0f%%)"
+       baseline_path current_path tolerance_percent);
+  Tablefmt.print table;
+  let json =
+    let rows =
+      List.map
+        (fun (k, b, c, s) ->
+          Printf.sprintf
+            {|    { "metric": %S, "baseline": %S, "current": %S, "status": %S }|}
+            k b c s)
+        checks
+      |> String.concat ",\n"
+    in
+    Printf.sprintf
+      {|{
+  "baseline": %S,
+  "current": %S,
+  "tolerance_percent": %.1f,
+  "regressions": %d,
+  "checks": [
+%s
+  ]
+}
+|}
+      baseline_path current_path tolerance_percent !failures rows
+  in
+  let oc = open_out "BENCH_comparison.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_comparison.json (%d regression%s)\n" !failures
+    (if !failures = 1 then "" else "s");
+  if !failures > 0 then exit 1
+
+let compare_dispatch () =
+  match Array.to_list Sys.argv with
+  | _ :: "--compare" :: rest -> (
+      match rest with
+      | [ baseline_path; current_path ] ->
+          run_compare ~baseline_path ~current_path ~tolerance_percent:15.0;
+          true
+      | [ baseline_path; current_path; "--tolerance"; pct ] -> (
+          match float_of_string_opt pct with
+          | Some tolerance_percent when tolerance_percent >= 0.0 ->
+              run_compare ~baseline_path ~current_path ~tolerance_percent;
+              true
+          | Some _ | None ->
+              Printf.eprintf "bench-compare: invalid tolerance %S\n" pct;
+              exit 2)
+      | _ ->
+          Printf.eprintf
+            "usage: bench/main.exe --compare BASELINE CURRENT [--tolerance PCT]\n";
+          exit 2)
+  | _ -> false
+
 let () =
+  if compare_dispatch () then ()
+  else begin
   fig1 ();
   fig2 ();
   fig3 ();
@@ -736,4 +1049,5 @@ let () =
   ablation_sa_budget ();
   bench_json ();
   bechamel_report ();
+  end;
   print_newline ()

@@ -102,6 +102,24 @@ let parse_placement ~cores spec =
   | Ok placement -> placement
   | Error msg -> or_die (Error ("--placement: " ^ msg))
 
+(* Symmetry-canonicalized evaluation caching (on by default; results
+   are bit-identical either way, only CPU time changes). *)
+let cache_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "cache" ]
+              ~doc:
+                "Memoize mapping evaluations behind the mesh-symmetry \
+                 canonical form (default).  Never changes results." );
+          ( false,
+            info [ "no-cache" ]
+              ~doc:"Disable the evaluation cache (and, for $(b,es), the \
+                    symmetry-reduced enumeration)." );
+        ])
+
 (* --- observability plumbing --- *)
 
 let metrics_arg =
@@ -229,7 +247,7 @@ let map_cmd =
              and greedy+local searches).")
   in
   let run mesh seed flit tech_name routing app builtin model algorithm save metrics
-      convergence_path =
+      convergence_path use_cache =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -247,6 +265,28 @@ let map_cmd =
       | "cdcm" -> Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg
       | other -> or_die (Error ("unknown model " ^ other))
     in
+    (* CWM only reads per-pair hop counts, so it may use the larger
+       hop-exact group; the simulation-backed CDCM needs path-exact. *)
+    let symmetry =
+      if not use_cache then None
+      else
+        let level =
+          if model = "cwm" then Nocmap_noc.Symmetry.Hops
+          else Nocmap_noc.Symmetry.Paths
+        in
+        Some (Nocmap_noc.Symmetry.of_crg ~level crg)
+    in
+    let cache =
+      Option.map
+        (fun symmetry ->
+          Mapping.Eval_cache.create ~symmetry ~cores ~discriminator:model ())
+        symmetry
+    in
+    let objective =
+      match cache with
+      | Some cache -> Mapping.Objective.with_cache cache objective
+      | None -> objective
+    in
     install_sigint ();
     with_metrics metrics @@ fun () ->
     let convergence =
@@ -260,7 +300,7 @@ let map_cmd =
         Mapping.Annealing.search ~rng
           ~config:(Mapping.Annealing.default_config ~tiles)
           ~tiles ~objective ~stop:stop_requested ?convergence ~cores ()
-      | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ?convergence ()
+      | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ?symmetry ?convergence ()
       | "greedy" -> Mapping.Greedy.search ~tech ~crg ~cwg ()
       | "local" ->
         let initial = Mapping.Placement.random rng ~cores ~tiles in
@@ -295,6 +335,16 @@ let map_cmd =
       (Nocmap_noc.Routing.algorithm_to_string (Crg.routing crg));
     Printf.printf "model/search: %s/%s (%d cost evaluations)\n" model algorithm
       result.Mapping.Objective.evaluations;
+    (match cache with
+    | Some cache when Mapping.Eval_cache.(stats cache).Mapping.Eval_cache.misses > 0 ->
+      let s = Mapping.Eval_cache.stats cache in
+      Printf.printf
+        "cache       : %.1f%% hit rate (%d hits, %d bound hits, %d misses, %d \
+         evictions)\n"
+        (100.0 *. Mapping.Eval_cache.hit_rate cache)
+        s.Mapping.Eval_cache.hits s.Mapping.Eval_cache.bound_hits
+        s.Mapping.Eval_cache.misses s.Mapping.Eval_cache.evictions
+    | Some _ | None -> ());
     Printf.printf "mapping     : %s\n"
       (Mapping.Placement.to_string ~core_names:cdcg.Cdcg.core_names
          result.Mapping.Objective.placement);
@@ -310,7 +360,8 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Search a core-to-tile mapping for an application")
     Term.(
       const run $ mesh_arg $ seed_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg
-      $ builtin_arg $ model $ algorithm $ save $ metrics_arg $ convergence_arg)
+      $ builtin_arg $ model $ algorithm $ save $ metrics_arg $ convergence_arg
+      $ cache_arg)
 
 (* --- eval --- *)
 
@@ -529,10 +580,11 @@ let with_jobs jobs f =
   else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 let table2_cmd =
-  let run seed quick jobs metrics =
+  let run seed quick jobs metrics use_cache =
     let config =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
+    let config = { config with Nocmap.Experiment.cache = use_cache } in
     install_sigint ();
     with_metrics metrics @@ fun () ->
     let output =
@@ -546,7 +598,7 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate Table 2 (ETR / ECS comparison)")
-    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ metrics_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ metrics_arg $ cache_arg)
 
 (* --- faults --- *)
 
@@ -567,7 +619,8 @@ let faults_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the per-scenario results as CSV.")
   in
-  let run mesh seed tech_name app builtin quick jobs multi_k multi_count csv metrics =
+  let run mesh seed tech_name app builtin quick jobs multi_k multi_count csv metrics
+      use_cache =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -580,8 +633,12 @@ let faults_cmd =
       {
         Nocmap.Fault_campaign.default_config with
         Nocmap.Fault_campaign.experiment =
-          (if quick then Nocmap.Experiment.quick_config
-           else Nocmap.Experiment.default_config);
+          {
+            (if quick then Nocmap.Experiment.quick_config
+             else Nocmap.Experiment.default_config)
+            with
+            Nocmap.Experiment.cache = use_cache;
+          };
         tech;
         multi_fault_k = multi_k;
         multi_fault_count = multi_count;
@@ -610,7 +667,8 @@ let faults_cmd =
        ~doc:"Fault-injection campaign: degrade optimized mappings under link failures")
     Term.(
       const run $ mesh_arg $ seed_arg $ tech_arg $ app_arg $ builtin_arg
-      $ quick_arg $ jobs_arg $ multi_k $ multi_count $ csv $ metrics_arg)
+      $ quick_arg $ jobs_arg $ multi_k $ multi_count $ csv $ metrics_arg
+      $ cache_arg)
 
 (* --- profile --- *)
 
@@ -629,7 +687,7 @@ let profile_cmd =
             "Write the optimized CDCM mapping's per-link busy-cycle heatmap \
              as CSV (from a metered re-simulation).")
   in
-  let run mesh seed tech_name app builtin quick jobs format heatmap =
+  let run mesh seed tech_name app builtin quick jobs format heatmap use_cache =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -642,6 +700,7 @@ let profile_cmd =
     let config =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
+    let config = { config with Nocmap.Experiment.cache = use_cache } in
     install_sigint ();
     Obs.Metrics.set_enabled true;
     let pair =
@@ -686,7 +745,7 @@ let profile_cmd =
           print the observability report")
     Term.(
       const run $ mesh_arg $ seed_arg $ tech_arg $ app_arg $ builtin_arg $ quick_arg
-      $ jobs_arg $ format_arg $ heatmap_arg)
+      $ jobs_arg $ format_arg $ heatmap_arg $ cache_arg)
 
 let cputime_cmd =
   let run seed = print_string (Nocmap.Cpu_time.render (Nocmap.Cpu_time.over_suite ~seed ())) in

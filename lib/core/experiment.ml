@@ -20,6 +20,7 @@ type config = {
   params : Noc_params.t;
   tech_low : Technology.t;
   tech_high : Technology.t;
+  cache : bool;
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     params = Noc_params.paper_example;
     tech_low = Technology.t035;
     tech_high = Technology.t007;
+    cache = true;
   }
 
 let quick_config = { default_config with budget = Quick; restarts = 1 }
@@ -137,6 +139,20 @@ type mapped_pair = {
   cdcm_placement : Mapping.Placement.t;
 }
 
+(* Memoize a simulation-backed objective behind the path-exact symmetry
+   group of its CRG.  The cache is built inside the factory so every
+   restart (and thus every pool worker) owns a private one — caching is
+   a per-domain concern exactly like the simulation arena. *)
+let cached_factory config ~symmetry ~cores make_objective () =
+  let objective = make_objective () in
+  if not config.cache then objective
+  else
+    let cache =
+      Mapping.Eval_cache.create ~symmetry ~cores
+        ~discriminator:objective.Mapping.Objective.name ()
+    in
+    Mapping.Objective.with_cache cache objective
+
 (* The CWM and CDCM winners at one technology point, searched on the
    fault-free CRG — the mappings a fault campaign then stresses. *)
 let optimize_pair ?pool ?stop ~rng ~config ~mesh ~tech cdcg =
@@ -151,11 +167,15 @@ let optimize_pair ?pool ?stop ~rng ~config ~mesh ~tech cdcg =
         multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
             Mapping.Objective.cwm ~tech ~crg ~cwg))
   in
+  let symmetry =
+    Nocmap_noc.Symmetry.of_crg ~level:Nocmap_noc.Symmetry.Paths crg
+  in
   let cdcm_best, _, _ =
     Timer.time "cdcm_search" (fun () ->
         multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
-          ~config ~tiles ~cores (fun () ->
-            Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg))
+          ~config ~tiles ~cores
+          (cached_factory config ~symmetry ~cores (fun () ->
+               Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)))
   in
   {
     pair_crg = crg;
@@ -175,11 +195,15 @@ let compare_models ?pool ?stop ~rng ~config ~mesh cdcg =
         multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
             Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg))
   in
+  let symmetry =
+    Nocmap_noc.Symmetry.of_crg ~level:Nocmap_noc.Symmetry.Paths crg
+  in
   let cdcm_search tech =
     Timer.time "cdcm_search" (fun () ->
         multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
-          ~config ~tiles ~cores (fun () ->
-            Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg))
+          ~config ~tiles ~cores
+          (cached_factory config ~symmetry ~cores (fun () ->
+               Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)))
   in
   let cdcm_low_best, cpu_low, evals_low = cdcm_search config.tech_low in
   let cdcm_high_best, cpu_high, evals_high = cdcm_search config.tech_high in

@@ -23,11 +23,17 @@ type config = {
   params : Nocmap_energy.Noc_params.t;
   tech_low : Nocmap_energy.Technology.t;   (** The paper's 0.35 um column. *)
   tech_high : Nocmap_energy.Technology.t;  (** The paper's 0.07 um column. *)
+  cache : bool;
+      (** Memoize simulation-backed evaluations behind the CRG's
+          path-exact symmetry group ({!Nocmap_mapping.Eval_cache}).
+          Results are bit-identical either way; only CPU time and the
+          [cache.*] metrics change.  Each restart owns a private cache,
+          so pooled runs stay deterministic. *)
 }
 
 val default_config : config
 (** [Standard] budget, 2 restarts, the paper's NoC timing parameters
-    (tr=2, tl=1, 1-bit flits), 0.35 um / 0.07 um. *)
+    (tr=2, tl=1, 1-bit flits), 0.35 um / 0.07 um, caching on. *)
 
 val quick_config : config
 

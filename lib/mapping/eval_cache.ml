@@ -1,0 +1,237 @@
+module Symmetry = Nocmap_noc.Symmetry
+module Metrics = Nocmap_obs.Metrics
+
+let m_hits = Metrics.counter ~help:"evaluation-cache exact hits" "cache.hits"
+
+let m_bound_hits =
+  Metrics.counter ~help:"evaluation-cache lower-bound hits" "cache.bound_hits"
+
+let m_misses = Metrics.counter ~help:"evaluation-cache misses" "cache.misses"
+
+let m_evictions =
+  Metrics.counter ~help:"evaluation-cache slot evictions" "cache.evictions"
+
+type stats = {
+  hits : int;
+  bound_hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+(* Slot flag bits. *)
+let f_occupied = 1
+let f_exact = 2
+let f_lb = 4
+
+(* Linear-probe window before an insertion evicts. *)
+let probe_window = 8
+
+type t = {
+  sym : Symmetry.t;
+  cores : int;
+  mask : int;  (* capacity - 1, capacity a power of two *)
+  disc : int;  (* discriminator hash, compared on every slot match *)
+  keys : int array;  (* capacity * cores canonical placements *)
+  flags : Bytes.t;
+  tags : int array;
+  exact : float array;
+  lb : float array;
+  lb_cutoff : float array;
+  canon : int array;  (* reusable canonicalization buffer *)
+  mutable tick : int;  (* round-robin eviction cursor *)
+  mutable hits : int;
+  mutable bound_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable entries : int;
+}
+
+(* FNV-1a over ints, folded to a non-negative OCaml int. *)
+let fnv_prime = 0x01000193
+let fnv_seed = 0x811c9dc5
+let fnv_step h v = (h lxor v) * fnv_prime
+
+let hash_string s =
+  let h = ref fnv_seed in
+  String.iter (fun c -> h := fnv_step !h (Char.code c)) s;
+  !h land max_int
+
+let rec round_pow2 n acc = if acc >= n then acc else round_pow2 n (acc * 2)
+
+let create ?(capacity = 65536) ~symmetry ~cores ?(discriminator = "") () =
+  if capacity <= 0 then invalid_arg "Eval_cache.create: capacity must be positive";
+  if cores <= 0 then invalid_arg "Eval_cache.create: cores must be positive";
+  let capacity = round_pow2 capacity probe_window in
+  {
+    sym = symmetry;
+    cores;
+    mask = capacity - 1;
+    disc = hash_string discriminator;
+    keys = Array.make (capacity * cores) 0;
+    flags = Bytes.make capacity '\000';
+    tags = Array.make capacity 0;
+    exact = Array.make capacity 0.0;
+    lb = Array.make capacity 0.0;
+    lb_cutoff = Array.make capacity 0.0;
+    canon = Array.make cores 0;
+    tick = 0;
+    hits = 0;
+    bound_hits = 0;
+    misses = 0;
+    evictions = 0;
+    entries = 0;
+  }
+
+let stats t =
+  {
+    hits = t.hits;
+    bound_hits = t.bound_hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = t.entries;
+    capacity = t.mask + 1;
+  }
+
+let hit_rate t =
+  let lookups = t.hits + t.bound_hits + t.misses in
+  if lookups = 0 then 0.0
+  else float_of_int (t.hits + t.bound_hits) /. float_of_int lookups
+
+let flag t slot = Char.code (Bytes.unsafe_get t.flags slot)
+
+let set_flag t slot f = Bytes.unsafe_set t.flags slot (Char.chr f)
+
+(* Canonicalize into the scratch buffer and return the home bucket. *)
+let prepare t placement =
+  if Array.length placement <> t.cores then
+    invalid_arg "Eval_cache: placement size does not match the cache";
+  Symmetry.canonicalize_into t.sym ~src:placement ~dst:t.canon;
+  let h = ref (fnv_step fnv_seed t.disc) in
+  for i = 0 to t.cores - 1 do
+    h := fnv_step !h t.canon.(i)
+  done;
+  let h = !h lxor (!h lsr 17) in
+  h land t.mask
+
+let key_matches t slot =
+  let base = slot * t.cores in
+  let rec go i =
+    i = t.cores || (t.keys.(base + i) = t.canon.(i) && go (i + 1))
+  in
+  go 0
+
+(* Probe outcome for the canonical key currently in [t.canon]. *)
+type slot =
+  | Found of int
+  | Free of int
+  | Window_full of int  (* home bucket; insertion must evict *)
+
+let locate t home =
+  let rec probe i =
+    if i = probe_window then Window_full home
+    else
+      let slot = (home + i) land t.mask in
+      let f = flag t slot in
+      if f land f_occupied = 0 then Free slot
+      else if t.tags.(slot) = t.disc && key_matches t slot then Found slot
+      else probe (i + 1)
+  in
+  probe 0
+
+let store_key t slot =
+  Array.blit t.canon 0 t.keys (slot * t.cores) t.cores;
+  t.tags.(slot) <- t.disc
+
+(* Claim a slot for the key in [t.canon], evicting if the window is
+   full; returns the slot with flags reset to freshly-occupied. *)
+let claim t = function
+  | Found slot -> slot
+  | Free slot ->
+    store_key t slot;
+    t.entries <- t.entries + 1;
+    set_flag t slot f_occupied;
+    slot
+  | Window_full home ->
+    let slot = (home + (t.tick mod probe_window)) land t.mask in
+    t.tick <- t.tick + 1;
+    t.evictions <- t.evictions + 1;
+    Metrics.incr m_evictions;
+    store_key t slot;
+    set_flag t slot f_occupied;
+    slot
+
+let count_hit t =
+  t.hits <- t.hits + 1;
+  Metrics.incr m_hits
+
+let count_bound_hit t =
+  t.bound_hits <- t.bound_hits + 1;
+  Metrics.incr m_bound_hits
+
+let count_miss t =
+  t.misses <- t.misses + 1;
+  Metrics.incr m_misses
+
+let find_exact t placement =
+  match locate t (prepare t placement) with
+  | Found slot when flag t slot land f_exact <> 0 ->
+    count_hit t;
+    Some t.exact.(slot)
+  | Found _ | Free _ | Window_full _ ->
+    count_miss t;
+    None
+
+let add_exact t placement cost =
+  let slot = claim t (locate t (prepare t placement)) in
+  (* An exact cost supersedes any truncated lower bound. *)
+  set_flag t slot (f_occupied lor f_exact);
+  t.exact.(slot) <- cost
+
+type bound_verdict =
+  | Known_exact of float
+  | Known_at_least of float
+  | Unknown
+
+let find_bound t ~cutoff placement =
+  match locate t (prepare t placement) with
+  | Found slot when flag t slot land f_exact <> 0 ->
+    let c = t.exact.(slot) in
+    if c <= cutoff then begin
+      (* The uncached bound function completes whenever the true cost is
+         within the cutoff, so [Exact c] is exactly what it would say. *)
+      count_hit t;
+      Known_exact c
+    end
+    else begin
+      (* Above the cutoff the uncached verdict (and the bound it would
+         carry) depends on where the evaluation gets truncated — replay
+         it rather than guess. *)
+      count_miss t;
+      Unknown
+    end
+  | Found slot when flag t slot land f_lb <> 0 && cutoff <= t.lb_cutoff.(slot) ->
+    (* Truncation cutoffs are monotone: an evaluation truncated at a
+       larger cutoff is truncated at this smaller one too. *)
+    count_bound_hit t;
+    Known_at_least t.lb.(slot)
+  | Found _ | Free _ | Window_full _ ->
+    count_miss t;
+    Unknown
+
+let add_bound t ~cutoff placement bound =
+  let probe = locate t (prepare t placement) in
+  let keep =
+    match probe with
+    | Found slot ->
+      let f = flag t slot in
+      f land f_exact = 0 && (f land f_lb = 0 || t.lb_cutoff.(slot) < cutoff)
+    | Free _ | Window_full _ -> true
+  in
+  if keep then begin
+    let slot = claim t probe in
+    set_flag t slot (f_occupied lor f_lb);
+    t.lb.(slot) <- bound;
+    t.lb_cutoff.(slot) <- cutoff
+  end

@@ -1,0 +1,97 @@
+(** Mapping-evaluation cache keyed on symmetry-canonicalized placements.
+
+    CDCM evaluation (a wormhole simulation per candidate) dominates
+    search time, and both annealing and exhaustive search keep returning
+    to placements that are revisited or equivalent under the mesh
+    automorphisms of {!Nocmap_noc.Symmetry}.  This cache memoizes the
+    scalar cost under the canonical form of the placement, so a lookup
+    of any placement in a previously evaluated orbit is a hit.
+
+    The table is open-addressing with linear probing over a bounded
+    power-of-two capacity and a fixed probe window; once the window of a
+    bucket is full, the next insertion evicts a window slot round-robin.
+    Lookups and insertions allocate nothing (one reusable
+    canonicalization buffer lives in the cache), so a miss costs a few
+    dozen integer operations on top of the real evaluation.
+
+    Two kinds of facts are stored per canonical key:
+    - the {e exact} cost of a completed evaluation;
+    - a {e lower bound} produced by a cutoff-truncated evaluation,
+      together with the cutoff it was established at.
+
+    The bound protocol mirrors {!Objective.bound_fn} exactly, so cached
+    and uncached searches are bit-identical (see {!find_bound}).
+
+    A cache instance is single-domain, like the simulation arenas of the
+    objectives it fronts: build one per objective per domain.  The
+    process-wide counters [cache.hits]/[cache.bound_hits]/
+    [cache.misses]/[cache.evictions] aggregate over all instances when
+    the {!Nocmap_obs.Metrics} registry is enabled. *)
+
+type t
+
+type stats = {
+  hits : int;        (** Lookups answered with an exact cached cost. *)
+  bound_hits : int;  (** Bound lookups answered with a stored lower
+                         bound (the candidate was rejected without
+                         re-simulating it). *)
+  misses : int;      (** Lookups that fell through to real evaluation. *)
+  evictions : int;
+  entries : int;     (** Live entries. *)
+  capacity : int;
+}
+
+val create :
+  ?capacity:int ->
+  symmetry:Nocmap_noc.Symmetry.t ->
+  cores:int ->
+  ?discriminator:string ->
+  unit ->
+  t
+(** [create ~symmetry ~cores ()] builds a cache for placements of
+    [cores] cores on the mesh of [symmetry].  [capacity] (default
+    [65536], rounded up to a power of two) bounds the entry count.
+    [discriminator] (objective name, technology, fault scenario, ...) is
+    mixed into every key hash so that entries of distinct objectives can
+    never collide even if a cache is shared by mistake.
+    @raise Invalid_argument on a non-positive capacity or core count. *)
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [(hits + bound_hits) / lookups], [0.] before the first lookup. *)
+
+val find_exact : t -> Placement.t -> float option
+(** The exact cost stored for the placement's orbit, if any.  Counts a
+    hit or a miss. *)
+
+val add_exact : t -> Placement.t -> float -> unit
+(** Record a completed evaluation.  Never counts as a lookup. *)
+
+(** Verdict of {!find_bound}. *)
+type bound_verdict =
+  | Known_exact of float
+      (** An exact cost [c <= cutoff] is cached: an uncached
+          {!Objective.bound_fn} would have completed and returned
+          [Exact c] too (its contract reserves [At_least] for costs
+          strictly above the cutoff). *)
+  | Known_at_least of float
+      (** A lower bound above the queried cutoff is cached and was
+          established at a cutoff no smaller than the queried one: the
+          uncached evaluation would have been truncated again, so the
+          candidate is rejected without simulating.  The carried value
+          is a sound lower bound on the true cost. *)
+  | Unknown
+      (** Nothing cached that reproduces the uncached verdict — run the
+          real bound function (an exact cost {e above} the cutoff also
+          lands here, because the uncached constructor choice near the
+          cutoff depends on evaluation internals). *)
+
+val find_bound : t -> cutoff:float -> Placement.t -> bound_verdict
+(** Cached counterpart of [bound_fn ~cutoff].  Counts a hit
+    ({!Known_exact}), a bound hit ({!Known_at_least}) or a miss. *)
+
+val add_bound : t -> cutoff:float -> Placement.t -> float -> unit
+(** Record a truncated evaluation: the true cost is at least the given
+    bound, which exceeds [cutoff].  Kept only while no exact cost is
+    known and only if established at a cutoff above any stored one. *)

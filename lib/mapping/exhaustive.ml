@@ -7,6 +7,11 @@ let m_evals =
   Metrics.counter ~help:"objective evaluations across all search algorithms"
     "search.evaluations"
 
+let m_symmetry_skipped =
+  Metrics.counter
+    ~help:"exhaustive leaves skipped as non-canonical under mesh symmetry"
+    "search.ex_symmetry_skipped"
+
 let arrangement_count ~cores ~tiles =
   if cores > tiles then Some 0
   else begin
@@ -19,9 +24,15 @@ let arrangement_count ~cores ~tiles =
     loop 0 1
   end
 
-let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) ?convergence () =
+let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) ?symmetry
+    ?convergence () =
   if cores = 0 then invalid_arg "Exhaustive.search: no cores";
   if cores > tiles then invalid_arg "Exhaustive.search: more cores than tiles";
+  (match symmetry with
+  | Some sym
+    when Nocmap_noc.Mesh.tile_count (Nocmap_noc.Symmetry.mesh sym) <> tiles ->
+    invalid_arg "Exhaustive.search: symmetry group is over a different mesh"
+  | Some _ | None -> ());
   (match arrangement_count ~cores ~tiles with
   | Some n when n <= max_arrangements -> ()
   | Some n ->
@@ -33,6 +44,7 @@ let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) ?convergence
   let used = Array.make tiles false in
   let best = ref None in
   let evals = ref 0 in
+  let skipped = ref 0 in
   let consider () =
     incr evals;
     let cost = objective.Objective.cost_fn placement in
@@ -43,6 +55,18 @@ let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) ?convergence
       (match convergence with
       | Some series -> Series.add series ~x:(float_of_int !evals) ~y:cost
       | None -> ())
+  in
+  (* The lexicographically first minimum-cost placement is its own
+     canonical form (a lex-smaller orbit mate would have the same cost
+     and come earlier), so evaluating only canonical representatives
+     returns the same placement and cost as the full enumeration. *)
+  let consider =
+    match symmetry with
+    | None -> consider
+    | Some sym ->
+      fun () ->
+        if Nocmap_noc.Symmetry.is_canonical sym placement then consider ()
+        else incr skipped
   in
   let rec assign core =
     if core = cores then consider ()
@@ -59,7 +83,8 @@ let search ~objective ~cores ~tiles ?(max_arrangements = 2_000_000) ?convergence
   assign 0;
   if Metrics.enabled () then begin
     Metrics.incr m_runs;
-    Metrics.add m_evals !evals
+    Metrics.add m_evals !evals;
+    Metrics.add m_symmetry_skipped !skipped
   end;
   match !best with
   | Some (placement, cost) -> { Objective.placement; cost; evaluations = !evals }

@@ -14,6 +14,7 @@ val search :
   cores:int ->
   tiles:int ->
   ?max_arrangements:int ->
+  ?symmetry:Nocmap_noc.Symmetry.t ->
   ?convergence:Nocmap_obs.Series.t ->
   unit ->
   Objective.search_result
@@ -22,5 +23,17 @@ val search :
     the result is deterministic.  [?convergence] records the
     best-cost-so-far trajectory ([x = evaluations], one point per
     improvement); it never changes the result.
+
+    [?symmetry] prunes the enumeration to canonical orbit
+    representatives: leaves that are not their own
+    {!Nocmap_noc.Symmetry.canonicalize} are skipped without evaluation
+    (counted in the [search.ex_symmetry_skipped] metric).  Because the
+    lexicographically first minimum-cost placement is always canonical,
+    the reported placement and cost are bit-identical to the full
+    enumeration whenever the group's automorphisms are verified
+    cost-preserving for [objective] — only [evaluations] shrinks, by up
+    to the group order.  The budget guard still applies to the full
+    arrangement count.
     @raise Invalid_argument when [cores > tiles], when the instance
-    exceeds the budget, or when [cores = 0]. *)
+    exceeds the budget, when [cores = 0], or when the symmetry group is
+    over a mesh with a different tile count. *)

@@ -88,6 +88,33 @@ let cdcm_expected ?fault_policy ~tech ~params ~scenarios ~cdcg () =
   in
   { name = "cdcm-expected"; cost_fn; bound_fn = Some bound_fn }
 
+let with_cache cache t =
+  let cost_fn p =
+    match Eval_cache.find_exact cache p with
+    | Some c -> c
+    | None ->
+      let c = t.cost_fn p in
+      Eval_cache.add_exact cache p c;
+      c
+  in
+  let bound_fn =
+    Option.map
+      (fun bound_fn ~cutoff p ->
+        match Eval_cache.find_bound cache ~cutoff p with
+        | Eval_cache.Known_exact c -> Exact c
+        | Eval_cache.Known_at_least b -> At_least b
+        | Eval_cache.Unknown -> (
+          match bound_fn ~cutoff p with
+          | Exact c ->
+            Eval_cache.add_exact cache p c;
+            Exact c
+          | At_least b ->
+            Eval_cache.add_bound cache ~cutoff p b;
+            At_least b))
+      t.bound_fn
+  in
+  { t with cost_fn; bound_fn }
+
 (* Largest cycle cutoff safely representable in the simulator's
    packed-event time field. *)
 let no_cutoff_threshold = 1e15

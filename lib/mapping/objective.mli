@@ -77,3 +77,18 @@ val texec :
   t
 (** Execution time in cycles (ablation: timing-only CDCM variant).
     The [bound_fn] cuts the simulation off directly at [cutoff] cycles. *)
+
+val with_cache : Eval_cache.t -> t -> t
+(** Memoized view of an objective through an evaluation cache.  The
+    wrapped [cost_fn] answers exact hits from the cache and records
+    every computed cost; the wrapped [bound_fn] (present iff the
+    underlying one is) additionally reuses cached truncation bounds
+    under the protocol of {!Eval_cache.find_bound}, so a search over the
+    wrapped objective makes exactly the same decisions — and returns the
+    same placement, cost and evaluation count — as over the plain one.
+
+    Soundness rests on the cache's symmetry group being verified at the
+    right level for this objective ({!Nocmap_noc.Symmetry.Hops} for
+    {!cwm}, {!Nocmap_noc.Symmetry.Paths} against every scenario CRG for
+    the simulation-backed objectives); the caller pairs them.  Like the
+    underlying objective, the wrapped one is single-domain. *)

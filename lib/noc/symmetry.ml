@@ -1,0 +1,187 @@
+type perm = int array
+
+type level =
+  | Hops
+  | Paths
+
+type t = {
+  mesh : Mesh.t;
+  group : perm array;  (* verified automorphisms, identity first *)
+}
+
+let perm_of_coord_map mesh f =
+  Array.init (Mesh.tile_count mesh) (fun tile ->
+      let x, y = Mesh.coord_of_tile mesh tile in
+      let x', y' = f x y in
+      Mesh.tile_of_coord mesh ~x:x' ~y:y')
+
+let candidates mesh =
+  let cols = mesh.Mesh.cols and rows = mesh.Mesh.rows in
+  let base =
+    [
+      (fun x y -> (x, y));
+      (fun x y -> (cols - 1 - x, y));
+      (fun x y -> (x, rows - 1 - y));
+      (fun x y -> (cols - 1 - x, rows - 1 - y));
+    ]
+  in
+  let maps =
+    if cols = rows then
+      base @ List.map (fun f x y -> let a, b = f x y in (b, a)) base
+    else base
+  in
+  (* Degenerate shapes (1xN, 1x1) collapse some maps onto each other;
+     keep the first occurrence so the identity stays in front. *)
+  List.fold_left
+    (fun acc f ->
+      let p = perm_of_coord_map mesh f in
+      if List.exists (fun q -> q = p) acc then acc else acc @ [ p ])
+    [] maps
+
+let is_permutation tiles p =
+  Array.length p = tiles
+  && begin
+       let seen = Array.make tiles false in
+       Array.for_all
+         (fun v ->
+           v >= 0 && v < tiles
+           && if seen.(v) then false else (seen.(v) <- true; true))
+         p
+     end
+
+let is_automorphism mesh p =
+  let tiles = Mesh.tile_count mesh in
+  is_permutation tiles p
+  && begin
+       let ok = ref true in
+       for tile = 0 to tiles - 1 do
+         let image_neighbors =
+           List.sort compare (List.map (fun n -> p.(n)) (Mesh.neighbors mesh tile))
+         in
+         if image_neighbors <> List.sort compare (Mesh.neighbors mesh p.(tile)) then
+           ok := false
+       done;
+       !ok
+     end
+
+let for_all_pairs tiles f =
+  let rec loop s d =
+    if s = tiles then true
+    else if d = tiles then loop (s + 1) 0
+    else f s d && loop s (d + 1)
+  in
+  loop 0 0
+
+let hop_exact crg p =
+  let tiles = Crg.tile_count crg in
+  is_permutation tiles p
+  && for_all_pairs tiles (fun s d ->
+         Crg.router_count_on_path crg ~src:p.(s) ~dst:p.(d)
+         = Crg.router_count_on_path crg ~src:s ~dst:d)
+
+let path_exact crg p =
+  let tiles = Crg.tile_count crg in
+  is_permutation tiles p
+  && for_all_pairs tiles (fun s d ->
+         let original = (Crg.path crg ~src:s ~dst:d).Crg.routers in
+         let image = (Crg.path crg ~src:p.(s) ~dst:p.(d)).Crg.routers in
+         Array.length original = Array.length image
+         && begin
+              let ok = ref true in
+              for i = 0 to Array.length original - 1 do
+                if image.(i) <> p.(original.(i)) then ok := false
+              done;
+              !ok
+            end)
+
+let check_of_level = function
+  | Hops -> hop_exact
+  | Paths -> path_exact
+
+let of_crg ~level crg =
+  let mesh = Crg.mesh crg in
+  let check = check_of_level level in
+  let group = List.filter (fun p -> check crg p) (candidates mesh) in
+  { mesh; group = Array.of_list group }
+
+let of_crgs ~level crgs =
+  match crgs with
+  | [] -> invalid_arg "Symmetry.of_crgs: need at least one CRG"
+  | first :: rest ->
+    let mesh = Crg.mesh first in
+    List.iter
+      (fun crg ->
+        if Crg.mesh crg <> mesh then
+          invalid_arg "Symmetry.of_crgs: CRGs span different meshes")
+      rest;
+    let check = check_of_level level in
+    let group =
+      List.filter (fun p -> List.for_all (fun crg -> check crg p) crgs)
+        (candidates mesh)
+    in
+    { mesh; group = Array.of_list group }
+
+let identity_only mesh =
+  { mesh; group = [| Array.init (Mesh.tile_count mesh) Fun.id |] }
+
+let mesh t = t.mesh
+
+let order t = Array.length t.group
+
+let perms t = Array.map Array.copy t.group
+
+let compose a b = Array.init (Array.length b) (fun x -> a.(b.(x)))
+
+let invert p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun x y -> inv.(y) <- x) p;
+  inv
+
+let apply p placement = Array.map (fun tile -> p.(tile)) placement
+
+(* Lexicographic comparison of [g . src] against the current best in
+   [dst], decided at the first differing core. *)
+let relabelling_compares_below g src dst =
+  let n = Array.length src in
+  let rec cmp i =
+    if i = n then false
+    else
+      let a = g.(src.(i)) and b = dst.(i) in
+      if a < b then true else if a > b then false else cmp (i + 1)
+  in
+  cmp 0
+
+let canonicalize_into t ~src ~dst =
+  if src == dst then invalid_arg "Symmetry.canonicalize_into: src and dst alias";
+  if Array.length src <> Array.length dst then
+    invalid_arg "Symmetry.canonicalize_into: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src);
+  for gi = 1 to Array.length t.group - 1 do
+    let g = t.group.(gi) in
+    if relabelling_compares_below g src dst then
+      for i = 0 to Array.length src - 1 do
+        dst.(i) <- g.(src.(i))
+      done
+  done
+
+let canonicalize t placement =
+  let dst = Array.make (Array.length placement) 0 in
+  canonicalize_into t ~src:placement ~dst;
+  dst
+
+let is_canonical t placement =
+  let n = Array.length placement in
+  let canonical = ref true in
+  let gi = ref 1 in
+  while !canonical && !gi < Array.length t.group do
+    let g = t.group.(!gi) in
+    let rec cmp i =
+      if i = n then false
+      else
+        let a = g.(placement.(i)) and b = placement.(i) in
+        if a < b then true else if a > b then false else cmp (i + 1)
+    in
+    if cmp 0 then canonical := false;
+    incr gi
+  done;
+  !canonical

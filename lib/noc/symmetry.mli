@@ -1,0 +1,109 @@
+(** Automorphisms of the NoC topology and placement canonicalization.
+
+    A 2-D mesh (or torus) has a dihedral symmetry group: 4 elements on a
+    rectangular mesh (identity, horizontal and vertical reflection and
+    their composition, the 180-degree rotation), 8 on a square mesh
+    (additionally the transpose, anti-transpose and the two quarter-turn
+    rotations).  Relabelling the tiles of a placement by such an
+    automorphism cannot change a cost that only depends on the topology
+    — but the deterministic routing algorithm breaks part of the group:
+    under XY routing a reflection maps every dimension-ordered path onto
+    the dimension-ordered path of the image pair, while the transpose
+    maps XY paths to YX paths, so simulation-backed costs are only
+    invariant under the path-preserving subgroup.  Hardware faults break
+    symmetry further.
+
+    This module therefore never assumes: it enumerates the {e candidate}
+    automorphisms of the mesh shape and then {e verifies} each one
+    against the concrete {!Crg.t} at the required invariance level:
+
+    - {!Hops}: every ordered tile pair keeps its router count.  This is
+      exactly what the closed-form CWM energy (Equation 3) depends on,
+      so every hop-exact automorphism leaves the CWM cost bit-identical.
+    - {!Paths}: every ordered tile pair's router sequence is mapped onto
+      the image pair's router sequence.  The wormhole simulation of the
+      relabelled placement is then isomorphic to the original one (event
+      ordering ties are broken by packet index, which relabelling does
+      not touch, and same-time releases of distinct ports commute), so
+      CDCM energy and texec are bit-identical.
+
+    Both properties are closed under composition and inverse, so the
+    verified subset of the dihedral group is itself a group; the
+    lexicographic minimum of a placement's orbit is thus a well-defined
+    canonical form — the key of the mapping-evaluation cache and the
+    representative filter of symmetry-reduced exhaustive search. *)
+
+type perm = int array
+(** A tile permutation: [perm.(tile)] is the image tile. *)
+
+(** Invariance level a candidate automorphism is verified at. *)
+type level =
+  | Hops   (** Per-pair router counts preserved — sufficient for the
+               closed-form CWM objective. *)
+  | Paths  (** Per-pair router {e sequences} mapped exactly — sufficient
+               for the simulation-backed CDCM / texec objectives
+               (implies {!Hops}). *)
+
+type t
+(** A verified group of cost-preserving automorphisms of one CRG (or of
+    the intersection over several CRGs). *)
+
+val candidates : Mesh.t -> perm list
+(** The distinct dihedral candidates of the mesh shape: identity first,
+    then reflections/rotations — 8 on a square mesh with [cols >= 2],
+    4 on a rectangular one (2 on a 1xN degenerate mesh, 1 on 1x1).
+    Every candidate is an adjacency automorphism of the mesh. *)
+
+val is_automorphism : Mesh.t -> perm -> bool
+(** Whether [perm] is a bijection on tiles preserving mesh adjacency. *)
+
+val hop_exact : Crg.t -> perm -> bool
+(** Whether every ordered pair keeps its {!Crg.router_count_on_path}
+    under the relabelling (faulty detours included). *)
+
+val path_exact : Crg.t -> perm -> bool
+(** Whether [perm] maps every pair's router sequence onto the image
+    pair's router sequence: [path (p s) (p d) = map p (path s d)]. *)
+
+val of_crg : level:level -> Crg.t -> t
+(** The subgroup of {!candidates} verified at [level] against the CRG.
+    Always contains the identity; a faulty CRG typically retains only
+    part of the fault-free group. *)
+
+val of_crgs : level:level -> Crg.t list -> t
+(** Automorphisms verified at [level] against {e every} CRG — the group
+    protecting a fault-expectation objective whose scenarios must all be
+    invariant.  @raise Invalid_argument on an empty list or when the
+    scenarios span different meshes. *)
+
+val identity_only : Mesh.t -> t
+(** The trivial group — canonicalization becomes the identity. *)
+
+val mesh : t -> Mesh.t
+
+val order : t -> int
+(** Number of verified automorphisms, identity included. *)
+
+val perms : t -> perm array
+(** A fresh copy of the verified automorphisms, identity first. *)
+
+val compose : perm -> perm -> perm
+(** [compose a b] maps [x] to [a.(b.(x))]. *)
+
+val invert : perm -> perm
+
+val apply : perm -> int array -> int array
+(** Relabel a placement: [(apply p placement).(core) =
+    p.(placement.(core))]. *)
+
+val canonicalize : t -> int array -> int array
+(** Lexicographically smallest relabelling of the placement under the
+    group — equal for two placements iff they lie in the same orbit. *)
+
+val canonicalize_into : t -> src:int array -> dst:int array -> unit
+(** Allocation-free {!canonicalize} writing into [dst] (same length as
+    [src], and not physically [src]). *)
+
+val is_canonical : t -> int array -> bool
+(** Whether the placement is its own canonical form.  Allocation-free —
+    the hot filter of symmetry-reduced exhaustive enumeration. *)

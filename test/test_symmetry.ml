@@ -1,0 +1,279 @@
+(* Mesh-automorphism groups and placement canonicalization: group
+   axioms, verified-order expectations under XY routing, and bitwise
+   cost invariance of CWM/CDCM/texec under the verified groups. *)
+
+module Mesh = Nocmap_noc.Mesh
+module Crg = Nocmap_noc.Crg
+module Fault = Nocmap_noc.Fault
+module Link = Nocmap_noc.Link
+module Symmetry = Nocmap_noc.Symmetry
+module Cdcg = Nocmap_model.Cdcg
+module Cwg = Nocmap_model.Cwg
+module Noc_params = Nocmap_energy.Noc_params
+module Technology = Nocmap_energy.Technology
+module Rng = Nocmap_util.Rng
+module Mapping = Nocmap_mapping
+module Generator = Nocmap_tgff.Generator
+
+let mesh22 = Mesh.create ~cols:2 ~rows:2
+let mesh33 = Mesh.create ~cols:3 ~rows:3
+let mesh34 = Mesh.create ~cols:3 ~rows:4
+
+let test_candidate_counts () =
+  let count mesh = List.length (Symmetry.candidates mesh) in
+  Alcotest.(check int) "3x3 square: full dihedral group" 8 (count mesh33);
+  Alcotest.(check int) "2x2 square" 8 (count mesh22);
+  Alcotest.(check int) "3x4 rectangle: reflections only" 4 (count mesh34);
+  Alcotest.(check int) "1x5 degenerate" 2
+    (count (Mesh.create ~cols:1 ~rows:5));
+  Alcotest.(check int) "1x1 trivial" 1 (count (Mesh.create ~cols:1 ~rows:1))
+
+let test_candidates_are_automorphisms () =
+  List.iter
+    (fun mesh ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "automorphism of %s" (Mesh.to_string mesh))
+            true
+            (Symmetry.is_automorphism mesh p))
+        (Symmetry.candidates mesh))
+    [ mesh22; mesh33; mesh34 ]
+
+let test_identity_first () =
+  List.iter
+    (fun mesh ->
+      let id = Array.init (Mesh.tile_count mesh) Fun.id in
+      Alcotest.(check bool) "identity heads the candidate list" true
+        (List.hd (Symmetry.candidates mesh) = id);
+      let sym = Symmetry.of_crg ~level:Symmetry.Paths (Crg.create mesh) in
+      Alcotest.(check bool) "identity heads the verified group" true
+        ((Symmetry.perms sym).(0) = id))
+    [ mesh22; mesh33; mesh34 ]
+
+(* The verified subset must be a group: closed under composition and
+   inverse.  This holds by construction (both invariance levels are
+   closed under both operations) — check it concretely. *)
+let check_group_axioms sym =
+  let perms = Array.to_list (Symmetry.perms sym) in
+  let mem p = List.exists (fun q -> q = p) perms in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "inverse stays in the group" true
+        (mem (Symmetry.invert p));
+      List.iter
+        (fun q ->
+          Alcotest.(check bool) "composition stays in the group" true
+            (mem (Symmetry.compose p q)))
+        perms)
+    perms
+
+let test_group_axioms () =
+  List.iter
+    (fun (mesh, level) ->
+      check_group_axioms (Symmetry.of_crg ~level (Crg.create mesh)))
+    [
+      (mesh33, Symmetry.Hops);
+      (mesh33, Symmetry.Paths);
+      (mesh34, Symmetry.Hops);
+      (mesh34, Symmetry.Paths);
+      (mesh22, Symmetry.Paths);
+    ]
+
+let test_verified_orders_xy () =
+  let order mesh level =
+    Symmetry.order (Symmetry.of_crg ~level (Crg.create mesh))
+  in
+  (* XY routing: hop counts are symmetric under the whole dihedral
+     group, but the transpose maps XY paths onto YX paths, so only the
+     4 reflections survive path verification on a square mesh. *)
+  Alcotest.(check int) "3x3 hop-exact order" 8 (order mesh33 Symmetry.Hops);
+  Alcotest.(check int) "3x3 path-exact order" 4 (order mesh33 Symmetry.Paths);
+  Alcotest.(check int) "2x2 path-exact order" 4 (order mesh22 Symmetry.Paths);
+  Alcotest.(check int) "3x4 hop-exact order" 4 (order mesh34 Symmetry.Hops);
+  Alcotest.(check int) "3x4 path-exact order" 4 (order mesh34 Symmetry.Paths)
+
+let test_transpose_not_path_exact () =
+  let crg = Crg.create mesh33 in
+  let transpose =
+    Array.init 9 (fun tile ->
+        let x, y = Mesh.coord_of_tile mesh33 tile in
+        Mesh.tile_of_coord mesh33 ~x:y ~y:x)
+  in
+  Alcotest.(check bool) "transpose is hop-exact under XY" true
+    (Symmetry.hop_exact crg transpose);
+  Alcotest.(check bool) "transpose is NOT path-exact under XY" false
+    (Symmetry.path_exact crg transpose)
+
+let test_faults_shrink_group () =
+  (* Killing the 0->1 link breaks every symmetry that does not fix that
+     link; only automorphisms preserving the faulted topology survive. *)
+  let faults = Fault.make mesh33 ~links:[ Link.id mesh33 ~src:0 ~dst:1 ] in
+  let crg = Crg.create ~faults mesh33 in
+  let sym = Symmetry.of_crg ~level:Symmetry.Paths crg in
+  Alcotest.(check bool) "faulty group is smaller than fault-free" true
+    (Symmetry.order sym < 4);
+  Alcotest.(check bool) "identity always survives" true (Symmetry.order sym >= 1);
+  check_group_axioms sym
+
+let test_identity_only () =
+  let sym = Symmetry.identity_only mesh33 in
+  Alcotest.(check int) "trivial group" 1 (Symmetry.order sym);
+  let p = [| 4; 2; 7 |] in
+  Alcotest.(check bool) "canonicalization is the identity" true
+    (Symmetry.canonicalize sym p = p)
+
+let test_torus_group () =
+  let crg = Crg.create ~routing:Nocmap_noc.Routing.Torus_xy mesh33 in
+  let sym = Symmetry.of_crg ~level:Symmetry.Paths crg in
+  Alcotest.(check bool) "torus path-exact group is non-trivial or trivial"
+    true
+    (Symmetry.order sym >= 1);
+  check_group_axioms sym;
+  check_group_axioms (Symmetry.of_crg ~level:Symmetry.Hops crg)
+
+(* Random placement of [cores] on [tiles] tiles. *)
+let gen_placement ~tiles =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* cores = int_range 1 tiles in
+    let rng = Rng.create ~seed in
+    return (Mapping.Placement.random rng ~cores ~tiles))
+
+let gen_mesh_placement =
+  QCheck2.Gen.(
+    let* mesh = oneofl [ mesh22; mesh33; mesh34 ] in
+    let* placement = gen_placement ~tiles:(Mesh.tile_count mesh) in
+    return (mesh, placement))
+
+let prop_canonicalize_idempotent =
+  QCheck2.Test.make ~name:"canonicalization is idempotent"
+    ~count:(Test_util.prop_count 200) gen_mesh_placement
+    (fun (mesh, placement) ->
+      let sym = Symmetry.of_crg ~level:Symmetry.Paths (Crg.create mesh) in
+      let c = Symmetry.canonicalize sym placement in
+      Symmetry.is_canonical sym c && Symmetry.canonicalize sym c = c)
+
+let prop_canonical_is_orbit_invariant =
+  QCheck2.Test.make ~name:"whole orbit shares one canonical form"
+    ~count:(Test_util.prop_count 200) gen_mesh_placement
+    (fun (mesh, placement) ->
+      let sym = Symmetry.of_crg ~level:Symmetry.Hops (Crg.create mesh) in
+      let c = Symmetry.canonicalize sym placement in
+      Array.for_all
+        (fun g -> Symmetry.canonicalize sym (Symmetry.apply g placement) = c)
+        (Symmetry.perms sym))
+
+let prop_canonical_below_or_equal =
+  QCheck2.Test.make ~name:"canonical form is the lex-min of the orbit"
+    ~count:(Test_util.prop_count 200) gen_mesh_placement
+    (fun (mesh, placement) ->
+      let sym = Symmetry.of_crg ~level:Symmetry.Hops (Crg.create mesh) in
+      let c = Symmetry.canonicalize sym placement in
+      Array.for_all
+        (fun g -> c <= Symmetry.apply g placement)
+        (Symmetry.perms sym))
+
+(* Bitwise cost invariance on full-size TGFF instances. *)
+let gen_cost_scenario =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* mesh = oneofl [ mesh22; mesh33; mesh34 ] in
+    let tiles = Mesh.tile_count mesh in
+    let rng = Rng.create ~seed in
+    let* cores = int_range 2 (min 8 tiles) in
+    let* packets = int_range 1 30 in
+    let spec =
+      Generator.default_spec ~name:"sym" ~cores ~packets
+        ~total_bits:(max packets (packets * 50))
+    in
+    let cdcg = Generator.generate rng spec in
+    let placement = Mapping.Placement.random rng ~cores ~tiles in
+    return (mesh, cdcg, placement))
+
+let params = Noc_params.make ~flit_bits:8 ()
+
+let prop_cwm_invariant_under_hop_group =
+  QCheck2.Test.make
+    ~name:"CWM cost is bit-identical under every hop-exact automorphism"
+    ~count:(Test_util.prop_count 100) gen_cost_scenario
+    (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let cwg = Cwg.of_cdcg cdcg in
+      let objective =
+        Mapping.Objective.cwm ~tech:Technology.t035 ~crg ~cwg
+      in
+      let sym = Symmetry.of_crg ~level:Symmetry.Hops crg in
+      let reference = objective.Mapping.Objective.cost_fn placement in
+      Array.for_all
+        (fun g ->
+          objective.Mapping.Objective.cost_fn (Symmetry.apply g placement)
+          = reference)
+        (Symmetry.perms sym))
+
+let prop_cdcm_invariant_under_path_group =
+  QCheck2.Test.make
+    ~name:"CDCM energy and texec are bit-identical under path-exact automorphisms"
+    ~count:(Test_util.prop_count 60) gen_cost_scenario
+    (fun (mesh, cdcg, placement) ->
+      let crg = Crg.create mesh in
+      let sym = Symmetry.of_crg ~level:Symmetry.Paths crg in
+      let evaluate p =
+        Mapping.Cost_cdcm.evaluate ~tech:Technology.t007 ~params ~crg ~cdcg p
+      in
+      let reference = evaluate placement in
+      Array.for_all
+        (fun g ->
+          let e = evaluate (Symmetry.apply g placement) in
+          e.Mapping.Cost_cdcm.total = reference.Mapping.Cost_cdcm.total
+          && e.Mapping.Cost_cdcm.texec_cycles
+             = reference.Mapping.Cost_cdcm.texec_cycles)
+        (Symmetry.perms sym))
+
+let prop_faulty_cdcm_invariant =
+  QCheck2.Test.make
+    ~name:"faulty-CRG CDCM cost is invariant under its verified group"
+    ~count:(Test_util.prop_count 30) gen_cost_scenario
+    (fun (mesh, cdcg, placement) ->
+      let faults =
+        Fault.make mesh ~links:[ Link.id mesh ~src:0 ~dst:1 ]
+      in
+      let crg = Crg.create ~faults mesh in
+      let sym = Symmetry.of_crg ~level:Symmetry.Paths crg in
+      let evaluate p =
+        Mapping.Cost_cdcm.evaluate ~tech:Technology.t007 ~params ~crg ~cdcg p
+      in
+      let reference = evaluate placement in
+      Array.for_all
+        (fun g ->
+          let e = evaluate (Symmetry.apply g placement) in
+          e.Mapping.Cost_cdcm.total = reference.Mapping.Cost_cdcm.total)
+        (Symmetry.perms sym))
+
+let suite =
+  ( "symmetry",
+    [
+      Alcotest.test_case "candidate counts per mesh shape" `Quick
+        test_candidate_counts;
+      Alcotest.test_case "candidates are adjacency automorphisms" `Quick
+        test_candidates_are_automorphisms;
+      Alcotest.test_case "identity comes first" `Quick test_identity_first;
+      Alcotest.test_case "verified groups satisfy the group axioms" `Quick
+        test_group_axioms;
+      Alcotest.test_case "verified orders under XY routing" `Quick
+        test_verified_orders_xy;
+      Alcotest.test_case "transpose: hop-exact but not path-exact" `Quick
+        test_transpose_not_path_exact;
+      Alcotest.test_case "faults shrink the verified group" `Quick
+        test_faults_shrink_group;
+      Alcotest.test_case "identity_only canonicalization is trivial" `Quick
+        test_identity_only;
+      Alcotest.test_case "torus groups satisfy the axioms" `Quick
+        test_torus_group;
+      QCheck_alcotest.to_alcotest prop_canonicalize_idempotent;
+      QCheck_alcotest.to_alcotest prop_canonical_is_orbit_invariant;
+      QCheck_alcotest.to_alcotest prop_canonical_below_or_equal;
+      QCheck_alcotest.to_alcotest prop_cwm_invariant_under_hop_group;
+      QCheck_alcotest.to_alcotest prop_cdcm_invariant_under_path_group;
+      QCheck_alcotest.to_alcotest prop_faulty_cdcm_invariant;
+    ] )
