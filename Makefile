@@ -1,4 +1,5 @@
-.PHONY: all build check test test-props bench bench-smoke bench-gate lint clean
+.PHONY: all build check test test-props bench bench-smoke bench-gate \
+	resume-smoke examples lint clean
 
 all: build
 
@@ -35,6 +36,27 @@ bench-gate:
 	cp BENCH_nocmap.json BENCH_baseline.json
 	NOCMAP_BENCH_BUDGET=quick dune exec bench/main.exe
 	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_nocmap.json
+
+# Crash-safety smoke: start a checkpointed table2, kill it mid-run with
+# SIGINT, resume from the journal, and require the resumed table to be
+# byte-identical to an uninterrupted run.  Robust at either extreme: a
+# machine fast enough to finish before the kill exercises the replay
+# path, one killed before the first checkpoint exercises the fresh path.
+NOCMAP_CLI := ./_build/default/bin/nocmap_cli.exe
+SMOKE_DIR := _build/resume-smoke
+resume-smoke:
+	dune build bin/nocmap_cli.exe
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(NOCMAP_CLI) table2 --quick --seed 11 > $(SMOKE_DIR)/reference.txt 2>/dev/null
+	-timeout --signal=INT --kill-after=60 2 $(NOCMAP_CLI) table2 --quick --seed 11 \
+		--checkpoint-dir $(SMOKE_DIR)/ckpt --checkpoint-every 500 >/dev/null 2>&1
+	$(NOCMAP_CLI) resume $(SMOKE_DIR)/ckpt > $(SMOKE_DIR)/resumed.txt 2>/dev/null
+	cmp $(SMOKE_DIR)/reference.txt $(SMOKE_DIR)/resumed.txt
+	@echo "resume-smoke: resumed table byte-identical to the uninterrupted run"
+
+# Build-only smoke for the example programs.
+examples:
+	dune build examples/
 
 # Warnings-as-errors build plus a clean-tree check: fails when the build
 # leaves the working tree dirty or drops untracked files outside _build.

@@ -635,6 +635,59 @@ let bench_json () =
        = sa_cached.Mapping.Objective.evaluations
   in
   let sa_hit_rate = 100.0 *. Mapping.Eval_cache.hit_rate sa_cache in
+  (* Checkpointed annealing at the default journal cadence: the cost of
+     crash-safety must stay in the noise, and a run killed mid-search
+     then resumed over the same store must land bit-identical on the
+     plain result.  Both sides take the best of three runs so machine
+     noise does not read as checkpoint overhead. *)
+  let plain_objective () = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+  let min_of_3 f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let t0 = wall () in
+      let r = f () in
+      best := Float.min !best (wall () -. t0);
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let temp_store () =
+    let path = Filename.temp_file "nocmap" ".ckpt" in
+    Sys.remove path;
+    Nocmap_persist.Store.open_ ~dir:path
+  in
+  let persisted_sa ?(every = Mapping.Search_persist.default_every) ?stop store =
+    Mapping.Search_persist.annealing ~store ~key:"bench-sa" ~every
+      ~rng:(Rng.create ~seed:(seed + 37))
+      ~config:sa_config ~tiles ~objective:(plain_objective ()) ?stop ~cores ()
+  in
+  let sa_unjournaled, plain_seconds =
+    min_of_3 (fun () -> sa_run (plain_objective ()))
+  in
+  let _, journaled_seconds =
+    (* A fresh store per rep, or the second rep would just replay. *)
+    min_of_3 (fun () -> persisted_sa (temp_store ()))
+  in
+  let checkpoint_overhead =
+    100.0 *. ((journaled_seconds /. Float.max plain_seconds 1e-9) -. 1.0)
+  in
+  let kill_store = temp_store () in
+  let stop =
+    let polls = ref 0 in
+    fun () ->
+      incr polls;
+      !polls > 900
+  in
+  ignore (persisted_sa ~every:200 ~stop kill_store);
+  let sa_resumed = persisted_sa ~every:200 kill_store in
+  let checkpoint_identical =
+    sa_resumed.Mapping.Objective.placement
+    = sa_unjournaled.Mapping.Objective.placement
+    && sa_resumed.Mapping.Objective.cost = sa_unjournaled.Mapping.Objective.cost
+    && sa_resumed.Mapping.Objective.evaluations
+       = sa_unjournaled.Mapping.Objective.evaluations
+  in
   (* Symmetry-reduced exhaustive search: a 5-core CDCM instance on the
      3x3 mesh, full enumeration vs canonical representatives only. *)
   let es_cdcg =
@@ -705,6 +758,8 @@ let bench_json () =
   "cache_sa_hit_rate_percent": %.1f,
   "cache_sa_speedup": %.2f,
   "cache_sa_identical": %b,
+  "checkpoint_overhead_percent": %.2f,
+  "checkpoint_sa_identical": %b,
   "cache_exhaustive_eval_fraction": %.4f,
   "cache_exhaustive_identical": %b,
   "suite_instances": %d,
@@ -724,7 +779,8 @@ let bench_json () =
       cdcm_arena_metrics_ops cdcm_cutoff_ops arena_speedup cutoff_speedup
       metrics_overhead sa_hit_rate
       (sa_plain_seconds /. Float.max sa_cached_seconds 1e-9)
-      sa_identical es_fraction es_identical
+      sa_identical checkpoint_overhead checkpoint_identical es_fraction
+      es_identical
       (List.length instances) jobs seq_seconds par_seconds
       (seq_seconds /. Float.max par_seconds 1e-9)
       identical
@@ -961,9 +1017,14 @@ let run_compare ~baseline_path ~current_path ~tolerance_percent =
   gate_ratio "cache_sa_hit_rate_percent" Higher_better;
   gate_ratio "cache_exhaustive_eval_fraction" Lower_better;
   gate_ceiling "metrics_overhead_percent" 30.0;
+  (* One journal append per 10k evaluations costs well under 2%; the
+     fixed ceiling leaves room for shared-machine timing noise while
+     still catching a per-evaluation write sneaking in. *)
+  gate_ceiling "checkpoint_overhead_percent" 5.0;
   gate_bool "suite_parallel_identical";
   gate_bool "cache_sa_identical";
   gate_bool "cache_exhaustive_identical";
+  gate_bool "checkpoint_sa_identical";
   let checks = List.rev !checks in
   let table =
     Tablefmt.create

@@ -22,6 +22,8 @@ module Noc_params = Nocmap_energy.Noc_params
 module Technology = Nocmap_energy.Technology
 module Mapping = Nocmap_mapping
 module Obs = Nocmap_obs
+module Json = Nocmap_persist.Json
+module Store = Nocmap_persist.Store
 
 let mesh_arg =
   let doc = "NoC size as <cols>x<rows>, e.g. 3x3." in
@@ -81,7 +83,16 @@ let interrupted = Atomic.make false
 
 let stop_requested () = Atomic.get interrupted
 
-let install_sigint () =
+let install_sigint ?checkpoint_dir () =
+  let message =
+    match checkpoint_dir with
+    | Some _ ->
+      "nocmap: interrupted - flushing a final checkpoint and finishing with \
+       best-so-far results (press ^C again to abort)"
+    | None ->
+      "nocmap: interrupted - finishing with best-so-far results (press ^C \
+       again to abort)"
+  in
   match
     Sys.signal Sys.sigint
       (Sys.Signal_handle
@@ -89,18 +100,117 @@ let install_sigint () =
            if Atomic.get interrupted then exit 130
            else begin
              Atomic.set interrupted true;
-             prerr_endline
-               "nocmap: interrupted - finishing with best-so-far results \
-                (press ^C again to abort)"
+             prerr_endline message
            end))
   with
   | _ -> ()
   | exception Invalid_argument _ -> ()
 
-let parse_placement ~cores spec =
-  match Nocmap_mapping.Placement_io.parse_tiles ~cores spec with
+let parse_placement ~tiles ~cores spec =
+  match Nocmap_mapping.Placement_io.parse_tiles ~tiles ~cores spec with
   | Ok placement -> placement
   | Error msg -> or_die (Error ("--placement: " ^ msg))
+
+(* --- checkpoint / resume plumbing --- *)
+
+let checkpoint_dir_arg =
+  let doc =
+    "Journal search state into $(docv) so a killed run can be continued \
+     with $(b,nocmap resume) $(docv).  A resumed run reproduces the \
+     uninterrupted results bit-identically."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint cadence in cost evaluations." in
+  Arg.(
+    value
+    & opt int Mapping.Search_persist.default_every
+    & info [ "checkpoint-every" ] ~docv:"EVALS" ~doc)
+
+(* The argv actually being evaluated: [Sys.argv] normally, the recorded
+   command line when re-entered through `nocmap resume`. *)
+let effective_argv = ref Sys.argv
+
+(* The --checkpoint-dir value is the one manifest field allowed to
+   change between the original run and a resume (the directory may have
+   been moved), so comparisons blank it out. *)
+let strip_checkpoint_dir args =
+  let rec go = function
+    | [] -> []
+    | "--checkpoint-dir" :: _ :: rest -> "--checkpoint-dir" :: go rest
+    | arg :: rest when String.starts_with ~prefix:"--checkpoint-dir=" arg ->
+      "--checkpoint-dir" :: go rest
+    | arg :: rest -> arg :: go rest
+  in
+  go args
+
+let replace_checkpoint_dir ~dir args =
+  let found = ref false in
+  let rec go = function
+    | [] -> []
+    | "--checkpoint-dir" :: _ :: rest ->
+      found := true;
+      "--checkpoint-dir" :: dir :: go rest
+    | arg :: rest when String.starts_with ~prefix:"--checkpoint-dir=" arg ->
+      found := true;
+      ("--checkpoint-dir=" ^ dir) :: go rest
+    | arg :: rest -> arg :: go rest
+  in
+  let args = go args in
+  if !found then args else args @ [ "--checkpoint-dir"; dir ]
+
+let manifest_magic = "nocmap-run"
+
+(* Opens the checkpoint store and records what run owns it; re-running
+   (or resuming) over the same directory must present the same command
+   line, or the shards would silently mix two different experiments. *)
+let setup_persist ~command dir every =
+  match dir with
+  | None -> None
+  | Some dir ->
+    let store = Store.open_ ~dir in
+    let argv = List.tl (Array.to_list !effective_argv) in
+    let manifest =
+      Json.Assoc
+        [
+          ("magic", Json.Str manifest_magic);
+          ("version", Json.Int 1);
+          ("command", Json.Str command);
+          ("argv", Json.List (List.map (fun s -> Json.Str s) argv));
+        ]
+    in
+    (match Store.read_manifest store with
+    | Error _ -> ()
+    | Ok old ->
+      let recorded =
+        match Json.find "argv" old with
+        | Some (Json.List l) -> List.map Json.to_str l
+        | _ -> []
+      in
+      if strip_checkpoint_dir recorded <> strip_checkpoint_dir argv then
+        or_die
+          (Error
+             (Printf.sprintf
+                "%s holds checkpoints of a different run (nocmap %s); use a \
+                 fresh --checkpoint-dir or `nocmap resume %s`"
+                dir
+                (String.concat " " recorded)
+                dir)));
+    Store.write_manifest store manifest;
+    Some (Nocmap.Experiment.persist ~scope:command ~every store)
+
+(* Printed when an interrupted run left resumable journals behind. *)
+let resume_hint dir =
+  match dir with
+  | Some dir when stop_requested () ->
+    prerr_endline
+      (Printf.sprintf
+         "nocmap: checkpoint flushed - continue with `nocmap resume %s`" dir)
+  | Some _ | None -> ()
 
 (* Symmetry-canonicalized evaluation caching (on by default; results
    are bit-identical either way, only CPU time changes). *)
@@ -247,7 +357,7 @@ let map_cmd =
              and greedy+local searches).")
   in
   let run mesh seed flit tech_name routing app builtin model algorithm save metrics
-      convergence_path use_cache =
+      convergence_path use_cache checkpoint_dir checkpoint_every =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -287,7 +397,18 @@ let map_cmd =
       | Some cache -> Mapping.Objective.with_cache cache objective
       | None -> objective
     in
-    install_sigint ();
+    install_sigint ?checkpoint_dir ();
+    (match checkpoint_dir with
+    | Some _
+      when algorithm <> "sa" && algorithm <> "local"
+           && algorithm <> "greedy+local" ->
+      prerr_endline
+        (Printf.sprintf
+           "nocmap: --checkpoint-dir only journals the sa, local and \
+            greedy+local searches; algorithm %S runs without checkpoints"
+           algorithm)
+    | Some _ | None -> ());
+    let persist = setup_persist ~command:"map" checkpoint_dir checkpoint_every in
     with_metrics metrics @@ fun () ->
     let convergence =
       Option.map
@@ -296,19 +417,43 @@ let map_cmd =
     in
     let result =
       match algorithm with
-      | "sa" ->
-        Mapping.Annealing.search ~rng
-          ~config:(Mapping.Annealing.default_config ~tiles)
-          ~tiles ~objective ~stop:stop_requested ?convergence ~cores ()
+      | "sa" -> (
+        match persist with
+        | None ->
+          Mapping.Annealing.search ~rng
+            ~config:(Mapping.Annealing.default_config ~tiles)
+            ~tiles ~objective ~stop:stop_requested ?convergence ~cores ()
+        | Some (p : Nocmap.Experiment.persist) ->
+          Mapping.Search_persist.annealing ~store:p.Nocmap.Experiment.store
+            ~key:(p.Nocmap.Experiment.scope ^ ".sa")
+            ~every:p.Nocmap.Experiment.every ~rng
+            ~config:(Mapping.Annealing.default_config ~tiles)
+            ~tiles ~objective ~stop:stop_requested ?convergence ~cores ())
       | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ?symmetry ?convergence ()
       | "greedy" -> Mapping.Greedy.search ~tech ~crg ~cwg ()
-      | "local" ->
+      | "local" -> (
         let initial = Mapping.Placement.random rng ~cores ~tiles in
-        Mapping.Local_search.search ~objective ~tiles ~initial ?convergence ()
-      | "greedy+local" ->
+        match persist with
+        | None ->
+          Mapping.Local_search.search ~objective ~tiles ~initial
+            ~stop:stop_requested ?convergence ()
+        | Some (p : Nocmap.Experiment.persist) ->
+          Mapping.Search_persist.local_search ~store:p.Nocmap.Experiment.store
+            ~key:(p.Nocmap.Experiment.scope ^ ".local")
+            ~every:p.Nocmap.Experiment.every ~objective ~tiles ~initial
+            ~stop:stop_requested ?convergence ())
+      | "greedy+local" -> (
         let greedy = Mapping.Greedy.search ~tech ~crg ~cwg () in
-        Mapping.Local_search.search ~objective ~tiles
-          ~initial:greedy.Mapping.Objective.placement ?convergence ()
+        let initial = greedy.Mapping.Objective.placement in
+        match persist with
+        | None ->
+          Mapping.Local_search.search ~objective ~tiles ~initial
+            ~stop:stop_requested ?convergence ()
+        | Some (p : Nocmap.Experiment.persist) ->
+          Mapping.Search_persist.local_search ~store:p.Nocmap.Experiment.store
+            ~key:(p.Nocmap.Experiment.scope ^ ".local")
+            ~every:p.Nocmap.Experiment.every ~objective ~tiles ~initial
+            ~stop:stop_requested ?convergence ())
       | "random" ->
         Mapping.Random_search.search ~rng ~objective ~cores ~tiles ~samples:1000
       | other -> or_die (Error ("unknown algorithm " ^ other))
@@ -349,19 +494,20 @@ let map_cmd =
       (Mapping.Placement.to_string ~core_names:cdcg.Cdcg.core_names
          result.Mapping.Objective.placement);
     Format.printf "evaluation  : %a@." Mapping.Cost_cdcm.pp_evaluation evaluation;
-    match save with
+    (match save with
     | None -> ()
     | Some path ->
       Mapping.Placement_io.save ~path ~mesh ~core_names:cdcg.Cdcg.core_names
         result.Mapping.Objective.placement;
-      Printf.printf "saved       : %s\n" path
+      Printf.printf "saved       : %s\n" path);
+    resume_hint checkpoint_dir
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Search a core-to-tile mapping for an application")
     Term.(
       const run $ mesh_arg $ seed_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg
       $ builtin_arg $ model $ algorithm $ save $ metrics_arg $ convergence_arg
-      $ cache_arg)
+      $ cache_arg $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 (* --- eval --- *)
 
@@ -393,7 +539,7 @@ let eval_cmd =
     let placement =
       match placement with
       | None -> Mapping.Placement.identity ~cores
-      | Some spec -> parse_placement ~cores spec
+      | Some spec -> parse_placement ~tiles:(Mesh.tile_count mesh) ~cores spec
     in
     let trace = Nocmap_sim.Wormhole.run ~params ~crg ~placement cdcg in
     let evaluation = Mapping.Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg placement in
@@ -423,7 +569,7 @@ let analyze_cmd =
     let placement =
       match placement with
       | None -> Mapping.Placement.identity ~cores
-      | Some spec -> parse_placement ~cores spec
+      | Some spec -> parse_placement ~tiles:(Mesh.tile_count mesh) ~cores spec
     in
     Format.printf "structure   : %a@." Nocmap_model.Metrics.pp
       (Nocmap_model.Metrics.of_cdcg cdcg);
@@ -580,25 +726,31 @@ let with_jobs jobs f =
   else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 let table2_cmd =
-  let run seed quick jobs metrics use_cache =
+  let run seed quick jobs metrics use_cache checkpoint_dir checkpoint_every =
     let config =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
     let config = { config with Nocmap.Experiment.cache = use_cache } in
-    install_sigint ();
+    install_sigint ?checkpoint_dir ();
+    let persist =
+      setup_persist ~command:"table2" checkpoint_dir checkpoint_every
+    in
     with_metrics metrics @@ fun () ->
     let output =
       with_jobs (resolve_jobs jobs) (fun pool ->
           Nocmap.Table2.run_and_render ~config ~progress:prerr_endline ?pool
-            ~stop:stop_requested ~seed ())
+            ~stop:stop_requested ?persist ~seed ())
     in
     if stop_requested () then
       prerr_endline "nocmap: table reflects best-so-far search results";
-    print_string output
+    print_string output;
+    resume_hint checkpoint_dir
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate Table 2 (ETR / ECS comparison)")
-    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ metrics_arg $ cache_arg)
+    Term.(
+      const run $ seed_arg $ quick_arg $ jobs_arg $ metrics_arg $ cache_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 (* --- faults --- *)
 
@@ -620,7 +772,7 @@ let faults_cmd =
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the per-scenario results as CSV.")
   in
   let run mesh seed tech_name app builtin quick jobs multi_k multi_count csv metrics
-      use_cache =
+      use_cache checkpoint_dir checkpoint_every =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -644,23 +796,27 @@ let faults_cmd =
         multi_fault_count = multi_count;
       }
     in
-    install_sigint ();
+    install_sigint ?checkpoint_dir ();
+    let persist =
+      setup_persist ~command:"faults" checkpoint_dir checkpoint_every
+    in
     with_metrics metrics @@ fun () ->
     let campaign =
       with_jobs (resolve_jobs jobs) (fun pool ->
-          Nocmap.Fault_campaign.run ~config ?pool ~stop:stop_requested ~mesh
-            ~seed cdcg)
+          Nocmap.Fault_campaign.run ~config ?pool ~stop:stop_requested ?persist
+            ~mesh ~seed cdcg)
     in
     if stop_requested () then
       prerr_endline
         "nocmap: mapping search was interrupted - campaign ran on best-so-far \
          placements";
     print_string (Nocmap.Fault_campaign.render campaign);
-    match csv with
+    (match csv with
     | None -> ()
     | Some path ->
       save_text ~path (Nocmap.Fault_campaign.to_csv campaign);
-      Printf.printf "wrote %s\n" path
+      Printf.printf "wrote %s\n" path);
+    resume_hint checkpoint_dir
   in
   Cmd.v
     (Cmd.info "faults"
@@ -668,7 +824,7 @@ let faults_cmd =
     Term.(
       const run $ mesh_arg $ seed_arg $ tech_arg $ app_arg $ builtin_arg
       $ quick_arg $ jobs_arg $ multi_k $ multi_count $ csv $ metrics_arg
-      $ cache_arg)
+      $ cache_arg $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 (* --- profile --- *)
 
@@ -753,13 +909,59 @@ let cputime_cmd =
     (Cmd.info "cputime" ~doc:"Compare CWM and CDCM cost-evaluation CPU time")
     Term.(const run $ seed_arg)
 
+(* --- resume --- *)
+
+(* Re-enters the top-level command group with the recorded argv; set
+   once the group below exists. *)
+let main_eval : (string array -> int) ref = ref (fun _ -> 1)
+
+let resume_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Checkpoint directory of the interrupted run.")
+  in
+  let run dir =
+    let store = Store.open_ ~dir in
+    let manifest =
+      match Store.read_manifest store with
+      | Ok m -> m
+      | Error msg ->
+        or_die (Error (Printf.sprintf "cannot resume from %s: %s" dir msg))
+    in
+    (match Json.find "magic" manifest with
+    | Some (Json.Str m) when m = manifest_magic -> ()
+    | _ -> or_die (Error (dir ^ ": not a nocmap checkpoint directory")));
+    let argv =
+      match Json.find "argv" manifest with
+      | Some (Json.List l) -> List.map Json.to_str l
+      | _ -> or_die (Error (dir ^ ": checkpoint manifest records no command line"))
+    in
+    (* The directory may have been moved since the run was started, so
+       the recorded --checkpoint-dir is repointed at [dir]. *)
+    let argv = replace_checkpoint_dir ~dir argv in
+    prerr_endline ("nocmap: resuming: nocmap " ^ String.concat " " argv);
+    let argv = Array.of_list ("nocmap" :: argv) in
+    effective_argv := argv;
+    exit (!main_eval argv)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume an interrupted checkpointed run (started with \
+          --checkpoint-dir) and reproduce its uninterrupted results")
+    Term.(const run $ dir_arg)
+
 let () =
   let info =
     Cmd.info "nocmap" ~version:"1.0.0"
       ~doc:"Energy- and timing-aware NoC mapping (CWM vs CDCM, DATE'05 reproduction)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ gen_cmd; apps_cmd; map_cmd; eval_cmd; analyze_cmd; dot_cmd; export_cmd;
-            table1_cmd; table2_cmd; faults_cmd; cputime_cmd; profile_cmd ]))
+  let group =
+    Cmd.group info
+      [ gen_cmd; apps_cmd; map_cmd; eval_cmd; analyze_cmd; dot_cmd; export_cmd;
+        table1_cmd; table2_cmd; faults_cmd; resume_cmd; cputime_cmd; profile_cmd ]
+  in
+  main_eval := (fun argv -> Cmd.eval ~argv group);
+  exit (Cmd.eval group)

@@ -35,6 +35,21 @@ let default_config =
 
 let quick_config = { default_config with budget = Quick; restarts = 1 }
 
+type persist = {
+  store : Nocmap_persist.Store.t;
+  scope : string;
+  every : int;
+}
+
+let persist ?(scope = "run") ?(every = Mapping.Search_persist.default_every)
+    store =
+  { store; scope; every }
+
+(* Scopes nest with dots; the final shard key names one search leg,
+   e.g. "t2-03-4x4-app2.cdcm-0.07u.leg1". *)
+let persist_sub p name =
+  Option.map (fun p -> { p with scope = p.scope ^ "." ^ name }) p
+
 type outcome = {
   app : string;
   mesh : Mesh.t;
@@ -95,8 +110,8 @@ let reduction = Nocmap_util.Stats.reduction_percent
    [?pool] when given; the RNG substreams are split in restart order
    before any task is dispatched, so the pooled run is bit-identical to
    the sequential one. *)
-let multi_start ?(budget_scale = 1) ?warm_start ?pool ?stop ~rng ~config ~tiles
-    ~cores make_objective =
+let multi_start ?(budget_scale = 1) ?warm_start ?pool ?stop ?persist ~rng
+    ~config ~tiles ~cores make_objective =
   let sa = sa_config config ~tiles in
   let sa =
     {
@@ -119,8 +134,15 @@ let multi_start ?(budget_scale = 1) ?warm_start ?pool ?stop ~rng ~config ~tiles
        mapping worse than the CWM one under its own objective. *)
     let initial = if i = restarts - 1 then warm_start else None in
     let objective = make_objective () in
-    Mapping.Annealing.search ~rng:rngs.(i) ~config:sa ~tiles ~objective ?initial
-      ?stop ~cores ()
+    match persist with
+    | None ->
+      Mapping.Annealing.search ~rng:rngs.(i) ~config:sa ~tiles ~objective
+        ?initial ?stop ~cores ()
+    | Some p ->
+      Mapping.Search_persist.annealing ~store:p.store
+        ~key:(Printf.sprintf "%s.leg%d" p.scope i)
+        ~every:p.every ~rng:rngs.(i) ~config:sa ~tiles ~objective ?initial
+        ?stop ~cores ()
   in
   let results = Domain_pool.map ?pool leg (Array.init restarts Fun.id) in
   let best = ref results.(0) in
@@ -155,7 +177,7 @@ let cached_factory config ~symmetry ~cores make_objective () =
 
 (* The CWM and CDCM winners at one technology point, searched on the
    fault-free CRG — the mappings a fault campaign then stresses. *)
-let optimize_pair ?pool ?stop ~rng ~config ~mesh ~tech cdcg =
+let optimize_pair ?pool ?stop ?persist ~rng ~config ~mesh ~tech cdcg =
   let crg = Crg.create mesh in
   let tiles = Mesh.tile_count mesh in
   let cores = Cdcg.core_count cdcg in
@@ -164,16 +186,17 @@ let optimize_pair ?pool ?stop ~rng ~config ~mesh ~tech cdcg =
   let params = config.params in
   let cwm_best, _, _ =
     Timer.time "cwm_search" (fun () ->
-        multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
-            Mapping.Objective.cwm ~tech ~crg ~cwg))
+        multi_start ~budget_scale:8 ?pool ?stop
+          ?persist:(persist_sub persist "cwm") ~rng ~config ~tiles ~cores
+          (fun () -> Mapping.Objective.cwm ~tech ~crg ~cwg))
   in
   let symmetry =
     Nocmap_noc.Symmetry.of_crg ~level:Nocmap_noc.Symmetry.Paths crg
   in
   let cdcm_best, _, _ =
     Timer.time "cdcm_search" (fun () ->
-        multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
-          ~config ~tiles ~cores
+        multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop
+          ?persist:(persist_sub persist "cdcm") ~rng ~config ~tiles ~cores
           (cached_factory config ~symmetry ~cores (fun () ->
                Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)))
   in
@@ -183,7 +206,7 @@ let optimize_pair ?pool ?stop ~rng ~config ~mesh ~tech cdcg =
     cdcm_placement = cdcm_best.Mapping.Objective.placement;
   }
 
-let compare_models ?pool ?stop ~rng ~config ~mesh cdcg =
+let compare_models ?pool ?stop ?persist ~rng ~config ~mesh cdcg =
   let crg = Crg.create mesh in
   let tiles = Mesh.tile_count mesh in
   let cores = Cdcg.core_count cdcg in
@@ -192,16 +215,20 @@ let compare_models ?pool ?stop ~rng ~config ~mesh cdcg =
   let params = config.params in
   let cwm_best, cwm_cpu_seconds, cwm_evaluations =
     Timer.time "cwm_search" (fun () ->
-        multi_start ~budget_scale:8 ?pool ?stop ~rng ~config ~tiles ~cores (fun () ->
-            Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg))
+        multi_start ~budget_scale:8 ?pool ?stop
+          ?persist:(persist_sub persist "cwm") ~rng ~config ~tiles ~cores
+          (fun () -> Mapping.Objective.cwm ~tech:config.tech_low ~crg ~cwg))
   in
   let symmetry =
     Nocmap_noc.Symmetry.of_crg ~level:Nocmap_noc.Symmetry.Paths crg
   in
   let cdcm_search tech =
     Timer.time "cdcm_search" (fun () ->
-        multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop ~rng
-          ~config ~tiles ~cores
+        multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop
+          ?persist:
+            (persist_sub persist
+               ("cdcm-" ^ tech.Nocmap_energy.Technology.name))
+          ~rng ~config ~tiles ~cores
           (cached_factory config ~symmetry ~cores (fun () ->
                Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)))
   in

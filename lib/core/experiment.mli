@@ -37,6 +37,24 @@ val default_config : config
 
 val quick_config : config
 
+type persist = {
+  store : Nocmap_persist.Store.t;  (** Checkpoint directory. *)
+  scope : string;  (** Key prefix for this run's journal shards. *)
+  every : int;     (** Checkpoint cadence in evaluations. *)
+}
+(** Crash-safe checkpointing for the search legs.  When passed to the
+    drivers below, every annealing restart journals its state into one
+    shard of [store] ({!Nocmap_mapping.Search_persist}) and finished
+    legs record their result.  Re-running the same driver over the same
+    store after a crash replays finished legs, resumes the interrupted
+    one from its last checkpoint, and produces results bit-identical to
+    an uninterrupted run. *)
+
+val persist :
+  ?scope:string -> ?every:int -> Nocmap_persist.Store.t -> persist
+(** [scope] defaults to ["run"]; [every] to
+    {!Nocmap_mapping.Search_persist.default_every}. *)
+
 type outcome = {
   app : string;
   mesh : Nocmap_noc.Mesh.t;
@@ -58,6 +76,7 @@ type outcome = {
 val compare_models :
   ?pool:Nocmap_util.Domain_pool.t ->
   ?stop:(unit -> bool) ->
+  ?persist:persist ->
   rng:Nocmap_util.Rng.t ->
   config:config ->
   mesh:Nocmap_noc.Mesh.t ->
@@ -68,6 +87,8 @@ val compare_models :
     [rng] (each restart gets a pre-split substream and its own
     simulation scratch).  [?stop] is polled inside every annealing
     descent; when it flips to [true] each leg returns its best-so-far.
+    [?persist] checkpoints and resumes the search legs; reported CPU
+    seconds then cover only the work actually redone.
     @raise Invalid_argument when the application has more cores than the
     mesh has tiles. *)
 
@@ -80,6 +101,7 @@ type mapped_pair = {
 val optimize_pair :
   ?pool:Nocmap_util.Domain_pool.t ->
   ?stop:(unit -> bool) ->
+  ?persist:persist ->
   rng:Nocmap_util.Rng.t ->
   config:config ->
   mesh:Nocmap_noc.Mesh.t ->

@@ -9,6 +9,8 @@ module Rng = Nocmap_util.Rng
 module Tablefmt = Nocmap_util.Tablefmt
 module Domain_pool = Nocmap_util.Domain_pool
 module Timer = Nocmap_obs.Timer
+module Json = Nocmap_persist.Json
+module Store = Nocmap_persist.Store
 
 type config = {
   experiment : Experiment.config;
@@ -55,6 +57,55 @@ type t = {
 let inflation_percent ~baseline value =
   if baseline = 0.0 then 0.0 else (value -. baseline) /. baseline *. 100.0
 
+(* Checkpoint encoding of one scenario's evaluations.  The scenario
+   itself is not stored: the scenario list is a pure function of the
+   seed, so a resumed run rebuilds it and only replays the expensive
+   degraded-CRG simulations. *)
+let evaluation_json (e : Mapping.Cost_cdcm.evaluation) =
+  Json.Assoc
+    [
+      ("dynamic", Json.float_ e.Mapping.Cost_cdcm.dynamic);
+      ("static", Json.float_ e.Mapping.Cost_cdcm.static_);
+      ("total", Json.float_ e.Mapping.Cost_cdcm.total);
+      ("texec_ns", Json.float_ e.Mapping.Cost_cdcm.texec_ns);
+      ("texec_cycles", Json.Int e.Mapping.Cost_cdcm.texec_cycles);
+      ("contention_cycles", Json.Int e.Mapping.Cost_cdcm.contention_cycles);
+      ("delivered_packets", Json.Int e.Mapping.Cost_cdcm.delivered_packets);
+      ("dropped_packets", Json.Int e.Mapping.Cost_cdcm.dropped_packets);
+      ("retries_total", Json.Int e.Mapping.Cost_cdcm.retries_total);
+    ]
+
+let evaluation_of_json j =
+  {
+    Mapping.Cost_cdcm.dynamic = Json.to_float (Json.get "dynamic" j);
+    static_ = Json.to_float (Json.get "static" j);
+    total = Json.to_float (Json.get "total" j);
+    texec_ns = Json.to_float (Json.get "texec_ns" j);
+    texec_cycles = Json.to_int (Json.get "texec_cycles" j);
+    contention_cycles = Json.to_int (Json.get "contention_cycles" j);
+    delivered_packets = Json.to_int (Json.get "delivered_packets" j);
+    dropped_packets = Json.to_int (Json.get "dropped_packets" j);
+    retries_total = Json.to_int (Json.get "retries_total" j);
+  }
+
+let scenario_payload_json s =
+  Json.Assoc
+    [
+      ("unreachable_pairs", Json.Int s.unreachable_pairs);
+      ("total_detour_links", Json.Int s.total_detour_links);
+      ("cwm", evaluation_json s.cwm);
+      ("cdcm", evaluation_json s.cdcm);
+    ]
+
+let scenario_of_payload ~scenario j =
+  {
+    scenario;
+    unreachable_pairs = Json.to_int (Json.get "unreachable_pairs" j);
+    total_detour_links = Json.to_int (Json.get "total_detour_links" j);
+    cwm = evaluation_of_json (Json.get "cwm" j);
+    cdcm = evaluation_of_json (Json.get "cdcm" j);
+  }
+
 let report ~label ~(baseline : Mapping.Cost_cdcm.evaluation) scenarios select =
   let evals = List.map select scenarios in
   {
@@ -82,7 +133,7 @@ let report ~label ~(baseline : Mapping.Cost_cdcm.evaluation) scenarios select =
            evals);
   }
 
-let run ?(config = default_config) ?pool ?stop ~mesh ~seed cdcg =
+let run ?(config = default_config) ?pool ?stop ?persist ~mesh ~seed cdcg =
   let rng = Rng.create ~seed in
   (* Pre-split the substreams in a fixed order so the search and the
      scenario sampling never race on the parent generator. *)
@@ -90,8 +141,14 @@ let run ?(config = default_config) ?pool ?stop ~mesh ~seed cdcg =
   let sample_rng = Rng.split rng in
   let pair =
     Timer.time "faults.optimize" (fun () ->
-        Experiment.optimize_pair ?pool ?stop ~rng:search_rng
-          ~config:config.experiment ~mesh ~tech:config.tech cdcg)
+        Experiment.optimize_pair ?pool ?stop
+          ?persist:
+            (Option.map
+               (fun (p : Experiment.persist) ->
+                 { p with Experiment.scope = p.Experiment.scope ^ ".optimize" })
+               persist)
+          ~rng:search_rng ~config:config.experiment ~mesh ~tech:config.tech
+          cdcg)
   in
   let params = config.experiment.Experiment.params in
   let tech = config.tech in
@@ -116,7 +173,7 @@ let run ?(config = default_config) ?pool ?stop ~mesh ~seed cdcg =
   let scenario_arr = Array.of_list scenarios in
   (* Each scenario evaluation is RNG-free, so fanning out over [?pool]
      is bit-identical to the sequential sweep. *)
-  let evaluate_scenario i =
+  let compute_scenario i =
     let scenario = scenario_arr.(i) in
     let crg = Crg.create ~faults:scenario mesh in
     let eval placement =
@@ -130,6 +187,41 @@ let run ?(config = default_config) ?pool ?stop ~mesh ~seed cdcg =
       cwm = eval pair.Experiment.cwm_placement;
       cdcm = eval pair.Experiment.cdcm_placement;
     }
+  in
+  let stop_now () = match stop with Some f -> f () | None -> false in
+  (* Scenario evaluations are deterministic, so checkpointing them is a
+     plain memo: one shard per scenario, replayed on resume.  Once [stop]
+     fires the placements are best-so-far rather than the converged ones,
+     so nothing is memoized (the meta records the placements precisely so
+     a stale shard would be rejected loudly rather than replayed). *)
+  let evaluate_scenario i =
+    match persist with
+    | None -> compute_scenario i
+    | Some _ when stop_now () -> compute_scenario i
+    | Some (p : Experiment.persist) ->
+      let scenario = scenario_arr.(i) in
+      let meta =
+        Json.Assoc
+          [
+            ("app", Json.Str cdcg.Cdcg.name);
+            ("mesh", Json.Str (Mesh.to_string mesh));
+            ("seed", Json.Int seed);
+            ("scenario", Json.Str (Fault.to_string scenario));
+            ( "cwm",
+              Mapping.Search_persist.placement_json
+                pair.Experiment.cwm_placement );
+            ( "cdcm",
+              Mapping.Search_persist.placement_json
+                pair.Experiment.cdcm_placement );
+          ]
+      in
+      let payload =
+        Store.memoize p.Experiment.store
+          ~key:(Printf.sprintf "%s.scn%03d" p.Experiment.scope i)
+          ~meta
+          (fun () -> scenario_payload_json (compute_scenario i))
+      in
+      scenario_of_payload ~scenario payload
   in
   let results =
     Timer.time "faults.scenarios" (fun () ->
@@ -217,7 +309,7 @@ let to_csv t =
       let e = s.cwm and d = s.cdcm in
       Buffer.add_string buf
         (Printf.sprintf "%s,%d,%d,%d,%.6g,%.6g,%d,%d,%.6g,%.6g,%d,%d\n"
-           (Fault.to_string s.scenario)
+           (Nocmap_util.Csv.field (Fault.to_string s.scenario))
            (Fault.fault_count s.scenario)
            s.unreachable_pairs s.total_detour_links e.Mapping.Cost_cdcm.total
            e.Mapping.Cost_cdcm.texec_ns e.Mapping.Cost_cdcm.dropped_packets

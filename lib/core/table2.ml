@@ -31,7 +31,7 @@ let method_for mesh =
   if small then "ES and SA" else "SA only"
 
 let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instances
-    ?pool ?stop ~seed () =
+    ?pool ?stop ?persist ~seed () =
   let rng = Rng.create ~seed in
   let instances =
     match instances with
@@ -63,9 +63,24 @@ let run ?(config = Experiment.default_config) ?(progress = fun _ -> ()) ?instanc
      whole sweep either way. *)
   let compare i =
     let mesh, cdcg = arr.(i) in
+    (* One scope per suite instance: shard keys are stable across runs
+       because the suite order is a pure function of the seed. *)
+    let persist =
+      Option.map
+        (fun (p : Experiment.persist) ->
+          {
+            p with
+            Experiment.scope =
+              Printf.sprintf "%s.t2-%02d-%s-%s" p.Experiment.scope i
+                (Mesh.to_string mesh) cdcg.Cdcg.name;
+          })
+        persist
+    in
     Timer.time
       (Printf.sprintf "%s %s" (Mesh.to_string mesh) cdcg.Cdcg.name)
-      (fun () -> Experiment.compare_models ?pool ?stop ~rng:rngs.(i) ~config ~mesh cdcg)
+      (fun () ->
+        Experiment.compare_models ?pool ?stop ?persist ~rng:rngs.(i) ~config
+          ~mesh cdcg)
   in
   let indices = Array.init n Fun.id in
   let outcomes =
@@ -154,5 +169,5 @@ let render t =
     ];
   Tablefmt.render table
 
-let run_and_render ?config ?progress ?pool ?stop ~seed () =
-  render (run ?config ?progress ?pool ?stop ~seed ())
+let run_and_render ?config ?progress ?pool ?stop ?persist ~seed () =
+  render (run ?config ?progress ?pool ?stop ?persist ~seed ())

@@ -26,6 +26,7 @@ val run :
   ?instances:(Nocmap_noc.Mesh.t * Nocmap_model.Cdcg.t) list ->
   ?pool:Nocmap_util.Domain_pool.t ->
   ?stop:(unit -> bool) ->
+  ?persist:Experiment.persist ->
   seed:int ->
   unit ->
   t
@@ -38,7 +39,10 @@ val run :
     progress lines are then emitted in suite order after the batch
     finishes rather than streamed.  [?stop] is polled inside every
     annealing descent so a signal handler can wind the whole table down
-    to best-so-far results. *)
+    to best-so-far results.  [?persist] checkpoints every search leg
+    into one store scope per suite instance: rerunning over the same
+    store resumes where a killed run stopped and reproduces the
+    uninterrupted table bit-identically. *)
 
 val render : t -> string
 
@@ -47,6 +51,7 @@ val run_and_render :
   ?progress:(string -> unit) ->
   ?pool:Nocmap_util.Domain_pool.t ->
   ?stop:(unit -> bool) ->
+  ?persist:Experiment.persist ->
   seed:int ->
   unit ->
   string

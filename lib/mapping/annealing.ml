@@ -50,6 +50,23 @@ let quick_config ~tiles =
     prune = None;
   }
 
+type checkpoint = {
+  rng_state : int64;
+  evaluations : int;
+  current : Placement.t;
+  current_cost : float;
+  best : Placement.t;
+  best_cost : float;
+  temperature : float;
+  floor : float;
+  stale_levels : int;
+  moves : int;
+  improved_this_level : bool;
+  accepted : int;
+  rejected : int;
+  cutoff_hits : int;
+}
+
 (* Mean |delta| over a handful of random moves; a start temperature of
    twice that accepts most uphill moves initially. *)
 let calibrate_temperature rng ~tiles ~(objective : Objective.t) ~placement ~cost ~evals =
@@ -64,7 +81,7 @@ let calibrate_temperature rng ~tiles ~(objective : Objective.t) ~placement ~cost
   if mean > 0.0 then 2.0 *. mean else 1.0
 
 let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
-    ?convergence ~cores () =
+    ?convergence ?checkpoint ?resume ~cores () =
   if cores > tiles then invalid_arg "Annealing.search: more cores than tiles";
   if not (config.cooling > 0.0 && config.cooling < 1.0) then
     invalid_arg "Annealing.search: cooling must lie in (0,1)";
@@ -77,29 +94,82 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
     incr evals;
     objective.Objective.cost_fn p
   in
-  let current = ref (match initial with
-    | Some p -> Array.copy p
-    | None -> Placement.random rng ~cores ~tiles)
-  in
   let accepted = ref 0 and rejected = ref 0 and cutoff_hits = ref 0 in
-  let current_cost = ref (cost_of !current) in
-  let best = ref !current and best_cost = ref !current_cost in
+  let current = ref [||] and current_cost = ref 0.0 in
+  let best = ref [||] and best_cost = ref 0.0 in
+  let temperature = ref 0.0 and stale_levels = ref 0 in
+  (* Inner-loop position lives outside the level loop so a checkpoint
+     can re-enter a temperature level mid-way. *)
+  let moves = ref 0 and improved_this_level = ref false in
   let record_best () =
     match convergence with
     | Some series -> Series.add series ~x:(float_of_int !evals) ~y:!best_cost
     | None -> ()
   in
-  record_best ();
-  let temperature =
-    ref
+  (match resume with
+  | Some c ->
+    Rng.set_state rng c.rng_state;
+    evals := c.evaluations;
+    current := Array.copy c.current;
+    current_cost := c.current_cost;
+    best := Array.copy c.best;
+    best_cost := c.best_cost;
+    temperature := c.temperature;
+    stale_levels := c.stale_levels;
+    moves := c.moves;
+    improved_this_level := c.improved_this_level;
+    accepted := c.accepted;
+    rejected := c.rejected;
+    cutoff_hits := c.cutoff_hits;
+    record_best ()
+  | None ->
+    current :=
+      (match initial with
+      | Some p -> Array.copy p
+      | None -> Placement.random rng ~cores ~tiles);
+    current_cost := cost_of !current;
+    best := !current;
+    best_cost := !current_cost;
+    record_best ();
+    temperature :=
       (match config.initial_temperature with
       | `Fixed t -> t
       | `Auto ->
         calibrate_temperature rng ~tiles ~objective ~placement:!current
-          ~cost:!current_cost ~evals)
+          ~cost:!current_cost ~evals));
+  let floor =
+    match resume with
+    | Some c -> c.floor
+    | None -> !temperature *. 1e-9
   in
-  let stale_levels = ref 0 in
-  let floor = !temperature *. 1e-9 in
+  let snapshot () =
+    {
+      rng_state = Rng.state rng;
+      evaluations = !evals;
+      current = Array.copy !current;
+      current_cost = !current_cost;
+      best = Array.copy !best;
+      best_cost = !best_cost;
+      temperature = !temperature;
+      floor;
+      stale_levels = !stale_levels;
+      moves = !moves;
+      improved_this_level = !improved_this_level;
+      accepted = !accepted;
+      rejected = !rejected;
+      cutoff_hits = !cutoff_hits;
+    }
+  in
+  let last_flush =
+    ref (match resume with Some c -> c.evaluations | None -> 0)
+  in
+  let maybe_flush () =
+    match checkpoint with
+    | Some (every, hook) when !evals - !last_flush >= every ->
+      last_flush := !evals;
+      hook (snapshot ())
+    | Some _ | None -> ()
+  in
   (* With a prune margin [m], a candidate whose cost exceeds
      [current + m*T] would be accepted with probability < exp(-m) —
      negligible for the margins in use — so the bound function may stop
@@ -126,8 +196,6 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
     && tiles > 1
     && not (stop ())
   do
-    let improved_this_level = ref false in
-    let moves = ref 0 in
     while
       !moves < config.moves_per_temperature
       && !evals < config.max_evaluations
@@ -135,7 +203,7 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
     do
       incr moves;
       let neighbor = Placement.random_neighbor rng ~tiles !current in
-      match evaluate_candidate neighbor with
+      (match evaluate_candidate neighbor with
       | None -> incr rejected
       | Some neighbor_cost ->
         let delta = neighbor_cost -. !current_cost in
@@ -154,11 +222,24 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
             record_best ()
           end
         end
-        else incr rejected
+        else incr rejected);
+      maybe_flush ()
     done;
-    if !improved_this_level then stale_levels := 0 else incr stale_levels;
-    temperature := !temperature *. config.cooling
+    (* Only a completed level cools; when the inner loop bails out early
+       (budget or stop) the flushed checkpoint must keep the pre-update
+       temperature, or a resumed run would cool the same level twice. *)
+    if !moves >= config.moves_per_temperature then begin
+      if !improved_this_level then stale_levels := 0 else incr stale_levels;
+      temperature := !temperature *. config.cooling;
+      moves := 0;
+      improved_this_level := false
+    end
   done;
+  (* An interrupted descent leaves a final checkpoint so the kill point
+     never costs more than the flush cadence. *)
+  (match checkpoint with
+  | Some (_, hook) when stop () -> hook (snapshot ())
+  | Some _ | None -> ());
   if Metrics.enabled () then begin
     Metrics.incr m_runs;
     Metrics.add m_evals !evals;

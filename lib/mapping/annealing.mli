@@ -34,6 +34,29 @@ val default_config : tiles:int -> config
 val quick_config : tiles:int -> config
 (** A cheaper budget for tests and smoke benches. *)
 
+type checkpoint = {
+  rng_state : int64;
+  evaluations : int;
+  current : Placement.t;
+  current_cost : float;
+  best : Placement.t;
+  best_cost : float;
+  temperature : float;
+  floor : float;
+  stale_levels : int;
+  moves : int;  (** Position within the current temperature level. *)
+  improved_this_level : bool;
+  accepted : int;
+  rejected : int;
+  cutoff_hits : int;
+}
+(** The complete loop state of a descent, captured between moves.  A
+    search resumed from a checkpoint replays the exact trajectory of
+    the uninterrupted run — same best placement, cost, and evaluation
+    count — because every stateful input (RNG word included) is here.
+    The optional convergence series is {e not} part of the state: a
+    resumed run's series starts at the resume point. *)
+
 val search :
   rng:Nocmap_util.Rng.t ->
   config:config ->
@@ -42,6 +65,8 @@ val search :
   ?initial:Placement.t ->
   ?stop:(unit -> bool) ->
   ?convergence:Nocmap_obs.Series.t ->
+  ?checkpoint:int * (checkpoint -> unit) ->
+  ?resume:checkpoint ->
   cores:int ->
   unit ->
   Objective.search_result
@@ -49,7 +74,15 @@ val search :
     placement drawn from [rng].  [?stop] is polled between moves; once it
     returns [true] the descent winds down immediately and returns the
     best placement found so far (used for cooperative interruption, e.g.
-    a SIGINT flag).
+    a SIGINT flag).  [stop] must be sticky — once [true], always [true].
+
+    [?checkpoint:(every, hook)] calls [hook] with the live state each
+    time at least [every] further evaluations have been spent, and once
+    more when [stop] ends the descent early, so an interrupt always
+    leaves a fresh checkpoint.  [?resume] restores a previous
+    checkpoint instead of starting fresh: [rng] is overwritten with the
+    recorded state and [?initial] is ignored.  Neither option changes
+    the search trajectory.
 
     [?convergence] records the best-cost-so-far trajectory into a
     caller-owned series — one point per improvement,

@@ -14,7 +14,15 @@ let m_cutoff =
   Metrics.counter ~help:"candidate evaluations truncated by a prune cutoff"
     "search.cutoff_hits"
 
-let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) ?convergence () =
+type checkpoint = {
+  current : Placement.t;
+  current_cost : float;
+  evaluations : int;
+  cutoff_hits : int;
+}
+
+let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) ?convergence
+    ?(stop = fun () -> false) ?checkpoint ?resume () =
   (match Placement.validate ~tiles initial with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Local_search.search: " ^ msg));
@@ -41,13 +49,38 @@ let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) ?convergence 
   in
   let cores = Array.length initial in
   let current = ref (Array.copy initial) in
-  let current_cost = ref (cost_of !current) in
+  let current_cost = ref 0.0 in
+  (match resume with
+  | Some c ->
+    evals := c.evaluations;
+    cutoff_hits := c.cutoff_hits;
+    current := Array.copy c.current;
+    current_cost := c.current_cost
+  | None -> current_cost := cost_of !current);
   let record () =
     match convergence with
     | Some series -> Series.add series ~x:(float_of_int !evals) ~y:!current_cost
     | None -> ()
   in
   record ();
+  let snapshot () =
+    {
+      current = Array.copy !current;
+      current_cost = !current_cost;
+      evaluations = !evals;
+      cutoff_hits = !cutoff_hits;
+    }
+  in
+  let last_flush =
+    ref (match resume with Some c -> c.evaluations | None -> 0)
+  in
+  let maybe_flush () =
+    match checkpoint with
+    | Some (every, hook) when !evals - !last_flush >= every ->
+      last_flush := !evals;
+      hook (snapshot ())
+    | Some _ | None -> ()
+  in
   (* One pass: the best strictly-improving move among all core->tile
      relocations (swapping with the occupant when taken). *)
   let best_move () =
@@ -73,18 +106,25 @@ let search ~objective ~tiles ~initial ?(max_evaluations = 100_000) ?convergence 
     done;
     !best
   in
+  (* Checkpoints land on pass boundaries only: the state between passes
+     is exactly (current, cost, evals), so a resumed descent replays the
+     next pass move-for-move. *)
   let rec descend () =
-    if !evals < max_evaluations then begin
+    if !evals < max_evaluations && not (stop ()) then begin
       match best_move () with
       | None -> ()
       | Some (placement, cost) ->
         current := placement;
         current_cost := cost;
         record ();
+        maybe_flush ();
         descend ()
     end
   in
   descend ();
+  (match checkpoint with
+  | Some (_, hook) when stop () -> hook (snapshot ())
+  | Some _ | None -> ());
   if Metrics.enabled () then begin
     Metrics.incr m_runs;
     Metrics.add m_evals !evals;

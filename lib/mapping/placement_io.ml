@@ -101,7 +101,7 @@ let load ~path ~core_names =
 let render_tiles placement =
   placement |> Array.to_list |> List.map string_of_int |> String.concat ","
 
-let parse_tiles ~cores spec =
+let parse_tiles ~tiles ~cores spec =
   let tokens = String.split_on_char ',' spec |> List.map String.trim in
   let n = List.length tokens in
   if n <> cores then
@@ -111,7 +111,13 @@ let parse_tiles ~cores spec =
   else begin
     let placement = Array.make cores (-1) in
     let rec fill i = function
-      | [] -> Ok placement
+      | [] -> begin
+        (* Same validation as [of_string]: a duplicate or out-of-range
+           tile must not reach the simulator. *)
+        match Placement.validate ~tiles placement with
+        | Ok () -> Ok placement
+        | Error msg -> Error ("invalid placement: " ^ msg)
+      end
       | tok :: rest -> (
         match int_of_string_opt tok with
         | Some tile ->

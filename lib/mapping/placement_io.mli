@@ -32,13 +32,15 @@ val load :
 
 val render_tiles : Placement.t -> string
 (** Inverse of {!parse_tiles}: the inline comma-separated syntax
-    ("4,1,0,…").  [parse_tiles ~cores (render_tiles p) = Ok p] for any
-    [p] with [cores] entries. *)
+    ("4,1,0,…").  [parse_tiles ~tiles ~cores (render_tiles p) = Ok p]
+    for any valid [p] with [cores] entries. *)
 
-val parse_tiles : cores:int -> string -> (Placement.t, string) result
+val parse_tiles : tiles:int -> cores:int -> string -> (Placement.t, string) result
 (** Parses the CLI's inline placement syntax — [cores] comma-separated
     tile numbers ("4,1,0,…", the i-th entry hosting core i).  Errors
     name the offending token and its 1-based position ("entry 3: \"x\"
     is not a tile number") rather than rejecting the whole spec
-    opaquely.  Range/injectivity validation is left to
-    {!Placement.validate}, which knows the mesh. *)
+    opaquely.  Like {!of_string}, the result is checked with
+    {!Placement.validate} against the [tiles]-tile mesh, so a duplicate
+    or out-of-range tile ("0,0,0") is rejected instead of silently
+    reaching the evaluator. *)

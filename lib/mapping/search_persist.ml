@@ -1,0 +1,236 @@
+module Rng = Nocmap_util.Rng
+module Metrics = Nocmap_obs.Metrics
+module Json = Nocmap_persist.Json
+module Journal = Nocmap_persist.Journal
+module Store = Nocmap_persist.Store
+
+let default_every = 10_000
+
+let m_resumes =
+  Metrics.counter "persist.resume_events"
+    ~help:"Searches resumed from a journal checkpoint"
+
+let m_replayed =
+  Metrics.counter "persist.replayed_results"
+    ~help:"Completed shard results replayed instead of recomputed"
+
+(* --- encodings --- *)
+
+let placement_json p =
+  Json.List (Array.to_list (Array.map (fun t -> Json.Int t) p))
+
+let placement_of_json j =
+  Array.of_list (List.map Json.to_int (Json.to_list j))
+
+let result_json (r : Objective.search_result) =
+  Json.Assoc
+    [
+      ("placement", placement_json r.Objective.placement);
+      ("cost", Json.float_ r.Objective.cost);
+      ("evaluations", Json.Int r.Objective.evaluations);
+    ]
+
+let result_of_json j =
+  {
+    Objective.placement = placement_of_json (Json.get "placement" j);
+    cost = Json.to_float (Json.get "cost" j);
+    evaluations = Json.to_int (Json.get "evaluations" j);
+  }
+
+let sa_config_json (c : Annealing.config) =
+  Json.Assoc
+    [
+      ( "initial_temperature",
+        match c.Annealing.initial_temperature with
+        | `Auto -> Json.Str "auto"
+        | `Fixed t -> Json.float_ t );
+      ("cooling", Json.float_ c.Annealing.cooling);
+      ("moves_per_temperature", Json.Int c.Annealing.moves_per_temperature);
+      ("patience", Json.Int c.Annealing.patience);
+      ("max_evaluations", Json.Int c.Annealing.max_evaluations);
+      ( "prune",
+        match c.Annealing.prune with
+        | None -> Json.Null
+        | Some m -> Json.float_ m );
+    ]
+
+let sa_checkpoint_json (c : Annealing.checkpoint) =
+  Json.Assoc
+    [
+      ("rng", Json.int64 c.Annealing.rng_state);
+      ("evaluations", Json.Int c.Annealing.evaluations);
+      ("current", placement_json c.Annealing.current);
+      ("current_cost", Json.float_ c.Annealing.current_cost);
+      ("best", placement_json c.Annealing.best);
+      ("best_cost", Json.float_ c.Annealing.best_cost);
+      ("temperature", Json.float_ c.Annealing.temperature);
+      ("floor", Json.float_ c.Annealing.floor);
+      ("stale_levels", Json.Int c.Annealing.stale_levels);
+      ("moves", Json.Int c.Annealing.moves);
+      ("improved", Json.Bool c.Annealing.improved_this_level);
+      ("accepted", Json.Int c.Annealing.accepted);
+      ("rejected", Json.Int c.Annealing.rejected);
+      ("cutoff_hits", Json.Int c.Annealing.cutoff_hits);
+    ]
+
+let sa_checkpoint_of_json j =
+  {
+    Annealing.rng_state = Json.to_int64 (Json.get "rng" j);
+    evaluations = Json.to_int (Json.get "evaluations" j);
+    current = placement_of_json (Json.get "current" j);
+    current_cost = Json.to_float (Json.get "current_cost" j);
+    best = placement_of_json (Json.get "best" j);
+    best_cost = Json.to_float (Json.get "best_cost" j);
+    temperature = Json.to_float (Json.get "temperature" j);
+    floor = Json.to_float (Json.get "floor" j);
+    stale_levels = Json.to_int (Json.get "stale_levels" j);
+    moves = Json.to_int (Json.get "moves" j);
+    improved_this_level = Json.to_bool (Json.get "improved" j);
+    accepted = Json.to_int (Json.get "accepted" j);
+    rejected = Json.to_int (Json.get "rejected" j);
+    cutoff_hits = Json.to_int (Json.get "cutoff_hits" j);
+  }
+
+let ls_checkpoint_json (c : Local_search.checkpoint) =
+  Json.Assoc
+    [
+      ("current", placement_json c.Local_search.current);
+      ("current_cost", Json.float_ c.Local_search.current_cost);
+      ("evaluations", Json.Int c.Local_search.evaluations);
+      ("cutoff_hits", Json.Int c.Local_search.cutoff_hits);
+    ]
+
+let ls_checkpoint_of_json j =
+  {
+    Local_search.current = placement_of_json (Json.get "current" j);
+    current_cost = Json.to_float (Json.get "current_cost" j);
+    evaluations = Json.to_int (Json.get "evaluations" j);
+    cutoff_hits = Json.to_int (Json.get "cutoff_hits" j);
+  }
+
+(* --- journal protocol --- *)
+
+let progress_record state =
+  Json.Assoc [ ("type", Json.Str "progress"); ("state", state) ]
+
+let done_record result =
+  Json.Assoc [ ("type", Json.Str "done"); ("value", result_json result) ]
+
+let record_type r =
+  match Json.find "type" r with Some (Json.Str t) -> t | _ -> ""
+
+let find_done records =
+  List.find_map
+    (fun r ->
+      if record_type r = "done" then Some (Json.get "value" r) else None)
+    records
+
+let last_progress records =
+  List.fold_left
+    (fun acc r ->
+      if record_type r = "progress" then Some (Json.get "state" r) else acc)
+    None records
+
+(* Opens (or reopens) the [key] shard, decides between replay / resume /
+   fresh start, runs the search, and records the outcome.  [run] gets
+   the journal-backed checkpoint hook and the decoded resume state; a
+   [done] record is only written when [stop] did not cut the run short,
+   so interrupted journals stay resumable.
+
+   When [stop] is already set on entry the search runs with no
+   persistence at all: the caller is winding down and this leg's inputs
+   may derive from an upstream search that was itself cut short (e.g. a
+   warm start from an interrupted CWM leg), so journaling them would
+   poison the store with state the resumed run can never reproduce. *)
+let run_leg ~store ~key ~meta ~every ~encode ~decode ~stop ~run =
+  if stop () then run ?checkpoint:None ?resume:None ()
+  else
+    let path = Store.shard_path store ~key in
+    let entry =
+      if not (Sys.file_exists path) then
+        `Run (Journal.create ~path ~meta, None)
+      else
+        match Journal.reopen ~path with
+        | Error msg -> failwith msg
+        | Ok (j, loaded) ->
+          if loaded.Journal.meta <> meta then begin
+            Journal.close j;
+            failwith
+              (Printf.sprintf
+                 "%s: checkpoint does not match this run (recorded %s, \
+                  expected %s)"
+                 path
+                 (Json.to_string loaded.Journal.meta)
+                 (Json.to_string meta))
+          end
+          else (
+            match find_done loaded.Journal.records with
+            | Some value ->
+              Journal.close j;
+              `Replay (result_of_json value)
+            | None ->
+              let resume =
+                Option.map decode (last_progress loaded.Journal.records)
+              in
+              if Option.is_some resume then Metrics.incr m_resumes;
+              `Run (j, resume))
+    in
+    match entry with
+    | `Replay result ->
+      Metrics.incr m_replayed;
+      result
+    | `Run (journal, resume) ->
+      Fun.protect
+        ~finally:(fun () -> Journal.close journal)
+        (fun () ->
+          let hook ckpt =
+            Journal.append journal (progress_record (encode ckpt))
+          in
+          let result = run ?checkpoint:(Some (every, hook)) ?resume () in
+          if not (stop ()) then Journal.append journal (done_record result);
+          result)
+
+let annealing ~store ~key ?(every = default_every) ~rng ~config ~tiles
+    ~objective ?initial ?(stop = fun () -> false) ?convergence ~cores () =
+  let meta =
+    Json.Assoc
+      [
+        ("algorithm", Json.Str "sa");
+        ("objective", Json.Str objective.Objective.name);
+        (* The rng state on entry identifies the substream: resuming
+           with a different seed must be rejected, not blended in. *)
+        ("rng", Json.int64 (Rng.state rng));
+        ("tiles", Json.Int tiles);
+        ("cores", Json.Int cores);
+        ("config", sa_config_json config);
+        ( "initial",
+          match initial with
+          | None -> Json.Null
+          | Some p -> placement_json p );
+      ]
+  in
+  run_leg ~store ~key ~meta ~every ~encode:sa_checkpoint_json
+    ~decode:sa_checkpoint_of_json ~stop
+    ~run:(fun ?checkpoint ?resume () ->
+      Annealing.search ~rng ~config ~tiles ~objective ?initial ~stop
+        ?convergence ?checkpoint ?resume ~cores ())
+
+let local_search ~store ~key ?(every = default_every) ~objective ~tiles
+    ~initial ?(max_evaluations = 100_000) ?(stop = fun () -> false)
+    ?convergence () =
+  let meta =
+    Json.Assoc
+      [
+        ("algorithm", Json.Str "ls");
+        ("objective", Json.Str objective.Objective.name);
+        ("tiles", Json.Int tiles);
+        ("cores", Json.Int (Array.length initial));
+        ("max_evaluations", Json.Int max_evaluations);
+        ("initial", placement_json initial);
+      ]
+  in
+  run_leg ~store ~key ~meta ~every ~encode:ls_checkpoint_json
+    ~decode:ls_checkpoint_of_json ~stop
+    ~run:(fun ?checkpoint ?resume () ->
+      Local_search.search ~objective ~tiles ~initial ~max_evaluations
+        ?convergence ~stop ?checkpoint ?resume ())

@@ -1,0 +1,74 @@
+(** Crash-safe wrappers around {!Annealing.search} and
+    {!Local_search.search}: each call owns one journal shard in a
+    {!Nocmap_persist.Store} and is {e resumable} — run it again over
+    the same store after a crash and it picks up from the last
+    checkpoint, producing a result bit-identical to the uninterrupted
+    run.
+
+    Journal protocol per shard: [progress] records carry the live
+    search state every [every] evaluations (and on interrupt); one
+    final [done] record carries the result.  On re-entry:
+    - a [done] record short-circuits the search and replays the
+      recorded result ([persist.replayed_results]);
+    - otherwise the latest [progress] record seeds a resume
+      ([persist.resume_events]);
+    - an empty journal (or none) runs fresh.
+
+    The shard header stores a fingerprint of the search (algorithm,
+    objective name, rng entry state, dimensions, config, warm start);
+    resuming with a mismatching fingerprint fails loudly rather than
+    silently mixing two different runs.  Run-level identity
+    (application, mesh, seed) is the caller's manifest's job.
+
+    When [stop] is already set on entry the search runs with {e no}
+    persistence: the caller is winding down, so this leg's inputs may
+    derive from an upstream search that was itself cut short (a warm
+    start from an interrupted CWM leg, say) and journaling them would
+    poison the store with state a resumed run can never reproduce. *)
+
+val default_every : int
+(** Checkpoint cadence in evaluations when [?every] is omitted
+    (10,000 — well under 2% overhead on CDCM objectives). *)
+
+val annealing :
+  store:Nocmap_persist.Store.t ->
+  key:string ->
+  ?every:int ->
+  rng:Nocmap_util.Rng.t ->
+  config:Annealing.config ->
+  tiles:int ->
+  objective:Objective.t ->
+  ?initial:Placement.t ->
+  ?stop:(unit -> bool) ->
+  ?convergence:Nocmap_obs.Series.t ->
+  cores:int ->
+  unit ->
+  Objective.search_result
+(** {!Annealing.search} under the journal protocol.  When [stop] cuts
+    the run short, no [done] record is written — the journal stays
+    resumable and the returned best-so-far is provisional.
+    @raise Failure on journal corruption or fingerprint mismatch. *)
+
+val local_search :
+  store:Nocmap_persist.Store.t ->
+  key:string ->
+  ?every:int ->
+  objective:Objective.t ->
+  tiles:int ->
+  initial:Placement.t ->
+  ?max_evaluations:int ->
+  ?stop:(unit -> bool) ->
+  ?convergence:Nocmap_obs.Series.t ->
+  unit ->
+  Objective.search_result
+(** {!Local_search.search} under the same protocol. *)
+
+(**/**)
+
+(** Shared encodings, exposed for the driver layer ({!module:
+    Nocmap.Experiment} et al.) and tests. *)
+
+val placement_json : Placement.t -> Nocmap_persist.Json.t
+val placement_of_json : Nocmap_persist.Json.t -> Placement.t
+val result_json : Objective.search_result -> Nocmap_persist.Json.t
+val result_of_json : Nocmap_persist.Json.t -> Objective.search_result

@@ -1,0 +1,13 @@
+(** Small filesystem helpers shared by the persist layer. *)
+
+val mkdir_p : string -> unit
+(** Creates the directory and any missing parents; a no-op when it
+    already exists. *)
+
+val read_file : string -> string
+(** Whole-file read in binary mode.  Raises [Sys_error] like
+    [open_in]. *)
+
+val write_atomic : path:string -> string -> unit
+(** Writes [path ^ ".tmp"], flushes, then renames over [path] — readers
+    see either the old content or the new, never a torn write. *)

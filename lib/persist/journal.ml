@@ -1,0 +1,132 @@
+module Metrics = Nocmap_obs.Metrics
+
+let m_snapshots =
+  Metrics.counter "persist.snapshots" ~help:"Checkpoint records appended"
+
+let m_bytes =
+  Metrics.counter "persist.bytes" ~help:"Bytes written to checkpoint journals"
+
+type t = {
+  path : string;
+  oc : out_channel;
+}
+
+let magic = "nocmap-journal"
+let version = 1
+
+let frame data =
+  let payload = Json.to_string data in
+  let crc = Checksum.to_hex (Checksum.crc32 payload) in
+  Json.to_string (Json.Assoc [ ("crc", Json.Str crc); ("data", data) ])
+
+let header_data meta =
+  Json.Assoc
+    [
+      ("magic", Json.Str magic);
+      ("version", Json.Int version);
+      ("meta", meta);
+    ]
+
+let open_append path =
+  open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+
+let create ~path ~meta =
+  Fsutil.write_atomic ~path (frame (header_data meta) ^ "\n");
+  { path; oc = open_append path }
+
+let append t data =
+  let line = frame data ^ "\n" in
+  output_string t.oc line;
+  flush t.oc;
+  Metrics.incr m_snapshots;
+  Metrics.add m_bytes (String.length line)
+
+let close t = close_out t.oc
+
+type loaded = {
+  meta : Json.t;
+  records : Json.t list;
+  dropped_tail : bool;
+  valid_bytes : int;
+}
+
+let unframe line =
+  match Json.of_string line with
+  | Error e -> Error ("malformed record: " ^ e)
+  | Ok j -> (
+    match (Json.find "crc" j, Json.find "data" j) with
+    | Some (Json.Str crc), Some data ->
+      let payload = Json.to_string data in
+      let actual = Checksum.to_hex (Checksum.crc32 payload) in
+      if String.lowercase_ascii crc <> actual then
+        Error
+          (Printf.sprintf "CRC mismatch: header says %s, payload hashes to %s"
+             crc actual)
+      else Ok data
+    | _ -> Error "record is not a {crc, data} frame")
+
+(* Complete lines are the '\n'-terminated prefixes; anything after the
+   last newline is a torn write. *)
+let split_lines content =
+  let rec scan start acc =
+    match String.index_from_opt content start '\n' with
+    | None ->
+      let tail = String.length content - start in
+      (List.rev acc, tail > 0, start)
+    | Some nl ->
+      scan (nl + 1) ((String.sub content start (nl - start), start) :: acc)
+  in
+  scan 0 []
+
+let load ~path =
+  match Fsutil.read_file path with
+  | exception Sys_error msg -> Error msg
+  | content -> (
+    let lines, dropped_tail, valid_bytes = split_lines content in
+    match lines with
+    | [] -> Error (path ^ ": missing journal header")
+    | (header_line, _) :: record_lines -> (
+      match unframe header_line with
+      | Error e -> Error (Printf.sprintf "%s: header: %s" path e)
+      | Ok header -> (
+        match
+          ( Json.find "magic" header,
+            Json.find "version" header,
+            Json.find "meta" header )
+        with
+        | Some (Json.Str m), Some (Json.Int v), Some meta ->
+          if m <> magic then
+            Error (Printf.sprintf "%s: not a nocmap journal (magic %S)" path m)
+          else if v <> version then
+            Error
+              (Printf.sprintf "%s: unsupported journal version %d (want %d)"
+                 path v version)
+          else begin
+            let rec collect acc = function
+              | [] ->
+                Ok
+                  {
+                    meta;
+                    records = List.rev acc;
+                    dropped_tail;
+                    valid_bytes;
+                  }
+              | (line, offset) :: rest -> (
+                match unframe line with
+                | Ok data -> collect (data :: acc) rest
+                | Error e ->
+                  Error (Printf.sprintf "%s: byte %d: %s" path offset e))
+            in
+            collect [] record_lines
+          end
+        | _ -> Error (path ^ ": malformed journal header"))))
+
+let reopen ~path =
+  match load ~path with
+  | Error _ as e -> e
+  | Ok l ->
+    if l.dropped_tail then begin
+      let content = Fsutil.read_file path in
+      Fsutil.write_atomic ~path (String.sub content 0 l.valid_bytes)
+    end;
+    Ok ({ path; oc = open_append path }, l)

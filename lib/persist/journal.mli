@@ -1,0 +1,49 @@
+(** Append-only JSON-lines journal with crash-safe framing.
+
+    Layout: one JSON object per line, each framed as
+    [{"crc":"<8 hex digits>","data":<record>}] where the CRC-32 covers
+    the deterministic serialization of [data].  Line 1 is a versioned
+    header carrying caller metadata:
+
+    {v
+    {"crc":"…","data":{"magic":"nocmap-journal","version":1,"meta":…}}
+    {"crc":"…","data":<record 1>}
+    …
+    v}
+
+    Crash model: the header is written via tmp-file + rename (all or
+    nothing); records are appended and flushed one line at a time, so
+    the only possible damage from a kill is a torn final line with no
+    trailing newline.  {!load} silently drops that torn tail — it is
+    the expected signature of a crash — but a {e complete} line whose
+    CRC does not match its payload means real corruption and is a loud
+    error. *)
+
+type t
+(** A journal open for appending. *)
+
+val create : path:string -> meta:Json.t -> t
+(** Starts a fresh journal (truncating any previous file at [path]),
+    writes the header atomically, and opens it for appending. *)
+
+val append : t -> Json.t -> unit
+(** Frames, checksums, writes and flushes one record.  Bumps the
+    [persist.snapshots] / [persist.bytes] metrics. *)
+
+val close : t -> unit
+
+type loaded = {
+  meta : Json.t;  (** The [meta] payload from the header. *)
+  records : Json.t list;  (** Every intact record, in append order. *)
+  dropped_tail : bool;  (** A torn final line was discarded. *)
+  valid_bytes : int;  (** File prefix covered by intact lines. *)
+}
+
+val load : path:string -> (loaded, string) result
+(** Errors on: unreadable file, missing/corrupt header, wrong magic or
+    version, or any complete record line failing its CRC.  A torn
+    final line (no trailing newline) is dropped, not an error. *)
+
+val reopen : path:string -> (t * loaded, string) result
+(** {!load}, truncate any torn tail (atomically), then open for
+    appending — the resume path. *)

@@ -1,0 +1,258 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Assoc of (string * t) list
+
+exception Json_error of string
+
+let json_error fmt = Printf.ksprintf (fun msg -> raise (Json_error msg)) fmt
+
+(* --- printing --- *)
+
+let write_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Str s -> write_string buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Assoc kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        write_string buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> raise (Json_error (Printf.sprintf "offset %d: %s" !pos msg)))
+      fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail "expected %C" c
+  in
+  let literal lit v =
+    let len = String.length lit in
+    if !pos + len <= n && String.sub s !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "bad literal"
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec scan () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; incr pos
+          | '\\' -> Buffer.add_char buf '\\'; incr pos
+          | '/' -> Buffer.add_char buf '/'; incr pos
+          | 'b' -> Buffer.add_char buf '\b'; incr pos
+          | 'f' -> Buffer.add_char buf '\012'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'u' ->
+            if !pos + 4 >= n then fail "truncated \\u escape";
+            let hex = String.sub s (!pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code ->
+              add_utf8 buf code;
+              pos := !pos + 5
+            | None -> fail "bad \\u escape %S" hex)
+          | c -> fail "bad escape \\%C" c);
+          scan ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          scan ()
+    in
+    scan ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    (match peek () with
+    | Some ('.' | 'e' | 'E') -> fail "float literals are not supported"
+    | _ -> ());
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some i -> Int i
+    | None -> fail "bad number %S" (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let items = ref [ value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          incr pos;
+          items := value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Assoc []
+      end
+      else begin
+        let member () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          (k, v)
+        in
+        let items = ref [ member () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          incr pos;
+          items := member () :: !items;
+          skip_ws ()
+        done;
+        expect '}';
+        Assoc (List.rev !items)
+      end
+    | Some ('-' | '0' .. '9') -> parse_int ()
+    | Some c -> fail "unexpected character %C" c
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Json_error msg -> Error msg
+
+(* --- accessors --- *)
+
+let kind = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Str _ -> "string"
+  | List _ -> "list"
+  | Assoc _ -> "object"
+
+let type_fail want j = json_error "expected %s, found %s" want (kind j)
+let to_int = function Int i -> i | j -> type_fail "int" j
+let to_bool = function Bool b -> b | j -> type_fail "bool" j
+let to_str = function Str s -> s | j -> type_fail "string" j
+let to_list = function List xs -> xs | j -> type_fail "list" j
+let to_assoc = function Assoc kvs -> kvs | j -> type_fail "object" j
+let find key = function Assoc kvs -> List.assoc_opt key kvs | _ -> None
+
+let get key j =
+  match find key j with
+  | Some v -> v
+  | None -> json_error "missing field %S" key
+
+let float_ f = Str (Printf.sprintf "%h" f)
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Str s -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> json_error "bad float string %S" s)
+  | j -> type_fail "float (hex string)" j
+
+let int64 i = Str (Printf.sprintf "0x%Lx" i)
+
+let to_int64 = function
+  | Str s -> (
+    match Int64.of_string_opt s with
+    | Some v -> v
+    | None -> json_error "bad int64 string %S" s)
+  | j -> type_fail "int64 (hex string)" j

@@ -1,0 +1,63 @@
+(** Minimal JSON used by the checkpoint subsystem.
+
+    Deliberately {e not} a general-purpose JSON library: there is no
+    float constructor, because JSON number formatting cannot round-trip
+    an IEEE double bit-exactly across printers.  Floats travel as
+    hex-float strings ({!float_} / {!to_float}, via ["%h"]), and int64
+    values — the RNG state word — as hex strings ({!int64} /
+    {!to_int64}).  The printer is deterministic (object fields keep
+    their construction order, no whitespace), which lets the journal
+    layer checksum a record by re-serializing it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Assoc of (string * t) list
+
+exception Json_error of string
+(** Raised by the accessors below on a type or shape mismatch.  Parsing
+    reports errors as a [result] instead. *)
+
+val to_string : t -> string
+(** Single-line, deterministic rendering: no whitespace, fields in
+    construction order, minimal escaping.  [to_string] of equal values
+    is equal, which the journal CRC relies on. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}.  Accepts standard JSON whitespace; rejects
+    float literals (["1.5"], ["1e3"]) since this dialect never emits
+    them. *)
+
+(** {1 Typed accessors} — raise {!Json_error} on mismatch. *)
+
+val to_int : t -> int
+val to_bool : t -> bool
+val to_str : t -> string
+val to_list : t -> t list
+val to_assoc : t -> (string * t) list
+
+val find : string -> t -> t option
+(** Field lookup; [None] when absent or when the value is not an
+    object. *)
+
+val get : string -> t -> t
+(** Like {!find} but raises {!Json_error} naming the missing field. *)
+
+(** {1 Bit-exact scalar encodings} *)
+
+val float_ : float -> t
+(** Hex-float string (["0x1.5555p-2"]); round-trips every finite
+    double, [nan] and the infinities bit-exactly through
+    {!to_float}. *)
+
+val to_float : t -> float
+(** Accepts {!float_} strings and plain [Int]s. *)
+
+val int64 : int64 -> t
+(** Hex string (["0x9e3779b97f4a7c15"]); round-trips the full unsigned
+    range through {!to_int64}. *)
+
+val to_int64 : t -> int64

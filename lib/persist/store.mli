@@ -1,0 +1,39 @@
+(** A checkpoint directory: one journal shard per search leg plus a
+    manifest describing the run that produced them.
+
+    {v
+    <dir>/
+      manifest.json        run description (written atomically)
+      <key>-<crc8>.jsonl   one Journal per shard key
+    v}
+
+    Shard file names are derived from caller keys by sanitizing to a
+    filesystem-safe alphabet and appending a CRC-32 of the original
+    key, so distinct keys never collide even when sanitization makes
+    them look alike. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Creates [dir] (and parents) if needed.  Never truncates existing
+    shards — resuming and starting fresh share this entry point. *)
+
+val dir : t -> string
+
+val shard_path : t -> key:string -> string
+(** The journal path for [key]; deterministic, collision-free. *)
+
+val write_manifest : t -> Json.t -> unit
+(** Atomic replace of [manifest.json]. *)
+
+val read_manifest : t -> (Json.t, string) result
+
+val memoize :
+  t -> key:string -> meta:Json.t -> (unit -> Json.t) -> Json.t
+(** [memoize store ~key ~meta f] replays the recorded value when the
+    [key] shard already holds a completed result (after checking that
+    its header [meta] matches — a mismatch means the resume does not
+    match the original run and fails loudly).  Otherwise runs [f] and
+    records the value.  For deterministic computations this makes a
+    resumed run bit-identical to an uninterrupted one while skipping
+    the work already done. *)

@@ -98,7 +98,7 @@ let loads_csv ~crg loads =
     (fun l ->
       Buffer.add_string buf
         (Printf.sprintf "%s,%d,%.6f,%d\n"
-           (Link.to_string ~wrap mesh l.link)
+           (Nocmap_util.Csv.field (Link.to_string ~wrap mesh l.link))
            l.busy_cycles l.utilization l.packets))
     loads;
   Buffer.contents buf

@@ -1,6 +1,7 @@
 module Cdcg = Nocmap_model.Cdcg
 module Crg = Nocmap_noc.Crg
 module Link = Nocmap_noc.Link
+module Csv = Nocmap_util.Csv
 
 let packets_csv ~cdcg (trace : Trace.t) =
   let buf = Buffer.create 2048 in
@@ -9,9 +10,10 @@ let packets_csv ~cdcg (trace : Trace.t) =
     (fun (pt : Trace.packet_trace) ->
       let p = cdcg.Cdcg.packets.(pt.Trace.packet) in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d\n" p.Cdcg.label
-           cdcg.Cdcg.core_names.(p.Cdcg.src)
-           cdcg.Cdcg.core_names.(p.Cdcg.dst)
+        (Printf.sprintf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d\n"
+           (Csv.field p.Cdcg.label)
+           (Csv.field cdcg.Cdcg.core_names.(p.Cdcg.src))
+           (Csv.field cdcg.Cdcg.core_names.(p.Cdcg.dst))
            p.Cdcg.bits pt.Trace.flits pt.Trace.ready pt.Trace.sent pt.Trace.delivered
            (pt.Trace.delivered - pt.Trace.sent)
            (Trace.wait_cycles pt)))
@@ -28,7 +30,7 @@ let link_loads_csv ~crg (trace : Trace.t) =
       let src, dst = Link.endpoints ~wrap mesh load.Hotspot.link in
       Buffer.add_string buf
         (Printf.sprintf "%s,%d,%d,%d,%.6f,%d\n"
-           (Link.to_string ~wrap mesh load.Hotspot.link)
+           (Csv.field (Link.to_string ~wrap mesh load.Hotspot.link))
            src dst load.Hotspot.busy_cycles load.Hotspot.utilization
            load.Hotspot.packets))
     (Hotspot.link_loads ~crg trace);

@@ -1,0 +1,14 @@
+(** RFC-4180 CSV quoting, shared by every CSV exporter.
+
+    A field containing a comma, double quote or line break would corrupt
+    its row if emitted verbatim (packet labels and fault-scenario names
+    are caller-controlled strings).  {!field} wraps such values in double
+    quotes and doubles embedded quotes; any other value passes through
+    unchanged, so exports that never needed quoting are byte-identical
+    to before. *)
+
+val field : string -> string
+(** Quote one field if (and only if) RFC 4180 requires it. *)
+
+val row : string list -> string
+(** Comma-join the quoted fields and terminate with ['\n']. *)

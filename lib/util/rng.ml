@@ -18,6 +18,9 @@ let split t =
   { state = mix64 s }
 
 let copy t = { state = t.state }
+let state t = t.state
+let of_state state = { state }
+let set_state t state = t.state <- state
 
 (* Unbiased bounded integer by rejection on the top 62 bits (keeps the
    result a non-negative OCaml int). *)

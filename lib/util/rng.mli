@@ -22,6 +22,18 @@ val copy : t -> t
 (** [copy rng] duplicates the state, yielding a generator producing the
     same future sequence as [rng]. *)
 
+val state : t -> int64
+(** The raw splitmix64 state word.  Together with {!of_state} this is a
+    lossless serialization: [of_state (state rng)] produces the same
+    future sequence as [rng].  Used by the checkpoint subsystem. *)
+
+val of_state : int64 -> t
+(** Rebuilds a generator from a {!state} word. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrites the state in place — the resume path for generators that
+    are shared by reference. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -22,14 +22,21 @@ let maximum xs = fold_nonempty "Stats.maximum" max xs
 
 let sorted xs = List.sort compare xs
 
+(* Linear interpolation between closest ranks (the "C = 1" variant):
+   the p-th percentile of n sorted samples sits at fractional index
+   h = p/100 * (n-1).  Unlike nearest-rank, this is unbiased for even
+   sample counts — median [1.; 2.] is 1.5, not 1. *)
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty list"
   | xs ->
+    if not (p >= 0.0 && p <= 100.0) then
+      invalid_arg "Stats.percentile: p must lie in [0, 100]";
     let a = Array.of_list (sorted xs) in
     let n = Array.length a in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    let idx = max 0 (min (n - 1) (rank - 1)) in
-    a.(idx)
+    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor h) in
+    let hi = min (n - 1) (lo + 1) in
+    a.(lo) +. ((h -. float_of_int lo) *. (a.(hi) -. a.(lo)))
 
 let median xs = percentile 50.0 xs
 
@@ -39,5 +46,7 @@ let reduction_percent ~baseline ~improved =
 let geometric_mean = function
   | [] -> 0.0
   | xs ->
+    if List.exists (fun x -> not (x > 0.0)) xs then
+      invalid_arg "Stats.geometric_mean: inputs must be positive";
     let n = float_of_int (List.length xs) in
     exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)

@@ -13,11 +13,16 @@ val maximum : float list -> float
 (** @raise Invalid_argument on the empty list. *)
 
 val median : float list -> float
-(** @raise Invalid_argument on the empty list. *)
+(** [percentile 50.]; interpolates between the two middle elements on
+    even-length lists ([median \[1.; 2.\] = 1.5]).
+    @raise Invalid_argument on the empty list. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method.
-    @raise Invalid_argument on the empty list. *)
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation
+    between closest ranks (fractional index [p/100 * (n-1)] into the
+    sorted samples).
+    @raise Invalid_argument on the empty list or [p] outside
+    [\[0,100\]]. *)
 
 val reduction_percent : baseline:float -> improved:float -> float
 (** [reduction_percent ~baseline ~improved] is
@@ -25,4 +30,6 @@ val reduction_percent : baseline:float -> improved:float -> float
     paper's ETR and ECS columns.  0 when [baseline = 0]. *)
 
 val geometric_mean : float list -> float
-(** Geometric mean of positive values; 0 on the empty list. *)
+(** Geometric mean of positive values; 0 on the empty list.
+    @raise Invalid_argument when any element is zero, negative or NaN
+    (the log-domain mean would silently return [0.] or [nan]). *)

@@ -63,19 +63,35 @@ let test_file_error_message_roundtrip () =
   | Error msg -> Test_util.check_contains ~msg:"missing file" ~needle:path msg
 
 let test_parse_tiles () =
-  (match Placement_io.parse_tiles ~cores:4 "3, 0,1,2" with
+  (match Placement_io.parse_tiles ~tiles:4 ~cores:4 "3, 0,1,2" with
   | Ok p -> Alcotest.(check (array int)) "parsed" [| 3; 0; 1; 2 |] p
   | Error msg -> Alcotest.fail msg);
-  (match Placement_io.parse_tiles ~cores:4 "3,0,1" with
+  (match Placement_io.parse_tiles ~tiles:4 ~cores:4 "3,0,1" with
   | Ok _ -> Alcotest.fail "short spec accepted"
   | Error msg ->
     Test_util.check_contains ~msg:"expected count" ~needle:"expected 4" msg;
     Test_util.check_contains ~msg:"actual count" ~needle:"got 3" msg);
-  match Placement_io.parse_tiles ~cores:3 "0,x,2" with
+  match Placement_io.parse_tiles ~tiles:4 ~cores:3 "0,x,2" with
   | Ok _ -> Alcotest.fail "bad token accepted"
   | Error msg ->
     Test_util.check_contains ~msg:"token position" ~needle:"entry 2" msg;
     Test_util.check_contains ~msg:"offending token" ~needle:"\"x\"" msg
+
+(* Duplicate or out-of-range tiles must be rejected just like
+   [of_string] rejects them — not silently evaluated. *)
+let test_parse_tiles_validates () =
+  (match Placement_io.parse_tiles ~tiles:4 ~cores:3 "0,0,2" with
+  | Ok _ -> Alcotest.fail "duplicate tile accepted"
+  | Error msg ->
+    Test_util.check_contains ~msg:"validated" ~needle:"invalid placement" msg);
+  (match Placement_io.parse_tiles ~tiles:4 ~cores:2 "0,7" with
+  | Ok _ -> Alcotest.fail "out-of-range tile accepted"
+  | Error msg ->
+    Test_util.check_contains ~msg:"validated" ~needle:"invalid placement" msg);
+  match Placement_io.parse_tiles ~tiles:4 ~cores:2 "0,-1" with
+  | Ok _ -> Alcotest.fail "negative tile accepted"
+  | Error msg ->
+    Test_util.check_contains ~msg:"validated" ~needle:"invalid placement" msg
 
 (* parse_tiles ∘ render_tiles is the identity on every valid placement. *)
 let prop_render_tiles_roundtrip =
@@ -86,10 +102,12 @@ let prop_render_tiles_roundtrip =
       let* tiles = int_range 1 64 in
       let* cores = int_range 1 tiles in
       let rng = Nocmap_util.Rng.create ~seed in
-      return (Nocmap_mapping.Placement.random rng ~cores ~tiles))
-    (fun placement ->
+      return (tiles, Nocmap_mapping.Placement.random rng ~cores ~tiles))
+    (fun (tiles, placement) ->
       let cores = Array.length placement in
-      match Placement_io.parse_tiles ~cores (Placement_io.render_tiles placement) with
+      match
+        Placement_io.parse_tiles ~tiles ~cores (Placement_io.render_tiles placement)
+      with
       | Ok parsed -> parsed = placement
       | Error _ -> false)
 
@@ -121,6 +139,7 @@ let suite =
       Alcotest.test_case "file error message roundtrip" `Quick
         test_file_error_message_roundtrip;
       Alcotest.test_case "parse tiles" `Quick test_parse_tiles;
+      Alcotest.test_case "parse tiles validates" `Quick test_parse_tiles_validates;
       Alcotest.test_case "render tiles" `Quick test_render_tiles;
       Alcotest.test_case "noc line errors" `Quick test_noc_line_errors;
       QCheck_alcotest.to_alcotest prop_render_tiles_roundtrip;
