@@ -189,7 +189,7 @@ let es_vs_sa () =
        generated 5-core application on 3x2. *)
     let fig1_objective =
       Mapping.Objective.cdcm ~tech:Technology.t007 ~params:example_params
-        ~crg:example_crg ~cdcg:Fig1.cdcg
+        ~crg:example_crg ~cdcg:Fig1.cdcg ()
     in
     let small_mesh = Mesh.create ~cols:3 ~rows:2 in
     let small_cdcg =
@@ -199,7 +199,7 @@ let es_vs_sa () =
     in
     let small_objective =
       Mapping.Objective.cdcm ~tech:Technology.t007 ~params:example_params
-        ~crg:(Crg.create small_mesh) ~cdcg:small_cdcg
+        ~crg:(Crg.create small_mesh) ~cdcg:small_cdcg ()
     in
     [
       Nocmap.Es_vs_sa.certify ~rng:(Rng.split rng)
@@ -284,7 +284,7 @@ let ablation_strategies () =
   let tiles = Mesh.tile_count mesh in
   let cores = Cdcg.core_count cdcg in
   let tech = Technology.t007 in
-  let objective = Mapping.Objective.cdcm ~tech ~params:example_params ~crg ~cdcg in
+  let objective = Mapping.Objective.cdcm ~tech ~params:example_params ~crg ~cdcg () in
   let rng = Rng.create ~seed:(seed + 19) in
   let strategies =
     [
@@ -436,7 +436,7 @@ let ablation_sa_budget () =
   let tiles = Mesh.tile_count mesh in
   let cores = Cdcg.core_count cdcg in
   let objective =
-    Mapping.Objective.cdcm ~tech:Technology.t007 ~params:example_params ~crg ~cdcg
+    Mapping.Objective.cdcm ~tech:Technology.t007 ~params:example_params ~crg ~cdcg ()
   in
   let table =
     Tablefmt.create
@@ -536,6 +536,39 @@ let bench_json () =
     done;
     !best
   in
+  (* Swap-move candidate stream for the incremental-evaluation gate:
+     random non-noop moves around the anchor [pick 0], exactly the
+     proposals a descent bounds against its best cost.  The same
+     (core, tile) pairs are materialized as full placements so the
+     arena+cutoff simulator can be timed on the identical stream. *)
+  let n_moves = 256 in
+  let move_pairs = Array.make n_moves (0, 0) in
+  let move_candidates = Array.make n_moves [||] in
+  (let anchor = pick 0 in
+   let occupant = Array.make tiles (-1) in
+   Array.iteri (fun core tile -> occupant.(tile) <- core) anchor;
+   let move_rng = Rng.create ~seed:(seed + 43) in
+   for m = 0 to n_moves - 1 do
+     let core = Rng.int move_rng cores in
+     let tile = ref (Rng.int move_rng tiles) in
+     while !tile = anchor.(core) do
+       tile := Rng.int move_rng tiles
+     done;
+     move_pairs.(m) <- (core, !tile);
+     let cand = Array.copy anchor in
+     cand.(core) <- !tile;
+     if occupant.(!tile) >= 0 then cand.(occupant.(!tile)) <- anchor.(core);
+     move_candidates.(m) <- cand
+   done);
+  let pick_move i = move_pairs.(i mod n_moves) in
+  let cdcm_inc_move =
+    Mapping.Cost_cdcm_incremental.create ~tech ~params ~crg ~cdcg
+      ~placement:(pick 0) ()
+  in
+  let cdcm_inc =
+    Mapping.Cost_cdcm_incremental.create ~tech ~params ~crg ~cdcg
+      ~placement:(pick 0) ()
+  in
   let cdcm_measures =
     [|
       (* seed-simulator baseline *)
@@ -567,6 +600,31 @@ let bench_json () =
             ignore
               (Mapping.Cost_cdcm.evaluate_bound ~scratch ~tech ~params ~crg ~cdcg
                  ~cutoff:incumbent (pick i))));
+      (* the same arena+cutoff path on the swap-move candidate stream:
+         what a descent pays per proposed move without incrementality
+         (the simulator cannot exploit the single-move diff, so it
+         re-simulates the whole placement) *)
+      (fun () ->
+        ops_per_sec (fun i ->
+            ignore
+              (Mapping.Cost_cdcm.evaluate_bound ~scratch ~tech ~params ~crg ~cdcg
+                 ~cutoff:incumbent move_candidates.(i mod n_moves))));
+      (* incremental: the identical move stream through the delta
+         evaluator — exact dynamic re-sum plus the analytic cone bound
+         reject most candidates without entering the simulator *)
+      (fun () ->
+        ops_per_sec (fun i ->
+            let core, tile = pick_move i in
+            ignore
+              (Mapping.Cost_cdcm_incremental.move_bound cdcm_inc_move ~core ~tile
+                 ~cutoff:incumbent)));
+      (* anchor-oblivious robustness: arbitrary-placement candidates
+         through [bound_for], where every query diffs against a drifting
+         anchor and the affected cone is essentially the whole graph *)
+      (fun () ->
+        ops_per_sec (fun i ->
+            ignore (Mapping.Cost_cdcm_incremental.bound_for cdcm_inc
+                      ~cutoff:incumbent (pick i))));
     |]
   in
   let reps = 5 in
@@ -590,8 +648,43 @@ let bench_json () =
   let cdcm_arena_ops = best 2 in
   let cdcm_arena_metrics_ops = best 3 in
   let cdcm_cutoff_ops = best 4 in
+  let cdcm_cutoff_move_ops = best 5 in
+  let cdcm_inc_move_ops = best 6 in
+  let cdcm_inc_bound_ops = best 7 in
   let arena_speedup = median_ratio 2 0 in
   let cutoff_speedup = median_ratio 4 0 in
+  (* The tentpole ratio: bounding candidates against the incumbent
+     through the incremental evaluator vs the arena+cutoff simulation
+     path it replaces, on the identical candidate stream.  This is the
+     pruning regime the evaluator serves — most candidates sit well
+     above the best known cost, and the analytic bound rejects them
+     without entering the simulator. *)
+  let incremental_speedup = median_ratio 7 4 in
+  let hit_percent evaluator =
+    let s = Mapping.Cost_cdcm_incremental.stats evaluator in
+    100.0
+    *. float_of_int s.Mapping.Cost_cdcm_incremental.delta_hits
+    /. float_of_int (max 1 s.Mapping.Cost_cdcm_incremental.queries)
+  in
+  let inc_delta_hit_percent = hit_percent cdcm_inc in
+  let inc_move_delta_hit_percent = hit_percent cdcm_inc_move in
+  (* Local search must be trajectory-identical with and without the
+     incremental evaluator: its bound threshold is an exact accept test,
+     and the analytic bound only rejects candidates the plain objective
+     would also have discarded. *)
+  let ls_identical =
+    let initial = pick 0 in
+    let run objective =
+      Mapping.Local_search.search ~objective ~tiles ~initial ()
+    in
+    let plain = run (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg ()) in
+    let inc =
+      run (Mapping.Objective.cdcm ~incremental:true ~tech ~params ~crg ~cdcg ())
+    in
+    plain.Mapping.Objective.placement = inc.Mapping.Objective.placement
+    && plain.Mapping.Objective.cost = inc.Mapping.Objective.cost
+    && plain.Mapping.Objective.evaluations = inc.Mapping.Objective.evaluations
+  in
   (* Instrumentation tax from the cleanest window of each side.  On a
      busy machine this estimate still carries several points of noise, so
      the CI gate checks it against a fixed ceiling rather than a delta
@@ -615,7 +708,7 @@ let bench_json () =
       ~config:sa_config ~tiles ~objective ~cores ()
   in
   let t0 = wall () in
-  let sa_plain = sa_run (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg) in
+  let sa_plain = sa_run (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg ()) in
   let sa_plain_seconds = wall () -. t0 in
   let symmetry =
     Nocmap_noc.Symmetry.of_crg ~level:Nocmap_noc.Symmetry.Paths crg
@@ -625,7 +718,7 @@ let bench_json () =
   let sa_cached =
     sa_run
       (Mapping.Objective.with_cache sa_cache
-         (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg))
+         (Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg ()))
   in
   let sa_cached_seconds = wall () -. t0 in
   let sa_identical =
@@ -640,7 +733,7 @@ let bench_json () =
      then resumed over the same store must land bit-identical on the
      plain result.  Both sides take the best of three runs so machine
      noise does not read as checkpoint overhead. *)
-  let plain_objective () = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+  let plain_objective () = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg () in
   let min_of_3 f =
     let best = ref infinity in
     let result = ref None in
@@ -696,7 +789,7 @@ let bench_json () =
       (Nocmap_tgff.Generator.default_spec ~name:"es-cache" ~cores:5 ~packets:20
          ~total_bits:4_000)
   in
-  let es_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:es_cdcg in
+  let es_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:es_cdcg () in
   let es_full = Mapping.Exhaustive.search ~objective:es_objective ~cores:5 ~tiles () in
   let es_reduced =
     Mapping.Exhaustive.search ~objective:es_objective ~cores:5 ~tiles ~symmetry ()
@@ -752,8 +845,15 @@ let bench_json () =
   "cdcm_eval_arena_ops_per_sec": %.1f,
   "cdcm_eval_arena_metrics_ops_per_sec": %.1f,
   "cdcm_eval_arena_cutoff_ops_per_sec": %.1f,
+  "cdcm_eval_arena_cutoff_move_ops_per_sec": %.1f,
+  "cdcm_incremental_move_ops_per_sec": %.1f,
+  "cdcm_incremental_bound_ops_per_sec": %.1f,
+  "cdcm_incremental_delta_hit_percent": %.1f,
+  "cdcm_incremental_move_delta_hit_percent": %.1f,
   "cdcm_arena_speedup": %.2f,
   "cdcm_arena_cutoff_speedup": %.2f,
+  "cdcm_incremental_speedup": %.2f,
+  "cdcm_incremental_ls_identical": %b,
   "metrics_overhead_percent": %.2f,
   "cache_sa_hit_rate_percent": %.1f,
   "cache_sa_speedup": %.2f,
@@ -776,8 +876,10 @@ let bench_json () =
       | Experiment.Standard -> "standard"
       | Experiment.Thorough -> "thorough")
       cwm_ops cwm_inc_ops cdcm_baseline_ops cdcm_fresh_ops cdcm_arena_ops
-      cdcm_arena_metrics_ops cdcm_cutoff_ops arena_speedup cutoff_speedup
-      metrics_overhead sa_hit_rate
+      cdcm_arena_metrics_ops cdcm_cutoff_ops cdcm_cutoff_move_ops
+      cdcm_inc_move_ops cdcm_inc_bound_ops
+      inc_delta_hit_percent inc_move_delta_hit_percent arena_speedup cutoff_speedup
+      incremental_speedup ls_identical metrics_overhead sa_hit_rate
       (sa_plain_seconds /. Float.max sa_cached_seconds 1e-9)
       sa_identical checkpoint_overhead checkpoint_identical es_fraction
       es_identical
@@ -1004,16 +1106,37 @@ let run_compare ~baseline_path ~current_path ~tolerance_percent =
     let c = compare_float current current_path key in
     record key (Printf.sprintf "%.1f" b) (Printf.sprintf "%.1f" c) "info"
   in
+  (* A floor on the committed baseline: unlike [gate_ratio] this is
+     deterministic (it reads the checked-in JSON, not this machine's
+     run), so it asserts the repository never ships a baseline whose
+     key is missing or below the promised value.  The ratio gate then
+     holds the current run near that baseline. *)
+  let gate_baseline_floor key floor =
+    let b = compare_float baseline baseline_path key in
+    let c = compare_float current current_path key in
+    let ok = b >= floor in
+    if not ok then incr failures;
+    record key (Printf.sprintf "%.4f" b) (Printf.sprintf "%.4f" c)
+      (if ok then "ok" else Printf.sprintf "baseline below %.1f" floor)
+  in
   List.iter report_only
     [
       "cwm_eval_ops_per_sec"; "cwm_incremental_move_ops_per_sec";
       "cdcm_eval_seed_baseline_ops_per_sec"; "cdcm_eval_fresh_ops_per_sec";
       "cdcm_eval_arena_ops_per_sec"; "cdcm_eval_arena_metrics_ops_per_sec";
-      "cdcm_eval_arena_cutoff_ops_per_sec"; "suite_parallel_speedup";
+      "cdcm_eval_arena_cutoff_ops_per_sec";
+      "cdcm_eval_arena_cutoff_move_ops_per_sec";
+      "cdcm_incremental_move_ops_per_sec";
+      "cdcm_incremental_bound_ops_per_sec";
+      "cdcm_incremental_delta_hit_percent";
+      "cdcm_incremental_move_delta_hit_percent"; "suite_parallel_speedup";
       "cache_sa_speedup";
     ];
   gate_ratio "cdcm_arena_speedup" Higher_better;
   gate_ratio "cdcm_arena_cutoff_speedup" Higher_better;
+  gate_ratio "cdcm_incremental_speedup" Higher_better;
+  gate_baseline_floor "cdcm_incremental_speedup" 3.0;
+  gate_bool "cdcm_incremental_ls_identical";
   gate_ratio "cache_sa_hit_rate_percent" Higher_better;
   gate_ratio "cache_exhaustive_eval_fraction" Lower_better;
   gate_ceiling "metrics_overhead_percent" 30.0;

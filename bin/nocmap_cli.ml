@@ -356,8 +356,20 @@ let map_cmd =
             "Write the best-cost-vs-evaluations trace as CSV (sa, es, local \
              and greedy+local searches).")
   in
+  let incremental_arg =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Evaluate CDCM candidates incrementally: exact dynamic-energy \
+             deltas plus an analytic execution-time lower bound over the \
+             affected dependence cone reject most candidates without \
+             simulation (full re-simulation only as fallback; reported \
+             costs are bit-identical).  Implies cutoff pruning in the sa \
+             search.  Requires --model cdcm.")
+  in
   let run mesh seed flit tech_name routing app builtin model algorithm save metrics
-      convergence_path use_cache checkpoint_dir checkpoint_every =
+      convergence_path use_cache incremental checkpoint_dir checkpoint_every =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -369,11 +381,20 @@ let map_cmd =
     if cores > tiles then
       or_die (Error (Printf.sprintf "%d cores do not fit on %s" cores (Mesh.to_string mesh)));
     let rng = Rng.create ~seed in
+    if incremental && model <> "cdcm" then
+      or_die (Error "--incremental requires --model cdcm");
     let objective =
       match model with
       | "cwm" -> Mapping.Objective.cwm ~tech ~crg ~cwg
-      | "cdcm" -> Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg
+      | "cdcm" -> Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
       | other -> or_die (Error ("unknown model " ^ other))
+    in
+    (* Without a prune margin the annealer never consults the bound
+       function, so the incremental evaluator would have nothing to
+       reject; the margin matches Experiment's standard configs. *)
+    let sa_config =
+      let c = Mapping.Annealing.default_config ~tiles in
+      if incremental then { c with Mapping.Annealing.prune = Some 20.0 } else c
     in
     (* CWM only reads per-pair hop counts, so it may use the larger
        hop-exact group; the simulation-backed CDCM needs path-exact. *)
@@ -420,15 +441,13 @@ let map_cmd =
       | "sa" -> (
         match persist with
         | None ->
-          Mapping.Annealing.search ~rng
-            ~config:(Mapping.Annealing.default_config ~tiles)
-            ~tiles ~objective ~stop:stop_requested ?convergence ~cores ()
+          Mapping.Annealing.search ~rng ~config:sa_config ~tiles ~objective
+            ~stop:stop_requested ?convergence ~cores ()
         | Some (p : Nocmap.Experiment.persist) ->
           Mapping.Search_persist.annealing ~store:p.Nocmap.Experiment.store
             ~key:(p.Nocmap.Experiment.scope ^ ".sa")
-            ~every:p.Nocmap.Experiment.every ~rng
-            ~config:(Mapping.Annealing.default_config ~tiles)
-            ~tiles ~objective ~stop:stop_requested ?convergence ~cores ())
+            ~every:p.Nocmap.Experiment.every ~rng ~config:sa_config ~tiles
+            ~objective ~stop:stop_requested ?convergence ~cores ())
       | "es" -> Mapping.Exhaustive.search ~objective ~cores ~tiles ?symmetry ?convergence ()
       | "greedy" -> Mapping.Greedy.search ~tech ~crg ~cwg ()
       | "local" -> (
@@ -507,7 +526,7 @@ let map_cmd =
     Term.(
       const run $ mesh_arg $ seed_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg
       $ builtin_arg $ model $ algorithm $ save $ metrics_arg $ convergence_arg
-      $ cache_arg $ checkpoint_dir_arg $ checkpoint_every_arg)
+      $ cache_arg $ incremental_arg $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 (* --- eval --- *)
 

@@ -26,7 +26,7 @@ let () =
   let tiles = Mesh.tile_count mesh in
   let cores = Cdcg.core_count cdcg in
   let rng = Rng.create ~seed:16 in
-  let cdcm_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+  let cdcm_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg () in
   let strategies =
     [
       ( "random (1000 samples)",

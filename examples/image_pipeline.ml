@@ -59,7 +59,7 @@ let () =
     (* Warm-start the CDCM search from the CWM winner (as the experiment
        framework does) so differences reflect the objective, not search
        noise. *)
-    let objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+    let objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg () in
     let warm =
       Mapping.Annealing.search
         ~rng:(Rng.split rng)

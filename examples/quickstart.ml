@@ -64,7 +64,7 @@ let () =
   (* And let the framework find a mapping by itself. *)
   let rng = Nocmap_util.Rng.create ~seed:2005 in
   let objective =
-    Mapping.Objective.cdcm ~tech:example_tech ~params ~crg ~cdcg
+    Mapping.Objective.cdcm ~tech:example_tech ~params ~crg ~cdcg ()
   in
   let result =
     Mapping.Exhaustive.search ~objective ~cores:4 ~tiles:4 ()

@@ -43,7 +43,7 @@ let () =
   in
   let study routing =
     let crg = Crg.create ~routing mesh in
-    let objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+    let objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg () in
     let result =
       Mapping.Annealing.search ~rng:(Rng.split rng)
         ~config:(Mapping.Annealing.default_config ~tiles)

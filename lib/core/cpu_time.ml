@@ -34,7 +34,7 @@ let measure ?(evaluations = 200) ?(params = Nocmap_energy.Noc_params.default_16b
     Array.init evaluations (fun _ -> Mapping.Placement.random rng ~cores ~tiles)
   in
   let cwm = Mapping.Objective.cwm ~tech ~crg ~cwg in
-  let cdcm = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg in
+  let cdcm = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg () in
   (* Warm both paths once so allocation effects do not bias the first. *)
   ignore (cwm.Mapping.Objective.cost_fn placements.(0) : float);
   ignore (cdcm.Mapping.Objective.cost_fn placements.(0) : float);

@@ -198,7 +198,7 @@ let optimize_pair ?pool ?stop ?persist ~rng ~config ~mesh ~tech cdcg =
         multi_start ~warm_start:cwm_best.Mapping.Objective.placement ?pool ?stop
           ?persist:(persist_sub persist "cdcm") ~rng ~config ~tiles ~cores
           (cached_factory config ~symmetry ~cores (fun () ->
-               Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)))
+               Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg ())))
   in
   {
     pair_crg = crg;
@@ -230,7 +230,7 @@ let compare_models ?pool ?stop ?persist ~rng ~config ~mesh cdcg =
                ("cdcm-" ^ tech.Nocmap_energy.Technology.name))
           ~rng ~config ~tiles ~cores
           (cached_factory config ~symmetry ~cores (fun () ->
-               Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg)))
+               Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg ())))
   in
   let cdcm_low_best, cpu_low, evals_low = cdcm_search config.tech_low in
   let cdcm_high_best, cpu_high, evals_high = cdcm_search config.tech_high in

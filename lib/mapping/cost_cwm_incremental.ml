@@ -13,17 +13,29 @@ type t = {
   mutable total : float;
 }
 
-(* Energy of every communication involving [core] under a hypothetical
-   pair of positions (the core itself at [tile], one [other] core
-   possibly displaced). *)
-let core_terms t core ~tile_of =
+(* A router count of 0 marks an unreachable pair of a faulty CRG: the
+   packet is dropped by the simulator and spends no energy (matching
+   {!Cost_cwm.dynamic_energy} via {!Cwg.of_cdcg} projections of faulted
+   instances). *)
+let term_energy t ~routers ~bits =
+  if routers = 0 then 0.0
+  else Equations.communication_energy t.tech ~routers ~bits
+
+(* Energy change over every communication involving [core] between two
+   position assignments, in a single pass over the incidence list: each
+   term is evaluated at its before and after endpoints together, so a
+   swap costs one traversal per moved core instead of two.  Terms whose
+   router count is unchanged — in particular the terms between two
+   swapped cores, whose routes keep their length — drop out exactly. *)
+let core_delta t core ~before ~after =
   let acc = ref 0.0 in
   let add (other, bits, outgoing) =
     let src, dst = if outgoing then (core, other) else (other, core) in
-    let routers =
-      Crg.router_count_on_path t.crg ~src:(tile_of src) ~dst:(tile_of dst)
-    in
-    acc := !acc +. Equations.communication_energy t.tech ~routers ~bits
+    let rb = Crg.router_count_on_path t.crg ~src:(before src) ~dst:(before dst) in
+    let ra = Crg.router_count_on_path t.crg ~src:(after src) ~dst:(after dst) in
+    if ra <> rb then
+      acc :=
+        !acc +. term_energy t ~routers:ra ~bits -. term_energy t ~routers:rb ~bits
   in
   List.iter add t.partners.(core);
   !acc
@@ -63,16 +75,10 @@ let placement t = Array.copy t.current
 
 (* The move swaps [core] with the occupant of [tile] (if any).  Only
    communications touching the two moved cores change.  Terms between
-   the two swapped cores are double-counted by the two core sums, but a
-   swap preserves the router count between their tiles (dimension-
-   ordered routes have symmetric lengths), so those terms contribute
-   zero to the before/after difference and the delta stays exact. *)
-let affected_cost t ~core ~other ~tile_of =
-  let first = core_terms t core ~tile_of in
-  match other with
-  | None -> first
-  | Some o -> first +. core_terms t o ~tile_of
-
+   two swapped cores are visited by both core passes, but a swap
+   preserves the router count between their tiles (dimension-ordered
+   routes have symmetric lengths), so the [ra <> rb] filter drops them
+   on both sides and the delta stays exact. *)
 let move_delta t ~core ~tile =
   let cores = Array.length t.current in
   if core < 0 || core >= cores then invalid_arg "Cost_cwm_incremental: core out of range";
@@ -82,17 +88,26 @@ let move_delta t ~core ~tile =
   if tile = from_tile then 0.0
   else begin
     let other = if t.occupant.(tile) >= 0 then Some t.occupant.(tile) else None in
-    let before = affected_cost t ~core ~other ~tile_of:(fun c -> t.current.(c)) in
-    let tile_of c =
+    let before c = t.current.(c) in
+    let after c =
       if c = core then tile
       else
         match other with
         | Some o when c = o -> from_tile
         | Some _ | None -> t.current.(c)
     in
-    let after = affected_cost t ~core ~other ~tile_of in
-    after -. before
+    let d = core_delta t core ~before ~after in
+    match other with
+    | None -> d
+    | Some o -> d +. core_delta t o ~before ~after
   end
+
+let swap_delta t ~core_a ~core_b =
+  let cores = Array.length t.current in
+  if core_a < 0 || core_a >= cores || core_b < 0 || core_b >= cores then
+    invalid_arg "Cost_cwm_incremental: core out of range";
+  if core_a = core_b then 0.0
+  else move_delta t ~core:core_a ~tile:t.current.(core_b)
 
 let apply_move t ~core ~tile =
   let delta = move_delta t ~core ~tile in

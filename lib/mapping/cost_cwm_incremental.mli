@@ -27,7 +27,17 @@ val placement : t -> Placement.t
 
 val move_delta : t -> core:int -> tile:int -> float
 (** Cost change if [core] moved to [tile] (swapping with the occupant
-    when taken), without applying it. *)
+    when taken), without applying it.  One single pass over each moved
+    core's incidence list: every term is differenced at its before and
+    after endpoints together, and terms with an unchanged router count
+    drop out exactly.
+    @raise Invalid_argument on out-of-range [core] or [tile]. *)
+
+val swap_delta : t -> core_a:int -> core_b:int -> float
+(** Cost change of exchanging the tiles of two cores — a swap proposal
+    in one call instead of two {!move_delta}s ([0.] when
+    [core_a = core_b]).
+    @raise Invalid_argument on out-of-range cores. *)
 
 val apply_move : t -> core:int -> tile:int -> unit
 (** Applies the move and updates the cached total. *)

@@ -23,43 +23,96 @@ let validate_placement ~tiles ~cores placement =
       used.(tile) <- true)
     placement
 
-let estimate ~params ~crg ~placement (cdcg : Cdcg.t) =
+let estimate ?fault_policy ~params ~crg ~placement (cdcg : Cdcg.t) =
   validate_placement ~tiles:(Crg.tile_count crg) ~cores:(Cdcg.core_count cdcg)
     placement;
+  let policy =
+    match fault_policy with
+    | Some p -> p
+    | None -> Wormhole.default_fault_policy
+  in
+  let retry_cycles = policy.Wormhole.max_retries * policy.Wormhole.retry_backoff in
   let npackets = Cdcg.packet_count cdcg in
   let path_of i =
     let p = cdcg.Cdcg.packets.(i) in
     Crg.path crg ~src:placement.(p.Cdcg.src) ~dst:placement.(p.Cdcg.dst)
   in
   let flits_of i = Noc_params.flits_of_bits params cdcg.Cdcg.packets.(i).Cdcg.bits in
-  (* Critical path: readiness propagation with eq (8) delays and no
-     contention anywhere. *)
+  (* Drop flags are timing-independent, so they can be resolved exactly:
+     a packet on a severed route (empty path on a faulty CRG) is dropped
+     after its futile retries, and a packet with a dropped dependence is
+     cascade-dropped the moment its last dependence resolves — it never
+     enters the network.  On a fault-free CRG nothing is severed and the
+     propagation reduces to the plain Equation-(8) critical path. *)
+  let dropped = Array.make npackets false in
+  (* [sent i] is a lower bound on the cycle the packet's header can
+     first enter the network (ready + compute), needed by the link
+     bound below. *)
+  let sent = Array.make npackets 0 in
+  (* Critical path: resolution-time propagation with eq (8) delays and
+     no contention anywhere (exact retry accounting for drops). *)
   let critical_path_cycles =
     match Topo.topological_order (Cdcg.to_digraph cdcg) with
     | None -> 0 (* validation guarantees a DAG; defensive *)
     | Some order ->
-      let delivered = Array.make npackets 0 in
+      let resolved = Array.make npackets 0 in
       let relax i =
-        let ready =
-          List.fold_left (fun acc p -> max acc delivered.(p)) 0 (Cdcg.predecessors cdcg i)
-        in
-        let routers = Array.length (path_of i).Crg.routers in
-        let delay = Noc_params.total_delay_cycles params ~routers ~flits:(flits_of i) in
-        delivered.(i) <- ready + cdcg.Cdcg.packets.(i).Cdcg.compute + delay
+        let ready = ref 0 and dep_dropped = ref false in
+        List.iter
+          (fun p ->
+            if resolved.(p) > !ready then ready := resolved.(p);
+            if dropped.(p) then dep_dropped := true)
+          (Cdcg.predecessors cdcg i);
+        if !dep_dropped then begin
+          dropped.(i) <- true;
+          resolved.(i) <- !ready
+        end
+        else begin
+          let launch = !ready + cdcg.Cdcg.packets.(i).Cdcg.compute in
+          sent.(i) <- launch;
+          let routers = Array.length (path_of i).Crg.routers in
+          let transfer =
+            if routers = 0 then begin
+              dropped.(i) <- true;
+              retry_cycles
+            end
+            else Noc_params.total_delay_cycles params ~routers ~flits:(flits_of i)
+          in
+          resolved.(i) <- launch + transfer
+        end
       in
       List.iter relax order;
-      Array.fold_left max 0 delivered
+      Array.fold_left max 0 resolved
   in
-  (* Link-load bound: each link moves one flit per tl. *)
+  (* Link-load bound: each traversal of a link grants its output port
+     exactly once, occupying it for [tr + flits*tl] cycles, and the
+     grants serialize; no flit can reach the link before its packet
+     launches.  So for every link,
+     [texec >= min_member sent + sum_member (tr + flits*tl)].  Dropped
+     packets never occupy a link. *)
   let mesh = Crg.mesh crg in
-  let demand = Array.make (Link.slot_count mesh) 0 in
+  let tr = params.Noc_params.tr and tl = params.Noc_params.tl in
+  let slots = Link.slot_count mesh in
+  let demand = Array.make slots 0 in
+  let earliest = Array.make slots max_int in
   for i = 0 to npackets - 1 do
-    let flit_cycles = flits_of i * params.Noc_params.tl in
-    Array.iter
-      (fun lid -> demand.(lid) <- demand.(lid) + flit_cycles)
-      (path_of i).Crg.links
+    if not dropped.(i) then begin
+      let occupancy = tr + (flits_of i * tl) in
+      Array.iter
+        (fun lid ->
+          demand.(lid) <- demand.(lid) + occupancy;
+          if sent.(i) < earliest.(lid) then earliest.(lid) <- sent.(i))
+        (path_of i).Crg.links
+    end
   done;
-  let link_load_cycles = Array.fold_left max 0 demand in
+  let link_load_cycles = ref 0 in
+  for lid = 0 to slots - 1 do
+    if demand.(lid) > 0 then begin
+      let bound = earliest.(lid) + demand.(lid) in
+      if bound > !link_load_cycles then link_load_cycles := bound
+    end
+  done;
+  let link_load_cycles = !link_load_cycles in
   {
     critical_path_cycles;
     link_load_cycles;

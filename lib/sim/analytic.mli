@@ -6,8 +6,11 @@
       through the dependence DAG when every packet experiences exactly
       the Equation (8) delay (no buffering anywhere) — this equals the
       simulation result whenever no two packets ever compete for a link;
-    + the {b link-load bound}: the busiest link must carry all its
-      traffic one flit per [tl], so [texec >= max_link busy_demand].
+    + the {b link-load bound}: every packet crossing a link is granted
+      its output port exactly once, occupying it for [tr + flits*tl]
+      cycles, the grants serialize, and none can start before its
+      packet's launch (ready + compute), so for every link
+      [texec >= min_member launch + sum_member (tr + flits*tl)].
 
     The estimator is orders of magnitude faster than simulation and is
     used as an ablation ("how much of texec is contention?") and as a
@@ -20,12 +23,22 @@ type estimate = {
 }
 
 val estimate :
+  ?fault_policy:Wormhole.fault_policy ->
   params:Nocmap_energy.Noc_params.t ->
   crg:Nocmap_noc.Crg.t ->
   placement:int array ->
   Nocmap_model.Cdcg.t ->
   estimate
-(** @raise Invalid_argument on an invalid placement. *)
+(** Both bounds honor the simulator's fault semantics when [crg]
+    carries faults: packet drops are timing-independent, so the
+    estimator resolves them exactly — a severed packet contributes its
+    futile-retry span ([max_retries * retry_backoff] cycles under
+    [?fault_policy], default {!Wormhole.default_fault_policy}) to the
+    critical path, a cascade-dropped packet resolves with its last
+    dependence, and dropped packets contribute no link demand (they
+    never enter the network).  On a fault-free CRG the policy is
+    irrelevant and the estimate is unchanged.
+    @raise Invalid_argument on an invalid placement. *)
 
 val contention_share : estimate -> simulated_cycles:int -> float
 (** Fraction of the simulated execution time not explained by the

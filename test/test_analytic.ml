@@ -31,8 +31,9 @@ let test_fig1_mapping_c_gap () =
     (Analytic.contention_share e ~simulated_cycles:100)
 
 let test_link_load_bound () =
-  (* Two independent packets share one link on a 1x2 mesh: the link
-     must carry 2 x 10 flit-cycles. *)
+  (* Two independent packets share one link on a 1x3 mesh: the link's
+     port is granted twice, occupied tr + 10 flit-cycles each time, and
+     both packets launch at cycle 0. *)
   let cdcg =
     Cdcg.create_exn ~name:"share" ~core_names:[| "a"; "b"; "c" |]
       ~packets:
@@ -44,8 +45,8 @@ let test_link_load_bound () =
   in
   let crg = Crg.create (Mesh.create ~cols:3 ~rows:1) in
   let e = Analytic.estimate ~params ~crg ~placement:[| 0; 1; 2 |] cdcg in
-  (* Both packets cross link 1->2. *)
-  Alcotest.(check int) "link load" 20 e.Analytic.link_load_cycles
+  (* Both packets cross link 1->2: 2 x (tr + 10 x tl) = 24. *)
+  Alcotest.(check int) "link load" 24 e.Analytic.link_load_cycles
 
 let prop_bound_below_simulation =
   let gen =

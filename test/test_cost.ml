@@ -73,7 +73,7 @@ let test_evaluation_consistency () =
 
 let test_objectives () =
   let cwm = Mapping.Objective.cwm ~tech ~crg ~cwg:Fig1.cwg in
-  let cdcm = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:Fig1.cdcg in
+  let cdcm = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:Fig1.cdcg () in
   let texec = Mapping.Objective.texec ~params ~crg ~cdcg:Fig1.cdcg in
   Alcotest.(check string) "cwm name" "cwm" cwm.Mapping.Objective.name;
   Alcotest.(check (float 1e-18)) "cwm cost" 390.0e-12

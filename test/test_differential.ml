@@ -70,7 +70,7 @@ let prop_metrics_do_not_change_search =
       let tiles = Mesh.tile_count mesh in
       let cores = Cdcg.core_count cdcg in
       let objective =
-        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg
+        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg ()
       in
       let descend enabled =
         Metrics.with_enabled enabled (fun () ->
@@ -112,7 +112,7 @@ let prop_pruned_sa_cost_consistent =
       let tiles = Mesh.tile_count mesh in
       let cores = Cdcg.core_count cdcg in
       let objective =
-        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg
+        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg ()
       in
       let config =
         { (Mapping.Annealing.quick_config ~tiles) with
@@ -142,6 +142,106 @@ let prop_local_search_prune_lossless =
       pruned.Mapping.Objective.placement = exact.Mapping.Objective.placement
       && pruned.Mapping.Objective.cost = exact.Mapping.Objective.cost)
 
+(* --- Incremental CDCM vs fresh evaluation --- *)
+
+module Fault = Nocmap_noc.Fault
+module Cost_cdcm = Mapping.Cost_cdcm
+module Inc = Mapping.Cost_cdcm_incremental
+
+(* Like [gen_scenario], but half the scenarios run on a CRG with a
+   failed link, exercising the severed/cascade-drop accounting of the
+   incremental evaluator. *)
+let gen_cdcm_scenario =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* cols = int_range 2 4 in
+    let* rows = int_range 2 3 in
+    let* faulty = bool in
+    let mesh = Mesh.create ~cols ~rows in
+    let tiles = Mesh.tile_count mesh in
+    let rng = Rng.create ~seed in
+    let crg =
+      if faulty then
+        match Fault.sample_link_scenarios ~rng ~k:1 ~count:1 mesh with
+        | [ faults ] -> Crg.create ~faults mesh
+        | _ -> Crg.create mesh
+      else Crg.create mesh
+    in
+    let* cores = int_range 2 (min 7 tiles) in
+    let* packets = int_range 1 30 in
+    let spec =
+      Generator.default_spec ~name:"cdcm-diff" ~cores ~packets
+        ~total_bits:(max packets (packets * 60))
+    in
+    let cdcg = Generator.generate rng spec in
+    let placement = Mapping.Placement.random rng ~cores ~tiles in
+    return (crg, cdcg, placement, seed))
+
+let prop_cdcm_incremental_matches_fresh =
+  (* A random walk of single-move bound queries: every [Exact] verdict
+     is bit-identical to a fresh evaluation, every [At_least] stays at
+     or below the true cost, and after each accepted move the memoized
+     cost equals a fresh evaluation of the new anchor. *)
+  QCheck2.Test.make
+    ~name:"incremental CDCM walk agrees with fresh evaluation"
+    ~count:(Test_util.prop_count 15) gen_cdcm_scenario
+    (fun (crg, cdcg, placement, seed) ->
+      let tech = Technology.t007 in
+      let tiles = Crg.tile_count crg in
+      let cores = Cdcg.core_count cdcg in
+      let fresh p = Cost_cdcm.evaluate ~tech ~params ~crg ~cdcg p in
+      let rng = Rng.create ~seed:(seed + 7) in
+      let inc = Inc.create ~tech ~params ~crg ~cdcg ~placement () in
+      let ok = ref true in
+      for _ = 1 to 25 do
+        let core = Rng.int rng cores and tile = Rng.int rng tiles in
+        let cur = Inc.placement inc in
+        let cand = Array.copy cur in
+        cand.(core) <- tile;
+        Array.iteri
+          (fun c t -> if c <> core && t = tile then cand.(c) <- cur.(core))
+          cur;
+        let truth = fresh cand in
+        let cutoff =
+          match Rng.int rng 3 with
+          | 0 -> infinity
+          | 1 -> Inc.cost inc
+          | _ -> truth.Cost_cdcm.total *. 0.9
+        in
+        (match Inc.move_bound inc ~core ~tile ~cutoff with
+        | Cost_cdcm.Exact ev -> ok := !ok && ev = truth
+        | Cost_cdcm.At_least lb ->
+          ok := !ok && lb <= truth.Cost_cdcm.total && lb >= cutoff);
+        if Rng.int rng 5 < 3 then begin
+          Inc.apply_move inc ~core ~tile;
+          ok := !ok && Inc.cost inc = truth.Cost_cdcm.total
+        end
+      done;
+      let s = Inc.stats inc in
+      !ok && s.Inc.queries = s.Inc.delta_hits + s.Inc.full_sim_fallbacks)
+
+let prop_cdcm_incremental_ls_identical =
+  (* Local search consumes bound verdicts in a fixed candidate order
+     and re-anchors only at accepted candidates, so the incremental
+     objective must retrace the plain objective exactly. *)
+  QCheck2.Test.make
+    ~name:"local search trajectory is identical with incremental CDCM"
+    ~count:(Test_util.prop_count 10) gen_cdcm_scenario
+    (fun (crg, cdcg, placement, _) ->
+      let tiles = Crg.tile_count crg in
+      let run incremental =
+        let objective =
+          Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg
+            ~incremental ()
+        in
+        Mapping.Local_search.search ~objective ~tiles ~initial:placement ()
+      in
+      let plain = run false and inc = run true in
+      plain.Mapping.Objective.placement = inc.Mapping.Objective.placement
+      && plain.Mapping.Objective.cost = inc.Mapping.Objective.cost
+      && plain.Mapping.Objective.evaluations
+         = inc.Mapping.Objective.evaluations)
+
 let suite =
   ( "differential",
     [
@@ -152,4 +252,6 @@ let suite =
       QCheck_alcotest.to_alcotest prop_analytic_is_lower_bound;
       QCheck_alcotest.to_alcotest prop_pruned_sa_cost_consistent;
       QCheck_alcotest.to_alcotest prop_local_search_prune_lossless;
+      QCheck_alcotest.to_alcotest prop_cdcm_incremental_matches_fresh;
+      QCheck_alcotest.to_alcotest prop_cdcm_incremental_ls_identical;
     ] )

@@ -165,7 +165,7 @@ let prop_cached_sa_cdcm_identical =
           ~objective ~cores ()
       in
       let make () =
-        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg
+        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg ()
       in
       let plain = run (make ()) in
       let cached =
@@ -284,7 +284,7 @@ let test_exhaustive_symmetry_cdcm () =
   let spec = Generator.default_spec ~name:"ex4" ~cores:4 ~packets:10 ~total_bits:500 in
   let cdcg = Generator.generate rng spec in
   let crg = Crg.create mesh22 in
-  let objective = Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg in
+  let objective = Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg () in
   let symmetry = Symmetry.of_crg ~level:Symmetry.Paths crg in
   let full = Mapping.Exhaustive.search ~objective ~cores:4 ~tiles:4 () in
   let reduced =
@@ -307,7 +307,7 @@ let test_exhaustive_symmetry_partial () =
   let spec = Generator.default_spec ~name:"ex5" ~cores:5 ~packets:10 ~total_bits:500 in
   let cdcg = Generator.generate rng spec in
   let crg = Crg.create mesh33 in
-  let objective = Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg in
+  let objective = Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg () in
   let symmetry = Symmetry.of_crg ~level:Symmetry.Paths crg in
   let full = Mapping.Exhaustive.search ~objective ~cores:5 ~tiles:9 () in
   let reduced =
@@ -327,7 +327,7 @@ let test_exhaustive_rejects_wrong_mesh () =
   let spec = Generator.default_spec ~name:"bad" ~cores:2 ~packets:2 ~total_bits:100 in
   let cdcg = Generator.generate rng spec in
   let crg = Crg.create mesh22 in
-  let objective = Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg in
+  let objective = Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg () in
   let symmetry = Symmetry.of_crg ~level:Symmetry.Paths (Crg.create mesh33) in
   Alcotest.check_raises "mesh mismatch"
     (Invalid_argument "Exhaustive.search: symmetry group is over a different mesh")
@@ -346,7 +346,7 @@ let test_sa_hit_rate () =
   let cache = Eval_cache.create ~symmetry ~cores:9 () in
   let objective =
     Mapping.Objective.with_cache cache
-      (Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg)
+      (Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg ())
   in
   (* A short quick-budget descent barely revisits anything; the >10%
      claim is about converged runs, which hover around the incumbent

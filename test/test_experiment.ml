@@ -160,7 +160,7 @@ let test_es_vs_sa_on_fig1 () =
   let tech = Nocmap_energy.Technology.t007 in
   let params = Nocmap_energy.Noc_params.paper_example in
   let objective =
-    Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:Nocmap_apps.Fig1.cdcg
+    Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:Nocmap_apps.Fig1.cdcg ()
   in
   let verdict =
     Nocmap.Es_vs_sa.certify ~rng:(Rng.create ~seed:8)

@@ -306,7 +306,7 @@ let test_cdcm_expected () =
   let plain = Crg.create mesh3 in
   let placement = [| 0; 1; 2 |] in
   let single obj = obj.Mapping.Objective.cost_fn placement in
-  let baseline = single (Mapping.Objective.cdcm ~tech ~params ~crg:plain ~cdcg) in
+  let baseline = single (Mapping.Objective.cdcm ~tech ~params ~crg:plain ~cdcg ()) in
   let expected1 =
     single
       (Mapping.Objective.cdcm_expected ~tech ~params
@@ -322,7 +322,7 @@ let test_cdcm_expected () =
   in
   let cost = single mixed in
   let degraded_cost =
-    single (Mapping.Objective.cdcm ~tech ~params ~crg:degraded ~cdcg)
+    single (Mapping.Objective.cdcm ~tech ~params ~crg:degraded ~cdcg ())
   in
   let lo = min baseline degraded_cost and hi = max baseline degraded_cost in
   Alcotest.(check bool) "expectation between extremes" true

@@ -12,7 +12,7 @@ let tech =
     ~p_s_router:0.025e-12 ()
 
 let objective =
-  Mapping.Objective.cdcm ~tech ~params:Noc_params.paper_example ~crg ~cdcg:Fig1.cdcg
+  Mapping.Objective.cdcm ~tech ~params:Noc_params.paper_example ~crg ~cdcg:Fig1.cdcg ()
 
 let test_reaches_optimum_from_any_start () =
   (* The fig1 landscape is tiny; steepest descent from every one of the

@@ -62,7 +62,7 @@ let test_cwg_parse_unknown_directive () =
 let test_annealing_fixed_temperature () =
   let objective =
     Mapping.Objective.cdcm ~tech:tech1pj ~params:Noc_params.paper_example ~crg
-      ~cdcg:Fig1.cdcg
+      ~cdcg:Fig1.cdcg ()
   in
   let config =
     {

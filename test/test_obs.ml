@@ -280,7 +280,7 @@ let prop_convergence_non_increasing =
       let tiles = Mesh.tile_count mesh in
       let cores = Cdcg.core_count cdcg in
       let objective =
-        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg
+        Mapping.Objective.cdcm ~tech:Technology.t007 ~params ~crg ~cdcg ()
       in
       let series = Series.create () in
       let result =

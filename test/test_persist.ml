@@ -146,7 +146,7 @@ let tech =
 
 let objective =
   Mapping.Objective.cdcm ~tech ~params:Noc_params.paper_example ~crg
-    ~cdcg:Fig1.cdcg
+    ~cdcg:Fig1.cdcg ()
 
 let sa_config =
   {

@@ -13,7 +13,7 @@ let tech =
   Technology.make ~name:"t" ~feature_nm:100 ~e_rbit:1.0e-12 ~e_lbit:1.0e-12
     ~p_s_router:0.025e-12 ()
 
-let cdcm_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:Fig1.cdcg
+let cdcm_objective = Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:Fig1.cdcg ()
 
 let test_arrangement_count () =
   Alcotest.(check (option int)) "4 cores on 4 tiles" (Some 24)
