@@ -1,5 +1,5 @@
 .PHONY: all build check test test-props bench bench-smoke bench-gate \
-	resume-smoke examples lint clean
+	resume-smoke serve-smoke examples lint clean
 
 all: build
 
@@ -53,6 +53,14 @@ resume-smoke:
 	$(NOCMAP_CLI) resume $(SMOKE_DIR)/ckpt > $(SMOKE_DIR)/resumed.txt 2>/dev/null
 	cmp $(SMOKE_DIR)/reference.txt $(SMOKE_DIR)/resumed.txt
 	@echo "resume-smoke: resumed table byte-identical to the uninterrupted run"
+
+# Daemon crash-safety smoke: spool two jobs into `nocmap serve`, kill
+# the daemon with SIGKILL mid-search, restart it over the same state
+# directory, and require each job's final result to be bit-identical to
+# an uninterrupted reference run (see scripts/serve_smoke.sh).
+serve-smoke:
+	dune build bin/nocmap_cli.exe
+	NOCMAP_CLI=$(NOCMAP_CLI) sh scripts/serve_smoke.sh
 
 # Build-only smoke for the example programs.
 examples:

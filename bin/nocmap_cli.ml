@@ -9,7 +9,9 @@
      table2   regenerate the paper's Table 2
      faults   fault-injection campaign over optimized mappings
      cputime  CWM vs CDCM cost-evaluation CPU comparison
-     profile  optimize one application with full observability on *)
+     profile  optimize one application with full observability on
+     serve    mapping-as-a-service daemon (spool and/or Unix socket)
+     submit   send job specs to a running serve daemon *)
 
 open Cmdliner
 module Mesh = Nocmap_noc.Mesh
@@ -58,11 +60,9 @@ let load_tech name =
 let load_app ~path ~builtin =
   match (path, builtin) with
   | Some _, Some _ -> Error "pass either --app or --builtin, not both"
-  | Some path, None -> begin
-    match (Textio.load_cdcg ~path : (Cdcg.t, string) result) with
-    | Ok cdcg -> Ok cdcg
-    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
-  end
+  | Some path, None ->
+    (* [load_cdcg] errors are already path-prefixed. *)
+    (Textio.load_cdcg ~path : (Cdcg.t, string) result)
   | None, Some name -> begin
     match Nocmap_apps.Catalog.find name with
     | Some cdcg -> Ok cdcg
@@ -76,35 +76,42 @@ let or_die = function
     prerr_endline ("nocmap: " ^ msg);
     exit 1
 
-(* Cooperative SIGINT handling for the long-running searches: the first
-   ^C flips a flag the annealing loops poll, so the run winds down and
-   still prints its best-so-far result; a second ^C aborts outright. *)
+(* Cooperative SIGINT/SIGTERM handling for the long-running searches:
+   the first signal flips a flag the annealing loops poll, so the run
+   winds down and still prints its best-so-far result; a second signal
+   (either one) aborts outright.  SIGTERM gets the same graceful path so
+   daemon-style supervision (systemd, containers, `timeout`) triggers
+   the same best-so-far flush and checkpoint message as ^C. *)
 let interrupted = Atomic.make false
 
 let stop_requested () = Atomic.get interrupted
 
-let install_sigint ?checkpoint_dir () =
+let install_stop_signals ?checkpoint_dir () =
   let message =
     match checkpoint_dir with
     | Some _ ->
       "nocmap: interrupted - flushing a final checkpoint and finishing with \
-       best-so-far results (press ^C again to abort)"
+       best-so-far results (send the signal again to abort)"
     | None ->
-      "nocmap: interrupted - finishing with best-so-far results (press ^C \
-       again to abort)"
+      "nocmap: interrupted - finishing with best-so-far results (send the \
+       signal again to abort)"
   in
-  match
-    Sys.signal Sys.sigint
-      (Sys.Signal_handle
-         (fun _ ->
-           if Atomic.get interrupted then exit 130
-           else begin
-             Atomic.set interrupted true;
-             prerr_endline message
-           end))
-  with
-  | _ -> ()
-  | exception Invalid_argument _ -> ()
+  let install signal abort_code =
+    match
+      Sys.signal signal
+        (Sys.Signal_handle
+           (fun _ ->
+             if Atomic.get interrupted then exit abort_code
+             else begin
+               Atomic.set interrupted true;
+               prerr_endline message
+             end))
+    with
+    | _ -> ()
+    | exception Invalid_argument _ -> ()
+  in
+  install Sys.sigint 130;
+  install Sys.sigterm 143
 
 let parse_placement ~tiles ~cores spec =
   match Nocmap_mapping.Placement_io.parse_tiles ~tiles ~cores spec with
@@ -418,7 +425,7 @@ let map_cmd =
       | Some cache -> Mapping.Objective.with_cache cache objective
       | None -> objective
     in
-    install_sigint ?checkpoint_dir ();
+    install_stop_signals ?checkpoint_dir ();
     (match checkpoint_dir with
     | Some _
       when algorithm <> "sa" && algorithm <> "local"
@@ -750,7 +757,7 @@ let table2_cmd =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
     let config = { config with Nocmap.Experiment.cache = use_cache } in
-    install_sigint ?checkpoint_dir ();
+    install_stop_signals ?checkpoint_dir ();
     let persist =
       setup_persist ~command:"table2" checkpoint_dir checkpoint_every
     in
@@ -815,7 +822,7 @@ let faults_cmd =
         multi_fault_count = multi_count;
       }
     in
-    install_sigint ?checkpoint_dir ();
+    install_stop_signals ?checkpoint_dir ();
     let persist =
       setup_persist ~command:"faults" checkpoint_dir checkpoint_every
     in
@@ -876,7 +883,7 @@ let profile_cmd =
       if quick then Nocmap.Experiment.quick_config else Nocmap.Experiment.default_config
     in
     let config = { config with Nocmap.Experiment.cache = use_cache } in
-    install_sigint ();
+    install_stop_signals ();
     Obs.Metrics.set_enabled true;
     let pair =
       with_jobs (resolve_jobs jobs) (fun pool ->
@@ -927,6 +934,196 @@ let cputime_cmd =
   Cmd.v
     (Cmd.info "cputime" ~doc:"Compare CWM and CDCM cost-evaluation CPU time")
     Term.(const run $ seed_arg)
+
+(* --- serve / submit --- *)
+
+module Serve = Nocmap_serve
+
+let serve_cmd =
+  let state_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "State directory: the job journal and search checkpoints live \
+             here.  Restarting over the same directory resumes the queue \
+             exactly, replaying finished results bit-identically.")
+  in
+  let spool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Watch $(docv)/incoming for job-spec files (*.json); replies \
+             stream to $(docv)/replies/<id>.jsonl.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket: one job spec per line in, one \
+             JSON event per line back.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: beyond $(docv) queued jobs, new submissions \
+             are shed with an $(b,overloaded) reply (spool files just wait).")
+  in
+  let poll_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "poll-ms" ] ~docv:"MS" ~doc:"Spool poll interval when idle.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-job deadline for specs without their own \
+             $(b,timeout_ms); a job past its deadline fails with a timeout \
+             reply.")
+  in
+  let drain_arg =
+    Arg.(
+      value & flag
+      & info [ "drain-once" ]
+          ~doc:
+            "Exit once the queue, spool and connections are empty instead \
+             of waiting for more work — batch mode.")
+  in
+  let run state spool socket max_queue poll_ms timeout_ms checkpoint_every
+      drain jobs metrics =
+    if spool = None && socket = None then
+      or_die (Error "pass --spool DIR and/or --socket PATH");
+    if max_queue < 1 then or_die (Error "--max-queue must be at least 1");
+    install_stop_signals ~checkpoint_dir:state ();
+    with_metrics metrics @@ fun () ->
+    let engine =
+      {
+        Serve.Engine.default_config with
+        Serve.Engine.max_queue;
+        checkpoint_every;
+        default_timeout_ms = timeout_ms;
+      }
+    in
+    let config =
+      {
+        Serve.Daemon.state_dir = state;
+        spool_dir = spool;
+        socket_path = socket;
+        engine;
+        poll_ms;
+        drain_once = drain;
+        jobs = (match jobs with None -> 1 | Some j -> j);
+        log = prerr_endline;
+      }
+    in
+    let daemon = or_die (Serve.Daemon.create ~stop:stop_requested config) in
+    let code = Serve.Daemon.run daemon in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the mapping daemon: accept JSON job specs over a spool \
+          directory and/or Unix socket, journal every accepted job, and \
+          survive kill -9 with bit-identical resume")
+    Term.(
+      const run $ state_arg $ spool_arg $ socket_arg $ max_queue_arg $ poll_arg
+      $ timeout_arg $ checkpoint_every_arg $ drain_arg $ jobs_arg $ metrics_arg)
+
+let submit_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running daemon.")
+  in
+  let specs_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SPEC" ~doc:"Job-spec JSON files.")
+  in
+  let run socket specs =
+    (* Validate locally first: a malformed file should fail fast with a
+       path-prefixed error, not burn a round trip. *)
+    let lines =
+      List.map
+        (fun path ->
+          let text =
+            match Nocmap_persist.Fsutil.read_file path with
+            | s -> s
+            | exception Sys_error msg -> or_die (Error msg)
+          in
+          match Serve.Job_spec.of_string text with
+          | Error e -> or_die (Error (path ^ ": " ^ e))
+          | Ok spec -> Json.to_string (Serve.Job_spec.to_json spec))
+        specs
+    in
+    let fd =
+      match
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        fd
+      with
+      | fd -> fd
+      | exception Unix.Unix_error (e, _, _) ->
+        or_die (Error (Printf.sprintf "%s: %s" socket (Unix.error_message e)))
+    in
+    let oc = Unix.out_channel_of_descr fd in
+    List.iter
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n')
+      lines;
+    flush oc;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let ic = Unix.in_channel_of_descr fd in
+    let remaining = ref (List.length lines) in
+    let failed = ref false and rejected = ref false and shed = ref false in
+    (try
+       while !remaining > 0 do
+         let line = input_line ic in
+         print_endline line;
+         match Json.of_string line with
+         | Error _ -> ()
+         | Ok j -> (
+           match Json.find "status" j with
+           | Some (Json.Str "done") -> decr remaining
+           | Some (Json.Str "failed") ->
+             failed := true;
+             decr remaining
+           | Some (Json.Str "rejected") | Some (Json.Str "error") ->
+             rejected := true;
+             decr remaining
+           | Some (Json.Str "overloaded") ->
+             shed := true;
+             decr remaining
+           | _ -> ())
+       done
+     with End_of_file ->
+       if !remaining > 0 then begin
+         prerr_endline "nocmap: daemon closed the connection early";
+         failed := true
+       end);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if !failed then exit 1 else if !rejected then exit 2 else if !shed then exit 3
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit job-spec files to a running $(b,nocmap serve) daemon and \
+          stream the replies (exit 0 all done, 1 failed, 2 rejected, 3 \
+          overloaded)")
+    Term.(const run $ socket_arg $ specs_arg)
 
 (* --- resume --- *)
 
@@ -980,7 +1177,8 @@ let () =
   let group =
     Cmd.group info
       [ gen_cmd; apps_cmd; map_cmd; eval_cmd; analyze_cmd; dot_cmd; export_cmd;
-        table1_cmd; table2_cmd; faults_cmd; resume_cmd; cputime_cmd; profile_cmd ]
+        table1_cmd; table2_cmd; faults_cmd; resume_cmd; cputime_cmd; profile_cmd;
+        serve_cmd; submit_cmd ]
   in
   main_eval := (fun argv -> Cmd.eval ~argv group);
   exit (Cmd.eval group)

@@ -18,7 +18,22 @@ let ( let* ) r f =
 let fail line fmt =
   Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" line msg)) fmt
 
-let of_string ~core_names text =
+(* Hostile-input ceiling shared with {!Nocmap_model.Textio}: reject
+   oversized documents up front and convert any escaping exception (the
+   never-raise backstop for binary or truncated input) into [Error]. *)
+let max_input_bytes = 8 * 1024 * 1024
+
+let guarded parse text =
+  if String.length text > max_input_bytes then
+    Error
+      (Printf.sprintf "input too large (%d bytes, limit %d)"
+         (String.length text) max_input_bytes)
+  else
+    match parse text with
+    | (Ok _ | Error _) as r -> r
+    | exception e -> Error ("invalid input: " ^ Printexc.to_string e)
+
+let of_string_unguarded ~core_names text =
   let core_index name =
     let rec scan i =
       if i >= Array.length core_names then None
@@ -81,6 +96,8 @@ let of_string ~core_names text =
   in
   Ok (mesh, placement)
 
+let of_string ~core_names text = guarded (of_string_unguarded ~core_names) text
+
 let save ~path ~mesh ~core_names placement =
   let oc = open_out path in
   Fun.protect
@@ -88,20 +105,29 @@ let save ~path ~mesh ~core_names placement =
     (fun () -> output_string oc (to_string ~mesh ~core_names placement))
 
 let load ~path ~core_names =
-  match open_in path with
+  match open_in_bin path with
   | exception Sys_error msg -> Error msg
-  | ic ->
-    let text =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    Result.map_error (fun msg -> path ^ ": " ^ msg) (of_string ~core_names text)
+  | ic -> (
+    let finally () = close_in_noerr ic in
+    match
+      Fun.protect ~finally (fun () ->
+          let len = in_channel_length ic in
+          if len > max_input_bytes then
+            Error
+              (Printf.sprintf "file too large (%d bytes, limit %d)" len
+                 max_input_bytes)
+          else Ok (really_input_string ic len))
+    with
+    | Error _ as e -> Result.map_error (fun msg -> path ^ ": " ^ msg) e
+    | Ok text ->
+      Result.map_error (fun msg -> path ^ ": " ^ msg) (of_string ~core_names text)
+    | exception Sys_error msg -> Error (path ^ ": " ^ msg)
+    | exception End_of_file -> Error (path ^ ": file truncated while reading"))
 
 let render_tiles placement =
   placement |> Array.to_list |> List.map string_of_int |> String.concat ","
 
-let parse_tiles ~tiles ~cores spec =
+let parse_tiles_unguarded ~tiles ~cores spec =
   let tokens = String.split_on_char ',' spec |> List.map String.trim in
   let n = List.length tokens in
   if n <> cores then
@@ -129,3 +155,5 @@ let parse_tiles ~tiles ~cores spec =
     in
     fill 0 tokens
   end
+
+let parse_tiles ~tiles ~cores spec = guarded (parse_tiles_unguarded ~tiles ~cores) spec

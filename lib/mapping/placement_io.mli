@@ -8,12 +8,17 @@
     core B tile 1
     v} *)
 
+val max_input_bytes : int
+(** Size guard shared by the parsers and {!load} (8 MiB). *)
+
 val to_string : mesh:Nocmap_noc.Mesh.t -> core_names:string array -> Placement.t -> string
 
 val of_string :
   core_names:string array -> string -> (Nocmap_noc.Mesh.t * Placement.t, string) result
 (** Parses and validates (mesh fit, injectivity, every declared core
-    placed exactly once).  Errors carry a [line N:] prefix. *)
+    placed exactly once).  Errors carry a [line N:] prefix.  Total on
+    hostile input: truncated, binary or oversized (> 8 MiB) documents
+    come back as [Error], never an exception. *)
 
 val save :
   path:string ->
@@ -26,9 +31,10 @@ val load :
   path:string ->
   core_names:string array ->
   (Nocmap_noc.Mesh.t * Placement.t, string) result
-(** {!of_string} on the file contents; parse errors are prefixed with
-    the file path, i.e. ["placements/foo.txt: line 3: unknown core
-    \"Z\""]. *)
+(** {!of_string} on the file contents; parse errors, oversized files
+    and read failures are prefixed with the file path, i.e.
+    ["placements/foo.txt: line 3: unknown core \"Z\""].  Never
+    raises. *)
 
 val render_tiles : Placement.t -> string
 (** Inverse of {!parse_tiles}: the inline comma-separated syntax
@@ -43,4 +49,5 @@ val parse_tiles : tiles:int -> cores:int -> string -> (Placement.t, string) resu
     opaquely.  Like {!of_string}, the result is checked with
     {!Placement.validate} against the [tiles]-tile mesh, so a duplicate
     or out-of-range tile ("0,0,0") is rejected instead of silently
-    reaching the evaluator. *)
+    reaching the evaluator.  Shares {!of_string}'s hostile-input
+    contract: never raises, oversized specs are rejected. *)

@@ -184,10 +184,10 @@ let run_leg ~store ~key ~meta ~every ~encode ~decode ~stop ~run =
         ~finally:(fun () -> Journal.close journal)
         (fun () ->
           let hook ckpt =
-            Journal.append journal (progress_record (encode ckpt))
+            Journal.append_exn journal (progress_record (encode ckpt))
           in
           let result = run ?checkpoint:(Some (every, hook)) ?resume () in
-          if not (stop ()) then Journal.append journal (done_record result);
+          if not (stop ()) then Journal.append_exn journal (done_record result);
           result)
 
 let annealing ~store ~key ?(every = default_every) ~rng ~config ~tiles

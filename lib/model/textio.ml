@@ -34,6 +34,25 @@ let cwg_to_string (t : Cwg.t) =
 
 (* --- parsing --- *)
 
+(* Hostile-input ceiling: reject documents bigger than any plausible
+   hand-written or generated CDCG before tokenizing, so a stray binary
+   blob or a runaway file cannot balloon the parser's working set. *)
+let max_input_bytes = 8 * 1024 * 1024
+
+(* Every exported parser goes through this guard: an oversized document
+   is a typed [Error], and any exception escaping the parse (the
+   never-raise contract backstop for truncated or binary input) is
+   converted to one too. *)
+let guarded ~what parse text =
+  if String.length text > max_input_bytes then
+    Error
+      (Printf.sprintf "%s: input too large (%d bytes, limit %d)" what
+         (String.length text) max_input_bytes)
+  else
+    match parse text with
+    | (Ok _ | Error _) as r -> r
+    | exception e -> Error (Printf.sprintf "%s: invalid input: %s" what (Printexc.to_string e))
+
 type line = {
   num : int;
   words : string list;
@@ -94,7 +113,7 @@ let parse_header lines =
   | { num; _ } :: _ -> fail num "expected \"application <name>\""
   | [] -> Error "empty document"
 
-let cdcg_of_string text =
+let cdcg_of_string_unguarded text =
   let* header, body = parse_header (tokenize text) in
   let packets = ref [] and deps = ref [] and labels = Hashtbl.create 64 in
   let npackets = ref 0 in
@@ -134,7 +153,7 @@ let cdcg_of_string text =
   in
   run body
 
-let cwg_of_string text =
+let cwg_of_string_unguarded text =
   let* header, body = parse_header (tokenize text) in
   let edges = ref [] in
   let parse_line l =
@@ -158,26 +177,47 @@ let cwg_of_string text =
   in
   run body
 
+let cdcg_of_string = guarded ~what:"cdcg" cdcg_of_string_unguarded
+
+let cwg_of_string = guarded ~what:"cwg" cwg_of_string_unguarded
+
+(* Reading is fully defensive: a vanished file, a directory, a pipe that
+   misreports its length, or an oversized blob all come back as [Error],
+   never an exception. *)
 let read_file path =
-  match open_in path with
+  match open_in_bin path with
   | exception Sys_error msg -> Error msg
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  | ic -> (
+    let finally () = close_in_noerr ic in
+    match
+      Fun.protect ~finally (fun () ->
+          let len = in_channel_length ic in
+          if len > max_input_bytes then
+            Error
+              (Printf.sprintf "file too large (%d bytes, limit %d)" len
+                 max_input_bytes)
+          else Ok (really_input_string ic len))
+    with
+    | r -> r
+    | exception Sys_error msg -> Error msg
+    | exception End_of_file -> Error "file truncated while reading")
 
 let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let load_cdcg ~path =
-  let* text = read_file path in
-  cdcg_of_string text
+(* Loader errors carry the path exactly once: [read_file]'s Sys_error
+   messages already name it, parse errors get it prefixed here. *)
+let load_with parse ~path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok text ->
+    Result.map_error (fun msg -> Printf.sprintf "%s: %s" path msg) (parse text)
+
+let load_cdcg ~path = load_with cdcg_of_string ~path
 
 let save_cdcg ~path t = write_file path (cdcg_to_string t)
 
-let load_cwg ~path =
-  let* text = read_file path in
-  cwg_of_string text
+let load_cwg ~path = load_with cwg_of_string ~path
 
 let save_cwg ~path t = write_file path (cwg_to_string t)

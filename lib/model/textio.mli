@@ -21,18 +21,27 @@
     comm A -> B bits 15
     v} *)
 
+val max_input_bytes : int
+(** Size guard shared by the string parsers and file loaders (8 MiB):
+    anything larger is rejected before parsing. *)
+
 val cdcg_to_string : Cdcg.t -> string
 (** Canonical rendering; [cdcg_of_string] inverts it. *)
 
 val cdcg_of_string : string -> (Cdcg.t, string) result
-(** Parses the CDCG format.  Errors carry a [line N:] prefix. *)
+(** Parses the CDCG format.  Errors carry a [line N:] prefix.  Total on
+    hostile input: truncated, binary or oversized (> 8 MiB) documents
+    come back as [Error], never an exception. *)
 
 val cwg_to_string : Cwg.t -> string
 
 val cwg_of_string : string -> (Cwg.t, string) result
+(** Same hostile-input contract as {!cdcg_of_string}. *)
 
 val load_cdcg : path:string -> (Cdcg.t, string) result
-(** Reads and parses a file; I/O failures are reported as [Error]. *)
+(** Reads and parses a file.  I/O failures, oversized files and parse
+    errors are all reported as a path-prefixed [Error]; like the string
+    parsers, this never raises. *)
 
 val save_cdcg : path:string -> Cdcg.t -> unit
 

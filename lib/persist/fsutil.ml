@@ -11,14 +11,35 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Durability helpers are best-effort: a filesystem that rejects fsync
+   (pipes, some network mounts) degrades to the old flush-only behavior
+   rather than failing the write. *)
+let fsync_channel oc =
+  match Unix.fsync (Unix.descr_of_out_channel oc) with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let write_atomic ~path content =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
      output_string oc content;
-     flush oc
+     flush oc;
+     fsync_channel oc
    with e ->
      close_out_noerr oc;
      raise e);
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* The rename itself is only durable once the directory entry is on
+     disk; without this a power cut can forget the whole file even
+     though the rename "succeeded". *)
+  fsync_dir (Filename.dirname path)

@@ -9,5 +9,16 @@ val read_file : string -> string
     [open_in]. *)
 
 val write_atomic : path:string -> string -> unit
-(** Writes [path ^ ".tmp"], flushes, then renames over [path] — readers
-    see either the old content or the new, never a torn write. *)
+(** Writes [path ^ ".tmp"], flushes and fsyncs it, renames over [path],
+    then fsyncs the containing directory — readers see either the old
+    content or the new, never a torn write, and the rename survives a
+    power cut, not just a process kill.  The fsyncs are best-effort: a
+    filesystem without fsync support degrades to flush-only. *)
+
+val fsync_channel : out_channel -> unit
+(** Best-effort [fsync] of the channel's descriptor (the channel must
+    already be flushed by the caller). *)
+
+val fsync_dir : string -> unit
+(** Best-effort [fsync] of a directory, making previously renamed or
+    created entries durable. *)

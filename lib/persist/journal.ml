@@ -11,6 +11,14 @@ type t = {
   oc : out_channel;
 }
 
+type append_error = {
+  journal_path : string;
+  reason : string;
+  retryable : bool;
+}
+
+exception Append_failed of append_error
+
 let magic = "nocmap-journal"
 let version = 1
 
@@ -34,12 +42,40 @@ let create ~path ~meta =
   Fsutil.write_atomic ~path (frame (header_data meta) ^ "\n");
   { path; oc = open_append path }
 
+(* A write that failed because the channel is gone (closed journal, bad
+   descriptor) will fail identically on every retry; everything else —
+   ENOSPC that clears when space is freed, EINTR, a transient EIO — is
+   worth a bounded retry. *)
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl > 0 && scan 0
+
+let permanent_failure msg =
+  contains ~needle:"Bad file descriptor" msg || contains ~needle:"closed" msg
+
 let append t data =
   let line = frame data ^ "\n" in
-  output_string t.oc line;
+  match
+    output_string t.oc line;
+    flush t.oc
+  with
+  | () ->
+    Metrics.incr m_snapshots;
+    Metrics.add m_bytes (String.length line);
+    Ok ()
+  | exception Sys_error msg ->
+    Error
+      { journal_path = t.path; reason = msg; retryable = not (permanent_failure msg) }
+
+let append_exn t data =
+  match append t data with
+  | Ok () -> ()
+  | Error e -> raise (Append_failed e)
+
+let sync t =
   flush t.oc;
-  Metrics.incr m_snapshots;
-  Metrics.add m_bytes (String.length line)
+  Fsutil.fsync_channel t.oc
 
 let close t = close_out t.oc
 

@@ -22,13 +22,41 @@
 type t
 (** A journal open for appending. *)
 
+type append_error = {
+  journal_path : string;
+  reason : string;  (** The underlying [Sys_error] message (e.g. ENOSPC's
+                        ["No space left on device"]). *)
+  retryable : bool;
+      (** [true] for failures that may clear on their own — a full disk,
+          an interrupted or transient I/O error; [false] when retrying is
+          pointless (closed channel, bad descriptor). *)
+}
+(** Why an append could not be made durable.  The failed record was not
+    (completely) written; at worst the file carries a torn final line,
+    which {!load} drops like any crash tail, so a caller may safely
+    retry {!append} on a [retryable] error. *)
+
+exception Append_failed of append_error
+(** Raised by {!append_exn}. *)
+
 val create : path:string -> meta:Json.t -> t
 (** Starts a fresh journal (truncating any previous file at [path]),
     writes the header atomically, and opens it for appending. *)
 
-val append : t -> Json.t -> unit
+val append : t -> Json.t -> (unit, append_error) result
 (** Frames, checksums, writes and flushes one record.  Bumps the
-    [persist.snapshots] / [persist.bytes] metrics. *)
+    [persist.snapshots] / [persist.bytes] metrics on success; an I/O
+    failure (ENOSPC, short write at flush) is returned as a typed
+    [Error] instead of an exception so callers can retry with backoff. *)
+
+val append_exn : t -> Json.t -> unit
+(** {!append}, raising {!Append_failed} on error — for call sites where
+    a lost checkpoint should abort loudly rather than retry. *)
+
+val sync : t -> unit
+(** Flush plus best-effort [fsync]: makes every appended record durable
+    against power loss, not just process death.  Call after records that
+    must survive (e.g. job admissions), not on every checkpoint. *)
 
 val close : t -> unit
 

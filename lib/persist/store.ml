@@ -56,7 +56,7 @@ let memoize t ~key ~meta f =
   let compute () =
     let v = f () in
     let j = Journal.create ~path ~meta:expected in
-    Journal.append j
+    Journal.append_exn j
       (Json.Assoc [ ("type", Json.Str "done"); ("value", v) ]);
     Journal.close j;
     v

@@ -1,0 +1,45 @@
+type policy = {
+  initial_delay_ms : int;
+  multiplier : float;
+  max_delay_ms : int;
+  max_attempts : int;
+}
+
+let default =
+  { initial_delay_ms = 50; multiplier = 2.0; max_delay_ms = 2_000; max_attempts = 4 }
+
+let validate p =
+  if p.initial_delay_ms < 0 then invalid_arg "Backoff: negative initial delay";
+  if p.multiplier < 1.0 then invalid_arg "Backoff: multiplier below 1";
+  if p.max_delay_ms < p.initial_delay_ms then
+    invalid_arg "Backoff: max delay below initial delay";
+  if p.max_attempts < 1 then invalid_arg "Backoff: fewer than one attempt"
+
+let delay_ms p ~failures =
+  validate p;
+  if failures < 1 then invalid_arg "Backoff.delay_ms: failures must be >= 1";
+  if failures >= p.max_attempts then None
+  else
+    (* initial * multiplier^(failures-1), saturating at the cap; computed
+       in float but returned as whole milliseconds so the schedule is
+       identical on every platform. *)
+    let raw =
+      float_of_int p.initial_delay_ms *. (p.multiplier ** float_of_int (failures - 1))
+    in
+    Some (min p.max_delay_ms (int_of_float (Float.round raw)))
+
+let retry ?(sleep_ms = fun ms -> Unix.sleepf (float_of_int ms /. 1000.))
+    ?(on_retry = fun ~failures:_ ~delay_ms:_ _ -> ()) p f =
+  validate p;
+  let rec go failures =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error err -> (
+      match delay_ms p ~failures with
+      | None -> Error err
+      | Some delay ->
+        on_retry ~failures ~delay_ms:delay err;
+        if delay > 0 then sleep_ms delay;
+        go (failures + 1))
+  in
+  go 1

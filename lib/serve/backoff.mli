@@ -1,0 +1,37 @@
+(** Bounded exponential backoff: the retry policy for transient serve
+    failures (spool I/O, journal appends).
+
+    Deliberately jitter-free: the daemon is a single process retrying
+    against its own disk, so a deterministic schedule keeps tests exact
+    and logs predictable — there is no thundering herd to break up. *)
+
+type policy = {
+  initial_delay_ms : int;  (** Delay before the first retry. *)
+  multiplier : float;      (** Geometric growth per retry, [>= 1.0]. *)
+  max_delay_ms : int;      (** Delay ceiling. *)
+  max_attempts : int;
+      (** Total tries including the first — [max_attempts = 1] means no
+          retries at all. *)
+}
+
+val default : policy
+(** 4 attempts: fail, wait 50 ms, fail, wait 100 ms, fail, wait 200 ms,
+    final try. *)
+
+val delay_ms : policy -> failures:int -> int option
+(** Delay to wait after the [failures]-th consecutive failure
+    (1-based), or [None] when the attempt budget is exhausted:
+    [initial * multiplier^(failures-1)] capped at [max_delay_ms].
+    @raise Invalid_argument on a malformed policy or [failures < 1]. *)
+
+val retry :
+  ?sleep_ms:(int -> unit) ->
+  ?on_retry:(failures:int -> delay_ms:int -> string -> unit) ->
+  policy ->
+  (unit -> ('a, string) result) ->
+  ('a, string) result
+(** [retry p f] runs [f] until it succeeds or the policy gives up,
+    sleeping the scheduled delay between attempts; the final [Error] is
+    returned verbatim.  [on_retry] observes each scheduled retry (for
+    the [serve.jobs_retried] counter and progress events); [sleep_ms]
+    is injectable so tests can run the schedule on a virtual clock. *)

@@ -1,0 +1,423 @@
+module Json = Nocmap_persist.Json
+module Store = Nocmap_persist.Store
+module Domain_pool = Nocmap_util.Domain_pool
+
+let manifest_magic = "nocmap-serve"
+
+type config = {
+  state_dir : string;
+  spool_dir : string option;
+  socket_path : string option;
+  engine : Engine.config;
+  poll_ms : int;
+  drain_once : bool;
+  jobs : int;
+  log : string -> unit;
+}
+
+let default_config ~state_dir =
+  {
+    state_dir;
+    spool_dir = None;
+    socket_path = None;
+    engine = Engine.default_config;
+    poll_ms = 500;
+    drain_once = false;
+    jobs = 1;
+    log = prerr_endline;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+type conn = {
+  fd : Unix.file_descr;
+  name : string;
+  inbuf : Buffer.t;
+  mutable outstanding : int;  (* accepted jobs without a final reply yet *)
+  mutable eof : bool;         (* client half-closed its sending side *)
+  mutable dead : bool;        (* write failed / connection reset *)
+}
+
+let max_conn_buffer = 1024 * 1024
+
+type sink =
+  | To_conn of conn
+  | To_spool
+  | To_stdout
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  spool : Spool.t option;
+  listener : Unix.file_descr option;
+  mutable conns : conn list;
+  origin : (string, sink) Hashtbl.t;  (* job id -> where replies go *)
+  mutable current_sink : sink;        (* routing for events without a known id *)
+  stop : unit -> bool;
+}
+
+let send_line conn json =
+  if not conn.dead then begin
+    let line = Json.to_string json ^ "\n" in
+    let bytes = Bytes.of_string line in
+    let len = Bytes.length bytes in
+    let rec write_all off =
+      if off < len then begin
+        match Unix.write conn.fd bytes off (len - off) with
+        | n -> write_all (off + n)
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          (* Replies are tiny; wait for the client to drain. *)
+          ignore (Unix.select [] [ conn.fd ] [] 5.0);
+          write_all off
+        | exception Unix.Unix_error _ -> conn.dead <- true
+      end
+    in
+    write_all 0
+  end
+
+let is_final = function
+  | Engine.Completed _ | Engine.Failed _ -> true
+  | _ -> false
+
+let deliver t sink event =
+  let json = Engine.event_json event in
+  match sink with
+  | To_stdout -> print_endline (Json.to_string json)
+  | To_spool -> (
+    match (t.spool, Engine.event_id event) with
+    | Some spool, Some id ->
+      let skip =
+        (* A replayed final is already in the reply stream iff the
+           previous daemon got it out before dying. *)
+        match event with
+        | Engine.Completed { replayed = true; _ } -> Spool.reply_has_final spool ~id
+        | _ -> false
+      in
+      if not skip then (
+        try Spool.append_reply spool ~id json
+        with Sys_error msg -> t.config.log ("nocmap serve: " ^ msg))
+    | _ -> print_endline (Json.to_string json))
+  | To_conn conn ->
+    send_line conn json;
+    if is_final event then conn.outstanding <- max 0 (conn.outstanding - 1)
+
+let default_sink t = match t.spool with Some _ -> To_spool | None -> To_stdout
+
+let emit_event t event =
+  match Engine.event_id event with
+  | None -> deliver t t.current_sink event
+  | Some id -> (
+    match Hashtbl.find_opt t.origin id with
+    | Some sink -> deliver t sink event
+    | None ->
+      (* First sighting: events during admission bind the job to the
+         submitting endpoint; anything later (e.g. a job resumed from
+         the journal after a crash, its client long gone) falls back to
+         the durable sink. *)
+      let sink =
+        match event with
+        | Engine.Accepted _ | Engine.Shed _ -> t.current_sink
+        | _ -> default_sink t
+      in
+      Hashtbl.replace t.origin id sink;
+      deliver t sink event)
+
+(* ------------------------------------------------------------------ *)
+(* Socket intake                                                       *)
+
+let open_listener path =
+  (* A previous daemon's socket file would make bind fail; only remove
+     it when nothing is listening behind it. *)
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if alive then failwith (Printf.sprintf "%s: a daemon is already listening" path)
+    else Sys.remove path)
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  Unix.set_nonblock fd;
+  fd
+
+let accept_new t =
+  match t.listener with
+  | None -> ()
+  | Some listener ->
+    let continue_ = ref true in
+    let n = ref 0 in
+    while !continue_ do
+      match Unix.accept listener with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        incr n;
+        t.conns <-
+          {
+            fd;
+            name = Printf.sprintf "conn-%d" (Hashtbl.hash fd land 0xffffff);
+            inbuf = Buffer.create 256;
+            outstanding = 0;
+            eof = false;
+            dead = false;
+          }
+          :: t.conns
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue_ := false
+      | exception Unix.Unix_error _ -> continue_ := false
+    done
+
+(* Pull complete lines out of a connection buffer. *)
+let split_lines buf =
+  let text = Buffer.contents buf in
+  let rec go start acc =
+    match String.index_from_opt text start '\n' with
+    | None ->
+      Buffer.clear buf;
+      Buffer.add_substring buf text start (String.length text - start);
+      List.rev acc
+    | Some nl ->
+      let line = String.sub text start (nl - start) in
+      go (nl + 1) (if String.trim line = "" then acc else line :: acc)
+  in
+  go 0 []
+
+let submit_from_conn t conn line =
+  t.current_sink <- To_conn conn;
+  Fun.protect
+    ~finally:(fun () -> t.current_sink <- default_sink t)
+    (fun () ->
+      match Engine.submit t.engine ~source:conn.name line with
+      | Engine.Submitted ->
+        conn.outstanding <- conn.outstanding + 1
+        (* origin was bound by the Accepted event *)
+      | Engine.Overloaded -> () (* the Shed event carried the reply *)
+      | Engine.Invalid _ -> ()  (* the Rejected event carried the reply *)
+      | Engine.Admission_failed reason ->
+        send_line conn
+          (Json.Assoc
+             [ ("status", Json.Str "error"); ("error", Json.Str reason) ])
+      | Engine.Duplicate -> (
+        (* Latest requester wins the replies of a duplicate id. *)
+        match Job_spec.of_string line with
+        | Error _ -> ()
+        | Ok spec ->
+          let id = spec.Job_spec.id in
+          Hashtbl.replace t.origin id (To_conn conn);
+          if not (Engine.emit_finished t.engine id) then begin
+            (* Still pending: this conn now waits for it. *)
+            conn.outstanding <- conn.outstanding + 1;
+            send_line conn
+              (Json.Assoc
+                 [
+                   ("status", Json.Str "accepted");
+                   ("id", Json.Str id);
+                   ("duplicate", Json.Bool true);
+                 ])
+          end))
+
+let read_conn t conn =
+  let chunk = Bytes.create 4096 in
+  let continue_ = ref true in
+  while !continue_ && not conn.dead do
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+      conn.eof <- true;
+      continue_ := false
+    | n ->
+      if Buffer.length conn.inbuf + n > max_conn_buffer then begin
+        send_line conn
+          (Json.Assoc
+             [
+               ("status", Json.Str "rejected");
+               ("source", Json.Str conn.name);
+               ("error", Json.Str "request line too long");
+             ]);
+        conn.dead <- true
+      end
+      else Buffer.add_subbytes conn.inbuf chunk 0 n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue_ := false
+    | exception Unix.Unix_error _ ->
+      conn.dead <- true;
+      continue_ := false
+  done;
+  if not conn.dead then List.iter (submit_from_conn t conn) (split_lines conn.inbuf)
+
+let reap_conns t =
+  let keep, drop =
+    List.partition
+      (fun c -> (not c.dead) && not (c.eof && c.outstanding = 0))
+      t.conns
+  in
+  List.iter
+    (fun c ->
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      (* Replies for jobs this conn still owned outlive it in the
+         durable sink. *)
+      Hashtbl.iter
+        (fun id sink ->
+          match sink with
+          | To_conn c' when c' == c -> Hashtbl.replace t.origin id (default_sink t)
+          | _ -> ())
+        (Hashtbl.copy t.origin))
+    drop;
+  t.conns <- keep
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+
+let pump_intake t =
+  accept_new t;
+  List.iter (fun conn -> read_conn t conn) t.conns;
+  reap_conns t;
+  (match t.spool with
+  | None -> ()
+  | Some spool ->
+    t.current_sink <- To_spool;
+    Fun.protect
+      ~finally:(fun () -> t.current_sink <- default_sink t)
+      (fun () -> ignore (Spool.ingest spool t.engine)));
+  ()
+
+let wait_for_activity t =
+  let fds =
+    (match t.listener with Some fd -> [ fd ] | None -> [])
+    @ List.filter_map (fun c -> if c.dead then None else Some c.fd) t.conns
+  in
+  let timeout = float_of_int (max 50 t.config.poll_ms) /. 1000. in
+  match Unix.select fds [] [] timeout with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let spool_idle t =
+  match t.spool with
+  | None -> true
+  | Some spool -> (
+    match Sys.readdir (Spool.incoming_dir spool) with
+    | names -> Array.for_all (fun n -> not (Filename.check_suffix n ".json")) names
+    | exception Sys_error _ -> true)
+
+let create ?(stop = fun () -> false) config =
+  let store = Store.open_ ~dir:config.state_dir in
+  let manifest =
+    Json.Assoc [ ("magic", Json.Str manifest_magic); ("version", Json.Int 1) ]
+  in
+  (match Store.read_manifest store with
+  | Error _ -> Ok ()
+  | Ok old -> (
+    match Json.find "magic" old with
+    | Some (Json.Str m) when m = manifest_magic -> Ok ()
+    | _ ->
+      Error
+        (Printf.sprintf
+           "%s holds checkpoints of a different command; use a fresh --state \
+            directory" config.state_dir)))
+  |> function
+  | Error _ as e -> e
+  | Ok () ->
+    Store.write_manifest store manifest;
+    let t_ref = ref None in
+    let emit event =
+      match !t_ref with None -> () | Some t -> emit_event t event
+    in
+    (match Engine.create ~emit ~config:config.engine ~dir:config.state_dir () with
+    | Error _ as e -> e
+    | Ok engine ->
+      let spool =
+        match config.spool_dir with
+        | None -> Ok None
+        | Some dir -> Result.map Option.some (Spool.create ~dir)
+      in
+      (match spool with
+      | Error m ->
+        Engine.close engine;
+        Error m
+      | Ok spool ->
+        let listener =
+          match config.socket_path with
+          | None -> Ok None
+          | Some path -> (
+            match open_listener path with
+            | fd -> Ok (Some fd)
+            | exception Failure msg -> Error msg
+            | exception Unix.Unix_error (e, _, p) ->
+              Error (Printf.sprintf "%s: %s" p (Unix.error_message e)))
+        in
+        (match listener with
+        | Error m ->
+          Engine.close engine;
+          Error m
+        | Ok listener ->
+          let t =
+            {
+              config;
+              engine;
+              spool;
+              listener;
+              conns = [];
+              origin = Hashtbl.create 64;
+              current_sink = To_stdout;
+              stop;
+            }
+          in
+          t.current_sink <- default_sink t;
+          t_ref := Some t;
+          Ok t)))
+
+let shutdown t =
+  (match t.listener with
+  | Some fd -> (
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match t.config.socket_path with
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ())
+  | None -> ());
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
+  Engine.close t.engine
+
+let run t =
+  let stop = t.stop in
+  let pool =
+    if t.config.jobs > 1 then Some (Domain_pool.create ~jobs:t.config.jobs ())
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Domain_pool.shutdown pool;
+      shutdown t)
+    (fun () ->
+      let last_pump = ref neg_infinity in
+      (* Between checkpoint polls of a long search, keep the socket
+         alive: the engine's stop predicate doubles as a rate-limited
+         intake pump.  Only safe sequentially — with a pool the
+         predicate runs on worker domains. *)
+      let engine_stop () =
+        if pool = None then begin
+          let now = Unix.gettimeofday () in
+          if now -. !last_pump > 0.25 then begin
+            last_pump := now;
+            pump_intake t
+          end
+        end;
+        stop ()
+      in
+      let running = ref true in
+      while !running && not (stop ()) do
+        pump_intake t;
+        if Engine.queue_depth t.engine > 0 then
+          Engine.run_pending ?pool ~stop:engine_stop t.engine
+        else if t.config.drain_once && spool_idle t && t.conns = [] then
+          running := false
+        else wait_for_activity t
+      done;
+      if stop () then
+        t.config.log "nocmap serve: stop requested - draining and exiting";
+      0)

@@ -1,0 +1,54 @@
+(** The serve endpoint loop: Unix-domain socket and/or spool directory
+    in front of an {!Engine}.
+
+    Single-threaded by design — one [select] loop owns every file
+    descriptor, and job execution happens inline (optionally fanning a
+    batch across a {!Nocmap_util.Domain_pool}).  While a long search
+    runs sequentially, the engine's stop predicate doubles as a
+    rate-limited intake pump, so the socket stays responsive between
+    checkpoint intervals.
+
+    Reply routing: a job's lifecycle events stream back to the endpoint
+    that submitted it (connection or spool reply file).  Jobs that
+    outlive their client — a crash-resumed queue, a dropped connection
+    — fall back to the durable sink (the spool's [replies/] directory
+    when configured, stdout otherwise), so no result is ever lost with
+    the daemon. *)
+
+val manifest_magic : string
+(** ["nocmap-serve"] — serve state directories are typed, so `nocmap
+    resume` and `nocmap serve` cannot consume each other's stores. *)
+
+type config = {
+  state_dir : string;  (** Journal + checkpoint store (created if absent). *)
+  spool_dir : string option;  (** Watched mailbox ({!Spool}). *)
+  socket_path : string option;  (** Unix-domain listener. *)
+  engine : Engine.config;
+  poll_ms : int;  (** Spool poll / select timeout when idle. *)
+  drain_once : bool;
+      (** Exit once the queue, spool and connections are all empty —
+          batch mode, and the crash-recovery test harness. *)
+  jobs : int;  (** [> 1] runs job batches on a domain pool. *)
+  log : string -> unit;  (** Operational messages (default stderr). *)
+}
+
+val default_config : state_dir:string -> config
+
+type t
+
+val create : ?stop:(unit -> bool) -> config -> (t, string) result
+(** Opens the store (refusing a directory owned by a different
+    command), replays the queue journal, creates spool directories and
+    binds the socket (refusing a path where a live daemon already
+    listens).  [stop] is the graceful-shutdown predicate, typically
+    reading a flag set by a SIGTERM/SIGINT handler; it must be sticky
+    once [true]. *)
+
+val run : t -> int
+(** The endpoint loop; returns the process exit code (0).  On [stop]:
+    the in-flight search checkpoints and stays pending, the journal is
+    synced, sockets close, and the loop exits — a restart over the same
+    state directory resumes exactly. *)
+
+val shutdown : t -> unit
+(** Close listener, connections, engine.  [run] calls this itself. *)

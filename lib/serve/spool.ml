@@ -1,0 +1,159 @@
+module Json = Nocmap_persist.Json
+module Fsutil = Nocmap_persist.Fsutil
+
+type t = {
+  incoming : string;
+  replies : string;
+  rejected : string;
+}
+
+let incoming_dir t = t.incoming
+let replies_dir t = t.replies
+let rejected_dir t = t.rejected
+
+let create ~dir =
+  let t =
+    {
+      incoming = Filename.concat dir "incoming";
+      replies = Filename.concat dir "replies";
+      rejected = Filename.concat dir "rejected";
+    }
+  in
+  match
+    Fsutil.mkdir_p t.incoming;
+    Fsutil.mkdir_p t.replies;
+    Fsutil.mkdir_p t.rejected
+  with
+  | () -> Ok t
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, p) ->
+    Error (Printf.sprintf "%s: %s" p (Unix.error_message e))
+
+let max_spec_file_bytes = 1024 * 1024
+
+(* Defensive read: a spool directory is an open mailbox, so a huge,
+   vanished or unreadable file must degrade to a per-file error. *)
+let read_spec path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match in_channel_length ic with
+        | exception Sys_error msg -> Error msg
+        | n when n > max_spec_file_bytes ->
+          Error
+            (Printf.sprintf "spec file too large (%d bytes, limit %d)" n
+               max_spec_file_bytes)
+        | n -> (
+          match really_input_string ic n with
+          | s -> Ok s
+          | exception End_of_file -> Error "spec file truncated while reading"
+          | exception Sys_error msg -> Error msg))
+
+let reply_path t ~id = Filename.concat t.replies (id ^ ".jsonl")
+
+let append_reply t ~id json =
+  let path = reply_path t ~id in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n';
+      flush oc)
+
+(* Whether the reply stream already carries a final (done/failed) line
+   — the idempotence guard that keeps crash-replayed results from
+   duplicating.  Torn trailing lines (a crash mid-append) are ignored
+   like the journal's torn tail. *)
+let reply_has_final t ~id =
+  let path = reply_path t ~id in
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let final = ref false in
+        (try
+           while not !final do
+             let line = input_line ic in
+             match Json.of_string line with
+             | Ok j -> (
+               match Json.find "status" j with
+               | Some (Json.Str ("done" | "failed")) -> final := true
+               | _ -> ())
+             | Error _ -> ()
+           done
+         with End_of_file -> ());
+        !final)
+
+(* Move a bad spec out of the way and leave the reason next to it, so
+   the mailbox never wedges on one hostile file. *)
+let reject t ~file ~reason =
+  let base = Filename.basename file in
+  let dst = Filename.concat t.rejected base in
+  (try Sys.rename file dst
+   with Sys_error _ -> ( try Sys.remove file with Sys_error _ -> ()));
+  try Fsutil.write_atomic ~path:(dst ^ ".error") (reason ^ "\n")
+  with Sys_error _ -> ()
+
+let list_incoming t =
+  match Sys.readdir t.incoming with
+  | exception Sys_error _ -> []
+  | names ->
+    let specs =
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".json")
+      |> List.sort String.compare
+    in
+    List.map (Filename.concat t.incoming) specs
+
+type ingest_stats = {
+  submitted : int;
+  replayed : int;
+  rejected_ : int;
+  deferred : int;
+}
+
+let no_ingest = { submitted = 0; replayed = 0; rejected_ = 0; deferred = 0 }
+
+let ingest t engine =
+  let rec go stats = function
+    | [] -> stats
+    | file :: rest ->
+      if not (Engine.has_capacity engine) then
+        (* Backpressure: files simply wait in the mailbox; no shed spam
+           for work nobody has admitted yet. *)
+        { stats with deferred = stats.deferred + List.length (file :: rest) }
+      else begin
+        let source = Filename.basename file in
+        match read_spec file with
+        | Error reason ->
+          reject t ~file ~reason;
+          go { stats with rejected_ = stats.rejected_ + 1 } rest
+        | Ok text -> (
+          match Engine.submit engine ~source text with
+          | Engine.Submitted ->
+            (try Sys.remove file with Sys_error _ -> ());
+            go { stats with submitted = stats.submitted + 1 } rest
+          | Engine.Duplicate ->
+            (* Either still pending (admitted before a crash, spool file
+               left behind) or already finished: re-emit the recorded
+               outcome and consume the file either way. *)
+            (match Job_spec.of_string text with
+            | Ok spec -> ignore (Engine.emit_finished engine spec.Job_spec.id)
+            | Error _ -> ());
+            (try Sys.remove file with Sys_error _ -> ());
+            go { stats with replayed = stats.replayed + 1 } rest
+          | Engine.Invalid reason ->
+            reject t ~file ~reason;
+            go { stats with rejected_ = stats.rejected_ + 1 } rest
+          | Engine.Overloaded | Engine.Admission_failed _ ->
+            (* Leave the file for the next poll. *)
+            { stats with deferred = stats.deferred + List.length (file :: rest) })
+      end
+  in
+  go no_ingest (list_incoming t)

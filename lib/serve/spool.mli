@@ -1,0 +1,53 @@
+(** Watched-directory job intake: the file-based serve endpoint.
+
+    Layout under the spool directory:
+    - [incoming/*.json] — one job spec per file; files are ingested in
+      name order and removed once consumed.
+    - [replies/<id>.jsonl] — the event stream of each job, one JSON
+      object per line, appended as the job progresses.
+    - [rejected/<file>] + [<file>.error] — specs that could not become
+      jobs, moved aside with the reason, so one hostile file can never
+      wedge the mailbox.
+
+    Backpressure is by inaction: when the engine queue is full,
+    remaining files simply stay in [incoming/] until a later poll —
+    unlike the socket path, nothing is shed, because nothing was
+    promised. *)
+
+type t
+
+val create : dir:string -> (t, string) result
+(** Creates the three subdirectories (idempotent). *)
+
+val incoming_dir : t -> string
+val replies_dir : t -> string
+val rejected_dir : t -> string
+
+val reply_path : t -> id:string -> string
+
+val append_reply : t -> id:string -> Nocmap_persist.Json.t -> unit
+(** Append one event line to the job's reply stream.
+    @raise Sys_error when the replies directory is unwritable. *)
+
+val reply_has_final : t -> id:string -> bool
+(** Whether the reply stream already carries a [done]/[failed] line —
+    the idempotence guard for crash-replayed outcomes.  Torn trailing
+    lines are ignored.  Never raises. *)
+
+val reject : t -> file:string -> reason:string -> unit
+(** Move [file] to [rejected/] and record [reason] beside it.  Never
+    raises. *)
+
+type ingest_stats = {
+  submitted : int;  (** Files admitted as new jobs. *)
+  replayed : int;   (** Duplicates whose recorded outcome was re-emitted. *)
+  rejected_ : int;  (** Files moved to [rejected/]. *)
+  deferred : int;   (** Files left in place (queue full or journal down). *)
+}
+
+val no_ingest : ingest_stats
+
+val ingest : t -> Engine.t -> ingest_stats
+(** One ingestion sweep over [incoming/] in name order, stopping early
+    (deferring the rest) when the engine loses capacity or its journal
+    refuses admissions.  Never raises. *)

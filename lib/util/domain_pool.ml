@@ -88,7 +88,14 @@ let run t thunks =
     let results = Array.make n None in
     let pending = ref n in
     let wrap i () =
-      let r = match thunks.(i) () with v -> Ok v | exception e -> Error e in
+      (* The backtrace is captured at the raise site so the re-raise on
+         the submitting thread reports where the task actually died,
+         not the pool plumbing. *)
+      let r =
+        match thunks.(i) () with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
       Mutex.lock t.mutex;
       results.(i) <- Some r;
       decr pending;
@@ -122,7 +129,7 @@ let run t thunks =
     Array.map
       (function
         | Some (Ok v) -> v
-        | Some (Error e) -> raise e
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
         | None -> assert false)
       results
   end

@@ -40,8 +40,10 @@ val jobs : t -> int
 val run : t -> (unit -> 'a) array -> 'a array
 (** [run t thunks] executes every thunk (in parallel, in no particular
     order) and returns their results positionally.  If a thunk raises,
-    the first (lowest-index) exception is re-raised after all tasks of
-    the batch have settled.
+    the first (lowest-index) exception is re-raised — with the
+    original raise-site backtrace — after all tasks of the batch have
+    settled, so every other thunk still runs to completion and the pool
+    stays usable for subsequent batches.
     @raise Invalid_argument if the pool was shut down. *)
 
 val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Crash-safety smoke for `nocmap serve`: feed two jobs through a spool
+# directory, kill -9 the daemon mid-search, restart it over the same
+# state directory, and require every job's final `done` result to be
+# bit-identical to an uninterrupted reference run.
+#
+# Robust at either extreme of machine speed: a box fast enough to finish
+# both jobs before the kill exercises the journal replay path (the
+# restart re-emits recorded outcomes), while one killed before the first
+# checkpoint exercises the fresh-start path — the comparison holds
+# either way.
+set -eu
+
+CLI=${NOCMAP_CLI:-./_build/default/bin/nocmap_cli.exe}
+DIR=${SERVE_SMOKE_DIR:-_build/serve-smoke}
+
+rm -rf "$DIR"
+mkdir -p "$DIR/spool-ref/incoming" "$DIR/spool-crash/incoming"
+
+# An application sized so the quick-budget annealing runs for on the
+# order of a second: long enough that kill -9 lands mid-search, short
+# enough to keep the smoke fast.
+"$CLI" gen --cores 18 --packets 1500 --bits 700000 --seed 7 \
+  -o "$DIR/app.cdcg" >/dev/null
+
+spec() { # id seed
+  printf '{"id":"%s","app":{"path":"%s"},"noc":"5x4","model":"cdcm","algorithm":"sa","budget":"quick","seed":%s}\n' \
+    "$1" "$DIR/app.cdcg" "$2"
+}
+for leg in ref crash; do
+  spec job-a 3 >"$DIR/spool-$leg/incoming/job-a.json"
+  spec job-b 5 >"$DIR/spool-$leg/incoming/job-b.json"
+done
+
+# Reference: drain the spool uninterrupted.
+"$CLI" serve --state "$DIR/state-ref" --spool "$DIR/spool-ref" \
+  --drain-once --checkpoint-every 300 >/dev/null 2>&1
+
+# Crash leg: kill -9 the daemon ~0.5s in, then restart over the same
+# state directory and let it drain.
+"$CLI" serve --state "$DIR/state-crash" --spool "$DIR/spool-crash" \
+  --drain-once --checkpoint-every 300 >/dev/null 2>&1 &
+pid=$!
+sleep 0.5
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+"$CLI" serve --state "$DIR/state-crash" --spool "$DIR/spool-crash" \
+  --drain-once --checkpoint-every 300 >/dev/null 2>&1
+
+# Compare the `result` payload of the last `done` line per job.  The
+# crash leg may carry `"replayed":true` on a journal-replayed outcome,
+# so only the result itself — placement, cost, evaluations, energy,
+# timing — must match byte for byte.
+status=0
+for id in job-a job-b; do
+  ok=1
+  for leg in ref crash; do
+    f="$DIR/spool-$leg/replies/$id.jsonl"
+    if ! grep -q '"status":"done"' "$f" 2>/dev/null; then
+      echo "serve-smoke: $leg run has no done reply for $id" >&2
+      status=1
+      ok=0
+    fi
+  done
+  [ "$ok" -eq 1 ] || continue
+  ref=$(grep '"status":"done"' "$DIR/spool-ref/replies/$id.jsonl" | tail -1 |
+    sed 's/.*"result"://')
+  crash=$(grep '"status":"done"' "$DIR/spool-crash/replies/$id.jsonl" | tail -1 |
+    sed 's/.*"result"://')
+  if [ "$ref" = "$crash" ]; then
+    echo "serve-smoke: $id result bit-identical across kill -9 + restart"
+  else
+    echo "serve-smoke: $id result diverged after kill -9 + resume" >&2
+    echo "  reference: $ref" >&2
+    echo "  resumed:   $crash" >&2
+    status=1
+  fi
+done
+exit $status

@@ -64,6 +64,45 @@ let test_exception_propagation () =
       (* The batch settles before re-raising: every non-failing task ran. *)
       Alcotest.(check int) "other tasks completed" 6 (Atomic.get completed))
 
+(* Kept out-of-line so the raise site has a stable name the backtrace
+   check below can look for. *)
+let[@inline never] deep_failure_site i =
+  if i >= 0 then raise (Boom i);
+  i
+
+let test_exception_backtrace () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace prev)
+    (fun () ->
+      Domain_pool.with_pool ~jobs:4 (fun pool ->
+          match Domain_pool.run pool [| (fun () -> deep_failure_site 7) |] with
+          | _ -> Alcotest.fail "expected an exception"
+          | exception Boom i ->
+            Alcotest.(check int) "payload survives the re-raise" 7 i;
+            (* The pool re-raises with the original raise-site
+               backtrace, so the trace must name this test file, not
+               just the pool's own plumbing.  Without debug info the
+               runtime hands back an empty trace; only assert when
+               there is one to inspect. *)
+            let bt = Printexc.get_backtrace () in
+            if bt <> "" then
+              Test_util.check_contains ~msg:"raise site in backtrace"
+                ~needle:"test_domain_pool.ml" bt))
+
+let test_pool_survives_failure () =
+  (* A failing batch must not poison the pool: the next batch runs on
+     the same workers and returns normal results. *)
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      (match Domain_pool.run pool [| (fun () -> raise (Boom 1)) |] with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom _ -> ());
+      let r = Domain_pool.map ~pool (fun x -> x + 1) (Array.init 16 Fun.id) in
+      Alcotest.(check (array int)) "next batch unaffected"
+        (Array.init 16 (fun i -> i + 1))
+        r)
+
 let test_shutdown () =
   let pool = Domain_pool.create ~jobs:3 () in
   let r = Domain_pool.run pool [| (fun () -> 42) |] in
@@ -135,6 +174,8 @@ let suite =
       Alcotest.test_case "matches sequential map" `Quick test_matches_sequential_map;
       Alcotest.test_case "nested runs" `Quick test_nested_runs;
       Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+      Alcotest.test_case "exception backtrace" `Quick test_exception_backtrace;
+      Alcotest.test_case "pool survives failure" `Quick test_pool_survives_failure;
       Alcotest.test_case "shutdown" `Quick test_shutdown;
       Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
       Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;

@@ -56,7 +56,7 @@ let records =
 let test_journal_roundtrip () =
   let path = Filename.temp_file "nocmap" ".jsonl" in
   let j = Journal.create ~path ~meta in
-  List.iter (Journal.append j) records;
+  List.iter (Journal.append_exn j) records;
   Journal.close j;
   let loaded =
     match Journal.load ~path with Ok l -> l | Error e -> Alcotest.fail e
@@ -68,7 +68,7 @@ let test_journal_roundtrip () =
 let test_journal_drops_torn_tail () =
   let path = Filename.temp_file "nocmap" ".jsonl" in
   let j = Journal.create ~path ~meta in
-  List.iter (Journal.append j) records;
+  List.iter (Journal.append_exn j) records;
   Journal.close j;
   (* Simulate a crash mid-append: a final line with no newline. *)
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
@@ -80,7 +80,7 @@ let test_journal_drops_torn_tail () =
   Alcotest.(check bool) "tail dropped" true loaded.Journal.dropped_tail;
   Alcotest.(check bool) "records intact" true (loaded.Journal.records = records);
   (* The torn bytes are truncated away, so appending keeps the file sane. *)
-  Journal.append j (Json.Str "after-crash");
+  Journal.append_exn j (Json.Str "after-crash");
   Journal.close j;
   let reloaded =
     match Journal.load ~path with Ok l -> l | Error e -> Alcotest.fail e
@@ -91,7 +91,7 @@ let test_journal_drops_torn_tail () =
 let test_journal_bad_crc_is_loud () =
   let path = Filename.temp_file "nocmap" ".jsonl" in
   let j = Journal.create ~path ~meta in
-  List.iter (Journal.append j) records;
+  List.iter (Journal.append_exn j) records;
   Journal.close j;
   (* Flip one payload byte of a complete (newline-terminated) record. *)
   let contents = Fsutil.read_file path in
@@ -111,6 +111,29 @@ let test_journal_bad_crc_is_loud () =
   | Error e ->
     Alcotest.(check bool) "error names the file" true
       (String.length e > 0 && String.sub e 0 (String.length path) = path)
+
+(* A failed append must come back as a typed error the serve engine can
+   triage: closed-channel failures are permanent (retrying is pointless),
+   and both the [result] and exception paths carry the journal path. *)
+let test_journal_append_error_is_typed () =
+  let path = Filename.temp_file "nocmap" ".jsonl" in
+  let j = Journal.create ~path ~meta in
+  Journal.close j;
+  (match Journal.append j (Json.Str "late") with
+  | Ok () -> Alcotest.fail "append on a closed journal succeeded"
+  | Error e ->
+    Alcotest.(check string) "error names the journal" path e.Journal.journal_path;
+    Alcotest.(check bool)
+      "closed channel is not retryable" false e.Journal.retryable;
+    Alcotest.(check bool) "reason is populated" true
+      (String.length e.Journal.reason > 0));
+  (match Journal.append_exn j (Json.Str "late") with
+  | () -> Alcotest.fail "append_exn on a closed journal succeeded"
+  | exception Journal.Append_failed e ->
+    Alcotest.(check string) "exception names the journal" path
+      e.Journal.journal_path;
+    Alcotest.(check bool) "exception not retryable" false e.Journal.retryable);
+  Sys.remove path
 
 (* --- store memoization --- *)
 
@@ -276,6 +299,8 @@ let suite =
         test_journal_drops_torn_tail;
       Alcotest.test_case "journal bad CRC is loud" `Quick
         test_journal_bad_crc_is_loud;
+      Alcotest.test_case "journal append error is typed" `Quick
+        test_journal_append_error_is_typed;
       Alcotest.test_case "memoize replays" `Quick test_memoize_replays;
       Alcotest.test_case "memoize meta mismatch is loud" `Quick
         test_memoize_meta_mismatch_is_loud;

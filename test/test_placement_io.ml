@@ -129,6 +129,31 @@ let test_noc_line_errors () =
   | Ok (parsed_mesh, _) ->
     Alcotest.(check string) "mesh" "2x2" (Mesh.to_string parsed_mesh)
 
+(* Placement files arrive from spool directories and user-edited specs,
+   so arbitrary bytes must come back as [Error], never an exception. *)
+let hostile_bytes =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 400))
+
+let prop_of_string_never_raises =
+  QCheck2.Test.make ~name:"of_string never raises"
+    ~count:(Test_util.prop_count 500) hostile_bytes (fun text ->
+      match Placement_io.of_string ~core_names text with Ok _ | Error _ -> true)
+
+let prop_parse_tiles_never_raises =
+  QCheck2.Test.make ~name:"parse_tiles never raises"
+    ~count:(Test_util.prop_count 500) hostile_bytes (fun text ->
+      match Placement_io.parse_tiles ~tiles:9 ~cores:4 text with
+      | Ok _ | Error _ -> true)
+
+let test_oversized_input () =
+  let big = String.make (Placement_io.max_input_bytes + 1) 'a' in
+  (match Placement_io.of_string ~core_names big with
+  | Ok _ -> Alcotest.fail "accepted oversized input"
+  | Error msg -> Test_util.check_contains ~msg:"size guard" ~needle:"too large" msg);
+  match Placement_io.parse_tiles ~tiles:4 ~cores:4 big with
+  | Ok _ -> Alcotest.fail "accepted oversized input"
+  | Error msg -> Test_util.check_contains ~msg:"size guard" ~needle:"too large" msg
+
 let suite =
   ( "placement-io",
     [
@@ -143,4 +168,7 @@ let suite =
       Alcotest.test_case "render tiles" `Quick test_render_tiles;
       Alcotest.test_case "noc line errors" `Quick test_noc_line_errors;
       QCheck_alcotest.to_alcotest prop_render_tiles_roundtrip;
+      QCheck_alcotest.to_alcotest prop_of_string_never_raises;
+      QCheck_alcotest.to_alcotest prop_parse_tiles_never_raises;
+      Alcotest.test_case "oversized input rejected" `Quick test_oversized_input;
     ] )

@@ -77,6 +77,41 @@ let prop_generated_roundtrip =
       | Error _ -> false
       | Ok parsed -> cdcg_equal cdcg parsed)
 
+(* Hostile input: the parsers are reachable from spool directories and
+   job specs, so arbitrary bytes — binary, truncated, pathological —
+   must come back as [Error], never an exception. *)
+let hostile_bytes =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 400))
+
+let prop_cdcg_never_raises =
+  QCheck2.Test.make ~name:"cdcg_of_string never raises"
+    ~count:(Test_util.prop_count 500) hostile_bytes (fun text ->
+      match Textio.cdcg_of_string text with Ok _ | Error _ -> true)
+
+let prop_cwg_never_raises =
+  QCheck2.Test.make ~name:"cwg_of_string never raises"
+    ~count:(Test_util.prop_count 500) hostile_bytes (fun text ->
+      match Textio.cwg_of_string text with Ok _ | Error _ -> true)
+
+let test_oversized_input () =
+  let big = String.make (Textio.max_input_bytes + 1) 'a' in
+  (match Textio.cdcg_of_string big with
+  | Ok _ -> Alcotest.fail "accepted oversized input"
+  | Error msg -> Test_util.check_contains ~msg:"size guard" ~needle:"too large" msg);
+  match Textio.cwg_of_string big with
+  | Ok _ -> Alcotest.fail "accepted oversized input"
+  | Error msg -> Test_util.check_contains ~msg:"size guard" ~needle:"too large" msg
+
+let test_load_error_is_path_prefixed () =
+  let path = Filename.temp_file "nocmap" ".cdcg" in
+  let oc = open_out_bin path in
+  output_string oc "application x\ncores a b\npacket broken\n";
+  close_out oc;
+  (match Textio.load_cdcg ~path with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error msg -> Test_util.check_contains ~msg:"names the file" ~needle:path msg);
+  Sys.remove path
+
 let suite =
   ( "textio",
     [
@@ -87,4 +122,9 @@ let suite =
       Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
       Alcotest.test_case "missing file" `Quick test_load_missing_file;
       QCheck_alcotest.to_alcotest prop_generated_roundtrip;
+      QCheck_alcotest.to_alcotest prop_cdcg_never_raises;
+      QCheck_alcotest.to_alcotest prop_cwg_never_raises;
+      Alcotest.test_case "oversized input rejected" `Quick test_oversized_input;
+      Alcotest.test_case "load errors name the file" `Quick
+        test_load_error_is_path_prefixed;
     ] )
