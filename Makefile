@@ -1,4 +1,4 @@
-.PHONY: all build check test test-props bench bench-smoke bench-gate \
+.PHONY: all build check test test-props portfolio bench bench-smoke bench-gate \
 	resume-smoke serve-smoke examples lint clean
 
 all: build
@@ -7,7 +7,14 @@ build:
 	dune build @all
 
 check:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) portfolio
+
+# Racing-portfolio property sweep at a deeper iteration count: seed
+# validity on every mesh shape, race dominance over its seeds,
+# NOCMAP_JOBS invariance, and kill-at-random-point resume identity.
+# NOCMAP_PROP_MULT scales it further in the props CI matrix.
+portfolio:
+	NOCMAP_PROP_MULT=$${NOCMAP_PROP_MULT:-5} dune exec test/test_main.exe -- test portfolio
 
 test:
 	dune runtest

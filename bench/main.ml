@@ -781,6 +781,39 @@ let bench_json () =
     && sa_resumed.Mapping.Objective.evaluations
        = sa_unjournaled.Mapping.Objective.evaluations
   in
+  (* Racing portfolio: cost evaluations for a spiral/greedy/SA/tabu
+     portfolio to reach the converged cost of a solo quick-SA run, vs
+     that solo run's own evaluation count.  The solo reference burns
+     the exact RNG substream the portfolio hands its SA leg
+     ([Rng.split] of the same root), so the target is the quality a
+     lone racer reaches and the ratio measures what constructive
+     seeding plus racing buys.  Evaluations are the unit that
+     dominates wall time and they are deterministic for a fixed seed,
+     so the gate on this ratio holds across machines. *)
+  let pf_config = Mapping.Portfolio.quick_config ~tiles in
+  let pf_root () = Rng.create ~seed:(seed + 47) in
+  let sa_ref =
+    Mapping.Annealing.search
+      ~rng:(Rng.split (pf_root ()))
+      ~config:pf_config.Mapping.Portfolio.sa ~tiles
+      ~objective:(plain_objective ()) ~cores ()
+  in
+  let pf_report =
+    Mapping.Portfolio.search ~rng:(pf_root ()) ~config:pf_config
+      ~strategies:Mapping.Portfolio.[ Spiral; Greedy; Sa; Tabu ]
+      ~tech ~crg ~cwg
+      ~objective_for:(fun _ -> plain_objective ())
+      ~target:sa_ref.Mapping.Objective.cost ()
+  in
+  let portfolio_reached =
+    pf_report.Mapping.Portfolio.result.Mapping.Objective.cost
+    <= sa_ref.Mapping.Objective.cost
+  in
+  let portfolio_speedup =
+    float_of_int sa_ref.Mapping.Objective.evaluations
+    /. float_of_int
+         (max 1 pf_report.Mapping.Portfolio.result.Mapping.Objective.evaluations)
+  in
   (* Symmetry-reduced exhaustive search: a 5-core CDCM instance on the
      3x3 mesh, full enumeration vs canonical representatives only. *)
   let es_cdcg =
@@ -860,6 +893,8 @@ let bench_json () =
   "cache_sa_identical": %b,
   "checkpoint_overhead_percent": %.2f,
   "checkpoint_sa_identical": %b,
+  "portfolio_speedup_to_quality": %.2f,
+  "portfolio_reached_quality": %b,
   "cache_exhaustive_eval_fraction": %.4f,
   "cache_exhaustive_identical": %b,
   "suite_instances": %d,
@@ -881,7 +916,8 @@ let bench_json () =
       inc_delta_hit_percent inc_move_delta_hit_percent arena_speedup cutoff_speedup
       incremental_speedup ls_identical metrics_overhead sa_hit_rate
       (sa_plain_seconds /. Float.max sa_cached_seconds 1e-9)
-      sa_identical checkpoint_overhead checkpoint_identical es_fraction
+      sa_identical checkpoint_overhead checkpoint_identical
+      portfolio_speedup portfolio_reached es_fraction
       es_identical
       (List.length instances) jobs seq_seconds par_seconds
       (seq_seconds /. Float.max par_seconds 1e-9)
@@ -1144,6 +1180,14 @@ let run_compare ~baseline_path ~current_path ~tolerance_percent =
      fixed ceiling leaves room for shared-machine timing noise while
      still catching a per-evaluation write sneaking in. *)
   gate_ceiling "checkpoint_overhead_percent" 5.0;
+  (* The racing portfolio must reach solo-SA quality in no more
+     evaluations than solo SA spends getting there; the ratio is
+     evaluation-count based, hence deterministic per seed, so the
+     relative gate tracks algorithmic drift rather than machine
+     noise. *)
+  gate_ratio "portfolio_speedup_to_quality" Higher_better;
+  gate_baseline_floor "portfolio_speedup_to_quality" 1.0;
+  gate_bool "portfolio_reached_quality";
   gate_bool "suite_parallel_identical";
   gate_bool "cache_sa_identical";
   gate_bool "cache_exhaustive_identical";

@@ -328,6 +328,24 @@ let apps_cmd =
 
 (* --- map --- *)
 
+let jobs_arg =
+  let doc =
+    "Parallel domains for the search ($(docv) >= 1).  Defaults to the \
+     NOCMAP_JOBS environment variable when set, else the machine's \
+     recommended domain count.  Results are identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let resolve_jobs jobs =
+  match jobs with
+  | None -> Nocmap_util.Domain_pool.default_jobs ()
+  | Some j -> j
+
+(* Run [f] on a pool of [jobs] domains, or without one when sequential. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 let app_arg =
   Arg.(
     value & opt (some string) None
@@ -348,7 +366,18 @@ let map_cmd =
     Arg.(
       value & opt string "sa"
       & info [ "algorithm" ] ~docv:"ALG"
-          ~doc:"Search: sa, es, greedy, local, greedy+local or random.")
+          ~doc:
+            "Search: sa, es, greedy, local, greedy+local, random or \
+             portfolio.")
+  in
+  let strategies_arg =
+    Arg.(
+      value
+      & opt string "spiral,greedy,sa,tabu,genetic"
+      & info [ "strategies" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated strategies raced by --algorithm portfolio \
+             (spiral, greedy, sa, tabu, genetic).")
   in
   let save =
     Arg.(
@@ -375,8 +404,9 @@ let map_cmd =
              costs are bit-identical).  Implies cutoff pruning in the sa \
              search.  Requires --model cdcm.")
   in
-  let run mesh seed flit tech_name routing app builtin model algorithm save metrics
-      convergence_path use_cache incremental checkpoint_dir checkpoint_every =
+  let run mesh seed flit tech_name routing app builtin model algorithm
+      strategies_spec jobs save metrics convergence_path use_cache incremental
+      checkpoint_dir checkpoint_every =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -429,11 +459,12 @@ let map_cmd =
     (match checkpoint_dir with
     | Some _
       when algorithm <> "sa" && algorithm <> "local"
-           && algorithm <> "greedy+local" ->
+           && algorithm <> "greedy+local" && algorithm <> "portfolio" ->
       prerr_endline
         (Printf.sprintf
-           "nocmap: --checkpoint-dir only journals the sa, local and \
-            greedy+local searches; algorithm %S runs without checkpoints"
+           "nocmap: --checkpoint-dir only journals the sa, local, \
+            greedy+local and portfolio searches; algorithm %S runs without \
+            checkpoints"
            algorithm)
     | Some _ | None -> ());
     let persist = setup_persist ~command:"map" checkpoint_dir checkpoint_every in
@@ -443,6 +474,7 @@ let map_cmd =
         (fun _ -> Obs.Series.create ~x_label:"evaluations" ~y_label:"best_cost" ())
         convergence_path
     in
+    let portfolio_report = ref None in
     let result =
       match algorithm with
       | "sa" -> (
@@ -482,6 +514,46 @@ let map_cmd =
             ~stop:stop_requested ?convergence ())
       | "random" ->
         Mapping.Random_search.search ~rng ~objective ~cores ~tiles ~samples:1000
+      | "portfolio" ->
+        let strategies =
+          or_die (Mapping.Portfolio.strategies_of_string strategies_spec)
+        in
+        let portfolio_config = Mapping.Portfolio.default_config ~tiles in
+        (* Each racer runs on its own domain and Eval_cache is
+           single-domain, so the portfolio gets one fresh objective (and
+           private cache) per strategy — all built from the symmetry
+           group computed once above. *)
+        let objective_for _ =
+          let base =
+            match model with
+            | "cwm" -> Mapping.Objective.cwm ~tech ~crg ~cwg
+            | _ ->
+              Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
+          in
+          match symmetry with
+          | Some symmetry ->
+            Mapping.Objective.with_cache
+              (Mapping.Eval_cache.create ~symmetry ~cores ~discriminator:model
+                 ())
+              base
+          | None -> base
+        in
+        with_jobs (resolve_jobs jobs) @@ fun pool ->
+        let report =
+          match persist with
+          | None ->
+            Mapping.Portfolio.search ~rng ~config:portfolio_config ~strategies
+              ~tech ~crg ~cwg ~objective_for ?pool ~stop:stop_requested ()
+          | Some (p : Nocmap.Experiment.persist) ->
+            Mapping.Search_persist.portfolio ~store:p.Nocmap.Experiment.store
+              ~key:(p.Nocmap.Experiment.scope ^ ".portfolio")
+              ~every:p.Nocmap.Experiment.every ~rng ~config:portfolio_config
+              ~strategies ~tech ~crg ~cwg
+              ~objective_name:objective.Mapping.Objective.name ~objective_for
+              ?pool ~stop:stop_requested ()
+        in
+        portfolio_report := Some report;
+        report.Mapping.Portfolio.result
       | other -> or_die (Error ("unknown algorithm " ^ other))
     in
     (match (convergence_path, convergence) with
@@ -506,6 +578,22 @@ let map_cmd =
       (Nocmap_noc.Routing.algorithm_to_string (Crg.routing crg));
     Printf.printf "model/search: %s/%s (%d cost evaluations)\n" model algorithm
       result.Mapping.Objective.evaluations;
+    (match !portfolio_report with
+    | Some (r : Mapping.Portfolio.report) ->
+      Printf.printf
+        "portfolio   : winner %s after %d rounds (%d incumbent updates, %d \
+         cutoff tightenings)\n"
+        (Mapping.Portfolio.strategy_to_string r.Mapping.Portfolio.winner)
+        r.Mapping.Portfolio.rounds r.Mapping.Portfolio.updates
+        r.Mapping.Portfolio.tightenings;
+      List.iter
+        (fun (s : Mapping.Portfolio.strategy_report) ->
+          Printf.printf "  %-8s cost %.6g, %d evaluations, %d rounds won\n"
+            (Mapping.Portfolio.strategy_to_string s.Mapping.Portfolio.strategy)
+            s.Mapping.Portfolio.cost s.Mapping.Portfolio.evaluations
+            s.Mapping.Portfolio.rounds_won)
+        r.Mapping.Portfolio.per_strategy
+    | None -> ());
     (match cache with
     | Some cache when Mapping.Eval_cache.(stats cache).Mapping.Eval_cache.misses > 0 ->
       let s = Mapping.Eval_cache.stats cache in
@@ -532,8 +620,9 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Search a core-to-tile mapping for an application")
     Term.(
       const run $ mesh_arg $ seed_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg
-      $ builtin_arg $ model $ algorithm $ save $ metrics_arg $ convergence_arg
-      $ cache_arg $ incremental_arg $ checkpoint_dir_arg $ checkpoint_every_arg)
+      $ builtin_arg $ model $ algorithm $ strategies_arg $ jobs_arg $ save
+      $ metrics_arg $ convergence_arg $ cache_arg $ incremental_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 (* --- eval --- *)
 
@@ -732,24 +821,6 @@ let table1_cmd =
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use the small search budget.")
-
-let jobs_arg =
-  let doc =
-    "Parallel domains for the search ($(docv) >= 1).  Defaults to the \
-     NOCMAP_JOBS environment variable when set, else the machine's \
-     recommended domain count.  Results are identical for any value."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
-
-let resolve_jobs jobs =
-  match jobs with
-  | None -> Nocmap_util.Domain_pool.default_jobs ()
-  | Some j -> j
-
-(* Run [f] on a pool of [jobs] domains, or without one when sequential. *)
-let with_jobs jobs f =
-  if jobs <= 1 then f None
-  else Nocmap_util.Domain_pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 let table2_cmd =
   let run seed quick jobs metrics use_cache checkpoint_dir checkpoint_every =

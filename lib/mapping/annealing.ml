@@ -80,8 +80,8 @@ let calibrate_temperature rng ~tiles ~(objective : Objective.t) ~placement ~cost
   let mean = !total /. float_of_int samples in
   if mean > 0.0 then 2.0 *. mean else 1.0
 
-let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
-    ?convergence ?checkpoint ?resume ~cores () =
+let search ~rng ~config ~tiles ~objective ?initial ?(ceiling = infinity)
+    ?(stop = fun () -> false) ?convergence ?checkpoint ?resume ~cores () =
   if cores > tiles then invalid_arg "Annealing.search: more cores than tiles";
   if not (config.cooling > 0.0 && config.cooling < 1.0) then
     invalid_arg "Annealing.search: cooling must lie in (0,1)";
@@ -176,12 +176,19 @@ let search ~rng ~config ~tiles ~objective ?initial ?(stop = fun () -> false)
      simulating it at that cutoff.  A truncated verdict is a rejection:
      since [bound > cutoff > current >= best], the candidate can beat
      neither the incumbent nor the best, and no acceptance randomness is
-     consumed for it. *)
+     consumed for it.
+
+     [ceiling] (default infinity, which leaves the cutoff untouched)
+     additionally caps the cutoff from outside: a portfolio driver
+     passes a rival-derived ceiling so candidates provably worse than
+     the published incumbent are rejected without full simulation. *)
   let evaluate_candidate neighbor =
     match (config.prune, objective.Objective.bound_fn) with
     | Some margin, Some bound_fn ->
       incr evals;
-      let cutoff = !current_cost +. (margin *. !temperature) in
+      let cutoff =
+        Float.min (!current_cost +. (margin *. !temperature)) ceiling
+      in
       (match bound_fn ~cutoff neighbor with
       | Objective.Exact c -> Some c
       | Objective.At_least _ ->

@@ -63,6 +63,7 @@ val search :
   tiles:int ->
   objective:Objective.t ->
   ?initial:Placement.t ->
+  ?ceiling:float ->
   ?stop:(unit -> bool) ->
   ?convergence:Nocmap_obs.Series.t ->
   ?checkpoint:int * (checkpoint -> unit) ->
@@ -75,6 +76,16 @@ val search :
     returns [true] the descent winds down immediately and returns the
     best placement found so far (used for cooperative interruption, e.g.
     a SIGINT flag).  [stop] must be sticky — once [true], always [true].
+
+    [?ceiling] (default [infinity], a no-op) caps the prune cutoff from
+    outside: with a prune margin and a bound function, candidates whose
+    cost provably exceeds [ceiling] are rejected without completing
+    their evaluation.  The {!Portfolio} driver passes a ceiling derived
+    from the racing incumbent so a descent stops paying for candidates
+    provably worse than what a rival already found.  Passing a finite
+    ceiling changes the search trajectory (it rejects moves plain
+    annealing might have accepted); [infinity] is bit-identical to
+    omitting it.
 
     [?checkpoint:(every, hook)] calls [hook] with the live state each
     time at least [every] further evaluations have been spent, and once

@@ -1,0 +1,68 @@
+(** Genetic algorithm over placements — the portfolio's population
+    racer.
+
+    Individuals are placements; selection is tournament-based, crossover
+    is uniform and injection-preserving (conflicting cores fall back to
+    the lowest free tile), mutation is a single-core move, and the top
+    [elite] individuals survive each generation verbatim.  All
+    randomness comes from the caller's {!Nocmap_util.Rng} substream, so
+    runs are reproducible and checkpoint resume is bit-identical. *)
+
+type config = {
+  population : int;    (** Individuals per generation (>= 2). *)
+  elite : int;         (** Fittest individuals copied verbatim. *)
+  tournament : int;    (** Tournament size for parent selection. *)
+  crossover : float;   (** Probability a child is a crossover (else a
+                           clone of its first parent). *)
+  mutation : float;    (** Probability a child receives a random
+                           single-core move. *)
+  patience : int;      (** Stop after this many consecutive generations
+                           without improving the best cost. *)
+  max_evaluations : int;
+      (** Budget on cost calls, checked at generation boundaries — a
+          generation may overshoot by up to [population] evaluations. *)
+}
+
+val default_config : tiles:int -> config
+val quick_config : tiles:int -> config
+(** A cheaper budget for tests and smoke benches. *)
+
+type checkpoint = {
+  rng_state : int64;
+  evaluations : int;
+  generation : int;
+  population : Placement.t array;
+  fitness : float array;
+  best : Placement.t;
+  best_cost : float;
+  stale : int;
+  cutoff_hits : int;
+}
+(** Complete loop state, captured at generation boundaries.  A resumed
+    search replays the exact trajectory of the uninterrupted run. *)
+
+val search :
+  rng:Nocmap_util.Rng.t ->
+  config:config ->
+  tiles:int ->
+  objective:Objective.t ->
+  ?initial:Placement.t ->
+  ?ceiling:float ->
+  ?stop:(unit -> bool) ->
+  ?convergence:Nocmap_obs.Series.t ->
+  ?checkpoint:int * (checkpoint -> unit) ->
+  ?resume:checkpoint ->
+  cores:int ->
+  unit ->
+  Objective.search_result
+(** Runs one genetic search.  [?initial] seeds individual 0 (the rest
+    start random).  The option contract matches {!Annealing.search}:
+    [?stop] must be sticky and is polled at generation boundaries;
+    [?checkpoint:(every, hook)] flushes live state on that cadence plus
+    once when [stop] ends the run; [?resume] restores a checkpoint.
+    With a finite [?ceiling] and a bound function, offspring provably
+    above the ceiling are culled from selection (infinite fitness)
+    without completing their evaluation; the founding population is
+    always scored exactly.
+    @raise Invalid_argument when [cores > tiles] or the config is
+    malformed. *)

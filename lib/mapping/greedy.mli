@@ -7,6 +7,11 @@
     takes the free tile that minimizes the partial CWM dynamic energy
     toward the cores already placed. *)
 
+val connectivity : Nocmap_model.Cwg.t -> int -> int
+(** Total communication volume (bits, both directions) a core exchanges
+    with all partners — the placement priority used here and by the
+    {!Spiral} seed. *)
+
 val search :
   tech:Nocmap_energy.Technology.t ->
   crg:Nocmap_noc.Crg.t ->

@@ -108,13 +108,240 @@ let ls_checkpoint_of_json j =
     cutoff_hits = Json.to_int (Json.get "cutoff_hits" j);
   }
 
+let tabu_config_json (c : Tabu.config) =
+  Json.Assoc
+    [
+      ("tenure", Json.Int c.Tabu.tenure);
+      ("neighborhood", Json.Int c.Tabu.neighborhood);
+      ("patience", Json.Int c.Tabu.patience);
+      ("max_evaluations", Json.Int c.Tabu.max_evaluations);
+    ]
+
+let tabu_checkpoint_json (c : Tabu.checkpoint) =
+  Json.Assoc
+    [
+      ("rng", Json.int64 c.Tabu.rng_state);
+      ("evaluations", Json.Int c.Tabu.evaluations);
+      ("iteration", Json.Int c.Tabu.iteration);
+      ("current", placement_json c.Tabu.current);
+      ("current_cost", Json.float_ c.Tabu.current_cost);
+      ("best", placement_json c.Tabu.best);
+      ("best_cost", Json.float_ c.Tabu.best_cost);
+      ("stale", Json.Int c.Tabu.stale);
+      ( "tabu",
+        Json.List
+          (List.map
+             (fun (core, tile, expiry) ->
+               Json.List [ Json.Int core; Json.Int tile; Json.Int expiry ])
+             c.Tabu.tabu) );
+      ("cutoff_hits", Json.Int c.Tabu.cutoff_hits);
+    ]
+
+let tabu_checkpoint_of_json j =
+  {
+    Tabu.rng_state = Json.to_int64 (Json.get "rng" j);
+    evaluations = Json.to_int (Json.get "evaluations" j);
+    iteration = Json.to_int (Json.get "iteration" j);
+    current = placement_of_json (Json.get "current" j);
+    current_cost = Json.to_float (Json.get "current_cost" j);
+    best = placement_of_json (Json.get "best" j);
+    best_cost = Json.to_float (Json.get "best_cost" j);
+    stale = Json.to_int (Json.get "stale" j);
+    tabu =
+      List.map
+        (fun entry ->
+          match Json.to_list entry with
+          | [ core; tile; expiry ] ->
+            (Json.to_int core, Json.to_int tile, Json.to_int expiry)
+          | _ -> failwith "malformed tabu attribute")
+        (Json.to_list (Json.get "tabu" j));
+    cutoff_hits = Json.to_int (Json.get "cutoff_hits" j);
+  }
+
+let genetic_config_json (c : Genetic.config) =
+  Json.Assoc
+    [
+      ("population", Json.Int c.Genetic.population);
+      ("elite", Json.Int c.Genetic.elite);
+      ("tournament", Json.Int c.Genetic.tournament);
+      ("crossover", Json.float_ c.Genetic.crossover);
+      ("mutation", Json.float_ c.Genetic.mutation);
+      ("patience", Json.Int c.Genetic.patience);
+      ("max_evaluations", Json.Int c.Genetic.max_evaluations);
+    ]
+
+let genetic_checkpoint_json (c : Genetic.checkpoint) =
+  Json.Assoc
+    [
+      ("rng", Json.int64 c.Genetic.rng_state);
+      ("evaluations", Json.Int c.Genetic.evaluations);
+      ("generation", Json.Int c.Genetic.generation);
+      ( "population",
+        Json.List
+          (Array.to_list (Array.map placement_json c.Genetic.population)) );
+      ( "fitness",
+        Json.List
+          (Array.to_list (Array.map Json.float_ c.Genetic.fitness)) );
+      ("best", placement_json c.Genetic.best);
+      ("best_cost", Json.float_ c.Genetic.best_cost);
+      ("stale", Json.Int c.Genetic.stale);
+      ("cutoff_hits", Json.Int c.Genetic.cutoff_hits);
+    ]
+
+let genetic_checkpoint_of_json j =
+  {
+    Genetic.rng_state = Json.to_int64 (Json.get "rng" j);
+    evaluations = Json.to_int (Json.get "evaluations" j);
+    generation = Json.to_int (Json.get "generation" j);
+    population =
+      Array.of_list
+        (List.map placement_of_json (Json.to_list (Json.get "population" j)));
+    fitness =
+      Array.of_list
+        (List.map Json.to_float (Json.to_list (Json.get "fitness" j)));
+    best = placement_of_json (Json.get "best" j);
+    best_cost = Json.to_float (Json.get "best_cost" j);
+    stale = Json.to_int (Json.get "stale" j);
+    cutoff_hits = Json.to_int (Json.get "cutoff_hits" j);
+  }
+
+let strategy_json s = Json.Str (Portfolio.strategy_to_string s)
+
+let strategy_of_json j =
+  let name = Json.to_str j in
+  match Portfolio.strategy_of_string name with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "unknown portfolio strategy %S" name)
+
+let portfolio_config_json (c : Portfolio.config) =
+  Json.Assoc
+    [
+      ("slice", Json.Int c.Portfolio.slice);
+      ("ceiling_factor", Json.float_ c.Portfolio.ceiling_factor);
+      ("sa", sa_config_json c.Portfolio.sa);
+      ("tabu", tabu_config_json c.Portfolio.tabu);
+      ("genetic", genetic_config_json c.Portfolio.genetic);
+    ]
+
+let leg_json (leg : Portfolio.leg_state) =
+  let tag, value =
+    match leg with
+    | Portfolio.Sa_running c -> ("sa", sa_checkpoint_json c)
+    | Portfolio.Tabu_running c -> ("tabu", tabu_checkpoint_json c)
+    | Portfolio.Genetic_running c -> ("ga", genetic_checkpoint_json c)
+    | Portfolio.Leg_done r -> ("done", result_json r)
+  in
+  Json.Assoc [ ("state", Json.Str tag); ("value", value) ]
+
+let leg_of_json j =
+  let value = Json.get "value" j in
+  match Json.to_str (Json.get "state" j) with
+  | "sa" -> Portfolio.Sa_running (sa_checkpoint_of_json value)
+  | "tabu" -> Portfolio.Tabu_running (tabu_checkpoint_of_json value)
+  | "ga" -> Portfolio.Genetic_running (genetic_checkpoint_of_json value)
+  | "done" -> Portfolio.Leg_done (result_of_json value)
+  | tag -> failwith (Printf.sprintf "unknown portfolio leg state %S" tag)
+
+let strategy_pairs_json value_json pairs =
+  Json.List
+    (List.map
+       (fun (s, v) ->
+         Json.Assoc [ ("strategy", strategy_json s); ("value", value_json v) ])
+       pairs)
+
+let strategy_pairs_of_json value_of_json j =
+  List.map
+    (fun entry ->
+      ( strategy_of_json (Json.get "strategy" entry),
+        value_of_json (Json.get "value" entry) ))
+    (Json.to_list j)
+
+let portfolio_checkpoint_json (c : Portfolio.checkpoint) =
+  Json.Assoc
+    [
+      ("round", Json.Int c.Portfolio.round);
+      ("in_round", Json.Bool c.Portfolio.in_round);
+      ("seeds", strategy_pairs_json result_json c.Portfolio.seeds);
+      ("legs", strategy_pairs_json leg_json c.Portfolio.legs);
+      ("best", placement_json c.Portfolio.best);
+      ("best_cost", Json.float_ c.Portfolio.best_cost);
+      ("best_by", strategy_json c.Portfolio.best_by);
+      ("seed_evaluations", Json.Int c.Portfolio.seed_evaluations);
+      ("incumbent_updates", Json.Int c.Portfolio.incumbent_updates);
+      ("cutoff_tightenings", Json.Int c.Portfolio.cutoff_tightenings);
+      ( "wins",
+        strategy_pairs_json (fun w -> Json.Int w) c.Portfolio.wins );
+      ( "ceilings",
+        strategy_pairs_json (fun f -> Json.float_ f) c.Portfolio.ceilings );
+      ( "round_starts",
+        strategy_pairs_json (fun n -> Json.Int n) c.Portfolio.round_starts );
+    ]
+
+let portfolio_checkpoint_of_json j =
+  {
+    Portfolio.round = Json.to_int (Json.get "round" j);
+    in_round = Json.to_bool (Json.get "in_round" j);
+    seeds = strategy_pairs_of_json result_of_json (Json.get "seeds" j);
+    legs = strategy_pairs_of_json leg_of_json (Json.get "legs" j);
+    best = placement_of_json (Json.get "best" j);
+    best_cost = Json.to_float (Json.get "best_cost" j);
+    best_by = strategy_of_json (Json.get "best_by" j);
+    seed_evaluations = Json.to_int (Json.get "seed_evaluations" j);
+    incumbent_updates = Json.to_int (Json.get "incumbent_updates" j);
+    cutoff_tightenings = Json.to_int (Json.get "cutoff_tightenings" j);
+    wins = strategy_pairs_of_json Json.to_int (Json.get "wins" j);
+    ceilings = strategy_pairs_of_json Json.to_float (Json.get "ceilings" j);
+    round_starts = strategy_pairs_of_json Json.to_int (Json.get "round_starts" j);
+  }
+
+let report_json (r : Portfolio.report) =
+  Json.Assoc
+    [
+      ("result", result_json r.Portfolio.result);
+      ("winner", strategy_json r.Portfolio.winner);
+      ("rounds", Json.Int r.Portfolio.rounds);
+      ("updates", Json.Int r.Portfolio.updates);
+      ("tightenings", Json.Int r.Portfolio.tightenings);
+      ( "per_strategy",
+        Json.List
+          (List.map
+             (fun (s : Portfolio.strategy_report) ->
+               Json.Assoc
+                 [
+                   ("strategy", strategy_json s.Portfolio.strategy);
+                   ("cost", Json.float_ s.Portfolio.cost);
+                   ("evaluations", Json.Int s.Portfolio.evaluations);
+                   ("rounds_won", Json.Int s.Portfolio.rounds_won);
+                 ])
+             r.Portfolio.per_strategy) );
+    ]
+
+let report_of_json j =
+  {
+    Portfolio.result = result_of_json (Json.get "result" j);
+    winner = strategy_of_json (Json.get "winner" j);
+    rounds = Json.to_int (Json.get "rounds" j);
+    updates = Json.to_int (Json.get "updates" j);
+    tightenings = Json.to_int (Json.get "tightenings" j);
+    per_strategy =
+      List.map
+        (fun entry ->
+          {
+            Portfolio.strategy = strategy_of_json (Json.get "strategy" entry);
+            cost = Json.to_float (Json.get "cost" entry);
+            evaluations = Json.to_int (Json.get "evaluations" entry);
+            rounds_won = Json.to_int (Json.get "rounds_won" entry);
+          })
+        (Json.to_list (Json.get "per_strategy" j));
+  }
+
 (* --- journal protocol --- *)
 
 let progress_record state =
   Json.Assoc [ ("type", Json.Str "progress"); ("state", state) ]
 
 let done_record result =
-  Json.Assoc [ ("type", Json.Str "done"); ("value", result_json result) ]
+  Json.Assoc [ ("type", Json.Str "done"); ("value", result) ]
 
 let record_type r =
   match Json.find "type" r with Some (Json.Str t) -> t | _ -> ""
@@ -142,7 +369,8 @@ let last_progress records =
    may derive from an upstream search that was itself cut short (e.g. a
    warm start from an interrupted CWM leg), so journaling them would
    poison the store with state the resumed run can never reproduce. *)
-let run_leg ~store ~key ~meta ~every ~encode ~decode ~stop ~run =
+let run_leg ~store ~key ~meta ~every ~encode ~decode ~encode_result
+    ~decode_result ~stop ~run =
   if stop () then run ?checkpoint:None ?resume:None ()
   else
     let path = Store.shard_path store ~key in
@@ -167,7 +395,7 @@ let run_leg ~store ~key ~meta ~every ~encode ~decode ~stop ~run =
             match find_done loaded.Journal.records with
             | Some value ->
               Journal.close j;
-              `Replay (result_of_json value)
+              `Replay (decode_result value)
             | None ->
               let resume =
                 Option.map decode (last_progress loaded.Journal.records)
@@ -187,7 +415,8 @@ let run_leg ~store ~key ~meta ~every ~encode ~decode ~stop ~run =
             Journal.append_exn journal (progress_record (encode ckpt))
           in
           let result = run ?checkpoint:(Some (every, hook)) ?resume () in
-          if not (stop ()) then Journal.append_exn journal (done_record result);
+          if not (stop ()) then
+            Journal.append_exn journal (done_record (encode_result result));
           result)
 
 let annealing ~store ~key ?(every = default_every) ~rng ~config ~tiles
@@ -210,10 +439,83 @@ let annealing ~store ~key ?(every = default_every) ~rng ~config ~tiles
       ]
   in
   run_leg ~store ~key ~meta ~every ~encode:sa_checkpoint_json
-    ~decode:sa_checkpoint_of_json ~stop
+    ~decode:sa_checkpoint_of_json ~encode_result:result_json
+    ~decode_result:result_of_json ~stop
     ~run:(fun ?checkpoint ?resume () ->
       Annealing.search ~rng ~config ~tiles ~objective ?initial ~stop
         ?convergence ?checkpoint ?resume ~cores ())
+
+let tabu ~store ~key ?(every = default_every) ~rng ~config ~tiles ~objective
+    ?initial ?(stop = fun () -> false) ?convergence ~cores () =
+  let meta =
+    Json.Assoc
+      [
+        ("algorithm", Json.Str "tabu");
+        ("objective", Json.Str objective.Objective.name);
+        ("rng", Json.int64 (Rng.state rng));
+        ("tiles", Json.Int tiles);
+        ("cores", Json.Int cores);
+        ("config", tabu_config_json config);
+        ( "initial",
+          match initial with
+          | None -> Json.Null
+          | Some p -> placement_json p );
+      ]
+  in
+  run_leg ~store ~key ~meta ~every ~encode:tabu_checkpoint_json
+    ~decode:tabu_checkpoint_of_json ~encode_result:result_json
+    ~decode_result:result_of_json ~stop
+    ~run:(fun ?checkpoint ?resume () ->
+      Tabu.search ~rng ~config ~tiles ~objective ?initial ~stop ?convergence
+        ?checkpoint ?resume ~cores ())
+
+let genetic ~store ~key ?(every = default_every) ~rng ~config ~tiles ~objective
+    ?initial ?(stop = fun () -> false) ?convergence ~cores () =
+  let meta =
+    Json.Assoc
+      [
+        ("algorithm", Json.Str "ga");
+        ("objective", Json.Str objective.Objective.name);
+        ("rng", Json.int64 (Rng.state rng));
+        ("tiles", Json.Int tiles);
+        ("cores", Json.Int cores);
+        ("config", genetic_config_json config);
+        ( "initial",
+          match initial with
+          | None -> Json.Null
+          | Some p -> placement_json p );
+      ]
+  in
+  run_leg ~store ~key ~meta ~every ~encode:genetic_checkpoint_json
+    ~decode:genetic_checkpoint_of_json ~encode_result:result_json
+    ~decode_result:result_of_json ~stop
+    ~run:(fun ?checkpoint ?resume () ->
+      Genetic.search ~rng ~config ~tiles ~objective ?initial ~stop ?convergence
+        ?checkpoint ?resume ~cores ())
+
+let portfolio ~store ~key ?(every = default_every) ~rng ~config ~strategies
+    ~tech ~crg ~cwg ~objective_name ~objective_for ?pool
+    ?(stop = fun () -> false) ?target () =
+  let meta =
+    Json.Assoc
+      [
+        ("algorithm", Json.Str "portfolio");
+        ("strategies", Json.List (List.map strategy_json strategies));
+        ("objective", Json.Str objective_name);
+        ("rng", Json.int64 (Rng.state rng));
+        ("tiles", Json.Int (Nocmap_noc.Crg.tile_count crg));
+        ("cores", Json.Int (Nocmap_model.Cwg.core_count cwg));
+        ("config", portfolio_config_json config);
+        ( "target",
+          match target with None -> Json.Null | Some t -> Json.float_ t );
+      ]
+  in
+  run_leg ~store ~key ~meta ~every ~encode:portfolio_checkpoint_json
+    ~decode:portfolio_checkpoint_of_json ~encode_result:report_json
+    ~decode_result:report_of_json ~stop
+    ~run:(fun ?checkpoint ?resume () ->
+      Portfolio.search ~rng ~config ~strategies ~tech ~crg ~cwg ~objective_for
+        ?pool ~stop ?target ?checkpoint ?resume ())
 
 let local_search ~store ~key ?(every = default_every) ~objective ~tiles
     ~initial ?(max_evaluations = 100_000) ?(stop = fun () -> false)
@@ -230,7 +532,8 @@ let local_search ~store ~key ?(every = default_every) ~objective ~tiles
       ]
   in
   run_leg ~store ~key ~meta ~every ~encode:ls_checkpoint_json
-    ~decode:ls_checkpoint_of_json ~stop
+    ~decode:ls_checkpoint_of_json ~encode_result:result_json
+    ~decode_result:result_of_json ~stop
     ~run:(fun ?checkpoint ?resume () ->
       Local_search.search ~objective ~tiles ~initial ~max_evaluations
         ?convergence ~stop ?checkpoint ?resume ())

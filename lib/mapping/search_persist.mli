@@ -63,6 +63,67 @@ val local_search :
   Objective.search_result
 (** {!Local_search.search} under the same protocol. *)
 
+val tabu :
+  store:Nocmap_persist.Store.t ->
+  key:string ->
+  ?every:int ->
+  rng:Nocmap_util.Rng.t ->
+  config:Tabu.config ->
+  tiles:int ->
+  objective:Objective.t ->
+  ?initial:Placement.t ->
+  ?stop:(unit -> bool) ->
+  ?convergence:Nocmap_obs.Series.t ->
+  cores:int ->
+  unit ->
+  Objective.search_result
+(** {!Tabu.search} under the same protocol (algorithm fingerprint
+    ["tabu"] — a shard recorded by any other algorithm is rejected). *)
+
+val genetic :
+  store:Nocmap_persist.Store.t ->
+  key:string ->
+  ?every:int ->
+  rng:Nocmap_util.Rng.t ->
+  config:Genetic.config ->
+  tiles:int ->
+  objective:Objective.t ->
+  ?initial:Placement.t ->
+  ?stop:(unit -> bool) ->
+  ?convergence:Nocmap_obs.Series.t ->
+  cores:int ->
+  unit ->
+  Objective.search_result
+(** {!Genetic.search} under the same protocol (algorithm fingerprint
+    ["ga"]). *)
+
+val portfolio :
+  store:Nocmap_persist.Store.t ->
+  key:string ->
+  ?every:int ->
+  rng:Nocmap_util.Rng.t ->
+  config:Portfolio.config ->
+  strategies:Portfolio.strategy list ->
+  tech:Nocmap_energy.Technology.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cwg:Nocmap_model.Cwg.t ->
+  objective_name:string ->
+  objective_for:(Portfolio.strategy -> Objective.t) ->
+  ?pool:Nocmap_util.Domain_pool.t ->
+  ?stop:(unit -> bool) ->
+  ?target:float ->
+  unit ->
+  Portfolio.report
+(** {!Portfolio.search} under the same protocol, journaled as a single
+    shard: each [progress] record is one consistent race snapshot
+    (every racer's native live state plus the driver's barrier
+    bookkeeping), and the [done] record carries the full
+    {!Portfolio.report}.  The fingerprint includes the strategy list
+    and the per-strategy configs, so reopening the shard with a
+    different portfolio — even one renamed strategy — fails loudly.
+    [objective_name] identifies the objective in the fingerprint
+    without forcing [objective_for] (which may build caches). *)
+
 (**/**)
 
 (** Shared encodings, exposed for the driver layer ({!module:

@@ -1,0 +1,60 @@
+module Crg = Nocmap_noc.Crg
+module Mesh = Nocmap_noc.Mesh
+module Cwg = Nocmap_model.Cwg
+
+(* Square-spiral walk anchored at the central tile; out-of-mesh steps are
+   skipped, so the same walk covers square, non-square and degenerate
+   (1xN) meshes.  The spiral expands forever, so every tile of any
+   bounding rectangle around the center is eventually visited. *)
+let tile_order mesh =
+  let cols = mesh.Mesh.cols and rows = mesh.Mesh.rows in
+  let total = cols * rows in
+  let order = Array.make total (-1) in
+  let count = ref 0 in
+  let visit x y =
+    if x >= 0 && x < cols && y >= 0 && y < rows then begin
+      order.(!count) <- Mesh.tile_of_coord mesh ~x ~y;
+      incr count
+    end
+  in
+  let x = ref ((cols - 1) / 2) and y = ref ((rows - 1) / 2) in
+  visit !x !y;
+  (* Arms of growing length, two per length: E,S then W,N alternating. *)
+  let dirs = [| (1, 0); (0, 1); (-1, 0); (0, -1) |] in
+  let dir = ref 0 and arm = ref 1 in
+  while !count < total do
+    for _leg = 1 to 2 do
+      let dx, dy = dirs.(!dir) in
+      for _ = 1 to !arm do
+        if !count < total then begin
+          x := !x + dx;
+          y := !y + dy;
+          visit !x !y
+        end
+      done;
+      dir := (!dir + 1) mod 4
+    done;
+    incr arm
+  done;
+  order
+
+let search ~tech ~crg ~cwg () =
+  let cores = Cwg.core_count cwg in
+  let tiles = Crg.tile_count crg in
+  if cores > tiles then invalid_arg "Spiral.search: more cores than tiles";
+  let order = tile_order (Crg.mesh crg) in
+  (* Heaviest communicators sit innermost on the spiral, so the core
+     pairs that exchange the most traffic stay within a few hops of the
+     center — the placement heuristic of Benhaoua et al. *)
+  let ranked =
+    List.sort
+      (fun a b -> Int.compare (Greedy.connectivity cwg b) (Greedy.connectivity cwg a))
+      (List.init cores Fun.id)
+  in
+  let placement = Array.make cores (-1) in
+  List.iteri (fun rank core -> placement.(core) <- order.(rank)) ranked;
+  {
+    Objective.placement;
+    cost = Cost_cwm.dynamic_energy ~tech ~crg ~cwg placement;
+    evaluations = 0;
+  }

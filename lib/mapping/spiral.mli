@@ -1,0 +1,22 @@
+(** Spiral constructive mapping (after Benhaoua et al., arXiv:1312.5764).
+
+    Tiles are ordered along a square spiral anchored at the most central
+    tile; cores are ranked by total communication volume and assigned in
+    that order, so the heaviest communicators cluster around the center
+    where average hop distance is lowest.  Fully deterministic and
+    essentially free — the portfolio uses it as a cheap seed. *)
+
+val tile_order : Nocmap_noc.Mesh.t -> int array
+(** Every tile of the mesh exactly once, in spiral order from the
+    central tile outward.  Works for any mesh shape, including 1xN. *)
+
+val search :
+  tech:Nocmap_energy.Technology.t ->
+  crg:Nocmap_noc.Crg.t ->
+  cwg:Nocmap_model.Cwg.t ->
+  unit ->
+  Objective.search_result
+(** The reported [cost] is the CWM dynamic energy of the placement;
+    [evaluations] is 0 (construction evaluates nothing).
+    @raise Invalid_argument when the application has more cores than the
+    CRG has tiles. *)

@@ -1,0 +1,63 @@
+(** Tabu search over placements — the portfolio's memory-based racer.
+
+    Each iteration samples a neighborhood of single-core moves, takes
+    the cheapest admissible one (uphill included — short-term memory is
+    what prevents cycling), and forbids undoing it for [tenure]
+    iterations.  A tabu move is admissible only when it beats the best
+    cost ever seen (aspiration).  All randomness comes from the caller's
+    {!Nocmap_util.Rng} substream, so runs are reproducible and
+    checkpoint resume is bit-identical. *)
+
+type config = {
+  tenure : int;        (** Iterations a reverse move stays forbidden. *)
+  neighborhood : int;  (** Sampled candidate moves per iteration. *)
+  patience : int;      (** Stop after this many consecutive iterations
+                           without improving the best cost. *)
+  max_evaluations : int;  (** Hard budget on cost calls. *)
+}
+
+val default_config : tiles:int -> config
+val quick_config : tiles:int -> config
+(** A cheaper budget for tests and smoke benches. *)
+
+type checkpoint = {
+  rng_state : int64;
+  evaluations : int;
+  iteration : int;
+  current : Placement.t;
+  current_cost : float;
+  best : Placement.t;
+  best_cost : float;
+  stale : int;
+  tabu : (int * int * int) list;
+      (** Active move attributes as [(core, tile, expires_at)]. *)
+  cutoff_hits : int;
+}
+(** Complete loop state, captured at iteration boundaries.  As with
+    {!Annealing.checkpoint}, a resumed search replays the exact
+    trajectory of the uninterrupted run. *)
+
+val search :
+  rng:Nocmap_util.Rng.t ->
+  config:config ->
+  tiles:int ->
+  objective:Objective.t ->
+  ?initial:Placement.t ->
+  ?ceiling:float ->
+  ?stop:(unit -> bool) ->
+  ?convergence:Nocmap_obs.Series.t ->
+  ?checkpoint:int * (checkpoint -> unit) ->
+  ?resume:checkpoint ->
+  cores:int ->
+  unit ->
+  Objective.search_result
+(** Runs one tabu search.  The option contract matches
+    {!Annealing.search}: [?stop] must be sticky and is polled at
+    iteration boundaries; [?checkpoint:(every, hook)] flushes live
+    state on the same cadence plus once when [stop] ends the run;
+    [?resume] restores a checkpoint ([rng] is overwritten, [?initial]
+    ignored).  [?ceiling] (default [infinity], a no-op) caps the
+    neighborhood-scan cutoff so candidates provably worse than a racing
+    incumbent are truncated; a finite ceiling changes the walk.
+    @raise Invalid_argument when [cores > tiles] or the config is
+    malformed. *)

@@ -483,6 +483,45 @@ let execute t ~share ~stop (spec : Job_spec.t) =
             crg
         in
         Mapping.Exhaustive.search ~objective ~cores ~tiles ~symmetry ()
+      | Job_spec.Portfolio strategies ->
+        let portfolio_config =
+          match spec.budget with
+          | Job_spec.Quick -> Mapping.Portfolio.quick_config ~tiles
+          | Job_spec.Standard -> Mapping.Portfolio.default_config ~tiles
+        in
+        let symmetry =
+          Symmetry.of_crg
+            ~level:
+              (match spec.model with
+              | Job_spec.Cwm -> Symmetry.Hops
+              | Job_spec.Cdcm -> Symmetry.Paths)
+            crg
+        in
+        (* Racers may run on distinct domains and Eval_cache is
+           single-domain, so the portfolio never borrows the engine's
+           shared caches: each strategy gets a fresh objective and a
+           private cache built from the one symmetry group above. *)
+        let objective_for _ =
+          let base =
+            match spec.model with
+            | Job_spec.Cwm -> Mapping.Objective.cwm ~tech ~crg ~cwg
+            | Job_spec.Cdcm ->
+              Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
+          in
+          Mapping.Objective.with_cache
+            (Mapping.Eval_cache.create ~symmetry ~cores
+               ~discriminator:(Job_spec.model_to_string spec.model)
+               ())
+            base
+        in
+        let report =
+          Mapping.Search_persist.portfolio ~store:t.store
+            ~key:(shard "portfolio") ~every ~rng ~config:portfolio_config
+            ~strategies ~tech ~crg ~cwg
+            ~objective_name:objective.Mapping.Objective.name ~objective_for
+            ~stop:job_stop ()
+        in
+        report.Mapping.Portfolio.result
     in
     if stop () then Run_stopped
     else if !timed_out then

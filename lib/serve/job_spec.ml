@@ -21,6 +21,7 @@ type algorithm =
   | Greedy_local
   | Random
   | Es
+  | Portfolio of Nocmap_mapping.Portfolio.strategy list
 
 type budget =
   | Quick
@@ -69,6 +70,7 @@ let algorithm_to_string = function
   | Greedy_local -> "greedy+local"
   | Random -> "random"
   | Es -> "es"
+  | Portfolio _ -> "portfolio"
 
 let algorithm_of_string = function
   | "sa" -> Ok Sa
@@ -77,11 +79,12 @@ let algorithm_of_string = function
   | "greedy+local" -> Ok Greedy_local
   | "random" -> Ok Random
   | "es" -> Ok Es
+  | "portfolio" -> Ok (Portfolio Nocmap_mapping.Portfolio.all_strategies)
   | other ->
     Error
       (Printf.sprintf
-         "unknown algorithm %S (want sa, local, greedy, greedy+local, random \
-          or es)"
+         "unknown algorithm %S (want sa, local, greedy, greedy+local, random, \
+          es or portfolio)"
          other)
 
 let budget_to_string = function Quick -> "quick" | Standard -> "standard"
@@ -107,6 +110,19 @@ let to_json t =
        ("flit", Json.Int t.flit_bits);
        ("model", Json.Str (model_to_string t.model));
        ("algorithm", Json.Str (algorithm_to_string t.algorithm));
+     ]
+    @ (match t.algorithm with
+      | Portfolio strategies ->
+        [
+          ( "strategies",
+            Json.List
+              (List.map
+                 (fun s ->
+                   Json.Str (Nocmap_mapping.Portfolio.strategy_to_string s))
+                 strategies) );
+        ]
+      | Sa | Local | Greedy | Greedy_local | Random | Es -> [])
+    @ [
        ("seed", Json.Int t.seed);
        ("budget", Json.Str (budget_to_string t.budget));
        ("incremental", Json.Bool t.incremental);
@@ -206,6 +222,35 @@ let of_json j =
     let* model = model_of_string model_s in
     let* algorithm_s = str_field ~default:"sa" j "algorithm" in
     let* algorithm = algorithm_of_string algorithm_s in
+    let* algorithm =
+      match (algorithm, Json.find "strategies" j) with
+      | Portfolio _, Some (Json.List entries) ->
+        let* names =
+          List.fold_left
+            (fun acc entry ->
+              let* acc = acc in
+              match entry with
+              | Json.Str name -> Ok (name :: acc)
+              | _ -> Error "field \"strategies\": expected a list of strings")
+            (Ok []) entries
+        in
+        let names = String.concat "," (List.rev names) in
+        let* strategies =
+          match Nocmap_mapping.Portfolio.strategies_of_string names with
+          | Ok s -> Ok s
+          | Error e -> Error (Printf.sprintf "field \"strategies\": %s" e)
+        in
+        Ok (Portfolio strategies)
+      | Portfolio _, Some _ ->
+        Error "field \"strategies\": expected a list of strings"
+      | Portfolio _, None -> Ok algorithm
+      | (Sa | Local | Greedy | Greedy_local | Random | Es), Some _ ->
+        Error
+          "field \"strategies\": only meaningful with \"algorithm\": \
+           \"portfolio\""
+      | (Sa | Local | Greedy | Greedy_local | Random | Es), None ->
+        Ok algorithm
+    in
     let* seed = int_field ~default:1 j "seed" in
     let* budget_s = str_field ~default:"standard" j "budget" in
     let* budget = budget_of_string budget_s in

@@ -22,6 +22,12 @@ type algorithm =
   | Greedy_local (** Greedy seed refined by local search. *)
   | Random       (** Random sampling baseline. *)
   | Es           (** Exhaustive search (small instances only). *)
+  | Portfolio of Nocmap_mapping.Portfolio.strategy list
+      (** Racing portfolio ({!Nocmap_mapping.Portfolio}, checkpointable
+          as one shard).  The optional ["strategies"] field — a JSON
+          list of names from [spiral], [greedy], [sa], [tabu],
+          [genetic] — selects the racers; it defaults to all five, and
+          an unknown or duplicate name rejects the spec. *)
 
 type budget =
   | Quick     (** The algorithm's reduced-budget configuration. *)

@@ -145,6 +145,52 @@ let test_spec_resolve () =
   | Ok _ -> Alcotest.fail "oversized app accepted"
   | Error msg -> Test_util.check_contains ~msg:"does not fit" ~needle:"do not fit" msg)
 
+let test_spec_portfolio () =
+  (* Explicit strategy list survives the wire round-trip in order. *)
+  (match
+     Job_spec.of_string
+       {|{"id":"p","app":{"builtin":"fig1"},"algorithm":"portfolio",
+          "strategies":["sa","tabu"]}|}
+   with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+    (match spec.Job_spec.algorithm with
+    | Job_spec.Portfolio [ Nocmap_mapping.Portfolio.Sa; Nocmap_mapping.Portfolio.Tabu ]
+      -> ()
+    | _ -> Alcotest.fail "expected Portfolio [Sa; Tabu]");
+    let again =
+      match Job_spec.of_json (Job_spec.to_json spec) with
+      | Ok s -> s
+      | Error e -> Alcotest.fail e
+    in
+    Alcotest.(check bool) "round-trips" true (spec = again));
+  (* No "strategies" field defaults to the full portfolio. *)
+  match
+    Job_spec.of_string
+      {|{"id":"p","app":{"builtin":"fig1"},"algorithm":"portfolio"}|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok spec -> (
+    match spec.Job_spec.algorithm with
+    | Job_spec.Portfolio strategies ->
+      Alcotest.(check bool) "all strategies" true
+        (strategies = Nocmap_mapping.Portfolio.all_strategies)
+    | _ -> Alcotest.fail "expected Portfolio")
+
+let test_spec_portfolio_rejections () =
+  expect_invalid ~needle:"unknown strategy"
+    {|{"id":"x","app":{"builtin":"fig1"},"algorithm":"portfolio",
+       "strategies":["sa","warp"]}|};
+  expect_invalid ~needle:"duplicate strategy"
+    {|{"id":"x","app":{"builtin":"fig1"},"algorithm":"portfolio",
+       "strategies":["sa","sa"]}|};
+  expect_invalid ~needle:"strategies"
+    {|{"id":"x","app":{"builtin":"fig1"},"algorithm":"portfolio",
+       "strategies":"sa"}|};
+  expect_invalid ~needle:"portfolio"
+    {|{"id":"x","app":{"builtin":"fig1"},"algorithm":"sa",
+       "strategies":["sa"]}|}
+
 let hostile_spec_prop =
   QCheck2.Test.make ~name:"Job_spec.of_string never raises"
     ~count:(Test_util.prop_count 500)
@@ -197,6 +243,26 @@ let test_engine_runs_job () =
   Engine.run_pending engine;
   Alcotest.(check int) "drained" 0 (Engine.queue_depth engine);
   (match find_completed events "one" with
+  | Some result ->
+    (match Json.find "cost" result with
+    | Some (Json.Str _) -> ()
+    | _ -> Alcotest.fail "result has no cost")
+  | None -> Alcotest.fail "no Completed event");
+  Engine.close engine
+
+let test_engine_portfolio_job () =
+  let dir = temp_dir () in
+  let engine, events = make_engine ~config:fast_config dir in
+  let spec =
+    {|{"id":"race","app":{"builtin":"romberg"},"noc":"3x3","model":"cdcm",
+       "algorithm":"portfolio","strategies":["spiral","greedy","sa"],
+       "budget":"quick","seed":5}|}
+  in
+  (match Engine.submit engine ~source:"test" spec with
+  | Engine.Submitted -> ()
+  | _ -> Alcotest.fail "expected Submitted");
+  Engine.run_pending engine;
+  (match find_completed events "race" with
   | Some result ->
     (match Json.find "cost" result with
     | Some (Json.Str _) -> ()
@@ -515,8 +581,13 @@ let suite =
       Alcotest.test_case "spec defaults" `Quick test_spec_defaults;
       Alcotest.test_case "spec rejections" `Quick test_spec_rejections;
       Alcotest.test_case "spec app resolution" `Quick test_spec_resolve;
+      Alcotest.test_case "spec portfolio strategies" `Quick test_spec_portfolio;
+      Alcotest.test_case "spec portfolio rejections" `Quick
+        test_spec_portfolio_rejections;
       QCheck_alcotest.to_alcotest hostile_spec_prop;
       Alcotest.test_case "engine runs a job" `Quick test_engine_runs_job;
+      Alcotest.test_case "engine runs a portfolio job" `Quick
+        test_engine_portfolio_job;
       Alcotest.test_case "engine rejects invalid input" `Quick test_engine_rejects_invalid;
       Alcotest.test_case "engine refuses duplicates" `Quick test_engine_duplicate;
       Alcotest.test_case "engine sheds overload" `Quick test_engine_sheds_overload;
