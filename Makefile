@@ -1,5 +1,5 @@
 .PHONY: all build check test test-props portfolio bench bench-smoke bench-gate \
-	resume-smoke serve-smoke examples lint clean
+	scale-smoke resume-smoke serve-smoke examples lint clean
 
 all: build
 
@@ -44,6 +44,29 @@ bench-gate:
 	NOCMAP_BENCH_BUDGET=quick dune exec bench/main.exe
 	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_nocmap.json
 
+# Scale wall smoke: a reduced 64-tile decompose end to end through the
+# CLI (gen -> map --algorithm decompose on an 8x8 mesh, partition report
+# required in the output), then the large-mesh profiling suite
+# (NOCMAP_BENCH_BUDGET=scale writes SCALE_profile.csv, SCALE_heatmap.csv
+# and BENCH_nocmap.json) and the regression gate over the committed
+# baseline — the scale_* keys and decompose_vs_flat_quality are gated
+# like any other metric.  To refresh the baseline intentionally: run
+# `make bench-smoke` and commit BENCH_nocmap.json.
+SCALE_DIR := _build/scale-smoke
+scale-smoke:
+	dune build bin/nocmap_cli.exe bench/main.exe
+	rm -rf $(SCALE_DIR) && mkdir -p $(SCALE_DIR)
+	./_build/default/bin/nocmap_cli.exe gen --cores 60 --packets 480 \
+		--bits 6000000 --seed 20 -o $(SCALE_DIR)/app64.cdcg
+	./_build/default/bin/nocmap_cli.exe map --noc 8x8 \
+		--app $(SCALE_DIR)/app64.cdcg --model cwm --algorithm decompose \
+		--seed 7 > $(SCALE_DIR)/map.txt
+	grep -q "^decompose   : " $(SCALE_DIR)/map.txt
+	cp BENCH_nocmap.json BENCH_baseline.json
+	NOCMAP_BENCH_BUDGET=scale dune exec bench/main.exe
+	dune exec bench/main.exe -- --compare BENCH_baseline.json BENCH_nocmap.json
+	@echo "scale-smoke: decompose end-to-end and scale gate passed"
+
 # Crash-safety smoke: start a checkpointed table2, kill it mid-run with
 # SIGINT, resume from the journal, and require the resumed table to be
 # byte-identical to an uninterrupted run.  Robust at either extreme: a
@@ -86,4 +109,5 @@ lint:
 
 clean:
 	dune clean
-	rm -f BENCH_baseline.json BENCH_comparison.json
+	rm -f BENCH_baseline.json BENCH_comparison.json SCALE_profile.csv \
+		SCALE_heatmap.csv

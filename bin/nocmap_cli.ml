@@ -276,17 +276,48 @@ let gen_cmd =
       value & opt int 50_000
       & info [ "bits" ] ~docv:"N" ~doc:"Total communication volume in bits.")
   in
+  let pipeline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "pipeline" ] ~docv:"SxW"
+          ~doc:
+            "Generate a deterministic staged streaming pipeline of S stages x \
+             W lanes (e.g. 16x16 for the 256-core scaling flagship) instead \
+             of a random CDCG; $(b,--cores), $(b,--packets), $(b,--bits) and \
+             $(b,--seed) are ignored.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Waves pushed through a $(b,--pipeline); ignored otherwise.")
+  in
   let out =
     Arg.(
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
-  let run seed cores packets bits out =
-    let spec =
-      Nocmap_tgff.Generator.default_spec ~name:(Printf.sprintf "random-%d" seed)
-        ~cores ~packets ~total_bits:bits
+  let run seed cores packets bits pipeline rounds out =
+    let cdcg =
+      match pipeline with
+      | None ->
+        let spec =
+          Nocmap_tgff.Generator.default_spec
+            ~name:(Printf.sprintf "random-%d" seed)
+            ~cores ~packets ~total_bits:bits
+        in
+        Nocmap_tgff.Generator.generate (Rng.create ~seed) spec
+      | Some shape ->
+        let mesh =
+          try Nocmap_noc.Mesh.of_string shape
+          with Invalid_argument _ ->
+            or_die (Error (Printf.sprintf "bad --pipeline shape %S" shape))
+        in
+        Nocmap_tgff.Scale.pipeline
+          ~name:(Printf.sprintf "pipeline-%s" shape)
+          ~rounds ~stages:mesh.Nocmap_noc.Mesh.cols
+          ~width:mesh.Nocmap_noc.Mesh.rows ()
     in
-    let cdcg = Nocmap_tgff.Generator.generate (Rng.create ~seed) spec in
     let text = Textio.cdcg_to_string cdcg in
     match out with
     | None -> print_string text
@@ -296,7 +327,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a TGFF-like random CDCG benchmark")
-    Term.(const run $ seed_arg $ cores $ packets $ bits $ out)
+    Term.(const run $ seed_arg $ cores $ packets $ bits $ pipeline $ rounds $ out)
 
 (* --- apps --- *)
 
@@ -367,8 +398,16 @@ let map_cmd =
       value & opt string "sa"
       & info [ "algorithm" ] ~docv:"ALG"
           ~doc:
-            "Search: sa, es, greedy, local, greedy+local, random or \
-             portfolio.")
+            "Search: sa, es, greedy, local, greedy+local, random, \
+             portfolio or decompose.")
+  in
+  let refiner_arg =
+    Arg.(
+      value & opt string "sa"
+      & info [ "refiner" ] ~docv:"REF"
+          ~doc:
+            "Per-region searcher used by --algorithm decompose: sa, tabu \
+             or local.")
   in
   let strategies_arg =
     Arg.(
@@ -405,8 +444,8 @@ let map_cmd =
              search.  Requires --model cdcm.")
   in
   let run mesh seed flit tech_name routing app builtin model algorithm
-      strategies_spec jobs save metrics convergence_path use_cache incremental
-      checkpoint_dir checkpoint_every =
+      strategies_spec refiner_spec jobs save metrics convergence_path use_cache
+      incremental checkpoint_dir checkpoint_every =
     let mesh = Mesh.of_string mesh in
     let tech = or_die (load_tech tech_name) in
     let cdcg = or_die (load_app ~path:app ~builtin) in
@@ -459,12 +498,13 @@ let map_cmd =
     (match checkpoint_dir with
     | Some _
       when algorithm <> "sa" && algorithm <> "local"
-           && algorithm <> "greedy+local" && algorithm <> "portfolio" ->
+           && algorithm <> "greedy+local" && algorithm <> "portfolio"
+           && algorithm <> "decompose" ->
       prerr_endline
         (Printf.sprintf
            "nocmap: --checkpoint-dir only journals the sa, local, \
-            greedy+local and portfolio searches; algorithm %S runs without \
-            checkpoints"
+            greedy+local, portfolio and decompose searches; algorithm %S \
+            runs without checkpoints"
            algorithm)
     | Some _ | None -> ());
     let persist = setup_persist ~command:"map" checkpoint_dir checkpoint_every in
@@ -475,6 +515,24 @@ let map_cmd =
         convergence_path
     in
     let portfolio_report = ref None in
+    let decompose_report = ref None in
+    (* Each parallel searcher runs on its own domain and Eval_cache is
+       single-domain, so parallel algorithms get one fresh objective
+       (and private cache) per call — all built from the symmetry group
+       computed once above. *)
+    let fresh_objective () =
+      let base =
+        match model with
+        | "cwm" -> Mapping.Objective.cwm ~tech ~crg ~cwg
+        | _ -> Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
+      in
+      match symmetry with
+      | Some symmetry ->
+        Mapping.Objective.with_cache
+          (Mapping.Eval_cache.create ~symmetry ~cores ~discriminator:model ())
+          base
+      | None -> base
+    in
     let result =
       match algorithm with
       | "sa" -> (
@@ -519,25 +577,7 @@ let map_cmd =
           or_die (Mapping.Portfolio.strategies_of_string strategies_spec)
         in
         let portfolio_config = Mapping.Portfolio.default_config ~tiles in
-        (* Each racer runs on its own domain and Eval_cache is
-           single-domain, so the portfolio gets one fresh objective (and
-           private cache) per strategy — all built from the symmetry
-           group computed once above. *)
-        let objective_for _ =
-          let base =
-            match model with
-            | "cwm" -> Mapping.Objective.cwm ~tech ~crg ~cwg
-            | _ ->
-              Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
-          in
-          match symmetry with
-          | Some symmetry ->
-            Mapping.Objective.with_cache
-              (Mapping.Eval_cache.create ~symmetry ~cores ~discriminator:model
-                 ())
-              base
-          | None -> base
-        in
+        let objective_for _ = fresh_objective () in
         with_jobs (resolve_jobs jobs) @@ fun pool ->
         let report =
           match persist with
@@ -554,6 +594,32 @@ let map_cmd =
         in
         portfolio_report := Some report;
         report.Mapping.Portfolio.result
+      | "decompose" ->
+        let refiner =
+          match Mapping.Decompose.refiner_of_string refiner_spec with
+          | Some r -> r
+          | None -> or_die (Error ("unknown refiner " ^ refiner_spec))
+        in
+        let decompose_config =
+          { (Mapping.Decompose.default_config ~tiles) with
+            Mapping.Decompose.refiner
+          }
+        in
+        with_jobs (resolve_jobs jobs) @@ fun pool ->
+        let report =
+          match persist with
+          | None ->
+            Mapping.Decompose.search ~rng ~config:decompose_config ~crg ~cwg
+              ~objective_for:fresh_objective ?pool ~stop:stop_requested ()
+          | Some (p : Nocmap.Experiment.persist) ->
+            Mapping.Search_persist.decompose ~store:p.Nocmap.Experiment.store
+              ~key:(p.Nocmap.Experiment.scope ^ ".decompose")
+              ~every:p.Nocmap.Experiment.every ~rng ~config:decompose_config
+              ~crg ~cwg ~objective_name:objective.Mapping.Objective.name
+              ~objective_for:fresh_objective ?pool ~stop:stop_requested ()
+        in
+        decompose_report := Some report;
+        report.Mapping.Decompose.result
       | other -> or_die (Error ("unknown algorithm " ^ other))
     in
     (match (convergence_path, convergence) with
@@ -594,6 +660,29 @@ let map_cmd =
             s.Mapping.Portfolio.rounds_won)
         r.Mapping.Portfolio.per_strategy
     | None -> ());
+    (match !decompose_report with
+    | Some (r : Mapping.Decompose.report) ->
+      Printf.printf
+        "decompose   : %d regions, cut %d of %d bits (%.1f%%), seed cost \
+         %.6g, %d polish evaluations\n"
+        (List.length r.Mapping.Decompose.regions)
+        r.Mapping.Decompose.cut r.Mapping.Decompose.total
+        (100.0
+        *. float_of_int r.Mapping.Decompose.cut
+        /. float_of_int (max 1 r.Mapping.Decompose.total))
+        r.Mapping.Decompose.seed_cost r.Mapping.Decompose.polish_evaluations;
+      List.iter
+        (fun (reg : Mapping.Decompose.region_report) ->
+          let rect = reg.Mapping.Decompose.region_rect in
+          Printf.printf
+            "  region %dx%d at (%d,%d): %d cores, cost %.6g, %d evaluations\n"
+            rect.Mapping.Decompose.w rect.Mapping.Decompose.h
+            rect.Mapping.Decompose.x rect.Mapping.Decompose.y
+            (List.length reg.Mapping.Decompose.region_cores)
+            reg.Mapping.Decompose.region_cost
+            reg.Mapping.Decompose.region_evaluations)
+        r.Mapping.Decompose.regions
+    | None -> ());
     (match cache with
     | Some cache when Mapping.Eval_cache.(stats cache).Mapping.Eval_cache.misses > 0 ->
       let s = Mapping.Eval_cache.stats cache in
@@ -620,9 +709,9 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Search a core-to-tile mapping for an application")
     Term.(
       const run $ mesh_arg $ seed_arg $ flit_arg $ tech_arg $ routing_arg $ app_arg
-      $ builtin_arg $ model $ algorithm $ strategies_arg $ jobs_arg $ save
-      $ metrics_arg $ convergence_arg $ cache_arg $ incremental_arg
-      $ checkpoint_dir_arg $ checkpoint_every_arg)
+      $ builtin_arg $ model $ algorithm $ strategies_arg $ refiner_arg
+      $ jobs_arg $ save $ metrics_arg $ convergence_arg $ cache_arg
+      $ incremental_arg $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 (* --- eval --- *)
 

@@ -517,6 +517,149 @@ let portfolio ~store ~key ?(every = default_every) ~rng ~config ~strategies
       Portfolio.search ~rng ~config ~strategies ~tech ~crg ~cwg ~objective_for
         ?pool ~stop ?target ?checkpoint ?resume ())
 
+(* --- decompose --- *)
+
+let decompose_config_json (c : Decompose.config) =
+  Json.Assoc
+    [
+      ("max_region", Json.Int c.Decompose.max_region);
+      ("kl_passes", Json.Int c.Decompose.kl_passes);
+      ("refiner", Json.Str (Decompose.refiner_to_string c.Decompose.refiner));
+      ("slice", Json.Int c.Decompose.slice);
+      ("sa", sa_config_json c.Decompose.sa);
+      ("tabu", tabu_config_json c.Decompose.tabu);
+      ("local_evaluations", Json.Int c.Decompose.local_evaluations);
+      ("polish", Json.Int c.Decompose.polish);
+    ]
+
+let region_state_json = function
+  | Decompose.Sa_running c ->
+    Json.Assoc [ ("state", Json.Str "sa"); ("value", sa_checkpoint_json c) ]
+  | Decompose.Tabu_running c ->
+    Json.Assoc [ ("state", Json.Str "tabu"); ("value", tabu_checkpoint_json c) ]
+  | Decompose.Local_running c ->
+    Json.Assoc [ ("state", Json.Str "ls"); ("value", ls_checkpoint_json c) ]
+  | Decompose.Region_done r ->
+    Json.Assoc [ ("state", Json.Str "done"); ("value", result_json r) ]
+
+let region_state_of_json j =
+  let value = Json.get "value" j in
+  match Json.to_str (Json.get "state" j) with
+  | "sa" -> Decompose.Sa_running (sa_checkpoint_of_json value)
+  | "tabu" -> Decompose.Tabu_running (tabu_checkpoint_of_json value)
+  | "ls" -> Decompose.Local_running (ls_checkpoint_of_json value)
+  | "done" -> Decompose.Region_done (result_of_json value)
+  | other -> failwith ("unknown decompose region state: " ^ other)
+
+let decompose_checkpoint_json (c : Decompose.checkpoint) =
+  Json.Assoc
+    [
+      ( "regions",
+        Json.List (List.map region_state_json c.Decompose.region_states) );
+      ("seed", result_json c.Decompose.seed);
+      ( "base",
+        match c.Decompose.base with
+        | None -> Json.Null
+        | Some r -> result_json r );
+      ( "polish",
+        match c.Decompose.polish with
+        | None -> Json.Null
+        | Some ck -> ls_checkpoint_json ck );
+    ]
+
+let decompose_checkpoint_of_json j =
+  {
+    Decompose.region_states =
+      List.map region_state_of_json (Json.to_list (Json.get "regions" j));
+    seed = result_of_json (Json.get "seed" j);
+    base =
+      (match Json.get "base" j with
+      | Json.Null -> None
+      | v -> Some (result_of_json v));
+    polish =
+      (match Json.get "polish" j with
+      | Json.Null -> None
+      | v -> Some (ls_checkpoint_of_json v));
+  }
+
+let rect_json (r : Decompose.rect) =
+  Json.Assoc
+    [
+      ("x", Json.Int r.Decompose.x);
+      ("y", Json.Int r.Decompose.y);
+      ("w", Json.Int r.Decompose.w);
+      ("h", Json.Int r.Decompose.h);
+    ]
+
+let rect_of_json j =
+  {
+    Decompose.x = Json.to_int (Json.get "x" j);
+    y = Json.to_int (Json.get "y" j);
+    w = Json.to_int (Json.get "w" j);
+    h = Json.to_int (Json.get "h" j);
+  }
+
+let region_report_json (r : Decompose.region_report) =
+  Json.Assoc
+    [
+      ( "cores",
+        Json.List (List.map (fun c -> Json.Int c) r.Decompose.region_cores) );
+      ("rect", rect_json r.Decompose.region_rect);
+      ("cost", Json.float_ r.Decompose.region_cost);
+      ("evaluations", Json.Int r.Decompose.region_evaluations);
+    ]
+
+let region_report_of_json j =
+  {
+    Decompose.region_cores =
+      List.map Json.to_int (Json.to_list (Json.get "cores" j));
+    region_rect = rect_of_json (Json.get "rect" j);
+    region_cost = Json.to_float (Json.get "cost" j);
+    region_evaluations = Json.to_int (Json.get "evaluations" j);
+  }
+
+let decompose_report_json (r : Decompose.report) =
+  Json.Assoc
+    [
+      ("result", result_json r.Decompose.result);
+      ("regions", Json.List (List.map region_report_json r.Decompose.regions));
+      ("cut", Json.Int r.Decompose.cut);
+      ("total", Json.Int r.Decompose.total);
+      ("seed_cost", Json.float_ r.Decompose.seed_cost);
+      ("polish_evaluations", Json.Int r.Decompose.polish_evaluations);
+    ]
+
+let decompose_report_of_json j =
+  {
+    Decompose.result = result_of_json (Json.get "result" j);
+    regions =
+      List.map region_report_of_json (Json.to_list (Json.get "regions" j));
+    cut = Json.to_int (Json.get "cut" j);
+    total = Json.to_int (Json.get "total" j);
+    seed_cost = Json.to_float (Json.get "seed_cost" j);
+    polish_evaluations = Json.to_int (Json.get "polish_evaluations" j);
+  }
+
+let decompose ~store ~key ?(every = default_every) ~rng ~config ~crg ~cwg
+    ~objective_name ~objective_for ?pool ?(stop = fun () -> false) () =
+  let meta =
+    Json.Assoc
+      [
+        ("algorithm", Json.Str "decompose");
+        ("objective", Json.Str objective_name);
+        ("rng", Json.int64 (Rng.state rng));
+        ("tiles", Json.Int (Nocmap_noc.Crg.tile_count crg));
+        ("cores", Json.Int (Nocmap_model.Cwg.core_count cwg));
+        ("config", decompose_config_json config);
+      ]
+  in
+  run_leg ~store ~key ~meta ~every ~encode:decompose_checkpoint_json
+    ~decode:decompose_checkpoint_of_json ~encode_result:decompose_report_json
+    ~decode_result:decompose_report_of_json ~stop
+    ~run:(fun ?checkpoint ?resume () ->
+      Decompose.search ~rng ~config ~crg ~cwg ~objective_for ?pool ~stop
+        ?checkpoint ?resume ())
+
 let local_search ~store ~key ?(every = default_every) ~objective ~tiles
     ~initial ?(max_evaluations = 100_000) ?(stop = fun () -> false)
     ?convergence () =

@@ -124,6 +124,30 @@ val portfolio :
     [objective_name] identifies the objective in the fingerprint
     without forcing [objective_for] (which may build caches). *)
 
+val decompose :
+  store:Nocmap_persist.Store.t ->
+  key:string ->
+  ?every:int ->
+  rng:Nocmap_util.Rng.t ->
+  config:Decompose.config ->
+  crg:Nocmap_noc.Crg.t ->
+  cwg:Nocmap_model.Cwg.t ->
+  objective_name:string ->
+  objective_for:(unit -> Objective.t) ->
+  ?pool:Nocmap_util.Domain_pool.t ->
+  ?stop:(unit -> bool) ->
+  unit ->
+  Decompose.report
+(** {!Decompose.search} under the same protocol, journaled as a single
+    shard: each [progress] record is one consistent snapshot (every
+    region's native refiner state, the seed, and — once the regions
+    composed — the base result and the in-flight polish), and the
+    [done] record carries the full {!Decompose.report}.  The partition
+    and seed assignment are pure recomputations, so they are not
+    journaled; the fingerprint covers the config (including the
+    refiner), the objective name, the rng entry state and the instance
+    dimensions, rejecting any mismatched resume loudly. *)
+
 (**/**)
 
 (** Shared encodings, exposed for the driver layer ({!module:

@@ -522,6 +522,49 @@ let execute t ~share ~stop (spec : Job_spec.t) =
             ~stop:job_stop ()
         in
         report.Mapping.Portfolio.result
+      | Job_spec.Decompose refiner ->
+        let tiles_count = tiles in
+        let decompose_config =
+          let c =
+            match spec.budget with
+            | Job_spec.Quick -> Mapping.Decompose.quick_config ~tiles:tiles_count
+            | Job_spec.Standard ->
+              Mapping.Decompose.default_config ~tiles:tiles_count
+          in
+          { c with Mapping.Decompose.refiner }
+        in
+        let symmetry =
+          Symmetry.of_crg
+            ~level:
+              (match spec.model with
+              | Job_spec.Cwm -> Symmetry.Hops
+              | Job_spec.Cdcm -> Symmetry.Paths)
+            crg
+        in
+        (* Regions may refine on distinct domains and Eval_cache is
+           single-domain, so decompose never borrows the engine's shared
+           caches: each region gets a fresh objective and a private
+           cache built from the one symmetry group above. *)
+        let objective_for () =
+          let base =
+            match spec.model with
+            | Job_spec.Cwm -> Mapping.Objective.cwm ~tech ~crg ~cwg
+            | Job_spec.Cdcm ->
+              Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
+          in
+          Mapping.Objective.with_cache
+            (Mapping.Eval_cache.create ~symmetry ~cores
+               ~discriminator:(Job_spec.model_to_string spec.model)
+               ())
+            base
+        in
+        let report =
+          Mapping.Search_persist.decompose ~store:t.store
+            ~key:(shard "decompose") ~every ~rng ~config:decompose_config ~crg
+            ~cwg ~objective_name:objective.Mapping.Objective.name
+            ~objective_for ~stop:job_stop ()
+        in
+        report.Mapping.Decompose.result
     in
     if stop () then Run_stopped
     else if !timed_out then

@@ -22,6 +22,7 @@ type algorithm =
   | Random
   | Es
   | Portfolio of Nocmap_mapping.Portfolio.strategy list
+  | Decompose of Nocmap_mapping.Decompose.refiner
 
 type budget =
   | Quick
@@ -71,6 +72,7 @@ let algorithm_to_string = function
   | Random -> "random"
   | Es -> "es"
   | Portfolio _ -> "portfolio"
+  | Decompose _ -> "decompose"
 
 let algorithm_of_string = function
   | "sa" -> Ok Sa
@@ -80,11 +82,12 @@ let algorithm_of_string = function
   | "random" -> Ok Random
   | "es" -> Ok Es
   | "portfolio" -> Ok (Portfolio Nocmap_mapping.Portfolio.all_strategies)
+  | "decompose" -> Ok (Decompose Nocmap_mapping.Decompose.Sa)
   | other ->
     Error
       (Printf.sprintf
          "unknown algorithm %S (want sa, local, greedy, greedy+local, random, \
-          es or portfolio)"
+          es, portfolio or decompose)"
          other)
 
 let budget_to_string = function Quick -> "quick" | Standard -> "standard"
@@ -120,6 +123,11 @@ let to_json t =
                  (fun s ->
                    Json.Str (Nocmap_mapping.Portfolio.strategy_to_string s))
                  strategies) );
+        ]
+      | Decompose refiner ->
+        [
+          ( "refiner",
+            Json.Str (Nocmap_mapping.Decompose.refiner_to_string refiner) );
         ]
       | Sa | Local | Greedy | Greedy_local | Random | Es -> [])
     @ [
@@ -244,11 +252,35 @@ let of_json j =
       | Portfolio _, Some _ ->
         Error "field \"strategies\": expected a list of strings"
       | Portfolio _, None -> Ok algorithm
-      | (Sa | Local | Greedy | Greedy_local | Random | Es), Some _ ->
+      | (Sa | Local | Greedy | Greedy_local | Random | Es | Decompose _), Some _
+        ->
         Error
           "field \"strategies\": only meaningful with \"algorithm\": \
            \"portfolio\""
-      | (Sa | Local | Greedy | Greedy_local | Random | Es), None ->
+      | (Sa | Local | Greedy | Greedy_local | Random | Es | Decompose _), None
+        ->
+        Ok algorithm
+    in
+    let* algorithm =
+      match (algorithm, Json.find "refiner" j) with
+      | Decompose _, Some (Json.Str name) -> (
+        match Nocmap_mapping.Decompose.refiner_of_string name with
+        | Some r -> Ok (Decompose r)
+        | None ->
+          Error
+            (Printf.sprintf
+               "field \"refiner\": unknown refiner %S (want sa, tabu or \
+                local)"
+               name))
+      | Decompose _, Some _ -> Error "field \"refiner\": expected a string"
+      | Decompose _, None -> Ok algorithm
+      | (Sa | Local | Greedy | Greedy_local | Random | Es | Portfolio _), Some _
+        ->
+        Error
+          "field \"refiner\": only meaningful with \"algorithm\": \
+           \"decompose\""
+      | (Sa | Local | Greedy | Greedy_local | Random | Es | Portfolio _), None
+        ->
         Ok algorithm
     in
     let* seed = int_field ~default:1 j "seed" in

@@ -28,6 +28,11 @@ type algorithm =
           list of names from [spiral], [greedy], [sa], [tabu],
           [genetic] — selects the racers; it defaults to all five, and
           an unknown or duplicate name rejects the spec. *)
+  | Decompose of Nocmap_mapping.Decompose.refiner
+      (** Divide-and-conquer mapping ({!Nocmap_mapping.Decompose},
+          checkpointable as one shard).  The optional ["refiner"] field
+          — [sa], [tabu] or [local] — selects the per-region searcher;
+          it defaults to [sa]. *)
 
 type budget =
   | Quick     (** The algorithm's reduced-budget configuration. *)

@@ -1,0 +1,121 @@
+module Rng = Nocmap_util.Rng
+module Cwg = Nocmap_model.Cwg
+module Cdcg = Nocmap_model.Cdcg
+module Mesh = Nocmap_noc.Mesh
+
+let pipeline ?(rounds = 8) ?(compute = 10) ?(bits = 64) ?(skew = 4) ~name
+    ~stages ~width () =
+  let fail msg = invalid_arg ("Scale.pipeline: " ^ msg) in
+  if stages < 2 then fail "need at least two stages";
+  if width < 1 then fail "need a positive width";
+  if rounds < 1 then fail "need at least one round";
+  if compute < 0 then fail "compute must be non-negative";
+  if bits < 1 then fail "bits must be positive";
+  if skew < 1 then fail "skew must be positive";
+  let cores = stages * width in
+  let core_names =
+    Array.init cores (fun i ->
+        Printf.sprintf "s%dw%d" (i / width) (i mod width))
+  in
+  let core ~stage ~lane = (stage * width) + lane in
+  let packets = ref [] in
+  let deps = ref [] in
+  let count = ref 0 in
+  (* [delivered.(c)] is the index of the most recent packet delivered to
+     core [c]; each packet a core sends depends on the last packet it
+     received, giving receive-compute-send chains (acyclic because
+     dependences only point backwards in emission order). *)
+  let delivered = Array.make cores None in
+  let emit ~src ~dst ~bits =
+    let q = !count in
+    incr count;
+    packets :=
+      { Cdcg.src; dst; compute; bits; label = Printf.sprintf "p%d" q }
+      :: !packets;
+    (match delivered.(src) with
+    | Some p -> deps := (p, q) :: !deps
+    | None -> ());
+    delivered.(dst) <- Some q
+  in
+  for r = 0 to rounds - 1 do
+    for s = 0 to stages - 2 do
+      for w = 0 to width - 1 do
+        (* Every [skew]-th packet crosses one lane over, so the traffic
+           is not a set of independent straight-line chains. *)
+        let lane = if (r + s + w) mod skew = 0 then (w + 1) mod width else w in
+        emit ~src:(core ~stage:s ~lane:w)
+          ~dst:(core ~stage:(s + 1) ~lane)
+          ~bits:(bits * (1 + ((r + s + w) mod 3)))
+      done
+    done;
+    (* Loop the result back to the front, serializing successive rounds
+       through the chain like a real streaming pipeline. *)
+    for w = 0 to width - 1 do
+      emit
+        ~src:(core ~stage:(stages - 1) ~lane:w)
+        ~dst:(core ~stage:0 ~lane:w) ~bits
+    done
+  done;
+  Cdcg.create_exn ~name ~core_names
+    ~packets:(Array.of_list (List.rev !packets))
+    ~deps:(List.rev !deps)
+
+let random_cwg rng ~name ~cores ~degree ~max_volume =
+  let fail msg = invalid_arg ("Scale.random_cwg: " ^ msg) in
+  if cores < 2 then fail "need at least two cores";
+  if degree < 1 then fail "degree must be positive";
+  if max_volume < 1 then fail "max_volume must be positive";
+  let count = min (cores * degree) (cores * (cores - 1)) in
+  let order = Array.init cores Fun.id in
+  Rng.shuffle_in_place rng order;
+  let seen = Hashtbl.create (2 * count) in
+  let edges = ref [] in
+  let n = ref 0 in
+  let add src dst =
+    if src <> dst && not (Hashtbl.mem seen (src, dst)) then begin
+      Hashtbl.add seen (src, dst) ();
+      edges := (src, dst, 1 + Rng.int rng max_volume) :: !edges;
+      incr n
+    end
+  in
+  (* Ring over a random permutation keeps the graph connected; chords
+     fill the remaining degree budget. *)
+  for i = 0 to cores - 1 do
+    if !n < count then add order.(i) order.((i + 1) mod cores)
+  done;
+  while !n < count do
+    add (Rng.int rng cores) (Rng.int rng cores)
+  done;
+  let core_names = Array.init cores (fun i -> Printf.sprintf "c%d" i) in
+  Cwg.create_exn ~name ~core_names ~edges:(List.rev !edges)
+
+type row = {
+  mesh : Mesh.t;
+  cores : int;
+  degree : int;
+}
+
+let row ~mesh ~cores ~degree = { mesh = Mesh.of_string mesh; cores; degree }
+
+let rows =
+  [
+    row ~mesh:"8x8" ~cores:60 ~degree:4;
+    row ~mesh:"12x12" ~cores:132 ~degree:4;
+    row ~mesh:"16x16" ~cores:256 ~degree:4;
+  ]
+
+let instances ~seed =
+  let rng = Rng.create ~seed in
+  List.map
+    (fun r ->
+      let name =
+        Printf.sprintf "scale-%s-%dc" (Mesh.to_string r.mesh) r.cores
+      in
+      ( r.mesh,
+        random_cwg (Rng.split rng) ~name ~cores:r.cores ~degree:r.degree
+          ~max_volume:100_000 ))
+    rows
+
+let pipeline_256 () =
+  ( Mesh.of_string "16x16",
+    pipeline ~name:"pipeline-16x16" ~stages:16 ~width:16 ~rounds:8 () )

@@ -1,0 +1,63 @@
+(** Scaling workloads past the paper's Table 1.
+
+    The paper's instances top out at ~9x9 meshes and a few hundred
+    packets; the production target is 16x16+ meshes, hundreds of cores
+    and O(10^3-10^4)-packet CDCGs.  This module synthesizes that regime:
+
+    + {!pipeline} builds a deterministic staged streaming pipeline —
+      [stages x width] cores, each round pushing a wave of packets front
+      to back with receive-compute-send dependence chains, a lane skew
+      so the traffic is not independent straight lines, and a loopback
+      edge serializing successive rounds;
+    + {!random_cwg} builds a connected random CWG (ring over a random
+      permutation plus chords) of bounded out-degree, the CWM-side
+      stress instance;
+    + {!rows} / {!instances} fix the three canonical scaling points
+      (8x8/60 cores, 12x12/132, 16x16/256) used by the scale bench
+      suite and its committed baseline. *)
+
+val pipeline :
+  ?rounds:int ->
+  ?compute:int ->
+  ?bits:int ->
+  ?skew:int ->
+  name:string ->
+  stages:int ->
+  width:int ->
+  unit ->
+  Nocmap_model.Cdcg.t
+(** [stages * width] cores, [rounds * stages * width] packets, no
+    randomness at all — the same arguments always give the same CDCG.
+    Defaults: [rounds = 8], [compute = 10], [bits = 64] (scaled 1-3x
+    per packet position), [skew = 4] (every 4th packet crosses one lane).
+    @raise Invalid_argument on [stages < 2], [width < 1], [rounds < 1],
+    or non-positive [bits]/[skew]. *)
+
+val random_cwg :
+  Nocmap_util.Rng.t ->
+  name:string ->
+  cores:int ->
+  degree:int ->
+  max_volume:int ->
+  Nocmap_model.Cwg.t
+(** A connected CWG with [min (cores * degree) (cores * (cores - 1))]
+    distinct directed edges and uniform volumes in [1, max_volume].
+    Deterministic for a given generator state.
+    @raise Invalid_argument on [cores < 2] or non-positive
+    [degree]/[max_volume]. *)
+
+type row = {
+  mesh : Nocmap_noc.Mesh.t;
+  cores : int;
+  degree : int;
+}
+
+val rows : row list
+(** The scaling ladder: 8x8/60 cores, 12x12/132, 16x16/256. *)
+
+val instances : seed:int -> (Nocmap_noc.Mesh.t * Nocmap_model.Cwg.t) list
+(** One {!random_cwg} per {!rows} entry, deterministic in [seed]. *)
+
+val pipeline_256 : unit -> Nocmap_noc.Mesh.t * Nocmap_model.Cdcg.t
+(** The flagship 256-core instance: a 16 stages x 16 lanes pipeline on
+    a 16x16 mesh, 2048 packets. *)

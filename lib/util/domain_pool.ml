@@ -21,8 +21,23 @@ let jobs_of_spec ?(warn = prerr_endline) spec =
          "nocmap: NOCMAP_JOBS=%S is not an integer; running with 1 job" spec);
     1
 
+(* NOCMAP_JOBS is parsed once per distinct raw value: the CLI, the
+   bench suite and the daemon all consult [default_jobs], and a typo in
+   the variable should complain once, not once per call site.  Keyed on
+   the raw value so a long-lived process that changes the variable
+   re-parses — and re-warns — exactly once per change. *)
+let env_memo : (string * int) option ref = ref None
+
 let env_jobs ?warn () =
-  Option.map (jobs_of_spec ?warn) (Sys.getenv_opt "NOCMAP_JOBS")
+  match Sys.getenv_opt "NOCMAP_JOBS" with
+  | None -> None
+  | Some raw -> (
+    match !env_memo with
+    | Some (cached_raw, jobs) when String.equal cached_raw raw -> Some jobs
+    | Some _ | None ->
+      let jobs = jobs_of_spec ?warn raw in
+      env_memo := Some (raw, jobs);
+      Some jobs)
 
 let default_jobs ?warn () =
   match env_jobs ?warn () with

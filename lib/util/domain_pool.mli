@@ -32,7 +32,9 @@ val jobs_of_spec : ?warn:(string -> unit) -> string -> int
 val default_jobs : ?warn:(string -> unit) -> unit -> int
 (** The [NOCMAP_JOBS] environment variable parsed by {!jobs_of_spec}
     when set, otherwise [Domain.recommended_domain_count ()]; clamped to
-    [1 .. 128]. *)
+    [1 .. 128].  The environment parse is memoized on the raw value:
+    every caller sees the same result, and a malformed value warns
+    exactly once per distinct value rather than once per call site. *)
 
 val jobs : t -> int
 (** Concurrency of the pool (including the submitting thread). *)

@@ -26,17 +26,30 @@ let sorted xs = List.sort compare xs
    the p-th percentile of n sorted samples sits at fractional index
    h = p/100 * (n-1).  Unlike nearest-rank, this is unbiased for even
    sample counts — median [1.; 2.] is 1.5, not 1. *)
+let interpolate a p =
+  let n = Array.length a in
+  let h = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = min (n - 1) (lo + 1) in
+  a.(lo) +. ((h -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty list"
   | xs ->
     if not (p >= 0.0 && p <= 100.0) then
       invalid_arg "Stats.percentile: p must lie in [0, 100]";
+    interpolate (Array.of_list (sorted xs)) p
+
+let percentiles ps = function
+  | [] -> invalid_arg "Stats.percentiles: empty list"
+  | xs ->
+    List.iter
+      (fun p ->
+        if not (p >= 0.0 && p <= 100.0) then
+          invalid_arg "Stats.percentiles: p must lie in [0, 100]")
+      ps;
     let a = Array.of_list (sorted xs) in
-    let n = Array.length a in
-    let h = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (floor h) in
-    let hi = min (n - 1) (lo + 1) in
-    a.(lo) +. ((h -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+    List.map (interpolate a) ps
 
 let median xs = percentile 50.0 xs
 

@@ -24,6 +24,13 @@ val percentile : float -> float list -> float
     @raise Invalid_argument on the empty list or [p] outside
     [\[0,100\]]. *)
 
+val percentiles : float list -> float list -> float list
+(** [percentiles ps xs] is [List.map (fun p -> percentile p xs) ps] but
+    sorts the samples once, so extracting several cut points from a
+    large trace costs one sort rather than one per cut.
+    @raise Invalid_argument on the empty sample list or any [p] outside
+    [\[0,100\]]. *)
+
 val reduction_percent : baseline:float -> improved:float -> float
 (** [reduction_percent ~baseline ~improved] is
     [100 * (baseline - improved) / baseline] — the metric behind the

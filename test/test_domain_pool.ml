@@ -164,7 +164,19 @@ let test_env_jobs_warns () =
       Unix.putenv "NOCMAP_JOBS" "banana";
       Alcotest.(check int) "invalid env falls back to 1" 1
         (Domain_pool.default_jobs ~warn ());
-      Alcotest.(check int) "one warning" 1 (List.length !warnings))
+      Alcotest.(check int) "one warning" 1 (List.length !warnings);
+      (* The environment parse is memoized on the raw value, so reading
+         the same malformed value again — from any call site — must not
+         warn a second time. *)
+      Alcotest.(check int) "repeat read still falls back to 1" 1
+        (Domain_pool.default_jobs ~warn ());
+      Alcotest.(check int) "no second warning on repeat" 1
+        (List.length !warnings);
+      Unix.putenv "NOCMAP_JOBS" "7";
+      Alcotest.(check int) "changed value is re-parsed" 7
+        (Domain_pool.default_jobs ~warn ());
+      Alcotest.(check int) "valid change stays quiet" 1
+        (List.length !warnings))
 
 let suite =
   ( "domain_pool",

@@ -22,6 +22,28 @@ let test_median_percentile () =
   Alcotest.check feq "p100 is max" 9.0 (Stats.percentile 100.0 [ 1.0; 9.0; 5.0 ]);
   Alcotest.check feq "p0 is min-ish" 1.0 (Stats.percentile 0.0 [ 1.0; 9.0; 5.0 ])
 
+let test_percentiles () =
+  Alcotest.(check (list (float 1e-9)))
+    "three cuts, one sort"
+    [ 1.0; 5.0; 9.0 ]
+    (Stats.percentiles [ 0.0; 50.0; 100.0 ] [ 1.0; 9.0; 5.0 ]);
+  Alcotest.check_raises "empty samples"
+    (Invalid_argument "Stats.percentiles: empty list") (fun () ->
+      ignore (Stats.percentiles [ 50.0 ] []));
+  Alcotest.check_raises "cut out of range"
+    (Invalid_argument "Stats.percentiles: p must lie in [0, 100]") (fun () ->
+      ignore (Stats.percentiles [ 101.0 ] [ 1.0 ]))
+
+let prop_percentiles_match_percentile =
+  QCheck2.Test.make ~name:"percentiles agree with percentile per cut"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 50) (float_range (-1000.) 1000.))
+        (list_size (int_range 0 6) (float_range 0. 100.)))
+    (fun (xs, ps) ->
+      Stats.percentiles ps xs = List.map (fun p -> Stats.percentile p xs) ps)
+
 let test_reduction_percent () =
   Alcotest.check feq "40%" 40.0 (Stats.reduction_percent ~baseline:100.0 ~improved:60.0);
   Alcotest.check feq "negative when worse" (-10.0)
@@ -46,6 +68,8 @@ let suite =
       Alcotest.test_case "stddev" `Quick test_stddev;
       Alcotest.test_case "min/max" `Quick test_min_max;
       Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+      Alcotest.test_case "percentiles" `Quick test_percentiles;
+      QCheck_alcotest.to_alcotest prop_percentiles_match_percentile;
       Alcotest.test_case "reduction percent" `Quick test_reduction_percent;
       Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
       QCheck_alcotest.to_alcotest prop_mean_between_bounds;
