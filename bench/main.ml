@@ -172,6 +172,37 @@ let table2 () =
     [ "average"; ""; ""; Printf.sprintf "%+.0f %%" (Stats.mean overheads) ];
   Tablefmt.print table
 
+(* 2-D vs stacked 3-D at equal tile budget: the same 12-core application
+   mapped on the planar 4x4 and on a 4x2x2 two-layer stack (16 tiles
+   each, TSV vertical links), reported at the paper's own metrics via
+   [Table2.run].  The table reads as "what does folding the mesh into
+   two layers buy in ETR/ECS terms"; EXPERIMENTS.md quotes these
+   numbers.  The traffic shape mirrors the suite's heaviest 12-core row
+   (few packets, millions of bits — long wormhole bursts that actually
+   contend), because contention-free traffic makes CWM and CDCM agree
+   and the table degenerate to zeros.  Deterministic per seed. *)
+let noc3d_instances () =
+  let cdcg =
+    Nocmap_tgff.Generator.generate
+      (Rng.create ~seed:(seed + 61))
+      (Nocmap_tgff.Generator.default_spec ~name:"noc3d" ~cores:12 ~packets:25
+         ~total_bits:2_578_920)
+  in
+  let mesh2d = Mesh.create ~cols:4 ~rows:4 in
+  let mesh3d = Mesh.create3 ~cols:4 ~rows:2 ~layers:2 in
+  (cdcg, mesh2d, mesh3d)
+
+let table2_3d () =
+  banner "Table 2 (3-D): 2-D vs stacked 3-D at equal tile budget (4x4 vs 4x2x2)";
+  let cdcg, mesh2d, mesh3d = noc3d_instances () in
+  let result =
+    Nocmap.Table2.run ~config:experiment_config
+      ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
+      ~instances:[ (mesh2d, cdcg); (mesh3d, cdcg) ]
+      ~seed ()
+  in
+  print_string (Nocmap.Table2.render result)
+
 let cputime () =
   banner "Section 5: CPU time per cost evaluation (CDCM vs CWM)";
   print_string (Nocmap.Cpu_time.render (Nocmap.Cpu_time.over_suite ~evaluations:60 ~seed ()))
@@ -930,6 +961,64 @@ let bench_json () =
   in
   let par_seconds = wall () -. t0 in
   let identical = fingerprint sequential = fingerprint parallel in
+  (* 3-D generalization gates: a CxRx1 stack must be the planar CxR bit
+     for bit — same CWM costs over a random sample and the same CDCM SA
+     trajectory — and the equal-tile-budget 2-D vs 3-D comparison
+     behind the EXPERIMENTS.md worked example lands in the JSON as info
+     metrics. *)
+  let n3d_cdcg, n3d_mesh2d, n3d_mesh3d = noc3d_instances () in
+  let n3d_mesh_folded = Mesh.create3 ~cols:4 ~rows:4 ~layers:1 in
+  let n3d_cores = Cdcg.core_count n3d_cdcg in
+  let n3d_sa mesh =
+    let crg = Crg.create mesh in
+    let tiles = Mesh.tile_count mesh in
+    Mapping.Annealing.search
+      ~rng:(Rng.create ~seed:(seed + 61))
+      ~config:(Mapping.Annealing.quick_config ~tiles)
+      ~tiles
+      ~objective:(Mapping.Objective.cdcm ~tech ~params ~crg ~cdcg:n3d_cdcg ())
+      ~cores:n3d_cores ()
+  in
+  let n3d_flat = n3d_sa n3d_mesh2d in
+  let n3d_folded = n3d_sa n3d_mesh_folded in
+  let n3d_cwm_identical =
+    let crg2d = Crg.create n3d_mesh2d in
+    let crg3d = Crg.create n3d_mesh_folded in
+    let cwg3d = Cwg.of_cdcg n3d_cdcg in
+    let rng = Rng.create ~seed:(seed + 62) in
+    let ok = ref true in
+    for _ = 1 to 32 do
+      let p =
+        Mapping.Placement.random (Rng.split rng) ~cores:n3d_cores
+          ~tiles:(Mesh.tile_count n3d_mesh2d)
+      in
+      if
+        Mapping.Cost_cwm.dynamic_energy ~tech ~crg:crg2d ~cwg:cwg3d p
+        <> Mapping.Cost_cwm.dynamic_energy ~tech ~crg:crg3d ~cwg:cwg3d p
+      then ok := false
+    done;
+    !ok
+  in
+  let table2_3d_identical =
+    n3d_cwm_identical
+    && n3d_flat.Mapping.Objective.placement
+       = n3d_folded.Mapping.Objective.placement
+    && n3d_flat.Mapping.Objective.cost = n3d_folded.Mapping.Objective.cost
+    && n3d_flat.Mapping.Objective.evaluations
+       = n3d_folded.Mapping.Objective.evaluations
+  in
+  let n3d_table =
+    Nocmap.Table2.run ~config:Experiment.quick_config
+      ~instances:[ (n3d_mesh2d, n3d_cdcg); (n3d_mesh3d, n3d_cdcg) ]
+      ~seed ()
+  in
+  let n3d_row mesh =
+    List.find
+      (fun (s_ : Nocmap.Table2.size_summary) -> s_.Nocmap.Table2.mesh = mesh)
+      n3d_table.Nocmap.Table2.sizes
+  in
+  let n3d_2d = n3d_row n3d_mesh2d in
+  let n3d_3d = n3d_row n3d_mesh3d in
   let json =
     Printf.sprintf
       {|{
@@ -965,6 +1054,11 @@ let bench_json () =
   "scale_eval_cost_ratio": %.1f,
   "cache_exhaustive_eval_fraction": %.4f,
   "cache_exhaustive_identical": %b,
+  "table2_3d_identical": %b,
+  "noc3d_2d_etr_percent": %.1f,
+  "noc3d_2d_ecs_high_percent": %.1f,
+  "noc3d_3d_etr_percent": %.1f,
+  "noc3d_3d_ecs_high_percent": %.1f,
   "suite_instances": %d,
   "suite_jobs": %d,
   "suite_sequential_seconds": %.3f,
@@ -988,7 +1082,9 @@ let bench_json () =
       (sa_plain_seconds /. Float.max sa_cached_seconds 1e-9)
       sa_identical checkpoint_overhead checkpoint_identical
       portfolio_speedup portfolio_reached decompose_quality scale_ops
-      scale_eval_cost_ratio es_fraction es_identical
+      scale_eval_cost_ratio es_fraction es_identical table2_3d_identical
+      n3d_2d.Nocmap.Table2.etr_percent n3d_2d.Nocmap.Table2.ecs_high_percent
+      n3d_3d.Nocmap.Table2.etr_percent n3d_3d.Nocmap.Table2.ecs_high_percent
       (List.length instances) jobs seq_seconds par_seconds
       (seq_seconds /. Float.max par_seconds 1e-9)
       identical
@@ -1407,7 +1503,8 @@ let run_compare ~baseline_path ~current_path ~tolerance_percent =
       "cdcm_incremental_bound_ops_per_sec";
       "cdcm_incremental_delta_hit_percent";
       "cdcm_incremental_move_delta_hit_percent"; "suite_parallel_speedup";
-      "cache_sa_speedup";
+      "cache_sa_speedup"; "noc3d_2d_etr_percent"; "noc3d_2d_ecs_high_percent";
+      "noc3d_3d_etr_percent"; "noc3d_3d_ecs_high_percent";
     ];
   gate_ratio "cdcm_arena_speedup" Higher_better;
   gate_ratio "cdcm_arena_cutoff_speedup" Higher_better;
@@ -1447,6 +1544,9 @@ let run_compare ~baseline_path ~current_path ~tolerance_percent =
   gate_bool "cache_sa_identical";
   gate_bool "cache_exhaustive_identical";
   gate_bool "checkpoint_sa_identical";
+  (* A CxRx1 stacked mesh must stay bit-identical to the planar CxR:
+     same CWM costs and the same CDCM annealing trajectory. *)
+  gate_bool "table2_3d_identical";
   let checks = List.rev !checks in
   let table =
     Tablefmt.create
@@ -1524,6 +1624,7 @@ let () =
   fig4_5 ();
   table1 ();
   table2 ();
+  table2_3d ();
   cputime ();
   related_work ();
   es_vs_sa ();

@@ -28,7 +28,10 @@ module Json = Nocmap_persist.Json
 module Store = Nocmap_persist.Store
 
 let mesh_arg =
-  let doc = "NoC size as <cols>x<rows>, e.g. 3x3." in
+  let doc =
+    "NoC size as <cols>x<rows> (e.g. 3x3), or <cols>x<rows>x<layers> for a \
+     stacked 3-D mesh with TSV vertical links (e.g. 4x4x2)."
+  in
   Arg.(value & opt string "3x3" & info [ "noc" ] ~docv:"SIZE" ~doc)
 
 let seed_arg =
@@ -44,13 +47,23 @@ let tech_arg =
   Arg.(value & opt string "0.07um" & info [ "tech" ] ~docv:"TECH" ~doc)
 
 let routing_arg =
-  let doc = "Routing algorithm: xy, yx, torus-xy or torus-yx." in
+  let doc =
+    "Routing algorithm: xy, yx, torus-xy or torus-yx (xyz/yxz are accepted \
+     aliases on stacked 3-D meshes)."
+  in
   Arg.(value & opt string "xy" & info [ "routing" ] ~docv:"ALG" ~doc)
 
 let load_routing s =
   match Nocmap_noc.Routing.algorithm_of_string s with
   | algo -> Ok algo
   | exception Invalid_argument msg -> Error msg
+
+(* On a stacked mesh the dimension-ordered walk ends with the vertical
+   hop, so label it with the (accepted) xyz/yxz alias; planar output is
+   unchanged. *)
+let routing_label ~mesh algo =
+  let s = Nocmap_noc.Routing.algorithm_to_string algo in
+  if mesh.Mesh.layers > 1 && (s = "xy" || s = "yx") then s ^ "z" else s
 
 let load_tech name =
   match Technology.of_name name with
@@ -313,10 +326,15 @@ let gen_cmd =
           with Invalid_argument _ ->
             or_die (Error (Printf.sprintf "bad --pipeline shape %S" shape))
         in
+        (* SxW, or SxWxL for a stacked target: stages span the columns
+           and the lane count covers the remaining tile budget, so the
+           pipeline always fills the named mesh exactly. *)
         Nocmap_tgff.Scale.pipeline
           ~name:(Printf.sprintf "pipeline-%s" shape)
           ~rounds ~stages:mesh.Nocmap_noc.Mesh.cols
-          ~width:mesh.Nocmap_noc.Mesh.rows ()
+          ~width:
+            (Nocmap_noc.Mesh.tile_count mesh / mesh.Nocmap_noc.Mesh.cols)
+          ()
     in
     let text = Textio.cdcg_to_string cdcg in
     match out with
@@ -520,18 +538,33 @@ let map_cmd =
        single-domain, so parallel algorithms get one fresh objective
        (and private cache) per call — all built from the symmetry group
        computed once above. *)
+    let base_objective () =
+      match model with
+      | "cwm" -> Mapping.Objective.cwm ~tech ~crg ~cwg
+      | _ -> Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
+    in
     let fresh_objective () =
-      let base =
-        match model with
-        | "cwm" -> Mapping.Objective.cwm ~tech ~crg ~cwg
-        | _ -> Mapping.Objective.cdcm ~incremental ~tech ~params ~crg ~cdcg ()
-      in
+      let base = base_objective () in
       match symmetry with
       | Some symmetry ->
         Mapping.Objective.with_cache
           (Mapping.Eval_cache.create ~symmetry ~cores ~discriminator:model ())
           base
       | None -> base
+    in
+    (* A decompose region only moves its own cluster, so its cache keys
+       just those cores (and drops the mesh group, which the frozen
+       context breaks anyway): the dominant cache allocation shrinks by
+       ~[cores / region] compared to a full-key cache per region. *)
+    let region_objective_for ~cores:region_cores ~tiles:_ =
+      let base = base_objective () in
+      if Option.is_some symmetry then
+        Mapping.Objective.with_cache
+          (Mapping.Eval_cache.create
+             ~symmetry:(Nocmap_noc.Symmetry.identity_only mesh)
+             ~cores ~support:region_cores ~discriminator:model ())
+          base
+      else base
     in
     let result =
       match algorithm with
@@ -610,13 +643,15 @@ let map_cmd =
           match persist with
           | None ->
             Mapping.Decompose.search ~rng ~config:decompose_config ~crg ~cwg
-              ~objective_for:fresh_objective ?pool ~stop:stop_requested ()
+              ~objective_for:fresh_objective ~region_objective_for ?pool
+              ~stop:stop_requested ()
           | Some (p : Nocmap.Experiment.persist) ->
             Mapping.Search_persist.decompose ~store:p.Nocmap.Experiment.store
               ~key:(p.Nocmap.Experiment.scope ^ ".decompose")
               ~every:p.Nocmap.Experiment.every ~rng ~config:decompose_config
               ~crg ~cwg ~objective_name:objective.Mapping.Objective.name
-              ~objective_for:fresh_objective ?pool ~stop:stop_requested ()
+              ~objective_for:fresh_objective ~region_objective_for ?pool
+              ~stop:stop_requested ()
         in
         decompose_report := Some report;
         report.Mapping.Decompose.result
@@ -641,7 +676,7 @@ let map_cmd =
       Printf.printf "(search interrupted - reporting the best placement found)\n";
     Printf.printf "application : %s\n" cdcg.Cdcg.name;
     Printf.printf "NoC         : %s, %s routing\n" (Mesh.to_string mesh)
-      (Nocmap_noc.Routing.algorithm_to_string (Crg.routing crg));
+      (routing_label ~mesh (Crg.routing crg));
     Printf.printf "model/search: %s/%s (%d cost evaluations)\n" model algorithm
       result.Mapping.Objective.evaluations;
     (match !portfolio_report with
@@ -674,10 +709,19 @@ let map_cmd =
       List.iter
         (fun (reg : Mapping.Decompose.region_report) ->
           let rect = reg.Mapping.Decompose.region_rect in
-          Printf.printf
-            "  region %dx%d at (%d,%d): %d cores, cost %.6g, %d evaluations\n"
-            rect.Mapping.Decompose.w rect.Mapping.Decompose.h
-            rect.Mapping.Decompose.x rect.Mapping.Decompose.y
+          let shape =
+            if rect.Mapping.Decompose.d = 1 then
+              Printf.sprintf "%dx%d at (%d,%d)" rect.Mapping.Decompose.w
+                rect.Mapping.Decompose.h rect.Mapping.Decompose.x
+                rect.Mapping.Decompose.y
+            else
+              Printf.sprintf "%dx%dx%d at (%d,%d,%d)" rect.Mapping.Decompose.w
+                rect.Mapping.Decompose.h rect.Mapping.Decompose.d
+                rect.Mapping.Decompose.x rect.Mapping.Decompose.y
+                rect.Mapping.Decompose.z
+          in
+          Printf.printf "  region %s: %d cores, cost %.6g, %d evaluations\n"
+            shape
             (List.length reg.Mapping.Decompose.region_cores)
             reg.Mapping.Decompose.region_cost
             reg.Mapping.Decompose.region_evaluations)

@@ -1,13 +1,24 @@
 let ebit_single_hop (tech : Technology.t) =
   tech.Technology.e_rbit +. tech.Technology.e_lbit +. tech.Technology.e_cbit
 
-let ebit_path (tech : Technology.t) ~routers =
+(* The [tsv = 0] branch keeps the historical two-term expression so
+   planar costs stay bit-identical: adding exact-zero TSV terms would be
+   value-equal but this way no float reasoning is needed at all. *)
+let ebit_path ?(tsv = 0) (tech : Technology.t) ~routers =
   if routers < 1 then invalid_arg "Equations.ebit_path: need at least one router";
-  (float_of_int routers *. tech.Technology.e_rbit)
-  +. (float_of_int (routers - 1) *. tech.Technology.e_lbit)
+  if tsv < 0 || tsv > routers - 1 then
+    invalid_arg "Equations.ebit_path: tsv hops must be within the path";
+  if tsv = 0 then
+    (float_of_int routers *. tech.Technology.e_rbit)
+    +. (float_of_int (routers - 1) *. tech.Technology.e_lbit)
+  else
+    (float_of_int (routers - tsv) *. tech.Technology.e_rbit)
+    +. (float_of_int tsv *. tech.Technology.e_rbit_tsv)
+    +. (float_of_int (routers - 1 - tsv) *. tech.Technology.e_lbit)
+    +. (float_of_int tsv *. tech.Technology.e_lbit_tsv)
 
-let communication_energy tech ~routers ~bits =
-  float_of_int bits *. ebit_path tech ~routers
+let communication_energy ?(tsv = 0) tech ~routers ~bits =
+  float_of_int bits *. ebit_path ~tsv tech ~routers
 
 let static_power (tech : Technology.t) ~tiles =
   if tiles < 1 then invalid_arg "Equations.static_power: need at least one tile";

@@ -7,13 +7,21 @@ val ebit_single_hop : Technology.t -> float
 (** Equation (1): [ERbit + ELbit + ECbit] — the energy of one bit
     crossing one router and one link. *)
 
-val ebit_path : Technology.t -> routers:int -> float
+val ebit_path : ?tsv:int -> Technology.t -> routers:int -> float
 (** Equation (2): [K*ERbit + (K-1)*ELbit] for a path of [K] routers.
-    @raise Invalid_argument when [routers < 1]. *)
+    With [~tsv:v] vertical hops (the 3-D extension), the [v] routers
+    reached through a TSV are charged at [ERbit_tsv] and the [v]
+    vertical links at [ELbit_tsv]:
+    [(K-v)*ERbit + v*ERbit_tsv + (K-1-v)*ELbit + v*ELbit_tsv].
+    [tsv = 0] (the default, and every planar path) evaluates the
+    historical two-term expression bit-identically.
+    @raise Invalid_argument when [routers < 1] or [tsv] is negative or
+    exceeds [routers - 1]. *)
 
-val communication_energy : Technology.t -> routers:int -> bits:int -> float
+val communication_energy :
+  ?tsv:int -> Technology.t -> routers:int -> bits:int -> float
 (** [EBit_ab = w_ab * EBit_ij]: dynamic energy of one communication or
-    packet over the given path. *)
+    packet over the given path ([?tsv] as in {!ebit_path}). *)
 
 val static_power : Technology.t -> tiles:int -> float
 (** Equation (5): [PStNoC = n * PSRouter], in Joules per ns. *)

@@ -4,37 +4,53 @@ type t = {
   e_rbit : float;
   e_lbit : float;
   e_cbit : float;
+  e_rbit_tsv : float;
+  e_lbit_tsv : float;
   p_s_router : float;
 }
 
-let make ~name ~feature_nm ~e_rbit ~e_lbit ?(e_cbit = 0.0) ~p_s_router () =
+let make ~name ~feature_nm ~e_rbit ~e_lbit ?(e_cbit = 0.0) ?e_rbit_tsv
+    ?e_lbit_tsv ~p_s_router () =
+  let e_rbit_tsv = Option.value e_rbit_tsv ~default:e_rbit in
+  let e_lbit_tsv = Option.value e_lbit_tsv ~default:e_lbit in
   if e_rbit <= 0.0 || e_lbit <= 0.0 then
     invalid_arg "Technology.make: dynamic bit energies must be positive";
+  if e_rbit_tsv <= 0.0 || e_lbit_tsv <= 0.0 then
+    invalid_arg "Technology.make: TSV bit energies must be positive";
   if e_cbit < 0.0 || p_s_router < 0.0 then
     invalid_arg "Technology.make: energies must be non-negative";
   if feature_nm <= 0 then invalid_arg "Technology.make: feature size must be positive";
-  { name; feature_nm; e_rbit; e_lbit; e_cbit; p_s_router }
+  { name; feature_nm; e_rbit; e_lbit; e_cbit; e_rbit_tsv; e_lbit_tsv; p_s_router }
 
 (* Dynamic energy per bit falls roughly with C*V^2 as the process
    shrinks; router leakage power falls much more slowly (and its share
    of the total grows).  Values are in Joules (per bit) and Joules/ns
-   (per router). *)
+   (per router).
+
+   A vertical through-silicon via is orders of magnitude shorter than a
+   millimetre-scale planar wire, so its link energy is far lower; the
+   calibrated substitutes below put ELbit_tsv at roughly a third of the
+   planar ELbit (the capacitance ratio used by the 3-D NoC mapping
+   literature), while the router-crossing energy is kept at the planar
+   value — crossing a router costs the same whichever port the flit
+   leaves by.  Both are only knobs: planar meshes never multiply them
+   by anything but zero. *)
 
 let t035 =
   make ~name:"0.35um" ~feature_nm:350 ~e_rbit:1.0e-12 ~e_lbit:1.4e-12
-    ~p_s_router:2.5e-14 ()
+    ~e_lbit_tsv:0.45e-12 ~p_s_router:2.5e-14 ()
 
 let t018 =
   make ~name:"0.18um" ~feature_nm:180 ~e_rbit:0.42e-12 ~e_lbit:0.55e-12
-    ~p_s_router:4.5e-14 ()
+    ~e_lbit_tsv:0.18e-12 ~p_s_router:4.5e-14 ()
 
 let t013 =
   make ~name:"0.13um" ~feature_nm:130 ~e_rbit:0.24e-12 ~e_lbit:0.30e-12
-    ~p_s_router:8.0e-14 ()
+    ~e_lbit_tsv:0.10e-12 ~p_s_router:8.0e-14 ()
 
 let t007 =
   make ~name:"0.07um" ~feature_nm:70 ~e_rbit:0.10e-12 ~e_lbit:0.12e-12
-    ~p_s_router:1.6e-13 ()
+    ~e_lbit_tsv:0.04e-12 ~p_s_router:1.6e-13 ()
 
 let all = [ t035; t018; t013; t007 ]
 

@@ -16,6 +16,11 @@ type t = private {
   e_lbit : float;         (** Joules per bit on one inter-tile link (ELbit). *)
   e_cbit : float;         (** Joules per bit on a core-router link (ECbit);
                               negligible per §3.2 and kept for completeness. *)
+  e_rbit_tsv : float;     (** Joules per bit crossing a router reached through
+                              a vertical (TSV) link; defaults to [e_rbit]. *)
+  e_lbit_tsv : float;     (** Joules per bit on one vertical (TSV) link;
+                              much lower than [e_lbit] — a via is far shorter
+                              than a planar wire. *)
   p_s_router : float;     (** Static power per router in Joules per ns (PSRouter). *)
 }
 
@@ -25,10 +30,14 @@ val make :
   e_rbit:float ->
   e_lbit:float ->
   ?e_cbit:float ->
+  ?e_rbit_tsv:float ->
+  ?e_lbit_tsv:float ->
   p_s_router:float ->
   unit ->
   t
-(** @raise Invalid_argument on non-positive dynamic energies or negative
+(** The TSV energies default to their planar counterparts (a stacked
+    mesh then costs exactly like folding the same path in-plane).
+    @raise Invalid_argument on non-positive dynamic energies or negative
     static power. *)
 
 val t035 : t

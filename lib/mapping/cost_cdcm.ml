@@ -25,14 +25,14 @@ let dynamic_energy ~tech ~crg ~cdcg placement =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cost_cdcm: " ^ msg));
   let packet acc (p : Cdcg.packet) =
-    let routers =
-      Crg.router_count_on_path crg ~src:placement.(p.Cdcg.src)
-        ~dst:placement.(p.Cdcg.dst)
-    in
+    let src = placement.(p.Cdcg.src) and dst = placement.(p.Cdcg.dst) in
+    let routers = Crg.router_count_on_path crg ~src ~dst in
     (* Unreachable pairs of a faulty CRG have no path: the packet is
        dropped by the simulator and spends no link/router energy. *)
     if routers = 0 then acc
-    else acc +. Equations.communication_energy tech ~routers ~bits:p.Cdcg.bits
+    else
+      let tsv = Crg.tsv_links_on_path crg ~src ~dst in
+      acc +. Equations.communication_energy ~tsv tech ~routers ~bits:p.Cdcg.bits
   in
   Array.fold_left packet 0.0 cdcg.Cdcg.packets
 

@@ -52,9 +52,14 @@ type t = {
      overlay loop.  [ebit_tab.(r)] is {!Equations.ebit_path} for [r]
      routers, so [bitsf_.(i) *. ebit_tab.(r)] multiplies the exact same
      two floats as {!Equations.communication_energy} and stays
-     bit-identical to a fresh evaluation. *)
+     bit-identical to a fresh evaluation.  On a stacked mesh the table
+     gains one plane per possible TSV count, laid out tsv-major
+     ([tsv * stride + routers]) so the planar plane keeps the exact
+     historical indexing; [ebit_stride = 0] marks a planar mesh and
+     keeps its lookup free of the TSV path query. *)
   bitsf_ : float array;           (* float_of_int bits *)
-  ebit_tab : float array;         (* routers -> path energy per bit *)
+  ebit_tab : float array;         (* (tsv, routers) -> path energy per bit *)
+  ebit_stride : int;              (* 0 on a planar mesh *)
   occ_ : int array;               (* port occupancy, tr + flits*tl *)
   lat_base_ : int array;          (* compute + tl*flits *)
   sev_lat_ : int array;           (* compute + retry_cycles *)
@@ -168,7 +173,16 @@ let refresh t =
     end
     else begin
       t.severed.(i) <- false;
-      t.energy.(i) <- t.bitsf_.(i) *. t.ebit_tab.(routers);
+      let e =
+        if t.ebit_stride = 0 then t.ebit_tab.(routers)
+        else
+          t.ebit_tab.((Crg.tsv_links_on_path t.crg
+                         ~src:t.current.(t.src_.(i))
+                         ~dst:t.current.(t.dst_.(i))
+                      * t.ebit_stride)
+                      + routers)
+      in
+      t.energy.(i) <- t.bitsf_.(i) *. e;
       t.lat.(i) <- t.lat_base_.(i) + (routers * t.rtr_tl)
     end;
     dyn := !dyn +. t.energy.(i)
@@ -329,9 +343,20 @@ let create ?fault_policy ~tech ~params ~crg ~cdcg ~placement () =
       if r > !max_routers then max_routers := r
     done
   done;
-  let ebit_tab = Array.make (!max_routers + 1) 0.0 in
-  for r = 1 to !max_routers do
-    ebit_tab.(r) <- Equations.ebit_path tech ~routers:r
+  let layers = (Crg.mesh crg).Nocmap_noc.Mesh.layers in
+  let ebit_stride = if layers = 1 then 0 else !max_routers + 1 in
+  let ebit_tab =
+    Array.make ((!max_routers + 1) * max 1 layers) 0.0
+  in
+  for tsv = 0 to layers - 1 do
+    for r = 1 to !max_routers do
+      (* A path with [tsv] vertical links has at least [tsv + 1]
+         routers; the unreachable combinations stay 0 and are never
+         looked up. *)
+      if tsv <= r - 1 then
+        ebit_tab.((tsv * (!max_routers + 1)) + r) <-
+          Equations.ebit_path ~tsv tech ~routers:r
+    done
   done;
   let t =
     {
@@ -352,6 +377,7 @@ let create ?fault_policy ~tech ~params ~crg ~cdcg ~placement () =
       comp_;
       bitsf_ = Array.map float_of_int bits_;
       ebit_tab;
+      ebit_stride;
       occ_ = Array.map (fun f -> tr + (f * tl)) flits_;
       lat_base_ = Array.init npackets (fun i -> comp_.(i) + (tl * flits_.(i)));
       sev_lat_ = Array.map (fun c -> c + retry_cycles) comp_;
@@ -460,7 +486,15 @@ let overlay_dynamic t ~cand ~moved_n =
         end
         else begin
           t.c_severed.(i) <- false;
-          t.c_energy.(i) <- t.bitsf_.(i) *. t.ebit_tab.(routers);
+          let e =
+            if t.ebit_stride = 0 then t.ebit_tab.(routers)
+            else
+              t.ebit_tab.((Crg.tsv_links_on_path t.crg
+                             ~src:cand.(t.src_.(i)) ~dst:cand.(t.dst_.(i))
+                          * t.ebit_stride)
+                          + routers)
+          in
+          t.c_energy.(i) <- t.bitsf_.(i) *. e;
           t.c_lat.(i) <- t.lat_base_.(i) + (routers * t.rtr_tl)
         end
       end

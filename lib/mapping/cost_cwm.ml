@@ -12,10 +12,10 @@ let check ~crg placement =
 let dynamic_energy ~tech ~crg ~cwg placement =
   check ~crg placement;
   let comm acc (src, dst, bits) =
-    let routers =
-      Crg.router_count_on_path crg ~src:placement.(src) ~dst:placement.(dst)
-    in
-    acc +. Equations.communication_energy tech ~routers ~bits
+    let src = placement.(src) and dst = placement.(dst) in
+    let routers = Crg.router_count_on_path crg ~src ~dst in
+    let tsv = Crg.tsv_links_on_path crg ~src ~dst in
+    acc +. Equations.communication_energy ~tsv tech ~routers ~bits
   in
   List.fold_left comm 0.0 (Cwg.communications cwg)
 
@@ -26,11 +26,25 @@ let cost_table ~tech ~crg ~cwg placement =
   let links = Array.make (Link.slot_count mesh) 0.0 in
   let er = tech.Nocmap_energy.Technology.e_rbit in
   let el = tech.Nocmap_energy.Technology.e_lbit in
+  let er_tsv = tech.Nocmap_energy.Technology.e_rbit_tsv in
+  let el_tsv = tech.Nocmap_energy.Technology.e_lbit_tsv in
+  (* Mirrors the per-path attribution of [Equations.ebit_path]: the
+     router reached through a vertical link is charged at the TSV rate,
+     so the table still sums to [dynamic_energy] on a stacked mesh. *)
   let comm (src, dst, bits) =
     let path = Crg.path crg ~src:placement.(src) ~dst:placement.(dst) in
     let w = float_of_int bits in
-    Array.iter (fun tile -> routers.(tile) <- routers.(tile) +. (w *. er)) path.Crg.routers;
-    Array.iter (fun lid -> links.(lid) <- links.(lid) +. (w *. el)) path.Crg.links
+    let rs = path.Crg.routers and ls = path.Crg.links in
+    if Array.length rs > 0 then
+      routers.(rs.(0)) <- routers.(rs.(0)) +. (w *. er);
+    Array.iteri
+      (fun i lid ->
+        let vertical = Link.is_vertical mesh lid in
+        let dst_tile = rs.(i + 1) in
+        routers.(dst_tile) <-
+          routers.(dst_tile) +. (w *. if vertical then er_tsv else er);
+        links.(lid) <- links.(lid) +. (w *. if vertical then el_tsv else el))
+      ls
   in
   List.iter comm (Cwg.communications cwg);
   (routers, links)

@@ -17,25 +17,32 @@ type t = {
    packet is dropped by the simulator and spends no energy (matching
    {!Cost_cwm.dynamic_energy} via {!Cwg.of_cdcg} projections of faulted
    instances). *)
-let term_energy t ~routers ~bits =
+let term_energy t ~routers ~tsv ~bits =
   if routers = 0 then 0.0
-  else Equations.communication_energy t.tech ~routers ~bits
+  else Equations.communication_energy ~tsv t.tech ~routers ~bits
 
 (* Energy change over every communication involving [core] between two
    position assignments, in a single pass over the incidence list: each
    term is evaluated at its before and after endpoints together, so a
    swap costs one traversal per moved core instead of two.  Terms whose
-   router count is unchanged — in particular the terms between two
-   swapped cores, whose routes keep their length — drop out exactly. *)
+   router and TSV counts are both unchanged — in particular the terms
+   between two swapped cores, whose routes keep their length and
+   vertical extent — drop out exactly. *)
 let core_delta t core ~before ~after =
   let acc = ref 0.0 in
   let add (other, bits, outgoing) =
     let src, dst = if outgoing then (core, other) else (other, core) in
-    let rb = Crg.router_count_on_path t.crg ~src:(before src) ~dst:(before dst) in
-    let ra = Crg.router_count_on_path t.crg ~src:(after src) ~dst:(after dst) in
-    if ra <> rb then
+    let bs = before src and bd = before dst in
+    let as_ = after src and ad = after dst in
+    let rb = Crg.router_count_on_path t.crg ~src:bs ~dst:bd in
+    let ra = Crg.router_count_on_path t.crg ~src:as_ ~dst:ad in
+    let tb = Crg.tsv_links_on_path t.crg ~src:bs ~dst:bd in
+    let ta = Crg.tsv_links_on_path t.crg ~src:as_ ~dst:ad in
+    if ra <> rb || ta <> tb then
       acc :=
-        !acc +. term_energy t ~routers:ra ~bits -. term_energy t ~routers:rb ~bits
+        !acc
+        +. term_energy t ~routers:ra ~tsv:ta ~bits
+        -. term_energy t ~routers:rb ~tsv:tb ~bits
   in
   List.iter add t.partners.(core);
   !acc
@@ -76,9 +83,10 @@ let placement t = Array.copy t.current
 (* The move swaps [core] with the occupant of [tile] (if any).  Only
    communications touching the two moved cores change.  Terms between
    two swapped cores are visited by both core passes, but a swap
-   preserves the router count between their tiles (dimension-ordered
-   routes have symmetric lengths), so the [ra <> rb] filter drops them
-   on both sides and the delta stays exact. *)
+   preserves the router and TSV counts between their tiles
+   (dimension-ordered routes have symmetric lengths and vertical
+   extents), so the unchanged-term filter drops them on both sides and
+   the delta stays exact. *)
 let move_delta t ~core ~tile =
   let cores = Array.length t.current in
   if core < 0 || core >= cores then invalid_arg "Cost_cwm_incremental: core out of range";

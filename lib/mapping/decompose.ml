@@ -41,8 +41,10 @@ let refiner_of_string = function
 type rect = {
   x : int;
   y : int;
+  z : int;
   w : int;
   h : int;
+  d : int;
 }
 
 type region = {
@@ -184,28 +186,44 @@ let bipartition ~w ~cores ~na ~passes =
   done;
   (in_a, !swaps)
 
-(* Tiles of a rectangle, ordered center-out (ties toward the lower tile
+(* Tiles of a cuboid, ordered center-out (ties toward the lower tile
    id) so the heaviest communicators of a cluster land nearest the
-   rectangle's center. *)
+   region's center.  A depth-1 cuboid reproduces the historical planar
+   order exactly. *)
 let region_tiles mesh rect =
-  let cx2 = (2 * rect.x) + rect.w - 1 and cy2 = (2 * rect.y) + rect.h - 1 in
-  let keyed =
-    Array.init (rect.w * rect.h) (fun k ->
-        let x = rect.x + (k mod rect.w) and y = rect.y + (k / rect.w) in
-        let dist = abs ((2 * x) - cx2) + abs ((2 * y) - cy2) in
-        (dist, Mesh.tile_of_coord mesh ~x ~y))
-  in
+  let cx2 = (2 * rect.x) + rect.w - 1
+  and cy2 = (2 * rect.y) + rect.h - 1
+  and cz2 = (2 * rect.z) + rect.d - 1 in
+  let keyed = Array.make (rect.w * rect.h * rect.d) (0, 0) in
+  let k = ref 0 in
+  for z = rect.z to rect.z + rect.d - 1 do
+    for y = rect.y to rect.y + rect.h - 1 do
+      for x = rect.x to rect.x + rect.w - 1 do
+        let dist =
+          abs ((2 * x) - cx2) + abs ((2 * y) - cy2) + abs ((2 * z) - cz2)
+        in
+        keyed.(!k) <- (dist, Mesh.tile_of_coord3 mesh ~x ~y ~z);
+        incr k
+      done
+    done
+  done;
   Array.sort compare keyed;
   Array.map snd keyed
 
+(* Halve the longest extent; ties prefer width, then height, so a
+   depth-1 cuboid splits exactly like the historical 2-D rectangle. *)
 let split_rect r =
-  if r.w >= r.h then begin
+  if r.w >= r.h && r.w >= r.d then begin
     let w1 = r.w / 2 in
     ({ r with w = w1 }, { r with x = r.x + w1; w = r.w - w1 })
   end
-  else begin
+  else if r.h >= r.d then begin
     let h1 = r.h / 2 in
     ({ r with h = h1 }, { r with y = r.y + h1; h = r.h - h1 })
+  end
+  else begin
+    let d1 = r.d / 2 in
+    ({ r with d = d1 }, { r with z = r.z + d1; d = r.d - d1 })
   end
 
 let partition ?swaps ~cwg ~mesh ~max_region ~kl_passes () =
@@ -224,13 +242,13 @@ let partition ?swaps ~cwg ~mesh ~max_region ~kl_passes () =
   let record_swaps n = match swaps with Some r -> r := !r + n | None -> () in
   let rec go members rect acc =
     let n = Array.length members in
-    let cap = rect.w * rect.h in
+    let cap = rect.w * rect.h * rect.d in
     assert (n <= cap);
     if n <= max_region || n < 2 || cap < 2 then
       { cores = members; rect; tiles = region_tiles mesh rect } :: acc
     else begin
       let r1, r2 = split_rect rect in
-      let c1 = r1.w * r1.h and c2 = r2.w * r2.h in
+      let c1 = r1.w * r1.h * r1.d and c2 = r2.w * r2.h * r2.d in
       (* Target side sizes proportional to the capacities, clamped so
          both sides stay non-empty and fit their rectangles. *)
       let na = ((n * c1) + (cap / 2)) / cap in
@@ -249,7 +267,14 @@ let partition ?swaps ~cwg ~mesh ~max_region ~kl_passes () =
   in
   go
     (Array.init cores Fun.id)
-    { x = 0; y = 0; w = mesh.Mesh.cols; h = mesh.Mesh.rows }
+    {
+      x = 0;
+      y = 0;
+      z = 0;
+      w = mesh.Mesh.cols;
+      h = mesh.Mesh.rows;
+      d = mesh.Mesh.layers;
+    }
     []
 
 let cut_bits ~cwg regions =
@@ -371,8 +396,8 @@ let validate_config config =
   if config.polish < 0 then
     invalid_arg "Decompose.search: polish must be non-negative"
 
-let search ~rng ~config ~crg ~cwg ~objective_for ?pool ?(stop = fun () -> false)
-    ?checkpoint ?resume () =
+let search ~rng ~config ~crg ~cwg ~objective_for ?region_objective_for ?pool
+    ?(stop = fun () -> false) ?checkpoint ?resume () =
   validate_config config;
   let tiles = Crg.tile_count crg in
   let cores = Cwg.core_count cwg in
@@ -479,9 +504,14 @@ let search ~rng ~config ~crg ~cwg ~objective_for ?pool ?(stop = fun () -> false)
     let rec go i = i >= nr || (finished i && go (i + 1)) in
     go 0
   in
+  let region_base =
+    match region_objective_for with
+    | Some f -> fun (reg : region) -> f ~cores:reg.cores ~tiles:reg.tiles
+    | None -> fun _ -> objective_for ()
+  in
   let region_objectives =
     Array.init nr (fun i ->
-        lazy (region_objective ~seed:seed_map regions.(i) (objective_for ())))
+        lazy (region_objective ~seed:seed_map regions.(i) (region_base regions.(i))))
   in
   (* One slice of region [i]: at most [config.slice] further cost calls
      of its refiner, interrupted through the sticky stop contract so the

@@ -31,14 +31,17 @@ let probe_window = 8
 type t = {
   sym : Symmetry.t;
   cores : int;
-  mask : int;  (* capacity - 1, capacity a power of two *)
+  supp : int array;  (* cores whose tiles form the stored key *)
+  klen : int;  (* [Array.length supp]; the key row width *)
+  limit_mask : int;  (* requested capacity - 1; the table never grows past it *)
+  mutable mask : int;  (* current capacity - 1, capacity a power of two *)
   disc : int;  (* discriminator hash, compared on every slot match *)
-  keys : int array;  (* capacity * cores canonical placements *)
-  flags : Bytes.t;
-  tags : int array;
-  exact : float array;
-  lb : float array;
-  lb_cutoff : float array;
+  mutable keys : int array;  (* capacity * klen projected canonical keys *)
+  mutable flags : Bytes.t;
+  mutable tags : int array;
+  mutable exact : float array;
+  mutable lb : float array;
+  mutable lb_cutoff : float array;
   canon : int array;  (* reusable canonicalization buffer *)
   mutable tick : int;  (* round-robin eviction cursor *)
   mutable hits : int;
@@ -60,16 +63,54 @@ let hash_string s =
 
 let rec round_pow2 n acc = if acc >= n then acc else round_pow2 n (acc * 2)
 
-let create ?(capacity = 65536) ~symmetry ~cores ?(discriminator = "") () =
+(* Tables start small and quadruple on demand up to the requested
+   capacity: the dominant allocation is [capacity * cores] key words, so
+   eagerly sizing every cache for the worst case made a 256-core cache
+   cost ~17M words up front whether or not the search ever filled it
+   (the decompose allocation-churn bug: one such cache per region).
+   Growth only changes how much is allocated, never any result — cached
+   values are bit-identical to recomputation, and the bound protocol is
+   sound for any hit/miss pattern — so resizing is invisible to
+   search trajectories. *)
+let initial_capacity = 256
+
+let create ?(capacity = 65536) ~symmetry ~cores ?support ?(discriminator = "") () =
   if capacity <= 0 then invalid_arg "Eval_cache.create: capacity must be positive";
   if cores <= 0 then invalid_arg "Eval_cache.create: cores must be positive";
-  let capacity = round_pow2 capacity probe_window in
+  let supp =
+    match support with
+    | None -> Array.init cores Fun.id
+    | Some s ->
+      if Array.length s = 0 then
+        invalid_arg "Eval_cache.create: support must be non-empty";
+      Array.iteri
+        (fun i c ->
+          if c < 0 || c >= cores then
+            invalid_arg "Eval_cache.create: support core out of range";
+          if i > 0 && s.(i - 1) >= c then
+            invalid_arg "Eval_cache.create: support must be strictly increasing")
+        s;
+      (* Projection is only injective when canonicalization is the
+         identity: a non-trivial group may move the frozen cores
+         differently for different inputs, so two distinct reachable
+         placements could collide on the projected key. *)
+      if Array.length s < cores && Symmetry.order symmetry > 1 then
+        invalid_arg
+          "Eval_cache.create: a partial support needs a trivial symmetry group";
+      Array.copy s
+  in
+  let klen = Array.length supp in
+  let limit = round_pow2 capacity probe_window in
+  let capacity = min limit (round_pow2 initial_capacity probe_window) in
   {
     sym = symmetry;
     cores;
+    supp;
+    klen;
+    limit_mask = limit - 1;
     mask = capacity - 1;
     disc = hash_string discriminator;
-    keys = Array.make (capacity * cores) 0;
+    keys = Array.make (capacity * klen) 0;
     flags = Bytes.make capacity '\000';
     tags = Array.make capacity 0;
     exact = Array.make capacity 0.0;
@@ -103,22 +144,32 @@ let flag t slot = Char.code (Bytes.unsafe_get t.flags slot)
 
 let set_flag t slot f = Bytes.unsafe_set t.flags slot (Char.chr f)
 
+let hash_ints ~disc arr off len =
+  let h = ref (fnv_step fnv_seed disc) in
+  for i = off to off + len - 1 do
+    h := fnv_step !h arr.(i)
+  done;
+  !h lxor (!h lsr 17)
+
+(* FNV over the support projection of the canonical key in [t.canon]. *)
+let hash_key t =
+  let h = ref (fnv_step fnv_seed t.disc) in
+  for j = 0 to t.klen - 1 do
+    h := fnv_step !h t.canon.(t.supp.(j))
+  done;
+  !h lxor (!h lsr 17)
+
 (* Canonicalize into the scratch buffer and return the home bucket. *)
 let prepare t placement =
   if Array.length placement <> t.cores then
     invalid_arg "Eval_cache: placement size does not match the cache";
   Symmetry.canonicalize_into t.sym ~src:placement ~dst:t.canon;
-  let h = ref (fnv_step fnv_seed t.disc) in
-  for i = 0 to t.cores - 1 do
-    h := fnv_step !h t.canon.(i)
-  done;
-  let h = !h lxor (!h lsr 17) in
-  h land t.mask
+  hash_key t land t.mask
 
 let key_matches t slot =
-  let base = slot * t.cores in
-  let rec go i =
-    i = t.cores || (t.keys.(base + i) = t.canon.(i) && go (i + 1))
+  let base = slot * t.klen in
+  let rec go j =
+    j = t.klen || (t.keys.(base + j) = t.canon.(t.supp.(j)) && go (j + 1))
   in
   go 0
 
@@ -141,18 +192,71 @@ let locate t home =
   probe 0
 
 let store_key t slot =
-  Array.blit t.canon 0 t.keys (slot * t.cores) t.cores;
+  let base = slot * t.klen in
+  for j = 0 to t.klen - 1 do
+    t.keys.(base + j) <- t.canon.(t.supp.(j))
+  done;
   t.tags.(slot) <- t.disc
 
-(* Claim a slot for the key in [t.canon], evicting if the window is
-   full; returns the slot with flags reset to freshly-occupied. *)
-let claim t = function
+(* Quadruple the table (bounded by the requested capacity) and re-home
+   every occupied slot.  [t.canon] is left untouched, so the caller can
+   re-derive the in-flight key's bucket afterwards.  An entry whose new
+   window is already full — possible but vanishingly rare mid-growth —
+   is dropped and counted as an eviction. *)
+let nul = Char.chr 0
+
+let grow t =
+  let old_cap = t.mask + 1 in
+  let new_cap = min (old_cap * 4) (t.limit_mask + 1) in
+  let old_keys = t.keys and old_flags = t.flags and old_tags = t.tags in
+  let old_exact = t.exact and old_lb = t.lb and old_lb_cutoff = t.lb_cutoff in
+  t.mask <- new_cap - 1;
+  t.keys <- Array.make (new_cap * t.klen) 0;
+  t.flags <- Bytes.make new_cap nul;
+  t.tags <- Array.make new_cap 0;
+  t.exact <- Array.make new_cap 0.0;
+  t.lb <- Array.make new_cap 0.0;
+  t.lb_cutoff <- Array.make new_cap 0.0;
+  t.entries <- 0;
+  for slot = 0 to old_cap - 1 do
+    let f = Char.code (Bytes.unsafe_get old_flags slot) in
+    if f land f_occupied <> 0 then begin
+      let base = slot * t.klen in
+      let home = hash_ints ~disc:old_tags.(slot) old_keys base t.klen land t.mask in
+      let rec free_slot i =
+        if i = probe_window then None
+        else
+          let s = (home + i) land t.mask in
+          if flag t s land f_occupied = 0 then Some s else free_slot (i + 1)
+      in
+      match free_slot 0 with
+      | Some s ->
+        Array.blit old_keys base t.keys (s * t.klen) t.klen;
+        t.tags.(s) <- old_tags.(slot);
+        Bytes.unsafe_set t.flags s (Bytes.unsafe_get old_flags slot);
+        t.exact.(s) <- old_exact.(slot);
+        t.lb.(s) <- old_lb.(slot);
+        t.lb_cutoff.(s) <- old_lb_cutoff.(slot);
+        t.entries <- t.entries + 1
+      | None ->
+        t.evictions <- t.evictions + 1;
+        Metrics.incr m_evictions
+    end
+  done
+
+(* Claim a slot for the key in [t.canon]: grow on a full window while
+   below the requested capacity, evict once at it; returns the slot with
+   flags reset to freshly-occupied. *)
+let rec claim t = function
   | Found slot -> slot
   | Free slot ->
     store_key t slot;
     t.entries <- t.entries + 1;
     set_flag t slot f_occupied;
     slot
+  | Window_full _ when t.mask < t.limit_mask ->
+    grow t;
+    claim t (locate t (hash_key t land t.mask))
   | Window_full home ->
     let slot = (home + (t.tick mod probe_window)) land t.mask in
     t.tick <- t.tick + 1;

@@ -45,16 +45,34 @@ val create :
   ?capacity:int ->
   symmetry:Nocmap_noc.Symmetry.t ->
   cores:int ->
+  ?support:int array ->
   ?discriminator:string ->
   unit ->
   t
 (** [create ~symmetry ~cores ()] builds a cache for placements of
     [cores] cores on the mesh of [symmetry].  [capacity] (default
-    [65536], rounded up to a power of two) bounds the entry count.
+    [65536], rounded up to a power of two) bounds the entry count; the
+    table starts small and quadruples on demand up to that bound, so an
+    under-used cache costs a few kilobytes, not [capacity * cores]
+    words.
+
+    [support] (strictly increasing core indices, default all cores)
+    restricts the {e stored key} to the tiles of those cores.  Use it
+    when every placement presented to the cache agrees on the cores
+    outside the support — e.g. a {!Decompose} region refiner, which
+    permutes only its own cluster while the rest of the seed stays
+    frozen — so a 32-core region on a 256-core instance stores 32-word
+    keys instead of 256.  A partial support requires the trivial
+    symmetry group ({!Nocmap_noc.Symmetry.identity_only}): a non-trivial
+    group could move the frozen cores differently for different inputs
+    and break key injectivity.
+
     [discriminator] (objective name, technology, fault scenario, ...) is
     mixed into every key hash so that entries of distinct objectives can
     never collide even if a cache is shared by mistake.
-    @raise Invalid_argument on a non-positive capacity or core count. *)
+    @raise Invalid_argument on a non-positive capacity or core count, an
+    out-of-range / non-increasing support, or a partial support with a
+    non-trivial group. *)
 
 val stats : t -> stats
 

@@ -14,7 +14,10 @@ let connectivity cwg core =
   !acc
 
 let central_tile mesh =
-  Mesh.tile_of_coord mesh ~x:((mesh.Mesh.cols - 1) / 2) ~y:((mesh.Mesh.rows - 1) / 2)
+  Mesh.tile_of_coord3 mesh
+    ~x:((mesh.Mesh.cols - 1) / 2)
+    ~y:((mesh.Mesh.rows - 1) / 2)
+    ~z:((mesh.Mesh.layers - 1) / 2)
 
 let search ~tech ~crg ~cwg () =
   let cores = Cwg.core_count cwg in
@@ -39,7 +42,8 @@ let search ~tech ~crg ~cwg () =
         let add ~src ~dst bits =
           if bits > 0 then
             let routers = Crg.router_count_on_path crg ~src ~dst in
-            acc := !acc +. Equations.communication_energy tech ~routers ~bits
+            let tsv = Crg.tsv_links_on_path crg ~src ~dst in
+            acc := !acc +. Equations.communication_energy ~tsv tech ~routers ~bits
         in
         add ~src:tile ~dst:placement.(other) (Cwg.weight cwg ~src:core ~dst:other);
         add ~src:placement.(other) ~dst:tile (Cwg.weight cwg ~src:other ~dst:core)

@@ -56,7 +56,7 @@ let of_string_unguarded ~core_names text =
         | mesh -> Ok (mesh, rest)
         | exception Invalid_argument _ -> fail num "bad NoC size %S" size
       end
-      | _ -> fail num "expected \"noc <cols>x<rows>\""
+      | _ -> fail num "expected \"noc <cols>x<rows>\" or \"noc <cols>x<rows>x<layers>\""
     end
     | [] -> Error "empty document"
   in

@@ -582,21 +582,29 @@ let decompose_checkpoint_of_json j =
       | v -> Some (ls_checkpoint_of_json v));
   }
 
+(* Planar rectangles serialize without the z/d fields so 2-D checkpoint
+   files keep their historical byte-for-byte shape; missing fields read
+   back as the planar defaults. *)
 let rect_json (r : Decompose.rect) =
   Json.Assoc
-    [
-      ("x", Json.Int r.Decompose.x);
-      ("y", Json.Int r.Decompose.y);
-      ("w", Json.Int r.Decompose.w);
-      ("h", Json.Int r.Decompose.h);
-    ]
+    ([
+       ("x", Json.Int r.Decompose.x);
+       ("y", Json.Int r.Decompose.y);
+       ("w", Json.Int r.Decompose.w);
+       ("h", Json.Int r.Decompose.h);
+     ]
+    @
+    if r.Decompose.z = 0 && r.Decompose.d = 1 then []
+    else [ ("z", Json.Int r.Decompose.z); ("d", Json.Int r.Decompose.d) ])
 
 let rect_of_json j =
   {
     Decompose.x = Json.to_int (Json.get "x" j);
     y = Json.to_int (Json.get "y" j);
+    z = (match Json.find "z" j with Some v -> Json.to_int v | None -> 0);
     w = Json.to_int (Json.get "w" j);
     h = Json.to_int (Json.get "h" j);
+    d = (match Json.find "d" j with Some v -> Json.to_int v | None -> 1);
   }
 
 let region_report_json (r : Decompose.region_report) =
@@ -641,7 +649,8 @@ let decompose_report_of_json j =
   }
 
 let decompose ~store ~key ?(every = default_every) ~rng ~config ~crg ~cwg
-    ~objective_name ~objective_for ?pool ?(stop = fun () -> false) () =
+    ~objective_name ~objective_for ?region_objective_for ?pool
+    ?(stop = fun () -> false) () =
   let meta =
     Json.Assoc
       [
@@ -657,8 +666,8 @@ let decompose ~store ~key ?(every = default_every) ~rng ~config ~crg ~cwg
     ~decode:decompose_checkpoint_of_json ~encode_result:decompose_report_json
     ~decode_result:decompose_report_of_json ~stop
     ~run:(fun ?checkpoint ?resume () ->
-      Decompose.search ~rng ~config ~crg ~cwg ~objective_for ?pool ~stop
-        ?checkpoint ?resume ())
+      Decompose.search ~rng ~config ~crg ~cwg ~objective_for
+        ?region_objective_for ?pool ~stop ?checkpoint ?resume ())
 
 let local_search ~store ~key ?(every = default_every) ~objective ~tiles
     ~initial ?(max_evaluations = 100_000) ?(stop = fun () -> false)

@@ -134,6 +134,7 @@ val decompose :
   cwg:Nocmap_model.Cwg.t ->
   objective_name:string ->
   objective_for:(unit -> Objective.t) ->
+  ?region_objective_for:(cores:int array -> tiles:int array -> Objective.t) ->
   ?pool:Nocmap_util.Domain_pool.t ->
   ?stop:(unit -> bool) ->
   unit ->

@@ -13,6 +13,7 @@ type t = {
   faults : Fault.t option;
   paths : path array; (* index: src * n + dst *)
   detours : int array; (* extra links vs the fault-free route; -1 = unreachable *)
+  tsv : int array; (* vertical links per pair; [||] on a planar mesh (all 0) *)
 }
 
 let build_path mesh routing ~src ~dst =
@@ -81,6 +82,19 @@ let route_intact faults p =
   Array.for_all (fun r -> not (Fault.router_down faults r)) p.routers
   && Array.for_all (fun l -> not (Fault.link_down faults l)) p.links
 
+(* Vertical-link counts per pair, so evaluators can split the paper's
+   Eq. (2) into planar and TSV terms in O(1) per lookup.  A planar mesh
+   shares the empty array: every count is 0 and no memory is spent. *)
+let tsv_counts mesh paths =
+  if mesh.Mesh.layers = 1 then [||]
+  else
+    Array.map
+      (fun p ->
+        Array.fold_left
+          (fun acc lid -> if Link.is_vertical mesh lid then acc + 1 else acc)
+          0 p.links)
+      paths
+
 let create ?(routing = Routing.Xy) ?faults mesh =
   let n = Mesh.tile_count mesh in
   let wrap = Routing.uses_wrap_links routing in
@@ -93,8 +107,11 @@ let create ?(routing = Routing.Xy) ?faults mesh =
   | None -> ()
   | Some f ->
     let fm = Fault.mesh f in
-    if fm.Mesh.cols <> mesh.Mesh.cols || fm.Mesh.rows <> mesh.Mesh.rows then
-      invalid_arg "Crg.create: fault scenario built for a different mesh";
+    if
+      fm.Mesh.cols <> mesh.Mesh.cols
+      || fm.Mesh.rows <> mesh.Mesh.rows
+      || fm.Mesh.layers <> mesh.Mesh.layers
+    then invalid_arg "Crg.create: fault scenario built for a different mesh";
     List.iter
       (fun lid ->
         if not (Link.exists ~wrap mesh lid) then
@@ -109,7 +126,14 @@ let create ?(routing = Routing.Xy) ?faults mesh =
     let paths =
       Array.init (n * n) (fun i -> build_path mesh routing ~src:(i / n) ~dst:(i mod n))
     in
-    { mesh; routing; faults; paths; detours = Array.make (n * n) 0 }
+    {
+      mesh;
+      routing;
+      faults;
+      paths;
+      detours = Array.make (n * n) 0;
+      tsv = tsv_counts mesh paths;
+    }
   | Some f ->
     let adj = surviving_adjacency mesh ~wrap f in
     let paths = Array.make (n * n) unreachable_path in
@@ -142,7 +166,7 @@ let create ?(routing = Routing.Xy) ?faults mesh =
         end
       done
     done;
-    { mesh; routing; faults; paths; detours }
+    { mesh; routing; faults; paths; detours; tsv = tsv_counts mesh paths }
 
 let mesh t = t.mesh
 
@@ -188,6 +212,10 @@ let total_detour_links t =
 let max_detour_links t = Array.fold_left max 0 t.detours
 
 let router_count_on_path t ~src ~dst = Array.length (path t ~src ~dst).routers
+
+let tsv_links_on_path t ~src ~dst =
+  check_pair t ~src ~dst;
+  if Array.length t.tsv = 0 then 0 else t.tsv.((src * tile_count t) + dst)
 
 let to_digraph t =
   let wrap = Routing.uses_wrap_links t.routing in

@@ -66,6 +66,10 @@ val router_count_on_path : t -> src:int -> dst:int -> int
 (** The paper's [K]: number of routers a packet traverses (0 for an
     {!Unreachable} pair). *)
 
+val tsv_links_on_path : t -> src:int -> dst:int -> int
+(** Number of vertical (TSV) links on the precomputed path — the [v] in
+    the 3-D extension of Eq. (2).  Always 0 on a planar mesh; O(1). *)
+
 val to_digraph : t -> Nocmap_graph.Digraph.t
 (** Vertices are tiles, edges are the {e surviving} physical links
     (label 0); the architecture graph of Definition 3, e.g. for DOT

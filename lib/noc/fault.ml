@@ -66,6 +66,26 @@ let none mesh = make mesh
 let single_link_scenarios ?(wrap = false) mesh =
   List.map (fun lid -> make ~wrap ~links:[ lid ] mesh) (Link.all ~wrap mesh)
 
+let links_in_layer ?(wrap = false) mesh ~layer =
+  if layer < 0 || layer >= mesh.Mesh.layers then
+    invalid_arg "Fault.links_in_layer: layer out of range";
+  List.filter
+    (fun lid ->
+      (not (Link.is_vertical mesh lid))
+      && Mesh.layer_of_tile mesh (fst (Link.endpoints ~wrap mesh lid)) = layer)
+    (Link.all ~wrap mesh)
+
+let single_link_scenarios_in_layer ?(wrap = false) mesh ~layer =
+  List.map (fun lid -> make ~wrap ~links:[ lid ] mesh)
+    (links_in_layer ~wrap mesh ~layer)
+
+let single_tsv_scenarios ?(wrap = false) mesh =
+  List.filter_map
+    (fun lid ->
+      if Link.is_vertical mesh lid then Some (make ~wrap ~links:[ lid ] mesh)
+      else None)
+    (Link.all ~wrap mesh)
+
 let sample_link_scenarios ?(wrap = false) ~rng ~k ~count mesh =
   let all = Array.of_list (Link.all ~wrap mesh) in
   if k <= 0 then invalid_arg "Fault.sample_link_scenarios: k must be positive";

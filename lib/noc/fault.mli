@@ -51,6 +51,21 @@ val single_link_scenarios : ?wrap:bool -> Mesh.t -> t list
 (** One scenario per physical directed link, in ascending {!Link.id}
     order — the exhaustive first-order fault sweep. *)
 
+val links_in_layer : ?wrap:bool -> Mesh.t -> layer:int -> int list
+(** The planar (non-TSV) link ids whose source tile sits in the given
+    layer, ascending.  On a planar mesh, [~layer:0] is every link.
+    @raise Invalid_argument on an out-of-range layer. *)
+
+val single_link_scenarios_in_layer : ?wrap:bool -> Mesh.t -> layer:int -> t list
+(** {!single_link_scenarios} restricted to one layer's planar links —
+    the per-layer first-order sweep of a stacked mesh.
+    @raise Invalid_argument on an out-of-range layer. *)
+
+val single_tsv_scenarios : ?wrap:bool -> Mesh.t -> t list
+(** One scenario per vertical (TSV) link, ascending — empty on a planar
+    mesh.  TSVs are the dominant fault site of stacked dies, so this is
+    the 3-D counterpart of the first-order link sweep. *)
+
 val sample_link_scenarios :
   ?wrap:bool -> rng:Nocmap_util.Rng.t -> k:int -> count:int -> Mesh.t -> t list
 (** [count] scenarios of [k] distinct failed links each, drawn from the

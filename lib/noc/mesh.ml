@@ -1,31 +1,85 @@
 type t = {
   cols : int;
   rows : int;
+  layers : int;
 }
 
-let create ~cols ~rows =
-  if cols <= 0 || rows <= 0 then invalid_arg "Mesh.create: dimensions must be positive";
-  { cols; rows }
+(* Tile counts flow into [Array.make] for CRG path tables ([n * n]
+   entries) and link-slot vectors, so an overflowing product must be
+   rejected here rather than surfacing as a negative array length three
+   layers up.  The bound keeps [6 * tile_count * tile_count] well inside
+   [max_int] on 64-bit. *)
+let max_tiles = 1 lsl 24
+
+let create3 ~cols ~rows ~layers =
+  if cols <= 0 || rows <= 0 || layers <= 0 then
+    invalid_arg "Mesh.create: dimensions must be positive";
+  if cols > max_tiles / rows || cols * rows > max_tiles / layers then
+    invalid_arg "Mesh.create: tile count overflows the supported range";
+  { cols; rows; layers }
+
+let create ~cols ~rows = create3 ~cols ~rows ~layers:1
 
 let of_string s =
-  let fail () = invalid_arg ("Mesh.of_string: expected \"<cols>x<rows>\", got " ^ s) in
+  let fail () =
+    invalid_arg
+      ("Mesh.of_string: expected \"<cols>x<rows>\" or \
+        \"<cols>x<rows>x<layers>\", got " ^ s)
+  in
+  let dim part = int_of_string_opt (String.trim part) in
   match String.split_on_char 'x' (String.lowercase_ascii (String.trim s)) with
   | [ a; b ] -> begin
-    match (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b)) with
-    | Some cols, Some rows when cols > 0 && rows > 0 -> create ~cols ~rows
+    match (dim a, dim b) with
+    | Some cols, Some rows when cols > 0 && rows > 0 -> begin
+      match create ~cols ~rows with
+      | mesh -> mesh
+      | exception Invalid_argument _ -> fail ()
+    end
     | Some _, Some _ | None, _ | _, None -> fail ()
+  end
+  | [ a; b; c ] -> begin
+    match (dim a, dim b, dim c) with
+    | Some cols, Some rows, Some layers
+      when cols > 0 && rows > 0 && layers > 0 -> begin
+      match create3 ~cols ~rows ~layers with
+      | mesh -> mesh
+      | exception Invalid_argument _ -> fail ()
+    end
+    | _ -> fail ()
   end
   | _ -> fail ()
 
-let to_string t = Printf.sprintf "%dx%d" t.cols t.rows
+(* A one-layer mesh renders without the "x1" so fingerprints, persisted
+   placements and serve job keys from the 2D era keep their exact text. *)
+let to_string t =
+  if t.layers = 1 then Printf.sprintf "%dx%d" t.cols t.rows
+  else Printf.sprintf "%dx%dx%d" t.cols t.rows t.layers
 
-let tile_count t = t.cols * t.rows
+let tile_count t = t.cols * t.rows * t.layers
+
+let layer_tiles t = t.cols * t.rows
 
 let in_range t tile = tile >= 0 && tile < tile_count t
 
+let coord3_of_tile t tile =
+  if not (in_range t tile) then invalid_arg "Mesh.coord3_of_tile: tile out of range";
+  let per_layer = t.cols * t.rows in
+  let within = tile mod per_layer in
+  (within mod t.cols, within / t.cols, tile / per_layer)
+
 let coord_of_tile t tile =
   if not (in_range t tile) then invalid_arg "Mesh.coord_of_tile: tile out of range";
-  (tile mod t.cols, tile / t.cols)
+  let within = tile mod (t.cols * t.rows) in
+  (within mod t.cols, within / t.cols)
+
+let layer_of_tile t tile =
+  if not (in_range t tile) then invalid_arg "Mesh.layer_of_tile: tile out of range";
+  tile / (t.cols * t.rows)
+
+let tile_of_coord3 t ~x ~y ~z =
+  if x < 0 || x >= t.cols || y < 0 || y >= t.rows || z < 0 || z >= t.layers then
+    invalid_arg "Mesh.tile_of_coord3: coordinate outside mesh";
+  (z * t.cols * t.rows) + (y * t.cols) + x
 
 let tile_of_coord t ~x ~y =
   if x < 0 || x >= t.cols || y < 0 || y >= t.rows then
@@ -33,19 +87,28 @@ let tile_of_coord t ~x ~y =
   (y * t.cols) + x
 
 let manhattan t a b =
-  let xa, ya = coord_of_tile t a in
-  let xb, yb = coord_of_tile t b in
-  abs (xa - xb) + abs (ya - yb)
+  let xa, ya, za = coord3_of_tile t a in
+  let xb, yb, zb = coord3_of_tile t b in
+  abs (xa - xb) + abs (ya - yb) + abs (za - zb)
 
 let neighbors t tile =
-  let x, y = coord_of_tile t tile in
+  let x, y, z = coord3_of_tile t tile in
   let candidates =
-    [ (x, y - 1); (x, y + 1); (x - 1, y); (x + 1, y) ]
+    [
+      (x, y - 1, z);
+      (x, y + 1, z);
+      (x - 1, y, z);
+      (x + 1, y, z);
+      (x, y, z - 1);
+      (x, y, z + 1);
+    ]
   in
   List.filter_map
-    (fun (nx, ny) ->
-      if nx >= 0 && nx < t.cols && ny >= 0 && ny < t.rows then
-        Some (tile_of_coord t ~x:nx ~y:ny)
+    (fun (nx, ny, nz) ->
+      if
+        nx >= 0 && nx < t.cols && ny >= 0 && ny < t.rows && nz >= 0
+        && nz < t.layers
+      then Some (tile_of_coord3 t ~x:nx ~y:ny ~z:nz)
       else None)
     candidates
 

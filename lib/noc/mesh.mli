@@ -1,40 +1,73 @@
-(** Regular 2-D mesh topology.
+(** Regular 2-D/3-D mesh topology.
 
     Tiles are numbered row-major from the top-left corner, matching the
     paper's Figure 1: in a 2x2 mesh, tile 0 is the top-left (the paper's
     tau_1), tile 1 the top-right, tile 2 the bottom-left, tile 3 the
     bottom-right.  A tile at column [x] and row [y] has index
-    [y * cols + x]. *)
+    [y * cols + x].
+
+    A 3-D mesh stacks [layers] identical planes connected by vertical
+    (TSV) links; the tile at column [x], row [y], layer [z] has index
+    [z * cols * rows + y * cols + x].  The 2-D topology is exactly the
+    [layers = 1] case — every observable (tile numbering, [to_string],
+    neighbour order) is bit-identical to the historical 2-D code. *)
 
 type t = private {
   cols : int;  (** NoC width (the paper's first dimension, e.g. 3 in "3x2"). *)
   rows : int;  (** NoC height. *)
+  layers : int;  (** Stacked planes; 1 for a planar (2-D) NoC. *)
 }
 
 val create : cols:int -> rows:int -> t
-(** @raise Invalid_argument unless both dimensions are positive. *)
+(** A planar mesh, [create3 ~layers:1].
+    @raise Invalid_argument unless both dimensions are positive and the
+    tile count stays within the supported range (2^24 tiles). *)
+
+val create3 : cols:int -> rows:int -> layers:int -> t
+(** @raise Invalid_argument unless all dimensions are positive and the
+    tile count stays within the supported range (2^24 tiles). *)
 
 val of_string : string -> t
-(** Parses ["3x2"] or ["3X2"].  @raise Invalid_argument on anything else. *)
+(** Parses ["3x2"], ["3X2"] or ["4x2x2"].  @raise Invalid_argument on
+    anything else — including zero/negative dimensions, trailing
+    separators (["4x4x"]) and products that overflow the supported tile
+    range. *)
 
 val to_string : t -> string
-(** ["<cols>x<rows>"]. *)
+(** ["<cols>x<rows>"] when [layers = 1] (so persisted 2-D text never
+    changes), ["<cols>x<rows>x<layers>"] otherwise. *)
 
 val tile_count : t -> int
 
+val layer_tiles : t -> int
+(** Tiles per layer, [cols * rows]. *)
+
 val coord_of_tile : t -> int -> int * int
-(** [(x, y)] of a tile index.  @raise Invalid_argument when out of range. *)
+(** [(x, y)] of a tile index within its layer.
+    @raise Invalid_argument when out of range. *)
+
+val coord3_of_tile : t -> int -> int * int * int
+(** [(x, y, z)] of a tile index.  [z = 0] for every tile of a planar
+    mesh.  @raise Invalid_argument when out of range. *)
+
+val layer_of_tile : t -> int -> int
+(** Layer index of a tile.  @raise Invalid_argument when out of range. *)
 
 val tile_of_coord : t -> x:int -> y:int -> int
+(** Tile index in layer 0.  @raise Invalid_argument when the coordinate
+    is outside the mesh. *)
+
+val tile_of_coord3 : t -> x:int -> y:int -> z:int -> int
 (** @raise Invalid_argument when the coordinate is outside the mesh. *)
 
 val in_range : t -> int -> bool
 
 val manhattan : t -> int -> int -> int
-(** Hop distance between two tiles; the number of routers traversed by a
-    minimal path is [manhattan + 1]. *)
+(** Hop distance between two tiles (3-D Manhattan distance); the number
+    of routers traversed by a minimal path is [manhattan + 1]. *)
 
 val neighbors : t -> int -> int list
-(** Adjacent tiles (2 to 4 of them), in N, S, W, E order where present. *)
+(** Adjacent tiles (2 to 6 of them), in N, S, W, E, Up, Down order where
+    present ([Up] is the layer above, [z - 1]; [Down] the layer below). *)
 
 val pp : Format.formatter -> t -> unit

@@ -12,8 +12,8 @@ let algorithm_to_string = function
 
 let algorithm_of_string s =
   match String.lowercase_ascii (String.trim s) with
-  | "xy" -> Xy
-  | "yx" -> Yx
+  | "xy" | "xyz" -> Xy
+  | "yx" | "yxz" -> Yx
   | "torus-xy" -> Torus_xy
   | "torus-yx" -> Torus_yx
   | other -> invalid_arg ("Routing.algorithm_of_string: unknown algorithm " ^ other)
@@ -32,35 +32,43 @@ let torus_step v target extent =
   let backward = (v - target + extent) mod extent in
   if forward <= backward then (v + 1) mod extent else (v - 1 + extent) mod extent
 
-let rec walk_x ~torus mesh x y xt acc =
+let rec walk_x ~torus mesh x y z xt acc =
   if x = xt then (x, acc)
   else
     let x' = if torus then torus_step x xt mesh.Mesh.cols else step x xt in
-    walk_x ~torus mesh x' y xt (Mesh.tile_of_coord mesh ~x:x' ~y :: acc)
+    walk_x ~torus mesh x' y z xt (Mesh.tile_of_coord3 mesh ~x:x' ~y ~z :: acc)
 
-let rec walk_y ~torus mesh x y yt acc =
+let rec walk_y ~torus mesh x y z yt acc =
   if y = yt then (y, acc)
   else
     let y' = if torus then torus_step y yt mesh.Mesh.rows else step y yt in
-    walk_y ~torus mesh x y' yt (Mesh.tile_of_coord mesh ~x ~y:y' :: acc)
+    walk_y ~torus mesh x y' z yt (Mesh.tile_of_coord3 mesh ~x ~y:y' ~z :: acc)
+
+(* The vertical dimension never wraps — TSVs are physical vias — so the
+   z walk is a plain mesh walk even for the torus algorithms. *)
+let rec walk_z mesh x y z zt acc =
+  if z = zt then acc
+  else
+    let z' = step z zt in
+    walk_z mesh x y z' zt (Mesh.tile_of_coord3 mesh ~x ~y ~z:z' :: acc)
 
 let router_path mesh algo ~src ~dst =
   if uses_wrap_links algo && (mesh.Mesh.cols < 3 || mesh.Mesh.rows < 3) then
     invalid_arg "Routing.router_path: torus routing requires both dimensions >= 3";
-  let xs, ys = Mesh.coord_of_tile mesh src in
-  let xd, yd = Mesh.coord_of_tile mesh dst in
+  let xs, ys, zs = Mesh.coord3_of_tile mesh src in
+  let xd, yd, zd = Mesh.coord3_of_tile mesh dst in
   let torus = uses_wrap_links algo in
   let acc = [ src ] in
   let acc =
     match algo with
     | Xy | Torus_xy ->
-      let x, acc = walk_x ~torus mesh xs ys xd acc in
-      let _, acc = walk_y ~torus mesh x ys yd acc in
-      acc
+      let x, acc = walk_x ~torus mesh xs ys zs xd acc in
+      let y, acc = walk_y ~torus mesh x ys zs yd acc in
+      walk_z mesh x y zs zd acc
     | Yx | Torus_yx ->
-      let y, acc = walk_y ~torus mesh xs ys yd acc in
-      let _, acc = walk_x ~torus mesh xs y xd acc in
-      acc
+      let y, acc = walk_y ~torus mesh xs ys zs yd acc in
+      let x, acc = walk_x ~torus mesh xs y zs xd acc in
+      walk_z mesh x y zs zd acc
   in
   List.rev acc
 

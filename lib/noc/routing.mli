@@ -8,26 +8,30 @@
     paper's [K] in Equations (2) and (6)-(8). *)
 
 type algorithm =
-  | Xy        (** Resolve the X (column) offset first, then Y. *)
-  | Yx        (** Resolve the Y (row) offset first, then X. *)
-  | Torus_xy  (** Dimension order XY on a torus: each dimension takes
-                  the shorter way around (ties go east/south). *)
+  | Xy        (** Resolve the X (column) offset first, then Y, then Z —
+                  deterministic XYZ routing on a stacked mesh. *)
+  | Yx        (** Resolve the Y (row) offset first, then X, then Z. *)
+  | Torus_xy  (** Dimension order XY on a torus: each planar dimension
+                  takes the shorter way around (ties go east/south).
+                  The vertical dimension never wraps. *)
   | Torus_yx  (** Dimension order YX on a torus. *)
 
 val algorithm_to_string : algorithm -> string
 
 val algorithm_of_string : string -> algorithm
 (** Accepts ["xy"], ["yx"], ["torus-xy"], ["torus-yx"]
-    case-insensitively.  @raise Invalid_argument otherwise. *)
+    case-insensitively (["xyz"]/["yxz"] are aliases for the first two).
+    @raise Invalid_argument otherwise. *)
 
 val uses_wrap_links : algorithm -> bool
 (** Whether routes may traverse wrap-around links. *)
 
 val router_path : Mesh.t -> algorithm -> src:int -> dst:int -> int list
 (** Routers visited in order, [src] and [dst] included.  [src = dst]
-    yields the singleton path.
+    yields the singleton path.  On a stacked mesh the vertical offset is
+    resolved last, after both planar dimensions.
     @raise Invalid_argument for a torus algorithm on a mesh with a
-    dimension below 3 (see {!Link}). *)
+    planar dimension below 3 (see {!Link}). *)
 
 val hop_count : Mesh.t -> algorithm -> src:int -> dst:int -> int
 (** Number of routers on the path (the paper's [K]); equals

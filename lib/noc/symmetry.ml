@@ -9,32 +9,55 @@ type t = {
   group : perm array;  (* verified automorphisms, identity first *)
 }
 
-let perm_of_coord_map mesh f =
-  Array.init (Mesh.tile_count mesh) (fun tile ->
-      let x, y = Mesh.coord_of_tile mesh tile in
-      let x', y' = f x y in
-      Mesh.tile_of_coord mesh ~x:x' ~y:y')
+(* Every rigid automorphism candidate of a [d0 x d1 x d2] box factors as
+   a per-axis reflection followed by an axis permutation.  The axis
+   permutations are listed identity-first with the x/y transpose second,
+   and the reflection masks count up with x as the low bit, so on a
+   planar ([layers = 1]) mesh the generated list reproduces the
+   historical dihedral candidate order element for element: the four
+   planar reflections, then (on a square) the four transposed ones,
+   with the z-reflections collapsing onto them and deduplicating away. *)
+let axis_perms =
+  [
+    [| 0; 1; 2 |];
+    [| 1; 0; 2 |];
+    [| 0; 2; 1 |];
+    [| 2; 1; 0 |];
+    [| 1; 2; 0 |];
+    [| 2; 0; 1 |];
+  ]
 
 let candidates mesh =
-  let cols = mesh.Mesh.cols and rows = mesh.Mesh.rows in
-  let base =
-    [
-      (fun x y -> (x, y));
-      (fun x y -> (cols - 1 - x, y));
-      (fun x y -> (x, rows - 1 - y));
-      (fun x y -> (cols - 1 - x, rows - 1 - y));
-    ]
+  let dims = [| mesh.Mesh.cols; mesh.Mesh.rows; mesh.Mesh.layers |] in
+  (* An axis permutation is shape-compatible when every axis keeps its
+     extent; only then does the permuted coordinate stay in range. *)
+  let compatible p =
+    dims.(0) = dims.(p.(0)) && dims.(1) = dims.(p.(1)) && dims.(2) = dims.(p.(2))
+  in
+  let perm_of p mask =
+    Array.init (Mesh.tile_count mesh) (fun tile ->
+        let x, y, z = Mesh.coord3_of_tile mesh tile in
+        let c = [| x; y; z |] in
+        let c =
+          Array.mapi
+            (fun i v -> if mask land (1 lsl i) <> 0 then dims.(i) - 1 - v else v)
+            c
+        in
+        let o = Array.make 3 0 in
+        Array.iteri (fun i v -> o.(p.(i)) <- v) c;
+        Mesh.tile_of_coord3 mesh ~x:o.(0) ~y:o.(1) ~z:o.(2))
   in
   let maps =
-    if cols = rows then
-      base @ List.map (fun f x y -> let a, b = f x y in (b, a)) base
-    else base
+    List.concat_map
+      (fun p ->
+        if compatible p then List.init 8 (fun mask -> perm_of p mask) else [])
+      axis_perms
   in
-  (* Degenerate shapes (1xN, 1x1) collapse some maps onto each other;
-     keep the first occurrence so the identity stays in front. *)
+  (* Degenerate shapes (1xN, layers = 1, 1x1x1) collapse some maps onto
+     each other; keep the first occurrence so the identity stays in
+     front. *)
   List.fold_left
-    (fun acc f ->
-      let p = perm_of_coord_map mesh f in
+    (fun acc p ->
       if List.exists (fun q -> q = p) acc then acc else acc @ [ p ])
     [] maps
 
@@ -72,12 +95,20 @@ let for_all_pairs tiles f =
   in
   loop 0 0
 
+(* Hop-exactness must track vertical links separately: TSV links carry
+   their own energy coefficients, so CWM cost per pair is a function of
+   [(routers, tsv)], not of the router count alone.  A rigid motion that
+   trades a vertical hop for a horizontal one preserves hop counts but
+   not cost.  On a planar mesh every [tsv] is 0 and this collapses to
+   the historical router-count check. *)
 let hop_exact crg p =
   let tiles = Crg.tile_count crg in
   is_permutation tiles p
   && for_all_pairs tiles (fun s d ->
          Crg.router_count_on_path crg ~src:p.(s) ~dst:p.(d)
-         = Crg.router_count_on_path crg ~src:s ~dst:d)
+         = Crg.router_count_on_path crg ~src:s ~dst:d
+         && Crg.tsv_links_on_path crg ~src:p.(s) ~dst:p.(d)
+            = Crg.tsv_links_on_path crg ~src:s ~dst:d)
 
 let path_exact crg p =
   let tiles = Crg.tile_count crg in

@@ -4,7 +4,10 @@
     rectangular mesh (identity, horizontal and vertical reflection and
     their composition, the 180-degree rotation), 8 on a square mesh
     (additionally the transpose, anti-transpose and the two quarter-turn
-    rotations).  Relabelling the tiles of a placement by such an
+    rotations).  A stacked 3-D mesh generalizes this to the rigid
+    automorphisms of a box — per-axis reflections composed with the axis
+    permutations its shape admits, up to 48 elements on a cube.
+    Relabelling the tiles of a placement by such an
     automorphism cannot change a cost that only depends on the topology
     — but the deterministic routing algorithm breaks part of the group:
     under XY routing a reflection maps every dimension-ordered path onto
@@ -49,9 +52,13 @@ type t
     the intersection over several CRGs). *)
 
 val candidates : Mesh.t -> perm list
-(** The distinct dihedral candidates of the mesh shape: identity first,
-    then reflections/rotations — 8 on a square mesh with [cols >= 2],
-    4 on a rectangular one (2 on a 1xN degenerate mesh, 1 on 1x1).
+(** The distinct rigid-automorphism candidates of the mesh shape
+    (per-axis reflections composed with shape-compatible axis
+    permutations), identity first.  On a planar mesh this is the
+    historical dihedral list — 8 on a square mesh with [cols >= 2], 4 on
+    a rectangular one (2 on a 1xN degenerate mesh, 1 on 1x1) — in the
+    exact historical order.  On a stacked mesh the group grows with the
+    shape's symmetry, up to 48 on a cube ([cols = rows = layers]).
     Every candidate is an adjacency automorphism of the mesh. *)
 
 val is_automorphism : Mesh.t -> perm -> bool

@@ -118,6 +118,103 @@ let test_rejects_mismatched_placement () =
     (Invalid_argument "Eval_cache: placement size does not match the cache")
     (fun () -> ignore (Eval_cache.find_exact cache [| 0; 1 |]))
 
+let test_geometric_growth () =
+  (* A large requested capacity is a bound, not an up-front allocation:
+     the table starts small and quadruples as distinct keys arrive, and
+     no entry is evicted before the bound is reached. *)
+  let symmetry = Symmetry.identity_only (Mesh.create ~cols:30 ~rows:1) in
+  let cache = Eval_cache.create ~capacity:65536 ~symmetry ~cores:2 () in
+  Alcotest.(check bool) "starts well below the requested capacity" true
+    ((Eval_cache.stats cache).Eval_cache.capacity < 65536);
+  for a = 0 to 29 do
+    for b = 0 to 29 do
+      if a <> b then
+        Eval_cache.add_exact cache [| a; b |] (float_of_int ((100 * a) + b))
+    done
+  done;
+  let s = Eval_cache.stats cache in
+  Alcotest.(check int) "every distinct key is live" 870 s.Eval_cache.entries;
+  Alcotest.(check bool) "grew past the initial table" true
+    (s.Eval_cache.capacity > 256);
+  Alcotest.(check int) "below the bound, growth never evicts" 0
+    s.Eval_cache.evictions;
+  (* Every fact survives the rehashes. *)
+  for a = 0 to 29 do
+    for b = 0 to 29 do
+      if a <> b then
+        Alcotest.(check (option (float 0.0))) "exact entries survive growth"
+          (Some (float_of_int ((100 * a) + b)))
+          (Eval_cache.find_exact cache [| a; b |])
+    done
+  done
+
+let test_support_projection () =
+  (* A support-restricted cache keys only the chosen cores: placements
+     agreeing on the support (the frozen-region contract) share the
+     entry. *)
+  let symmetry = Symmetry.identity_only mesh33 in
+  let cache =
+    Eval_cache.create ~symmetry ~cores:4 ~support:[| 1; 3 |] ()
+  in
+  Eval_cache.add_exact cache [| 0; 4; 2; 8 |] 7.5;
+  Alcotest.(check (option (float 0.0)))
+    "same support tiles, same frozen context: hit" (Some 7.5)
+    (Eval_cache.find_exact cache [| 0; 4; 2; 8 |]);
+  Alcotest.(check (option (float 0.0))) "different support tile: miss" None
+    (Eval_cache.find_exact cache [| 0; 5; 2; 8 |])
+
+let test_support_validation () =
+  let trivial = Symmetry.identity_only mesh33 in
+  let must_raise name support symmetry =
+    match Eval_cache.create ~symmetry ~cores:4 ~support () with
+    | _ -> Alcotest.fail (name ^ " should be rejected")
+    | exception Invalid_argument _ -> ()
+  in
+  must_raise "empty support" [||] trivial;
+  must_raise "out-of-range core" [| 1; 9 |] trivial;
+  must_raise "non-increasing support" [| 2; 2 |] trivial;
+  must_raise "partial support under a non-trivial group" [| 0; 1 |]
+    (Symmetry.of_crg ~level:Symmetry.Hops (Crg.create mesh33));
+  (* The full support composes with any group. *)
+  ignore
+    (Eval_cache.create
+       ~symmetry:(Symmetry.of_crg ~level:Symmetry.Hops (Crg.create mesh33))
+       ~cores:4
+       ~support:[| 0; 1; 2; 3 |]
+       ())
+
+let prop_supported_cache_identical =
+  (* Frozen-context differential: with all cores outside the support
+     pinned, a support-keyed cache answers exactly like a full-key
+     cache. *)
+  QCheck2.Test.make ~name:"support-keyed cache = full-key cache"
+    ~count:(Test_util.prop_count 50)
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let trivial = Symmetry.identity_only mesh33 in
+      let full = Eval_cache.create ~symmetry:trivial ~cores:5 () in
+      let supported =
+        Eval_cache.create ~symmetry:trivial ~cores:5 ~support:[| 1; 2; 4 |] ()
+      in
+      let frozen0 = Rng.int rng 9 and frozen3 = Rng.int rng 9 in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let p =
+          [| frozen0; Rng.int rng 9; Rng.int rng 9; frozen3; Rng.int rng 9 |]
+        in
+        (match (Eval_cache.find_exact full p, Eval_cache.find_exact supported p) with
+        | Some a, Some b -> if a <> b then ok := false
+        | None, None -> ()
+        | Some _, None | None, Some _ -> ok := false);
+        if Rng.int rng 2 = 0 then begin
+          let c = float_of_int (Rng.int rng 1000) in
+          Eval_cache.add_exact full p c;
+          Eval_cache.add_exact supported p c
+        end
+      done;
+      !ok)
+
 (* --- differential: cached vs uncached search ------------------------- *)
 
 let gen_scenario =
@@ -388,6 +485,9 @@ let suite =
       Alcotest.test_case "eviction accounting" `Quick test_eviction_counts;
       Alcotest.test_case "placement size check" `Quick
         test_rejects_mismatched_placement;
+      Alcotest.test_case "geometric growth" `Quick test_geometric_growth;
+      Alcotest.test_case "support projection" `Quick test_support_projection;
+      Alcotest.test_case "support validation" `Quick test_support_validation;
       Alcotest.test_case "exhaustive symmetry: 9 cores on 3x3" `Slow
         test_exhaustive_symmetry_full_occupancy;
       Alcotest.test_case "exhaustive symmetry: CDCM on 2x2" `Quick
@@ -402,4 +502,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_cached_sa_cwm_identical;
       QCheck_alcotest.to_alcotest prop_cached_local_search_identical;
       QCheck_alcotest.to_alcotest prop_cached_expected_identical;
+      QCheck_alcotest.to_alcotest prop_supported_cache_identical;
     ] )

@@ -19,7 +19,22 @@ let test_of_string_invalid () =
       match Mesh.of_string s with
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" s))
-    [ "3"; "3x"; "x3"; "3x0"; "-1x2"; "axb"; "3x2x1" ]
+    [
+      "3";
+      "3x";
+      "x3";
+      "3x0";
+      "-1x2";
+      "axb";
+      "3x2x0";
+      "3x2x";
+      "3x2x-1";
+      "3x2xq";
+      "3x2x1x1";
+      (* The three-way product overflows the [Mesh.max_tiles] ceiling
+         even though each pair of dimensions is fine. *)
+      "4096x4096x4096";
+    ]
 
 let test_tile_numbering () =
   (* Row-major from top-left: matches the paper's Figure 1 tile layout. *)

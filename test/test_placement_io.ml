@@ -129,6 +129,33 @@ let test_noc_line_errors () =
   | Ok (parsed_mesh, _) ->
     Alcotest.(check string) "mesh" "2x2" (Mesh.to_string parsed_mesh)
 
+(* 3-D headers ride the same grammar: `noc CxRxL` parses, a layers
+   field of 1 folds back to the planar mesh, and malformed stacks are
+   rejected with the offending token. *)
+let test_noc_line_3d () =
+  (match
+     Placement_io.of_string ~core_names
+       "noc 2x1x2\ncore A tile 3\ncore B tile 0\ncore E tile 1\ncore F tile 2\n"
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok (parsed_mesh, placement) ->
+    Alcotest.(check string) "3-D mesh" "2x1x2" (Mesh.to_string parsed_mesh);
+    Alcotest.(check (array int)) "placement" [| 3; 0; 1; 2 |] placement);
+  (match
+     Placement_io.of_string ~core_names
+       "noc 2x2x1\ncore A tile 3\ncore B tile 0\ncore E tile 1\ncore F tile 2\n"
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok (parsed_mesh, _) ->
+    Alcotest.(check bool) "layers=1 folds to planar" true
+      (parsed_mesh = Mesh.of_string "2x2"));
+  expect_error ~needle:"\"2x2x0\"" "noc 2x2x0\n";
+  expect_error ~needle:"\"2x2x\"" "noc 2x2x\n";
+  expect_error ~needle:"\"2x2x2x2\"" "noc 2x2x2x2\n";
+  (* Each pair of dimensions is fine; the three-way product overflows. *)
+  expect_error ~needle:"\"4096x4096x4096\"" "noc 4096x4096x4096\n";
+  expect_error ~needle:"<cols>x<rows>x<layers>" "noc 2x2 1\n"
+
 (* Placement files arrive from spool directories and user-edited specs,
    so arbitrary bytes must come back as [Error], never an exception. *)
 let hostile_bytes =
@@ -144,6 +171,26 @@ let prop_parse_tiles_never_raises =
     ~count:(Test_util.prop_count 500) hostile_bytes (fun text ->
       match Placement_io.parse_tiles ~tiles:9 ~cores:4 text with
       | Ok _ | Error _ -> true)
+
+(* Fuzzed shape tokens biased toward near-miss 3-D forms ("2x2x",
+   "2X-3x4", "4096x4096x4096", ...): [of_string] must return [Error],
+   and [Mesh.of_string] itself must never escape with anything but
+   [Invalid_argument]. *)
+let hostile_shape_token =
+  QCheck2.Gen.(
+    string_size
+      ~gen:(oneofl [ '0'; '1'; '2'; '4'; '9'; 'x'; 'X'; '-'; '+'; ' '; 'q' ])
+      (0 -- 16))
+
+let prop_noc_header_never_raises =
+  QCheck2.Test.make ~name:"fuzzed 3-D noc headers never raise"
+    ~count:(Test_util.prop_count 500) hostile_shape_token (fun token ->
+      (match Placement_io.of_string ~core_names ("noc " ^ token ^ "\n") with
+      | Ok _ | Error _ -> true)
+      &&
+      match Mesh.of_string token with
+      | (_ : Mesh.t) -> true
+      | exception Invalid_argument _ -> true)
 
 let test_oversized_input () =
   let big = String.make (Placement_io.max_input_bytes + 1) 'a' in
@@ -167,8 +214,10 @@ let suite =
       Alcotest.test_case "parse tiles validates" `Quick test_parse_tiles_validates;
       Alcotest.test_case "render tiles" `Quick test_render_tiles;
       Alcotest.test_case "noc line errors" `Quick test_noc_line_errors;
+      Alcotest.test_case "noc line 3-D" `Quick test_noc_line_3d;
       QCheck_alcotest.to_alcotest prop_render_tiles_roundtrip;
       QCheck_alcotest.to_alcotest prop_of_string_never_raises;
       QCheck_alcotest.to_alcotest prop_parse_tiles_never_raises;
+      QCheck_alcotest.to_alcotest prop_noc_header_never_raises;
       Alcotest.test_case "oversized input rejected" `Quick test_oversized_input;
     ] )

@@ -109,6 +109,25 @@ let expect_invalid ~needle text =
   | Ok _ -> Alcotest.fail ("accepted: " ^ text)
   | Error msg -> Test_util.check_contains ~msg:"spec error" ~needle msg
 
+(* Stacked 3-D meshes ride the same "noc" field: `CxRxL` parses and
+   round-trips through to_json, and malformed stacks are rejected. *)
+let test_spec_noc3d () =
+  (match
+     Job_spec.of_string {|{"id":"v","app":{"builtin":"fig1"},"noc":"2x2x2"}|}
+   with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+    Alcotest.(check string) "3-D mesh" "2x2x2"
+      (Nocmap_noc.Mesh.to_string spec.Job_spec.mesh);
+    let again =
+      match Job_spec.of_json (Job_spec.to_json spec) with
+      | Ok s -> s
+      | Error e -> Alcotest.fail e
+    in
+    Alcotest.(check bool) "round-trips" true (spec = again));
+  expect_invalid ~needle:"noc" {|{"id":"x","app":{"builtin":"fig1"},"noc":"2x2x0"}|};
+  expect_invalid ~needle:"noc" {|{"id":"x","app":{"builtin":"fig1"},"noc":"2x2x"}|}
+
 let test_spec_rejections () =
   expect_invalid ~needle:"JSON" "not json at all";
   expect_invalid ~needle:"object" {|[1,2,3]|};
@@ -579,6 +598,7 @@ let suite =
       Alcotest.test_case "backoff retry gives up" `Quick test_backoff_retry_gives_up;
       Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
       Alcotest.test_case "spec defaults" `Quick test_spec_defaults;
+      Alcotest.test_case "spec 3-D noc" `Quick test_spec_noc3d;
       Alcotest.test_case "spec rejections" `Quick test_spec_rejections;
       Alcotest.test_case "spec app resolution" `Quick test_spec_resolve;
       Alcotest.test_case "spec portfolio strategies" `Quick test_spec_portfolio;
